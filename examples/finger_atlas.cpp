@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Finger atlas: dumps the synthetic-biometrics substrate to PGM
+ * images you can open in any viewer — master fingerprints of each
+ * pattern class, partial captures under varying conditions, the
+ * enhancement/skeleton pipeline stages, and a touch-density map.
+ *
+ * Run: ./finger_atlas [output-dir]   (default: ./atlas)
+ */
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+#include "core/pgm.hh"
+#include "core/rng.hh"
+#include "fingerprint/capture.hh"
+#include "fingerprint/enhance.hh"
+#include "fingerprint/skeleton.hh"
+#include "fingerprint/synthesis.hh"
+#include "touch/behavior.hh"
+
+namespace core = trust::core;
+namespace fp = trust::fingerprint;
+namespace touch = trust::touch;
+
+namespace {
+
+core::Grid<double>
+imageToGrid(const fp::FingerprintImage &image)
+{
+    core::Grid<double> grid(image.rows(), image.cols(), 0.0);
+    for (int r = 0; r < image.rows(); ++r)
+        for (int c = 0; c < image.cols(); ++c)
+            grid(r, c) = image.valid(r, c) ? 1.0 - image.pixel(r, c)
+                                           : 1.0;
+    return grid;
+}
+
+core::Grid<double>
+skeletonToGrid(const core::Grid<std::uint8_t> &skeleton)
+{
+    core::Grid<double> grid(skeleton.rows(), skeleton.cols(), 1.0);
+    for (int r = 0; r < skeleton.rows(); ++r)
+        for (int c = 0; c < skeleton.cols(); ++c)
+            if (skeleton(r, c))
+                grid(r, c) = 0.0;
+    return grid;
+}
+
+bool
+dump(const std::string &path, const core::Grid<double> &grid)
+{
+    const bool ok = core::writePgm(path, grid, 0.0, 1.0);
+    std::printf("  %-40s %s\n", path.c_str(), ok ? "ok" : "FAILED");
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "atlas";
+    ::mkdir(dir.c_str(), 0755);
+    std::printf("Writing PGM atlas into %s/\n", dir.c_str());
+
+    core::Rng rng(2012);
+    bool all_ok = true;
+
+    // Masters, one per pattern class.
+    const fp::PatternClass classes[] = {fp::PatternClass::Arch,
+                                        fp::PatternClass::Loop,
+                                        fp::PatternClass::Whorl};
+    const char *names[] = {"arch", "loop", "whorl"};
+    fp::MasterFinger loop_master;
+    for (int i = 0; i < 3; ++i) {
+        const auto finger =
+            fp::synthesizeFinger(static_cast<std::uint64_t>(i), rng,
+                                 {}, &classes[i]);
+        all_ok &= dump(dir + "/master_" + names[i] + ".pgm",
+                       imageToGrid(finger.image));
+        if (classes[i] == fp::PatternClass::Loop)
+            loop_master = finger;
+        std::printf("    (%s: %zu minutiae)\n", names[i],
+                    finger.minutiae.size());
+    }
+
+    // Partial captures of the loop master under three conditions.
+    struct Condition
+    {
+        const char *name;
+        double pressure;
+        double blur;
+    };
+    for (const Condition &cond :
+         {Condition{"clean", 1.0, 0.0}, Condition{"soft", 0.3, 0.0},
+          Condition{"smeared", 0.8, 5.0}}) {
+        fp::CaptureConditions cc;
+        cc.windowRows = 90;
+        cc.windowCols = 90;
+        cc.pressure = cond.pressure;
+        cc.motionBlur = cond.blur;
+        const auto impression =
+            fp::captureImpression(loop_master, cc, rng);
+        all_ok &= dump(dir + "/capture_" + cond.name + ".pgm",
+                       imageToGrid(impression));
+    }
+
+    // Pipeline stages on a clean capture.
+    fp::CaptureConditions cc;
+    cc.windowRows = 90;
+    cc.windowCols = 90;
+    auto work = fp::captureImpression(loop_master, cc, rng);
+    all_ok &= dump(dir + "/stage1_raw.pgm", imageToGrid(work));
+    fp::normalizeImage(work);
+    const auto orientation = fp::estimateOrientation(work);
+    double period = fp::estimateRidgePeriod(work, orientation);
+    if (period < 3.0 || period > 25.0)
+        period = 9.0;
+    fp::gaborEnhance(work, orientation, 1.0 / period);
+    all_ok &= dump(dir + "/stage2_enhanced.pgm", imageToGrid(work));
+    const auto skeleton = fp::thin(fp::binarize(work));
+    all_ok &= dump(dir + "/stage3_skeleton.pgm",
+                   skeletonToGrid(skeleton));
+
+    // Touch density of one user (Fig. 7 style).
+    const auto behavior = touch::UserBehavior::forUser(
+        7, {touch::homeScreenLayout(), touch::keyboardLayout(),
+            touch::browserLayout()});
+    const auto density = behavior.densityMap(94, 53, 20000, rng);
+    all_ok &= dump(dir + "/touch_density.pgm", [&] {
+        // Invert so hot spots are dark on white.
+        core::Grid<double> inv(density.rows(), density.cols(), 0.0);
+        double max_v = 0.0;
+        for (double v : density.data())
+            max_v = std::max(max_v, v);
+        for (int r = 0; r < inv.rows(); ++r)
+            for (int c = 0; c < inv.cols(); ++c)
+                inv(r, c) = 1.0 - density(r, c) / max_v;
+        return inv;
+    }());
+
+    std::printf("%s\n", all_ok ? "Atlas complete."
+                               : "Some files failed to write.");
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sensor placement design study (Sec. IV-A challenge 2, Fig. 7).
+ *
+ * Collects synthetic touch distributions from three users (the
+ * stand-in for the paper's HTC study), renders their heat maps,
+ * fuses them, and compares optimized sensor placements against
+ * uniform-grid and random baselines across sensor budgets.
+ *
+ * Run: ./placement_designer
+ */
+
+#include <cstdio>
+
+#include "core/csv.hh"
+#include "core/rng.hh"
+#include "placement/placement.hh"
+#include "touch/behavior.hh"
+
+namespace core = trust::core;
+namespace touch = trust::touch;
+namespace placement = trust::placement;
+
+int
+main()
+{
+    std::printf("=== Sensor placement designer ===\n\n");
+
+    core::Rng rng(2026);
+    const std::vector<touch::UiLayout> layouts = {
+        touch::homeScreenLayout(), touch::keyboardLayout(),
+        touch::browserLayout()};
+
+    // Three users' touch distributions (Fig. 7).
+    std::vector<core::Grid<double>> maps;
+    for (std::uint64_t user = 1; user <= 3; ++user) {
+        const auto behavior = touch::UserBehavior::forUser(user, layouts);
+        maps.push_back(behavior.densityMap(24, 14, 4000, rng));
+        std::printf("User %llu touch density (24x14 cells):\n%s\n",
+                    static_cast<unsigned long long>(user),
+                    touch::renderDensityAscii(maps.back()).c_str());
+    }
+
+    std::printf("Pairwise hot-spot overlap: u1/u2 %.2f, u1/u3 %.2f, "
+                "u2/u3 %.2f\n\n",
+                touch::densityOverlap(maps[0], maps[1]),
+                touch::densityOverlap(maps[0], maps[2]),
+                touch::densityOverlap(maps[1], maps[2]));
+
+    // Fused multi-user density for a shared placement.
+    core::Grid<double> fused(24, 14, 0.0);
+    for (const auto &map : maps)
+        for (std::size_t i = 0; i < fused.data().size(); ++i)
+            fused.data()[i] += map.data()[i] / maps.size();
+
+    placement::PlacementProblem problem;
+    problem.screen = layouts.front().screen;
+    problem.density = fused;
+    problem.sensorSideMm = 7.0;
+
+    core::Table table({"tiles", "area %", "greedy", "annealed",
+                       "uniform", "random"});
+    for (int tiles : {1, 2, 4, 6, 8}) {
+        problem.sensorCount = tiles;
+        const double area_pct = tiles * 49.0 /
+                                problem.screen.bounds().area() * 100.0;
+        const auto greedy = placement::placeGreedy(problem);
+        const auto annealed =
+            placement::placeAnnealing(problem, rng, 8000);
+        const auto uniform = placement::placeUniformGrid(problem);
+        const auto random = placement::placeRandom(problem, rng);
+        table.addRow(
+            {std::to_string(tiles), core::Table::num(area_pct, 1),
+             core::Table::num(
+                 placement::evaluateCoverage(greedy, problem), 3),
+             core::Table::num(
+                 placement::evaluateCoverage(annealed, problem), 3),
+             core::Table::num(
+                 placement::evaluateCoverage(uniform, problem), 3),
+             core::Table::num(
+                 placement::evaluateCoverage(random, problem), 3)});
+    }
+    std::printf("Touch-capture probability by placement strategy:\n");
+    table.print();
+
+    // Show the chosen four-tile layout.
+    problem.sensorCount = 4;
+    const auto chosen = placement::placeGreedy(problem);
+    std::printf("\nChosen 4-tile placement (screen %.0fx%.0f mm):\n",
+                problem.screen.widthMm, problem.screen.heightMm);
+    for (const auto &tile : chosen.tiles)
+        std::printf("  tile at (%.0f, %.0f) size %.0fx%.0f mm\n",
+                    tile.x0, tile.y0, tile.width(), tile.height());
+    return 0;
+}

@@ -1,0 +1,121 @@
+#include "core/csv.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/logging.hh"
+
+namespace trust::core {
+
+namespace {
+
+bool
+needsQuoting(const std::string &cell)
+{
+    return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string
+quoted(const std::string &cell)
+{
+    if (!needsQuoting(cell))
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    TRUST_ASSERT(!headers_.empty(), "Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    TRUST_ASSERT(cells.size() == headers_.size(),
+                 "Table: row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toCsv() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        if (i)
+            out += ',';
+        out += quoted(headers_[i]);
+    }
+    out += '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ',';
+            out += quoted(row[i]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            line += ' ';
+            line += row[i];
+            line.append(widths[i] - row[i].size(), ' ');
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string sep = "+";
+    for (std::size_t w : widths) {
+        sep.append(w + 2, '-');
+        sep += '+';
+    }
+    sep += '\n';
+
+    std::string out = sep + render_row(headers_) + sep;
+    for (const auto &row : rows_)
+        out += render_row(row);
+    out += sep;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toText().c_str(), stdout);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace trust::core

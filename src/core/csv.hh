@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV/table writer used by the benchmark harness to emit the
+ * rows/series of each reproduced paper table and figure.
+ */
+
+#ifndef TRUST_CORE_CSV_HH
+#define TRUST_CORE_CSV_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace trust::core {
+
+/**
+ * Accumulates rows of string cells and renders either CSV or an
+ * aligned plain-text table (the benches print the latter so the
+ * reproduced tables read like the paper's).
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render as RFC-4180-ish CSV (quoting cells that need it). */
+    std::string toCsv() const;
+
+    /** Render as an aligned monospace table. */
+    std::string toText() const;
+
+    /** Print the aligned table to stdout. */
+    void print() const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format helper: fixed-precision double as a cell. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace trust::core
+
+#endif // TRUST_CORE_CSV_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Small 2-D geometry types used across the touch panel, fingerprint
+ * sensor and placement modules. Coordinates are in millimetres unless
+ * a module documents otherwise (sensor modules use cell indices).
+ */
+
+#ifndef TRUST_CORE_GEOMETRY_HH
+#define TRUST_CORE_GEOMETRY_HH
+
+#include <algorithm>
+#include <cmath>
+
+namespace trust::core {
+
+/** A 2-D point / vector with double components. */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x+o.x, y+o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x-o.x, y-o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x*s, y*s}; }
+    constexpr Vec2 operator/(double s) const { return {x/s, y/s}; }
+
+    Vec2 &operator+=(const Vec2 &o) { x += o.x; y += o.y; return *this; }
+    Vec2 &operator-=(const Vec2 &o) { x -= o.x; y -= o.y; return *this; }
+
+    constexpr bool
+    operator==(const Vec2 &o) const
+    {
+        return x == o.x && y == o.y;
+    }
+
+    /** Dot product. */
+    constexpr double dot(const Vec2 &o) const { return x*o.x + y*o.y; }
+
+    /** Euclidean norm. */
+    double norm() const { return std::sqrt(x*x + y*y); }
+
+    /** Squared Euclidean norm (cheaper for comparisons). */
+    constexpr double normSq() const { return x*x + y*y; }
+
+    /** Distance to another point. */
+    double dist(const Vec2 &o) const { return (*this - o).norm(); }
+
+    /** Angle of the vector in radians, in (-pi, pi]. */
+    double angle() const { return std::atan2(y, x); }
+
+    /** Rotate by theta radians counter-clockwise around the origin. */
+    Vec2
+    rotated(double theta) const
+    {
+        const double c = std::cos(theta), s = std::sin(theta);
+        return {c * x - s * y, s * x + c * y};
+    }
+};
+
+/** Integer grid coordinate (sensor cell / pixel index). */
+struct CellIndex
+{
+    int row = 0;
+    int col = 0;
+
+    constexpr bool
+    operator==(const CellIndex &o) const
+    {
+        return row == o.row && col == o.col;
+    }
+};
+
+/** Axis-aligned rectangle, [x0, x1) x [y0, y1). */
+struct Rect
+{
+    double x0 = 0.0;
+    double y0 = 0.0;
+    double x1 = 0.0;
+    double y1 = 0.0;
+
+    constexpr Rect() = default;
+    constexpr Rect(double x0_, double y0_, double x1_, double y1_)
+        : x0(x0_), y0(y0_), x1(x1_), y1(y1_) {}
+
+    /** Construct from an origin and a size. */
+    static constexpr Rect
+    fromOriginSize(double x, double y, double w, double h)
+    {
+        return Rect(x, y, x + w, y + h);
+    }
+
+    constexpr double width() const { return x1 - x0; }
+    constexpr double height() const { return y1 - y0; }
+    constexpr double area() const { return width() * height(); }
+    constexpr Vec2 center() const { return {(x0+x1)/2.0, (y0+y1)/2.0}; }
+
+    constexpr bool
+    contains(const Vec2 &p) const
+    {
+        return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+    }
+
+    constexpr bool
+    intersects(const Rect &o) const
+    {
+        return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+    }
+
+    /** The intersection rectangle (empty if disjoint). */
+    Rect
+    intersection(const Rect &o) const
+    {
+        Rect r(std::max(x0, o.x0), std::max(y0, o.y0),
+               std::min(x1, o.x1), std::min(y1, o.y1));
+        if (r.x1 < r.x0)
+            r.x1 = r.x0;
+        if (r.y1 < r.y0)
+            r.y1 = r.y0;
+        return r;
+    }
+
+    /** Clamp a point to lie inside (half-open upper bound nudged). */
+    Vec2
+    clamp(const Vec2 &p) const
+    {
+        return {std::clamp(p.x, x0, std::nextafter(x1, x0)),
+                std::clamp(p.y, y0, std::nextafter(y1, y0))};
+    }
+
+    constexpr bool
+    operator==(const Rect &o) const
+    {
+        return x0 == o.x0 && y0 == o.y0 && x1 == o.x1 && y1 == o.y1;
+    }
+};
+
+/** Normalize an angle to (-pi, pi]. */
+inline double
+wrapAngle(double theta)
+{
+    const double two_pi = 6.283185307179586476925286766559;
+    theta = std::fmod(theta, two_pi);
+    if (theta <= -3.14159265358979323846)
+        theta += two_pi;
+    else if (theta > 3.14159265358979323846)
+        theta -= two_pi;
+    return theta;
+}
+
+/**
+ * Normalize a ridge-orientation angle to [0, pi). Fingerprint ridge
+ * orientations are undirected lines, so theta and theta+pi coincide.
+ */
+inline double
+wrapOrientation(double theta)
+{
+    const double pi = 3.14159265358979323846;
+    theta = std::fmod(theta, pi);
+    if (theta < 0.0)
+        theta += pi;
+    return theta;
+}
+
+/** Smallest absolute difference between two undirected orientations. */
+inline double
+orientationDiff(double a, double b)
+{
+    const double pi = 3.14159265358979323846;
+    double d = std::fabs(wrapOrientation(a) - wrapOrientation(b));
+    return std::min(d, pi - d);
+}
+
+} // namespace trust::core
+
+#endif // TRUST_CORE_GEOMETRY_HH

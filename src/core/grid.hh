@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Generic row-major 2-D grid container used for fingerprint images,
+ * orientation fields, touch-density maps and sensor cell arrays.
+ */
+
+#ifndef TRUST_CORE_GRID_HH
+#define TRUST_CORE_GRID_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/logging.hh"
+
+namespace trust::core {
+
+/**
+ * A dense row-major 2-D array with bounds-checked element access.
+ *
+ * Rows index the Y dimension and columns the X dimension, matching
+ * the addressing convention of the TFT sensor array (line = row,
+ * column = col).
+ */
+template <typename T>
+class Grid
+{
+  public:
+    Grid() = default;
+
+    /** Construct a rows x cols grid filled with @p init. */
+    Grid(int rows, int cols, T init = T())
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows) * cols, init)
+    {
+        TRUST_ASSERT(rows >= 0 && cols >= 0, "Grid: negative dimensions");
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    /** True if (r, c) lies inside the grid. */
+    bool
+    inBounds(int r, int c) const
+    {
+        return r >= 0 && r < rows_ && c >= 0 && c < cols_;
+    }
+
+    /** Checked element access. */
+    T &
+    at(int r, int c)
+    {
+        TRUST_ASSERT(inBounds(r, c), "Grid::at out of bounds");
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    /** Checked element access (const). */
+    const T &
+    at(int r, int c) const
+    {
+        TRUST_ASSERT(inBounds(r, c), "Grid::at out of bounds");
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    /** Unchecked element access for hot loops. */
+    T &
+    operator()(int r, int c)
+    {
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    /** Unchecked element access for hot loops (const). */
+    const T &
+    operator()(int r, int c) const
+    {
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    /** Element access clamped to the nearest border cell. */
+    const T &
+    atClamped(int r, int c) const
+    {
+        r = std::clamp(r, 0, rows_ - 1);
+        c = std::clamp(c, 0, cols_ - 1);
+        return (*this)(r, c);
+    }
+
+    /** Fill every cell with @p value. */
+    void fill(const T &value) { std::fill(data_.begin(), data_.end(), value); }
+
+    /** Raw storage, row-major. */
+    std::vector<T> &data() { return data_; }
+    const std::vector<T> &data() const { return data_; }
+
+    bool
+    operator==(const Grid &o) const
+    {
+        return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+    }
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<T> data_;
+};
+
+} // namespace trust::core
+
+#endif // TRUST_CORE_GRID_HH

@@ -1,0 +1,53 @@
+#include "core/hex.hh"
+
+#include "core/logging.hh"
+
+namespace trust::core {
+
+namespace {
+
+int
+nibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+hexEncode(const Bytes &data)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+Bytes
+hexDecode(const std::string &hex)
+{
+    if (hex.size() % 2 != 0)
+        TRUST_FATAL("hexDecode: odd-length input");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            TRUST_FATAL("hexDecode: non-hex character");
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+} // namespace trust::core

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Hexadecimal encoding/decoding for digests, keys and test vectors.
+ */
+
+#ifndef TRUST_CORE_HEX_HH
+#define TRUST_CORE_HEX_HH
+
+#include <string>
+
+#include "core/bytes.hh"
+
+namespace trust::core {
+
+/** Encode bytes as a lowercase hex string. */
+std::string hexEncode(const Bytes &data);
+
+/**
+ * Decode a hex string (case-insensitive) into bytes.
+ * Fatal error on odd length or non-hex characters.
+ */
+Bytes hexDecode(const std::string &hex);
+
+} // namespace trust::core
+
+#endif // TRUST_CORE_HEX_HH

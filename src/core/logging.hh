@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant
+ * violations (library bugs), fatal() for unrecoverable user errors,
+ * warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef TRUST_CORE_LOGGING_HH
+#define TRUST_CORE_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace trust::core {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent, Error, Warn, Info, Debug };
+
+/** Set the global verbosity threshold; messages above it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity threshold. */
+LogLevel logLevel();
+
+namespace detail {
+void emit(LogLevel level, const char *tag, const std::string &msg);
+[[noreturn]] void die(const char *kind, const char *file, int line,
+                      const std::string &msg);
+} // namespace detail
+
+/** Informative message the user should see but not worry about. */
+void inform(const std::string &msg);
+
+/** Something may be modeled imprecisely; execution continues. */
+void warn(const std::string &msg);
+
+/** Debug-level trace message. */
+void debug(const std::string &msg);
+
+/**
+ * Abort due to an internal invariant violation (a library bug).
+ * Mirrors gem5 panic(): never the user's fault.
+ */
+#define TRUST_PANIC(msg) \
+    ::trust::core::detail::die("panic", __FILE__, __LINE__, (msg))
+
+/**
+ * Exit due to an unrecoverable condition caused by the caller
+ * (bad configuration, invalid arguments). Mirrors gem5 fatal().
+ */
+#define TRUST_FATAL(msg) \
+    ::trust::core::detail::die("fatal", __FILE__, __LINE__, (msg))
+
+/** Assert an invariant; panics with the expression text on failure. */
+#define TRUST_ASSERT(cond, msg)                                        \
+    do {                                                               \
+        if (!(cond)) {                                                 \
+            ::trust::core::detail::die("assert", __FILE__, __LINE__,   \
+                                       std::string(#cond) + ": " +     \
+                                       (msg));                         \
+        }                                                              \
+    } while (false)
+
+} // namespace trust::core
+
+#endif // TRUST_CORE_LOGGING_HH

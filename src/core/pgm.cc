@@ -1,0 +1,85 @@
+#include "core/pgm.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace trust::core {
+
+namespace {
+
+template <typename T>
+std::string
+renderPgm(const Grid<T> &grid, double lo, double hi)
+{
+    if (grid.empty())
+        return "P5\n1 1\n255\n\0";
+
+    if (lo == hi) {
+        lo = static_cast<double>(grid.data()[0]);
+        hi = lo;
+        for (T v : grid.data()) {
+            lo = std::min(lo, static_cast<double>(v));
+            hi = std::max(hi, static_cast<double>(v));
+        }
+        if (lo == hi)
+            hi = lo + 1.0;
+    }
+
+    char header[64];
+    std::snprintf(header, sizeof(header), "P5\n%d %d\n255\n",
+                  grid.cols(), grid.rows());
+    std::string out = header;
+    out.reserve(out.size() + grid.size());
+    for (int r = 0; r < grid.rows(); ++r) {
+        for (int c = 0; c < grid.cols(); ++c) {
+            const double v =
+                (static_cast<double>(grid(r, c)) - lo) / (hi - lo);
+            const int byte = std::clamp(
+                static_cast<int>(v * 255.0 + 0.5), 0, 255);
+            out.push_back(static_cast<char>(byte));
+        }
+    }
+    return out;
+}
+
+bool
+writeFile(const std::string &path, const std::string &data)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace
+
+std::string
+toPgm(const Grid<double> &grid, double lo, double hi)
+{
+    return renderPgm(grid, lo, hi);
+}
+
+std::string
+toPgm(const Grid<float> &grid, double lo, double hi)
+{
+    return renderPgm(grid, lo, hi);
+}
+
+bool
+writePgm(const std::string &path, const Grid<double> &grid, double lo,
+         double hi)
+{
+    return writeFile(path, toPgm(grid, lo, hi));
+}
+
+bool
+writePgm(const std::string &path, const Grid<float> &grid, double lo,
+         double hi)
+{
+    return writeFile(path, toPgm(grid, lo, hi));
+}
+
+} // namespace trust::core

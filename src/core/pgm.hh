@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal PGM (portable graymap) writer for dumping grids — master
+ * fingerprints, captured impressions, touch-density maps — to files
+ * that any image viewer opens.
+ */
+
+#ifndef TRUST_CORE_PGM_HH
+#define TRUST_CORE_PGM_HH
+
+#include <string>
+
+#include "core/grid.hh"
+
+namespace trust::core {
+
+/**
+ * Render a grid of doubles as binary PGM (P5), mapping [lo, hi] to
+ * [0, 255] (values outside clamp). With lo == hi the grid's own
+ * min/max are used.
+ */
+std::string toPgm(const Grid<double> &grid, double lo = 0.0,
+                  double hi = 0.0);
+
+/** Float-grid overload. */
+std::string toPgm(const Grid<float> &grid, double lo = 0.0,
+                  double hi = 0.0);
+
+/** Write a PGM rendering to @p path; false on I/O failure. */
+bool writePgm(const std::string &path, const Grid<double> &grid,
+              double lo = 0.0, double hi = 0.0);
+
+/** Float-grid overload. */
+bool writePgm(const std::string &path, const Grid<float> &grid,
+              double lo = 0.0, double hi = 0.0);
+
+} // namespace trust::core
+
+#endif // TRUST_CORE_PGM_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation.
+ *
+ * All stochastic behaviour in the library flows through Rng so that
+ * every experiment is reproducible from a single 64-bit seed. The
+ * generator is xoshiro256** seeded via SplitMix64, which is fast and
+ * has excellent statistical quality for simulation purposes (it is
+ * NOT a cryptographic generator; see crypto/csprng.hh for that).
+ */
+
+#ifndef TRUST_CORE_RNG_HH
+#define TRUST_CORE_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace trust::core {
+
+/**
+ * Deterministic simulation RNG (xoshiro256**).
+ *
+ * Satisfies UniformRandomBitGenerator so it can also be used with
+ * <random> distributions, though the built-in helpers below are
+ * preferred for cross-platform determinism.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive), unbiased. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal deviate (Box-Muller, cached pair). */
+    double normal();
+
+    /** Normal deviate with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Exponential deviate with given rate (lambda). */
+    double exponential(double rate);
+
+    /**
+     * Sample an index from a discrete distribution given by
+     * non-negative weights. Weights need not be normalized.
+     */
+    std::size_t weightedIndex(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(
+                uniformInt(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for sub-components). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double cachedNormal_ = 0.0;
+    bool hasCachedNormal_ = false;
+};
+
+/** SplitMix64 step; used for seeding and cheap hashing. */
+std::uint64_t splitMix64(std::uint64_t &state);
+
+} // namespace trust::core
+
+#endif // TRUST_CORE_RNG_HH

@@ -1,0 +1,67 @@
+#include "core/sim_clock.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace trust::core {
+
+Tick
+clockPeriod(double hz)
+{
+    TRUST_ASSERT(hz > 0.0, "clockPeriod: frequency must be positive");
+    const double ns = 1e9 / hz;
+    return ns < 1.0 ? 1 : static_cast<Tick>(std::llround(ns));
+}
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    TRUST_ASSERT(when >= now_, "EventQueue: scheduling in the past");
+    heap_.push(Item{when, seq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    Item item = heap_.top();
+    heap_.pop();
+    now_ = item.when;
+    item.cb();
+    return true;
+}
+
+void
+EventQueue::run(std::uint64_t limit)
+{
+    while (limit-- > 0 && step()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!heap_.empty() && heap_.top().when <= until)
+        step();
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+EventQueue::advanceTo(Tick when)
+{
+    TRUST_ASSERT(when >= now_, "EventQueue: advancing to the past");
+    TRUST_ASSERT(heap_.empty() || heap_.top().when >= when,
+                 "EventQueue: advancing past pending events");
+    now_ = when;
+}
+
+} // namespace trust::core

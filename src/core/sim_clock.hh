@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulated time base and a simple discrete-event scheduler.
+ *
+ * All hardware and protocol latencies in the library are expressed in
+ * integer nanoseconds (Tick). The event queue drives session-level
+ * simulations (touch workloads, network delivery) deterministically.
+ */
+
+#ifndef TRUST_CORE_SIM_CLOCK_HH
+#define TRUST_CORE_SIM_CLOCK_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace trust::core {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** @{ @name Time unit helpers (construct Ticks from unit counts). */
+constexpr Tick nanoseconds(std::uint64_t n) { return n; }
+constexpr Tick microseconds(std::uint64_t n) { return n * 1000ULL; }
+constexpr Tick milliseconds(std::uint64_t n) { return n * 1000000ULL; }
+constexpr Tick seconds(std::uint64_t n) { return n * 1000000000ULL; }
+/** @} */
+
+/** Convert a Tick count to fractional milliseconds. */
+constexpr double toMilliseconds(Tick t) { return static_cast<double>(t) / 1e6; }
+
+/** Convert a Tick count to fractional microseconds. */
+constexpr double toMicroseconds(Tick t) { return static_cast<double>(t) / 1e3; }
+
+/** Convert a Tick count to fractional seconds. */
+constexpr double toSeconds(Tick t) { return static_cast<double>(t) / 1e9; }
+
+/** Ticks for one period of a clock at @p hz (rounded to >= 1 ns). */
+Tick clockPeriod(double hz);
+
+/**
+ * A deterministic discrete-event scheduler.
+ *
+ * Events scheduled for the same tick fire in insertion order, which
+ * keeps multi-component simulations reproducible.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb);
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Run the next event; returns false if the queue is empty. */
+    bool step();
+
+    /** Run events until the queue drains or @p limit events fire. */
+    void run(std::uint64_t limit = ~0ULL);
+
+    /** Run events with timestamps <= @p until (inclusive). */
+    void runUntil(Tick until);
+
+    /**
+     * Advance the clock with no event execution (used by components
+     * that compute latency analytically between events).
+     */
+    void advanceTo(Tick when);
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::priority_queue<Item, std::vector<Item>, Later> heap_;
+};
+
+} // namespace trust::core
+
+#endif // TRUST_CORE_SIM_CLOCK_HH

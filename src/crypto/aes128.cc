@@ -1,0 +1,221 @@
+#include "crypto/aes128.hh"
+
+#include <cstring>
+
+#include "core/logging.hh"
+
+namespace trust::crypto {
+
+namespace {
+
+/** GF(2^8) multiply modulo the AES polynomial x^8+x^4+x^3+x+1. */
+std::uint8_t
+gfMul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1)
+            p ^= a;
+        const bool hi = a & 0x80;
+        a = static_cast<std::uint8_t>(a << 1);
+        if (hi)
+            a ^= 0x1b;
+        b >>= 1;
+    }
+    return p;
+}
+
+struct SboxTables
+{
+    std::uint8_t sbox[256];
+    std::uint8_t inv[256];
+
+    SboxTables()
+    {
+        // Multiplicative inverses in GF(2^8) by brute force (one-time).
+        std::uint8_t mulinv[256] = {};
+        for (int a = 1; a < 256; ++a) {
+            for (int b = 1; b < 256; ++b) {
+                if (gfMul(static_cast<std::uint8_t>(a),
+                          static_cast<std::uint8_t>(b)) == 1) {
+                    mulinv[a] = static_cast<std::uint8_t>(b);
+                    break;
+                }
+            }
+        }
+        for (int x = 0; x < 256; ++x) {
+            const std::uint8_t s = mulinv[x];
+            // Affine transform b' = b ^ rotl(b,1..4) ^ 0x63.
+            std::uint8_t y = s;
+            for (int r = 1; r <= 4; ++r)
+                y ^= static_cast<std::uint8_t>((s << r) | (s >> (8 - r)));
+            y ^= 0x63;
+            sbox[x] = y;
+        }
+        for (int x = 0; x < 256; ++x)
+            inv[sbox[x]] = static_cast<std::uint8_t>(x);
+    }
+};
+
+const SboxTables &
+tables()
+{
+    static const SboxTables t;
+    return t;
+}
+
+} // namespace
+
+Aes128::Aes128(const core::Bytes &key)
+{
+    if (key.size() != keySize)
+        TRUST_FATAL("Aes128: key must be 16 bytes");
+
+    const auto &t = tables();
+    std::uint8_t w[176]; // 44 words
+    std::memcpy(w, key.data(), 16);
+
+    std::uint8_t rcon = 1;
+    for (int i = 16; i < 176; i += 4) {
+        std::uint8_t tmp[4];
+        std::memcpy(tmp, w + i - 4, 4);
+        if (i % 16 == 0) {
+            // RotWord + SubWord + Rcon.
+            const std::uint8_t first = tmp[0];
+            tmp[0] = static_cast<std::uint8_t>(t.sbox[tmp[1]] ^ rcon);
+            tmp[1] = t.sbox[tmp[2]];
+            tmp[2] = t.sbox[tmp[3]];
+            tmp[3] = t.sbox[first];
+            rcon = gfMul(rcon, 2);
+        }
+        for (int j = 0; j < 4; ++j)
+            w[i + j] = static_cast<std::uint8_t>(w[i - 16 + j] ^ tmp[j]);
+    }
+
+    for (int r = 0; r < 11; ++r)
+        std::memcpy(roundKeys_[r].data(), w + 16 * r, 16);
+}
+
+void
+Aes128::encryptBlock(std::uint8_t block[blockSize]) const
+{
+    const auto &t = tables();
+    auto add_round_key = [&](int r) {
+        for (int i = 0; i < 16; ++i)
+            block[i] ^= roundKeys_[r][i];
+    };
+    auto sub_bytes = [&]() {
+        for (int i = 0; i < 16; ++i)
+            block[i] = t.sbox[block[i]];
+    };
+    auto shift_rows = [&]() {
+        // State is column-major: byte (row, col) lives at col*4 + row.
+        std::uint8_t tmp[16];
+        std::memcpy(tmp, block, 16);
+        for (int row = 1; row < 4; ++row)
+            for (int col = 0; col < 4; ++col)
+                block[col * 4 + row] = tmp[((col + row) % 4) * 4 + row];
+    };
+    auto mix_columns = [&]() {
+        for (int col = 0; col < 4; ++col) {
+            std::uint8_t *c = block + col * 4;
+            const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+            c[0] = static_cast<std::uint8_t>(
+                gfMul(a0, 2) ^ gfMul(a1, 3) ^ a2 ^ a3);
+            c[1] = static_cast<std::uint8_t>(
+                a0 ^ gfMul(a1, 2) ^ gfMul(a2, 3) ^ a3);
+            c[2] = static_cast<std::uint8_t>(
+                a0 ^ a1 ^ gfMul(a2, 2) ^ gfMul(a3, 3));
+            c[3] = static_cast<std::uint8_t>(
+                gfMul(a0, 3) ^ a1 ^ a2 ^ gfMul(a3, 2));
+        }
+    };
+
+    add_round_key(0);
+    for (int r = 1; r <= 9; ++r) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(r);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+}
+
+void
+Aes128::decryptBlock(std::uint8_t block[blockSize]) const
+{
+    const auto &t = tables();
+    auto add_round_key = [&](int r) {
+        for (int i = 0; i < 16; ++i)
+            block[i] ^= roundKeys_[r][i];
+    };
+    auto inv_sub_bytes = [&]() {
+        for (int i = 0; i < 16; ++i)
+            block[i] = t.inv[block[i]];
+    };
+    auto inv_shift_rows = [&]() {
+        std::uint8_t tmp[16];
+        std::memcpy(tmp, block, 16);
+        for (int row = 1; row < 4; ++row)
+            for (int col = 0; col < 4; ++col)
+                block[((col + row) % 4) * 4 + row] = tmp[col * 4 + row];
+    };
+    auto inv_mix_columns = [&]() {
+        for (int col = 0; col < 4; ++col) {
+            std::uint8_t *c = block + col * 4;
+            const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+            c[0] = static_cast<std::uint8_t>(gfMul(a0, 14) ^ gfMul(a1, 11) ^
+                                             gfMul(a2, 13) ^ gfMul(a3, 9));
+            c[1] = static_cast<std::uint8_t>(gfMul(a0, 9) ^ gfMul(a1, 14) ^
+                                             gfMul(a2, 11) ^ gfMul(a3, 13));
+            c[2] = static_cast<std::uint8_t>(gfMul(a0, 13) ^ gfMul(a1, 9) ^
+                                             gfMul(a2, 14) ^ gfMul(a3, 11));
+            c[3] = static_cast<std::uint8_t>(gfMul(a0, 11) ^ gfMul(a1, 13) ^
+                                             gfMul(a2, 9) ^ gfMul(a3, 14));
+        }
+    };
+
+    add_round_key(10);
+    for (int r = 9; r >= 1; --r) {
+        inv_shift_rows();
+        inv_sub_bytes();
+        add_round_key(r);
+        inv_mix_columns();
+    }
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(0);
+}
+
+core::Bytes
+Aes128::ctrTransform(const core::Bytes &iv, const core::Bytes &data) const
+{
+    if (iv.size() != blockSize)
+        TRUST_FATAL("Aes128::ctrTransform: IV must be 16 bytes");
+
+    std::uint8_t counter[blockSize];
+    std::memcpy(counter, iv.data(), blockSize);
+
+    core::Bytes out;
+    out.reserve(data.size());
+    std::uint8_t keystream[blockSize];
+    std::size_t ks_pos = blockSize;
+    for (std::uint8_t byte : data) {
+        if (ks_pos == blockSize) {
+            std::memcpy(keystream, counter, blockSize);
+            encryptBlock(keystream);
+            // Big-endian increment of the counter block.
+            for (int i = blockSize - 1; i >= 0; --i) {
+                if (++counter[i] != 0)
+                    break;
+            }
+            ks_pos = 0;
+        }
+        out.push_back(static_cast<std::uint8_t>(byte ^ keystream[ks_pos++]));
+    }
+    return out;
+}
+
+} // namespace trust::crypto

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * AES-128 block cipher (FIPS 197) plus CTR mode.
+ *
+ * Models the symmetric engine of the FLock crypto processor; session
+ * traffic in the continuous-authentication protocol is encrypted
+ * with AES-128-CTR under a key derived from the negotiated session
+ * key. The S-box is generated algebraically (GF(2^8) inverse +
+ * affine map) rather than hard-coded.
+ */
+
+#ifndef TRUST_CRYPTO_AES128_HH
+#define TRUST_CRYPTO_AES128_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/bytes.hh"
+
+namespace trust::crypto {
+
+/** AES-128 block cipher. */
+class Aes128
+{
+  public:
+    static constexpr std::size_t keySize = 16;
+    static constexpr std::size_t blockSize = 16;
+
+    /** Construct from a 16-byte key; fatal on wrong size. */
+    explicit Aes128(const core::Bytes &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(std::uint8_t block[blockSize]) const;
+
+    /** Decrypt one 16-byte block in place. */
+    void decryptBlock(std::uint8_t block[blockSize]) const;
+
+    /**
+     * CTR-mode keystream transform: encrypts or decrypts @p data
+     * under a 16-byte IV/initial counter block (encrypt==decrypt).
+     */
+    core::Bytes ctrTransform(const core::Bytes &iv,
+                             const core::Bytes &data) const;
+
+  private:
+    std::array<std::array<std::uint8_t, 16>, 11> roundKeys_;
+};
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_AES128_HH

@@ -1,0 +1,575 @@
+#include "crypto/bignum.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace trust::crypto {
+
+namespace {
+
+constexpr std::uint64_t kBase = 1ULL << 32;
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    TRUST_FATAL("Bignum::fromHex: non-hex character");
+}
+
+} // namespace
+
+void
+Bignum::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+Bignum::Bignum(std::uint64_t v)
+{
+    if (v != 0) {
+        limbs_.push_back(static_cast<std::uint32_t>(v));
+        if (v >> 32)
+            limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+    }
+}
+
+Bignum
+Bignum::fromBytes(const core::Bytes &big_endian)
+{
+    Bignum out;
+    const std::size_t n = big_endian.size();
+    out.limbs_.assign((n + 3) / 4, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Byte i (from the big end) contributes to limb/byte position.
+        const std::size_t pos = n - 1 - i; // little-endian byte index
+        out.limbs_[pos / 4] |=
+            static_cast<std::uint32_t>(big_endian[i]) << (8 * (pos % 4));
+    }
+    out.trim();
+    return out;
+}
+
+Bignum
+Bignum::fromHex(const std::string &hex)
+{
+    Bignum out;
+    for (char c : hex) {
+        // out = out*16 + nibble
+        const int nib = hexNibble(c);
+        std::uint64_t carry = static_cast<std::uint64_t>(nib);
+        for (auto &limb : out.limbs_) {
+            const std::uint64_t cur =
+                (static_cast<std::uint64_t>(limb) << 4) | carry;
+            limb = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        if (carry)
+            out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+    }
+    out.trim();
+    return out;
+}
+
+core::Bytes
+Bignum::toBytes() const
+{
+    if (isZero())
+        return {};
+    core::Bytes out;
+    const std::size_t bytes = (bitLength() + 7) / 8;
+    out.resize(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        const std::size_t pos = bytes - 1 - i; // little-endian byte index
+        out[i] = static_cast<std::uint8_t>(
+            limbs_[pos / 4] >> (8 * (pos % 4)));
+    }
+    return out;
+}
+
+core::Bytes
+Bignum::toBytesPadded(std::size_t len) const
+{
+    core::Bytes minimal = toBytes();
+    if (minimal.size() > len)
+        TRUST_FATAL("Bignum::toBytesPadded: value does not fit");
+    core::Bytes out(len - minimal.size(), 0);
+    out.insert(out.end(), minimal.begin(), minimal.end());
+    return out;
+}
+
+std::string
+Bignum::toHex() const
+{
+    if (isZero())
+        return "0";
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    bool leading = true;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        for (int shift = 28; shift >= 0; shift -= 4) {
+            const int nib = static_cast<int>((limbs_[i] >> shift) & 0xf);
+            if (leading && nib == 0)
+                continue;
+            leading = false;
+            out.push_back(digits[nib]);
+        }
+    }
+    return out;
+}
+
+std::size_t
+Bignum::bitLength() const
+{
+    if (isZero())
+        return 0;
+    const std::uint32_t top = limbs_.back();
+    std::size_t bits = (limbs_.size() - 1) * 32;
+    for (int i = 31; i >= 0; --i) {
+        if (top >> i) {
+            bits += static_cast<std::size_t>(i) + 1;
+            break;
+        }
+    }
+    return bits;
+}
+
+bool
+Bignum::bit(std::size_t i) const
+{
+    const std::size_t limb = i / 32;
+    if (limb >= limbs_.size())
+        return false;
+    return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t
+Bignum::lowU64() const
+{
+    std::uint64_t v = 0;
+    if (!limbs_.empty())
+        v = limbs_[0];
+    if (limbs_.size() > 1)
+        v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    return v;
+}
+
+int
+Bignum::cmp(const Bignum &o) const
+{
+    if (limbs_.size() != o.limbs_.size())
+        return limbs_.size() < o.limbs_.size() ? -1 : 1;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != o.limbs_[i])
+            return limbs_[i] < o.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+Bignum
+Bignum::operator+(const Bignum &o) const
+{
+    Bignum out;
+    const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+    out.limbs_.resize(n);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = carry;
+        if (i < limbs_.size())
+            sum += limbs_[i];
+        if (i < o.limbs_.size())
+            sum += o.limbs_[i];
+        out.limbs_[i] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+    }
+    if (carry)
+        out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+    return out;
+}
+
+Bignum
+Bignum::operator-(const Bignum &o) const
+{
+    if (*this < o)
+        TRUST_FATAL("Bignum: negative result in unsigned subtraction");
+    Bignum out;
+    out.limbs_.resize(limbs_.size());
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+        if (i < o.limbs_.size())
+            diff -= static_cast<std::int64_t>(o.limbs_[i]);
+        if (diff < 0) {
+            diff += static_cast<std::int64_t>(kBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limbs_[i] = static_cast<std::uint32_t>(diff);
+    }
+    out.trim();
+    return out;
+}
+
+Bignum
+Bignum::operator*(const Bignum &o) const
+{
+    if (isZero() || o.isZero())
+        return Bignum();
+    Bignum out;
+    out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        const std::uint64_t a = limbs_[i];
+        for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+            const std::uint64_t cur = out.limbs_[i + j] +
+                                      a * o.limbs_[j] + carry;
+            out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::size_t pos = i + o.limbs_.size();
+        while (carry) {
+            const std::uint64_t cur = out.limbs_[pos] + carry;
+            out.limbs_[pos] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            ++pos;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+std::pair<Bignum, Bignum>
+Bignum::divMod(const Bignum &num, const Bignum &den)
+{
+    if (den.isZero())
+        TRUST_FATAL("Bignum: division by zero");
+    if (num < den)
+        return {Bignum(), num};
+    if (den.limbs_.size() == 1) {
+        // Short division by a single limb.
+        const std::uint64_t d = den.limbs_[0];
+        Bignum q;
+        q.limbs_.resize(num.limbs_.size());
+        std::uint64_t rem = 0;
+        for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+            const std::uint64_t cur = (rem << 32) | num.limbs_[i];
+            q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+            rem = cur % d;
+        }
+        q.trim();
+        return {q, Bignum(rem)};
+    }
+
+    // Knuth Algorithm D. Normalize so the divisor's top limb has its
+    // high bit set.
+    const std::size_t n = den.limbs_.size();
+    const std::size_t m = num.limbs_.size() - n;
+
+    int shift = 0;
+    while (!((den.limbs_.back() << shift) & 0x80000000u))
+        ++shift;
+
+    const Bignum u_norm = num.shifted(static_cast<std::size_t>(shift));
+    const Bignum v_norm = den.shifted(static_cast<std::size_t>(shift));
+
+    std::vector<std::uint32_t> u = u_norm.limbs_;
+    u.resize(num.limbs_.size() + 1, 0); // u has m+n+1 limbs
+    const std::vector<std::uint32_t> &v = v_norm.limbs_;
+
+    Bignum q;
+    q.limbs_.assign(m + 1, 0);
+
+    for (std::size_t j = m + 1; j-- > 0;) {
+        // Estimate q_hat from the top two limbs of the current
+        // remainder against the top limb of the divisor.
+        const std::uint64_t top =
+            (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+        std::uint64_t q_hat = top / v[n - 1];
+        std::uint64_t r_hat = top % v[n - 1];
+        while (q_hat >= kBase ||
+               q_hat * v[n - 2] > ((r_hat << 32) | u[j + n - 2])) {
+            --q_hat;
+            r_hat += v[n - 1];
+            if (r_hat >= kBase)
+                break;
+        }
+
+        // Multiply-and-subtract: u[j..j+n] -= q_hat * v.
+        std::int64_t borrow = 0;
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t prod = q_hat * v[i] + carry;
+            carry = prod >> 32;
+            std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                                static_cast<std::int64_t>(prod & 0xffffffff) -
+                                borrow;
+            if (diff < 0) {
+                diff += static_cast<std::int64_t>(kBase);
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            u[i + j] = static_cast<std::uint32_t>(diff);
+        }
+        std::int64_t diff = static_cast<std::int64_t>(u[j + n]) -
+                            static_cast<std::int64_t>(carry) - borrow;
+        bool negative = diff < 0;
+        if (negative)
+            diff += static_cast<std::int64_t>(kBase);
+        u[j + n] = static_cast<std::uint32_t>(diff);
+
+        // Add back if the estimate was one too large.
+        if (negative) {
+            --q_hat;
+            std::uint64_t add_carry = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t sum = static_cast<std::uint64_t>(
+                                              u[i + j]) +
+                                          v[i] + add_carry;
+                u[i + j] = static_cast<std::uint32_t>(sum);
+                add_carry = sum >> 32;
+            }
+            u[j + n] = static_cast<std::uint32_t>(u[j + n] + add_carry);
+        }
+
+        q.limbs_[j] = static_cast<std::uint32_t>(q_hat);
+    }
+
+    q.trim();
+    Bignum rem;
+    rem.limbs_.assign(u.begin(), u.begin() + static_cast<long>(n));
+    rem.trim();
+    return {q, rem.shiftedRight(static_cast<std::size_t>(shift))};
+}
+
+Bignum
+Bignum::shifted(std::size_t bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    const std::size_t limb_shift = bits / 32;
+    const std::size_t bit_shift = bits % 32;
+    Bignum out;
+    out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i])
+                                << bit_shift;
+        out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+        out.limbs_[i + limb_shift + 1] |=
+            static_cast<std::uint32_t>(v >> 32);
+    }
+    out.trim();
+    return out;
+}
+
+Bignum
+Bignum::shiftedRight(std::size_t bits) const
+{
+    const std::size_t limb_shift = bits / 32;
+    if (limb_shift >= limbs_.size())
+        return Bignum();
+    const std::size_t bit_shift = bits % 32;
+    Bignum out;
+    out.limbs_.assign(limbs_.size() - limb_shift, 0);
+    for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+        std::uint64_t v = static_cast<std::uint64_t>(
+                              limbs_[i + limb_shift]) >>
+                          bit_shift;
+        if (bit_shift && i + limb_shift + 1 < limbs_.size())
+            v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+                 << (32 - bit_shift);
+        out.limbs_[i] = static_cast<std::uint32_t>(v);
+    }
+    out.trim();
+    return out;
+}
+
+Bignum
+Bignum::modExp(const Bignum &base, const Bignum &exp, const Bignum &mod)
+{
+    if (mod.isZero())
+        TRUST_FATAL("Bignum::modExp: zero modulus");
+    if (mod == Bignum(1))
+        return Bignum();
+    if (mod.isOdd()) {
+        Montgomery mont(mod);
+        return mont.modExp(base, exp);
+    }
+    // Generic square-and-multiply for even moduli (rare path).
+    Bignum result(1);
+    Bignum b = base % mod;
+    const std::size_t bits = exp.bitLength();
+    for (std::size_t i = bits; i-- > 0;) {
+        result = (result * result) % mod;
+        if (exp.bit(i))
+            result = (result * b) % mod;
+    }
+    return result;
+}
+
+Bignum
+Bignum::gcd(Bignum a, Bignum b)
+{
+    while (!b.isZero()) {
+        Bignum r = a % b;
+        a = std::move(b);
+        b = std::move(r);
+    }
+    return a;
+}
+
+std::optional<Bignum>
+Bignum::modInverse(const Bignum &a, const Bignum &m)
+{
+    if (m.isZero())
+        TRUST_FATAL("Bignum::modInverse: zero modulus");
+
+    // Extended Euclid tracking only the coefficient of a, with an
+    // explicit sign: old_s*a === old_r (mod m).
+    Bignum old_r = a % m, r = m;
+    Bignum old_s(1), s;
+    bool old_s_neg = false, s_neg = false;
+
+    while (!r.isZero()) {
+        auto [q, rem] = Bignum::divMod(old_r, r);
+
+        // (old_s, s) = (s, old_s - q*s) with signed arithmetic.
+        Bignum qs = q * s;
+        Bignum new_s;
+        bool new_s_neg;
+        if (old_s_neg == s_neg) {
+            // Same sign: old_s - q*s may flip sign.
+            if (old_s >= qs) {
+                new_s = old_s - qs;
+                new_s_neg = old_s_neg;
+            } else {
+                new_s = qs - old_s;
+                new_s_neg = !old_s_neg;
+            }
+        } else {
+            // Opposite signs: magnitudes add, sign of old_s.
+            new_s = old_s + qs;
+            new_s_neg = old_s_neg;
+        }
+
+        old_r = std::move(r);
+        r = std::move(rem);
+        old_s = std::move(s);
+        old_s_neg = s_neg;
+        s = std::move(new_s);
+        s_neg = new_s_neg;
+    }
+
+    if (old_r != Bignum(1))
+        return std::nullopt; // not coprime
+
+    Bignum inv = old_s % m;
+    if (old_s_neg && !inv.isZero())
+        inv = m - inv;
+    return inv;
+}
+
+Montgomery::Montgomery(const Bignum &modulus)
+    : n_(modulus), k_(modulus.limbs_.size())
+{
+    if (n_.isZero() || !n_.isOdd())
+        TRUST_FATAL("Montgomery: modulus must be odd and nonzero");
+
+    // n' = -n^-1 mod 2^32 via Newton iteration on the low limb.
+    const std::uint32_t n0 = n_.limbs_[0];
+    std::uint32_t x = n0; // correct mod 2^3
+    for (int i = 0; i < 5; ++i)
+        x *= 2 - n0 * x; // doubles correct bits each step
+    nPrime_ = static_cast<std::uint32_t>(0u - x);
+
+    // R^2 mod n where R = 2^(32k).
+    rr_ = Bignum(1).shifted(64 * k_) % n_;
+}
+
+Bignum
+Montgomery::mul(const Bignum &a, const Bignum &b) const
+{
+    // CIOS (coarsely integrated operand scanning).
+    std::vector<std::uint64_t> t(k_ + 2, 0);
+    for (std::size_t i = 0; i < k_; ++i) {
+        const std::uint64_t ai =
+            i < a.limbs_.size() ? a.limbs_[i] : 0;
+
+        // t += ai * b
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < k_; ++j) {
+            const std::uint64_t bj =
+                j < b.limbs_.size() ? b.limbs_[j] : 0;
+            const std::uint64_t cur = t[j] + ai * bj + carry;
+            t[j] = cur & 0xffffffff;
+            carry = cur >> 32;
+        }
+        std::uint64_t sum = t[k_] + carry;
+        t[k_] = sum & 0xffffffff;
+        t[k_ + 1] += sum >> 32;
+
+        // m = t[0] * n' mod 2^32; t += m * n  (makes t[0] == 0)
+        const std::uint64_t m =
+            (t[0] * nPrime_) & 0xffffffff;
+        carry = 0;
+        for (std::size_t j = 0; j < k_; ++j) {
+            const std::uint64_t cur = t[j] + m * n_.limbs_[j] + carry;
+            t[j] = cur & 0xffffffff;
+            carry = cur >> 32;
+        }
+        sum = t[k_] + carry;
+        t[k_] = sum & 0xffffffff;
+        t[k_ + 1] += sum >> 32;
+
+        // Shift t down one limb.
+        for (std::size_t j = 0; j <= k_; ++j)
+            t[j] = t[j + 1];
+        t[k_ + 1] = 0;
+    }
+
+    Bignum out;
+    out.limbs_.resize(k_ + 1);
+    for (std::size_t j = 0; j <= k_; ++j)
+        out.limbs_[j] = static_cast<std::uint32_t>(t[j]);
+    out.trim();
+    if (out >= n_)
+        out = out - n_;
+    return out;
+}
+
+Bignum
+Montgomery::toMont(const Bignum &a) const
+{
+    return mul(a % n_, rr_);
+}
+
+Bignum
+Montgomery::fromMont(const Bignum &a) const
+{
+    return mul(a, Bignum(1));
+}
+
+Bignum
+Montgomery::modExp(const Bignum &base, const Bignum &exp) const
+{
+    if (n_ == Bignum(1))
+        return Bignum();
+    Bignum result = toMont(Bignum(1));
+    const Bignum b = toMont(base);
+    const std::size_t bits = exp.bitLength();
+    for (std::size_t i = bits; i-- > 0;) {
+        result = mul(result, result);
+        if (exp.bit(i))
+            result = mul(result, b);
+    }
+    return fromMont(result);
+}
+
+} // namespace trust::crypto

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integers for the RSA substrate.
+ *
+ * Little-endian 32-bit limbs, always normalized (no high zero limbs;
+ * zero is the empty limb vector). Division is Knuth Algorithm D;
+ * modular exponentiation uses Montgomery multiplication (CIOS) for
+ * odd moduli, which covers every RSA operation.
+ */
+
+#ifndef TRUST_CRYPTO_BIGNUM_HH
+#define TRUST_CRYPTO_BIGNUM_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bytes.hh"
+
+namespace trust::crypto {
+
+/** Unsigned arbitrary-precision integer. */
+class Bignum
+{
+  public:
+    /** Zero. */
+    Bignum() = default;
+
+    /** From a 64-bit value. */
+    Bignum(std::uint64_t v); // NOLINT: implicit by design, like int
+
+    /** Parse big-endian bytes (leading zeros permitted). */
+    static Bignum fromBytes(const core::Bytes &big_endian);
+
+    /** Parse a hex string (no 0x prefix; case-insensitive). */
+    static Bignum fromHex(const std::string &hex);
+
+    /** Minimal big-endian byte encoding (empty for zero). */
+    core::Bytes toBytes() const;
+
+    /**
+     * Big-endian byte encoding left-padded with zeros to @p len.
+     * Fatal if the value does not fit.
+     */
+    core::Bytes toBytesPadded(std::size_t len) const;
+
+    /** Lowercase hex (no leading zeros; "0" for zero). */
+    std::string toHex() const;
+
+    bool isZero() const { return limbs_.empty(); }
+    bool isOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+
+    /** Number of significant bits (0 for zero). */
+    std::size_t bitLength() const;
+
+    /** Value of bit @p i (LSB = bit 0). */
+    bool bit(std::size_t i) const;
+
+    /** Low 64 bits of the value. */
+    std::uint64_t lowU64() const;
+
+    /** Three-way compare. */
+    int cmp(const Bignum &o) const;
+
+    bool operator==(const Bignum &o) const { return limbs_ == o.limbs_; }
+    bool operator!=(const Bignum &o) const { return !(*this == o); }
+    bool operator<(const Bignum &o) const { return cmp(o) < 0; }
+    bool operator<=(const Bignum &o) const { return cmp(o) <= 0; }
+    bool operator>(const Bignum &o) const { return cmp(o) > 0; }
+    bool operator>=(const Bignum &o) const { return cmp(o) >= 0; }
+
+    Bignum operator+(const Bignum &o) const;
+
+    /** Subtraction; fatal if @p o exceeds *this (unsigned type). */
+    Bignum operator-(const Bignum &o) const;
+
+    Bignum operator*(const Bignum &o) const;
+
+    /** Quotient and remainder; fatal on division by zero. */
+    static std::pair<Bignum, Bignum> divMod(const Bignum &num,
+                                            const Bignum &den);
+
+    Bignum operator/(const Bignum &o) const { return divMod(*this, o).first; }
+    Bignum operator%(const Bignum &o) const
+    {
+        return divMod(*this, o).second;
+    }
+
+    /** Left shift by @p bits. */
+    Bignum shifted(std::size_t bits) const;
+
+    /** Right shift by @p bits. */
+    Bignum shiftedRight(std::size_t bits) const;
+
+    /** (base ^ exp) mod mod; fatal on zero modulus. */
+    static Bignum modExp(const Bignum &base, const Bignum &exp,
+                         const Bignum &mod);
+
+    /** Greatest common divisor. */
+    static Bignum gcd(Bignum a, Bignum b);
+
+    /**
+     * Multiplicative inverse of @p a modulo @p m, if it exists
+     * (i.e. gcd(a, m) == 1).
+     */
+    static std::optional<Bignum> modInverse(const Bignum &a,
+                                            const Bignum &m);
+
+    /** Access to the limb vector (for tests). */
+    const std::vector<std::uint32_t> &limbs() const { return limbs_; }
+
+  private:
+    void trim();
+
+    std::vector<std::uint32_t> limbs_;
+
+    friend class Montgomery;
+};
+
+/**
+ * Montgomery multiplication context for a fixed odd modulus;
+ * reused across the many multiplications of one modExp.
+ */
+class Montgomery
+{
+  public:
+    /** Fatal if @p modulus is even or zero. */
+    explicit Montgomery(const Bignum &modulus);
+
+    /** (a * b * R^-1) mod n, inputs in Montgomery form. */
+    Bignum mul(const Bignum &a, const Bignum &b) const;
+
+    /** Convert into Montgomery form: a*R mod n. */
+    Bignum toMont(const Bignum &a) const;
+
+    /** Convert out of Montgomery form. */
+    Bignum fromMont(const Bignum &a) const;
+
+    /** Modular exponentiation using this context. */
+    Bignum modExp(const Bignum &base, const Bignum &exp) const;
+
+  private:
+    Bignum n_;
+    Bignum rr_;            // R^2 mod n
+    std::uint32_t nPrime_; // -n^-1 mod 2^32
+    std::size_t k_;        // limb count of n
+};
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_BIGNUM_HH

@@ -1,0 +1,127 @@
+#include "crypto/cert.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace trust::crypto {
+
+core::Bytes
+Certificate::tbsBytes() const
+{
+    core::ByteWriter w;
+    w.writeString(subject);
+    w.writeU8(static_cast<std::uint8_t>(role));
+    w.writeBytes(subjectKey.serialize());
+    w.writeString(issuer);
+    w.writeU64(serial);
+    w.writeU64(notBefore);
+    w.writeU64(notAfter);
+    return w.take();
+}
+
+core::Bytes
+Certificate::serialize() const
+{
+    core::ByteWriter w;
+    w.writeBytes(tbsBytes());
+    w.writeBytes(signature);
+    return w.take();
+}
+
+std::optional<Certificate>
+Certificate::deserialize(const core::Bytes &data)
+{
+    core::ByteReader outer(data);
+    const core::Bytes tbs = outer.readBytes();
+    const core::Bytes sig = outer.readBytes();
+    if (!outer.ok() || !outer.atEnd())
+        return std::nullopt;
+
+    core::ByteReader r(tbs);
+    Certificate cert;
+    cert.subject = r.readString();
+    const std::uint8_t role = r.readU8();
+    const auto key = RsaPublicKey::deserialize(r.readBytes());
+    cert.issuer = r.readString();
+    cert.serial = r.readU64();
+    cert.notBefore = r.readU64();
+    cert.notAfter = r.readU64();
+    if (!r.ok() || !r.atEnd() || !key || role > 2)
+        return std::nullopt;
+    cert.role = static_cast<CertRole>(role);
+    cert.subjectKey = *key;
+    cert.signature = sig;
+    return cert;
+}
+
+bool
+Certificate::operator==(const Certificate &o) const
+{
+    return subject == o.subject && role == o.role &&
+           subjectKey == o.subjectKey && issuer == o.issuer &&
+           serial == o.serial && notBefore == o.notBefore &&
+           notAfter == o.notAfter && signature == o.signature;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           std::size_t modulus_bits,
+                                           Csprng &rng)
+    : name_(std::move(name)), root_(rsaGenerate(modulus_bits, rng))
+{
+    rootCert_.subject = name_;
+    rootCert_.role = CertRole::Authority;
+    rootCert_.subjectKey = root_.pub;
+    rootCert_.issuer = name_;
+    rootCert_.serial = nextSerial_++;
+    rootCert_.notBefore = 0;
+    rootCert_.notAfter = ~0ULL;
+    rootCert_.signature = rsaSign(root_.priv, rootCert_.tbsBytes());
+}
+
+Certificate
+CertificateAuthority::issue(const std::string &subject, CertRole role,
+                            const RsaPublicKey &subject_key,
+                            std::uint64_t not_before,
+                            std::uint64_t not_after)
+{
+    TRUST_ASSERT(role != CertRole::Authority,
+                 "CA does not issue authority certificates");
+    Certificate cert;
+    cert.subject = subject;
+    cert.role = role;
+    cert.subjectKey = subject_key;
+    cert.issuer = name_;
+    cert.serial = nextSerial_++;
+    cert.notBefore = not_before;
+    cert.notAfter = not_after;
+    cert.signature = rsaSign(root_.priv, cert.tbsBytes());
+    return cert;
+}
+
+void
+CertificateAuthority::revoke(std::uint64_t serial)
+{
+    if (!isRevoked(serial))
+        revoked_.push_back(serial);
+}
+
+bool
+CertificateAuthority::isRevoked(std::uint64_t serial) const
+{
+    return std::find(revoked_.begin(), revoked_.end(), serial) !=
+           revoked_.end();
+}
+
+bool
+verifyCertificate(const Certificate &cert, const RsaPublicKey &ca_key,
+                  std::uint64_t now, CertRole expected_role)
+{
+    if (cert.role != expected_role)
+        return false;
+    if (now < cert.notBefore || now > cert.notAfter)
+        return false;
+    return rsaVerify(ca_key, cert.tbsBytes(), cert.signature);
+}
+
+} // namespace trust::crypto

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * X.509-like public-key certificates and the Certificate Authority.
+ *
+ * The paper's remote scenario (Fig. 8) assumes every Web Server and
+ * every FLock module holds a public-key certificate signed by a CA
+ * whose public key is provisioned into each FLock module. These
+ * certificates are structurally X.509-like (subject, key, serial,
+ * validity, issuer signature) but use the library's own encoding.
+ */
+
+#ifndef TRUST_CRYPTO_CERT_HH
+#define TRUST_CRYPTO_CERT_HH
+
+#include <optional>
+#include <string>
+
+#include "core/bytes.hh"
+#include "crypto/csprng.hh"
+#include "crypto/rsa.hh"
+
+namespace trust::crypto {
+
+/** Role of the certified party. */
+enum class CertRole : std::uint8_t
+{
+    WebServer = 0,   ///< A remote web service (bank, e-mail, ...).
+    FlockDevice = 1, ///< A FLock module's build-in device key.
+    Authority = 2,   ///< The CA's self-signed root.
+};
+
+/** A CA-signed binding of a subject name to an RSA public key. */
+struct Certificate
+{
+    std::string subject;      ///< Domain name or device id.
+    CertRole role = CertRole::WebServer;
+    RsaPublicKey subjectKey;  ///< The certified public key.
+    std::string issuer;       ///< CA name.
+    std::uint64_t serial = 0; ///< Issuer-unique serial number.
+    std::uint64_t notBefore = 0; ///< Validity start (sim ticks).
+    std::uint64_t notAfter = 0;  ///< Validity end (sim ticks).
+    core::Bytes signature;    ///< CA signature over tbsBytes().
+
+    /** The to-be-signed encoding (everything but the signature). */
+    core::Bytes tbsBytes() const;
+
+    /** Full encoding including the signature. */
+    core::Bytes serialize() const;
+
+    /** Parse; nullopt on malformed input. */
+    static std::optional<Certificate> deserialize(const core::Bytes &data);
+
+    bool operator==(const Certificate &o) const;
+};
+
+/**
+ * The Certificate Authority server of Fig. 8.
+ *
+ * Owns the root key pair, issues certificates for web servers and
+ * FLock devices, and can later revoke them (identity reset support).
+ */
+class CertificateAuthority
+{
+  public:
+    /** Create a CA with a fresh root key of @p modulus_bits bits. */
+    CertificateAuthority(std::string name, std::size_t modulus_bits,
+                         Csprng &rng);
+
+    const std::string &name() const { return name_; }
+
+    /** Root public key, provisioned into every FLock module. */
+    const RsaPublicKey &rootKey() const { return root_.pub; }
+
+    /** Self-signed root certificate. */
+    const Certificate &rootCertificate() const { return rootCert_; }
+
+    /** Issue a certificate over @p subject_key. */
+    Certificate issue(const std::string &subject, CertRole role,
+                      const RsaPublicKey &subject_key,
+                      std::uint64_t not_before = 0,
+                      std::uint64_t not_after = ~0ULL);
+
+    /** Revoke a serial number (e.g. a lost device's certificate). */
+    void revoke(std::uint64_t serial);
+
+    /** True if @p serial has been revoked. */
+    bool isRevoked(std::uint64_t serial) const;
+
+  private:
+    std::string name_;
+    RsaKeyPair root_;
+    Certificate rootCert_;
+    std::uint64_t nextSerial_ = 1;
+    std::vector<std::uint64_t> revoked_;
+};
+
+/**
+ * Verify @p cert against a trusted CA key: signature, validity
+ * window at time @p now, and expected role.
+ */
+bool verifyCertificate(const Certificate &cert, const RsaPublicKey &ca_key,
+                       std::uint64_t now, CertRole expected_role);
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_CERT_HH

@@ -1,0 +1,105 @@
+#include "crypto/chacha20.hh"
+
+#include "core/logging.hh"
+
+namespace trust::crypto {
+
+namespace {
+
+inline std::uint32_t
+rotl(std::uint32_t x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+inline void
+quarterRound(std::uint32_t &a, std::uint32_t &b, std::uint32_t &c,
+             std::uint32_t &d)
+{
+    a += b; d ^= a; d = rotl(d, 16);
+    c += d; b ^= c; b = rotl(b, 12);
+    a += b; d ^= a; d = rotl(d, 8);
+    c += d; b ^= c; b = rotl(b, 7);
+}
+
+inline std::uint32_t
+loadLe32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+} // namespace
+
+ChaCha20::ChaCha20(const core::Bytes &key, const core::Bytes &nonce,
+                   std::uint32_t counter)
+{
+    if (key.size() != keySize)
+        TRUST_FATAL("ChaCha20: key must be 32 bytes");
+    if (nonce.size() != nonceSize)
+        TRUST_FATAL("ChaCha20: nonce must be 12 bytes");
+
+    // "expand 32-byte k"
+    state_[0] = 0x61707865;
+    state_[1] = 0x3320646e;
+    state_[2] = 0x79622d32;
+    state_[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i)
+        state_[4 + i] = loadLe32(key.data() + 4 * i);
+    state_[12] = counter;
+    for (int i = 0; i < 3; ++i)
+        state_[13 + i] = loadLe32(nonce.data() + 4 * i);
+}
+
+std::array<std::uint8_t, ChaCha20::blockSize>
+ChaCha20::nextBlock()
+{
+    std::uint32_t x[16];
+    for (int i = 0; i < 16; ++i)
+        x[i] = state_[i];
+
+    for (int round = 0; round < 10; ++round) {
+        // Column rounds.
+        quarterRound(x[0], x[4], x[8], x[12]);
+        quarterRound(x[1], x[5], x[9], x[13]);
+        quarterRound(x[2], x[6], x[10], x[14]);
+        quarterRound(x[3], x[7], x[11], x[15]);
+        // Diagonal rounds.
+        quarterRound(x[0], x[5], x[10], x[15]);
+        quarterRound(x[1], x[6], x[11], x[12]);
+        quarterRound(x[2], x[7], x[8], x[13]);
+        quarterRound(x[3], x[4], x[9], x[14]);
+    }
+
+    std::array<std::uint8_t, blockSize> out;
+    for (int i = 0; i < 16; ++i) {
+        const std::uint32_t v = x[i] + state_[i];
+        out[4 * i] = static_cast<std::uint8_t>(v);
+        out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+        out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+        out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+    }
+    ++state_[12];
+    return out;
+}
+
+core::Bytes
+ChaCha20::process(const core::Bytes &data)
+{
+    core::Bytes out;
+    out.reserve(data.size());
+    std::array<std::uint8_t, blockSize> ks{};
+    std::size_t ks_pos = blockSize;
+    for (std::uint8_t byte : data) {
+        if (ks_pos == blockSize) {
+            ks = nextBlock();
+            ks_pos = 0;
+        }
+        out.push_back(static_cast<std::uint8_t>(byte ^ ks[ks_pos++]));
+    }
+    return out;
+}
+
+} // namespace trust::crypto

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ChaCha20 stream cipher core (RFC 8439 block function).
+ *
+ * Backs the deterministic CSPRNG used by the FLock crypto processor
+ * model; also usable directly as a stream cipher.
+ */
+
+#ifndef TRUST_CRYPTO_CHACHA20_HH
+#define TRUST_CRYPTO_CHACHA20_HH
+
+#include <array>
+#include <cstdint>
+
+#include "core/bytes.hh"
+
+namespace trust::crypto {
+
+/** ChaCha20 keystream generator / stream cipher. */
+class ChaCha20
+{
+  public:
+    static constexpr std::size_t keySize = 32;
+    static constexpr std::size_t nonceSize = 12;
+    static constexpr std::size_t blockSize = 64;
+
+    /**
+     * Construct with a 32-byte key, 12-byte nonce and initial block
+     * counter. Fatal error on wrong key/nonce sizes.
+     */
+    ChaCha20(const core::Bytes &key, const core::Bytes &nonce,
+             std::uint32_t counter = 0);
+
+    /** Produce the next 64-byte keystream block. */
+    std::array<std::uint8_t, blockSize> nextBlock();
+
+    /** XOR @p data with the keystream (encrypt == decrypt). */
+    core::Bytes process(const core::Bytes &data);
+
+  private:
+    std::uint32_t state_[16];
+};
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_CHACHA20_HH

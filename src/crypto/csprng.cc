@@ -1,0 +1,104 @@
+#include "crypto/csprng.hh"
+
+#include "core/logging.hh"
+#include "crypto/sha256.hh"
+
+namespace trust::crypto {
+
+namespace {
+
+core::Bytes
+u64Bytes(std::uint64_t v)
+{
+    core::Bytes b(8);
+    for (int i = 0; i < 8; ++i)
+        b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return b;
+}
+
+} // namespace
+
+Csprng::Csprng(const core::Bytes &seed)
+    : key_(Sha256::digest(seed))
+{
+}
+
+Csprng::Csprng(std::uint64_t seed)
+    : Csprng(u64Bytes(seed))
+{
+}
+
+void
+Csprng::refill()
+{
+    // Fast key erasure: generate one batch of keystream, use the
+    // first 32 bytes as the next key and the rest as output pool.
+    core::Bytes nonce(ChaCha20::nonceSize, 0);
+    for (int i = 0; i < 8; ++i)
+        nonce[i] = static_cast<std::uint8_t>(blockCounter_ >> (8 * i));
+    ++blockCounter_;
+
+    ChaCha20 cipher(key_, nonce, 0);
+    constexpr int batch_blocks = 8; // 512 bytes per refill
+    core::Bytes batch;
+    batch.reserve(batch_blocks * ChaCha20::blockSize);
+    for (int i = 0; i < batch_blocks; ++i) {
+        auto blk = cipher.nextBlock();
+        batch.insert(batch.end(), blk.begin(), blk.end());
+    }
+
+    key_.assign(batch.begin(), batch.begin() + 32);
+    pool_.assign(batch.begin() + 32, batch.end());
+    poolPos_ = 0;
+}
+
+core::Bytes
+Csprng::randomBytes(std::size_t n)
+{
+    core::Bytes out;
+    out.reserve(n);
+    while (out.size() < n) {
+        if (poolPos_ >= pool_.size())
+            refill();
+        const std::size_t take =
+            std::min(n - out.size(), pool_.size() - poolPos_);
+        out.insert(out.end(), pool_.begin() + static_cast<long>(poolPos_),
+                   pool_.begin() + static_cast<long>(poolPos_ + take));
+        poolPos_ += take;
+    }
+    return out;
+}
+
+std::uint64_t
+Csprng::randomU64()
+{
+    const core::Bytes b = randomBytes(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Csprng::randomBelow(std::uint64_t bound)
+{
+    TRUST_ASSERT(bound > 0, "randomBelow: bound must be positive");
+    const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+    std::uint64_t x;
+    do {
+        x = randomU64();
+    } while (x > limit);
+    return x % bound;
+}
+
+void
+Csprng::reseed(const core::Bytes &entropy)
+{
+    core::Bytes mix = key_;
+    mix.insert(mix.end(), entropy.begin(), entropy.end());
+    key_ = Sha256::digest(mix);
+    pool_.clear();
+    poolPos_ = 0;
+}
+
+} // namespace trust::crypto

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic cryptographically-strong pseudo-random generator.
+ *
+ * Models the random source inside the FLock crypto processor. Built
+ * on ChaCha20 keyed from a seed; deterministic so that protocol
+ * simulations are exactly reproducible, with a fast-key-erasure
+ * reseed between requests for forward secrecy of generated keys.
+ */
+
+#ifndef TRUST_CRYPTO_CSPRNG_HH
+#define TRUST_CRYPTO_CSPRNG_HH
+
+#include <cstdint>
+
+#include "core/bytes.hh"
+#include "crypto/chacha20.hh"
+
+namespace trust::crypto {
+
+/** ChaCha20-based deterministic CSPRNG. */
+class Csprng
+{
+  public:
+    /** Seed from arbitrary bytes (hashed into the key). */
+    explicit Csprng(const core::Bytes &seed);
+
+    /** Seed from a 64-bit integer (convenience for simulations). */
+    explicit Csprng(std::uint64_t seed);
+
+    /** Fill and return @p n random bytes. */
+    core::Bytes randomBytes(std::size_t n);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t randomU64();
+
+    /** Uniform value in [0, bound), unbiased; bound must be > 0. */
+    std::uint64_t randomBelow(std::uint64_t bound);
+
+    /**
+     * Mix caller-provided entropy into the generator state
+     * (models the hardware entropy source feeding the DRBG).
+     */
+    void reseed(const core::Bytes &entropy);
+
+  private:
+    void refill();
+
+    core::Bytes key_;
+    std::uint64_t blockCounter_ = 0;
+    core::Bytes pool_;
+    std::size_t poolPos_ = 0;
+};
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_CSPRNG_HH

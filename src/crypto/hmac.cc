@@ -1,0 +1,67 @@
+#include "crypto/hmac.hh"
+
+#include "core/logging.hh"
+#include "crypto/sha256.hh"
+
+namespace trust::crypto {
+
+core::Bytes
+hmacSha256(const core::Bytes &key, const core::Bytes &message)
+{
+    constexpr std::size_t block = 64;
+
+    core::Bytes k = key;
+    if (k.size() > block)
+        k = Sha256::digest(k);
+    k.resize(block, 0);
+
+    core::Bytes ipad(block), opad(block);
+    for (std::size_t i = 0; i < block; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+        opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad);
+    inner.update(message);
+    const core::Bytes inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(opad);
+    outer.update(inner_digest);
+    return outer.finish();
+}
+
+bool
+hmacSha256Verify(const core::Bytes &key, const core::Bytes &message,
+                 const core::Bytes &tag)
+{
+    return core::constantTimeEqual(hmacSha256(key, message), tag);
+}
+
+core::Bytes
+hkdfSha256(const core::Bytes &ikm, const core::Bytes &salt,
+           const core::Bytes &info, std::size_t length)
+{
+    TRUST_ASSERT(length > 0 && length <= 255 * Sha256::digestSize,
+                 "hkdfSha256: invalid output length");
+
+    // Extract.
+    const core::Bytes prk = hmacSha256(salt, ikm);
+
+    // Expand.
+    core::Bytes okm;
+    core::Bytes t;
+    std::uint8_t counter = 1;
+    while (okm.size() < length) {
+        core::Bytes block = t;
+        block.insert(block.end(), info.begin(), info.end());
+        block.push_back(counter++);
+        t = hmacSha256(prk, block);
+        okm.insert(okm.end(), t.begin(), t.end());
+    }
+    okm.resize(length);
+    return okm;
+}
+
+} // namespace trust::crypto

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * HMAC-SHA256 (RFC 2104 / FIPS 198-1).
+ *
+ * The TRUST protocol MACs every message under either a party's
+ * long-term key (registration) or the per-session key (continuous
+ * authentication).
+ */
+
+#ifndef TRUST_CRYPTO_HMAC_HH
+#define TRUST_CRYPTO_HMAC_HH
+
+#include "core/bytes.hh"
+
+namespace trust::crypto {
+
+/** Compute HMAC-SHA256(key, message); returns a 32-byte tag. */
+core::Bytes hmacSha256(const core::Bytes &key, const core::Bytes &message);
+
+/** Verify an HMAC-SHA256 tag in constant time. */
+bool hmacSha256Verify(const core::Bytes &key, const core::Bytes &message,
+                      const core::Bytes &tag);
+
+/**
+ * HKDF-style key derivation (extract+expand with HMAC-SHA256),
+ * used to derive session subkeys from the negotiated session key.
+ */
+core::Bytes hkdfSha256(const core::Bytes &ikm, const core::Bytes &salt,
+                       const core::Bytes &info, std::size_t length);
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_HMAC_HH

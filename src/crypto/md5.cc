@@ -1,0 +1,166 @@
+#include "crypto/md5.hh"
+
+#include <cmath>
+#include <cstring>
+
+namespace trust::crypto {
+
+namespace {
+
+/** Per-step left-rotation amounts (RFC 1321). */
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20, 5,  9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+};
+
+/**
+ * Sine-derived constants K[i] = floor(|sin(i+1)| * 2^32), computed
+ * once at startup; IEEE-754 doubles reproduce the RFC table exactly.
+ */
+const std::uint32_t *
+sineTable()
+{
+    static std::uint32_t k[64];
+    static bool init = false;
+    if (!init) {
+        for (int i = 0; i < 64; ++i)
+            k[i] = static_cast<std::uint32_t>(
+                std::floor(std::fabs(std::sin(i + 1.0)) * 4294967296.0));
+        init = true;
+    }
+    return k;
+}
+
+inline std::uint32_t
+rotl(std::uint32_t x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+} // namespace
+
+Md5::Md5()
+{
+    reset();
+}
+
+void
+Md5::reset()
+{
+    h_[0] = 0x67452301;
+    h_[1] = 0xefcdab89;
+    h_[2] = 0x98badcfe;
+    h_[3] = 0x10325476;
+    bufLen_ = 0;
+    totalLen_ = 0;
+}
+
+void
+Md5::processBlock(const std::uint8_t *block)
+{
+    const std::uint32_t *k = sineTable();
+    std::uint32_t m[16];
+    for (int i = 0; i < 16; ++i) {
+        m[i] = static_cast<std::uint32_t>(block[4 * i]) |
+               static_cast<std::uint32_t>(block[4 * i + 1]) << 8 |
+               static_cast<std::uint32_t>(block[4 * i + 2]) << 16 |
+               static_cast<std::uint32_t>(block[4 * i + 3]) << 24;
+    }
+
+    std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+
+    for (int i = 0; i < 64; ++i) {
+        std::uint32_t f;
+        int g;
+        if (i < 16) {
+            f = (b & c) | (~b & d);
+            g = i;
+        } else if (i < 32) {
+            f = (d & b) | (~d & c);
+            g = (5 * i + 1) % 16;
+        } else if (i < 48) {
+            f = b ^ c ^ d;
+            g = (3 * i + 5) % 16;
+        } else {
+            f = c ^ (b | ~d);
+            g = (7 * i) % 16;
+        }
+        const std::uint32_t tmp = d;
+        d = c;
+        c = b;
+        b = b + rotl(a + f + k[i] + m[g], kShift[i]);
+        a = tmp;
+    }
+
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+}
+
+void
+Md5::update(const std::uint8_t *data, std::size_t len)
+{
+    totalLen_ += len;
+    while (len > 0) {
+        const std::size_t take = std::min(len, sizeof(buf_) - bufLen_);
+        std::memcpy(buf_ + bufLen_, data, take);
+        bufLen_ += take;
+        data += take;
+        len -= take;
+        if (bufLen_ == sizeof(buf_)) {
+            processBlock(buf_);
+            bufLen_ = 0;
+        }
+    }
+}
+
+void
+Md5::update(const core::Bytes &data)
+{
+    update(data.data(), data.size());
+}
+
+core::Bytes
+Md5::finish()
+{
+    const std::uint64_t bit_len = totalLen_ * 8;
+
+    const std::uint8_t pad80 = 0x80;
+    update(&pad80, 1);
+    const std::uint8_t zero = 0;
+    while (bufLen_ != 56)
+        update(&zero, 1);
+    std::uint8_t len_le[8];
+    for (int i = 0; i < 8; ++i)
+        len_le[i] = static_cast<std::uint8_t>(bit_len >> (8 * i));
+    update(len_le, 8);
+
+    core::Bytes out(digestSize);
+    for (int i = 0; i < 4; ++i) {
+        out[4 * i] = static_cast<std::uint8_t>(h_[i]);
+        out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 8);
+        out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 16);
+        out[4 * i + 3] = static_cast<std::uint8_t>(h_[i] >> 24);
+    }
+    reset();
+    return out;
+}
+
+core::Bytes
+Md5::digest(const core::Bytes &data)
+{
+    Md5 ctx;
+    ctx.update(data);
+    return ctx.finish();
+}
+
+core::Bytes
+Md5::digest(const std::string &data)
+{
+    return digest(core::toBytes(data));
+}
+
+} // namespace trust::crypto

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MD5 (RFC 1321), from scratch.
+ *
+ * The paper's frame-hash engine suggests "MD5 or SHA256" for hashing
+ * displayed frames; MD5 is provided as the cheap option for the
+ * hardware cost comparison (it is NOT collision-resistant and the
+ * default frame-hash configuration uses SHA-256).
+ */
+
+#ifndef TRUST_CRYPTO_MD5_HH
+#define TRUST_CRYPTO_MD5_HH
+
+#include <cstdint>
+
+#include "core/bytes.hh"
+
+namespace trust::crypto {
+
+/** Streaming MD5 context. */
+class Md5
+{
+  public:
+    /** Digest size in bytes. */
+    static constexpr std::size_t digestSize = 16;
+
+    Md5();
+
+    /** Absorb more message bytes. */
+    void update(const std::uint8_t *data, std::size_t len);
+
+    /** Absorb more message bytes. */
+    void update(const core::Bytes &data);
+
+    /** Finalize and return the 16-byte digest; context becomes reset. */
+    core::Bytes finish();
+
+    /** One-shot convenience. */
+    static core::Bytes digest(const core::Bytes &data);
+
+    /** One-shot over a string's bytes. */
+    static core::Bytes digest(const std::string &data);
+
+  private:
+    void reset();
+    void processBlock(const std::uint8_t *block);
+
+    std::uint32_t h_[4];
+    std::uint8_t buf_[64];
+    std::size_t bufLen_ = 0;
+    std::uint64_t totalLen_ = 0;
+};
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_MD5_HH

@@ -1,0 +1,124 @@
+#include "crypto/primes.hh"
+
+#include <array>
+
+#include "core/logging.hh"
+
+namespace trust::crypto {
+
+namespace {
+
+/** Small primes for cheap trial division before Miller-Rabin. */
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,
+    41,  43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,
+    97,  101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151,
+    157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251,
+};
+
+/** n mod d for a single-limb divisor. */
+std::uint32_t
+modSmall(const Bignum &n, std::uint32_t d)
+{
+    return static_cast<std::uint32_t>((n % Bignum(d)).lowU64());
+}
+
+} // namespace
+
+Bignum
+randomBits(std::size_t bits, Csprng &rng)
+{
+    TRUST_ASSERT(bits >= 2, "randomBits: need at least 2 bits");
+    const std::size_t bytes = (bits + 7) / 8;
+    core::Bytes raw = rng.randomBytes(bytes);
+
+    // Clear excess high bits, then force the MSB.
+    const std::size_t excess = bytes * 8 - bits;
+    raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+    return Bignum::fromBytes(raw);
+}
+
+Bignum
+randomBelow(const Bignum &bound, Csprng &rng)
+{
+    TRUST_ASSERT(!bound.isZero(), "randomBelow: zero bound");
+    const std::size_t bits = bound.bitLength();
+    const std::size_t bytes = (bits + 7) / 8;
+    const std::size_t excess = bytes * 8 - bits;
+    // Rejection sampling in the minimal byte envelope.
+    while (true) {
+        core::Bytes raw = rng.randomBytes(bytes);
+        raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+        Bignum candidate = Bignum::fromBytes(raw);
+        if (candidate < bound)
+            return candidate;
+    }
+}
+
+bool
+isProbablePrime(const Bignum &n, Csprng &rng, int rounds)
+{
+    if (n < Bignum(2))
+        return false;
+    for (std::uint32_t p : kSmallPrimes) {
+        if (n == Bignum(p))
+            return true;
+        if (modSmall(n, p) == 0)
+            return false;
+    }
+
+    // Write n-1 = d * 2^r with d odd.
+    const Bignum n_minus_1 = n - Bignum(1);
+    Bignum d = n_minus_1;
+    std::size_t r = 0;
+    while (!d.isOdd()) {
+        d = d.shiftedRight(1);
+        ++r;
+    }
+
+    Montgomery mont(n);
+    const Bignum two(2);
+    const Bignum n_minus_3 = n - Bignum(3);
+
+    for (int round = 0; round < rounds; ++round) {
+        // Random base in [2, n-2].
+        const Bignum a = randomBelow(n_minus_3, rng) + two;
+        Bignum x = mont.modExp(a, d);
+        if (x == Bignum(1) || x == n_minus_1)
+            continue;
+        bool witness = true;
+        for (std::size_t i = 1; i < r; ++i) {
+            x = (x * x) % n;
+            if (x == n_minus_1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+Bignum
+randomPrime(std::size_t bits, Csprng &rng)
+{
+    TRUST_ASSERT(bits >= 16, "randomPrime: need at least 16 bits");
+    while (true) {
+        Bignum candidate = randomBits(bits, rng);
+        // Force the second-highest bit (so p*q has 2*bits bits) and
+        // oddness.
+        if (!candidate.bit(bits - 2))
+            candidate = candidate + Bignum(1).shifted(bits - 2);
+        if (!candidate.isOdd())
+            candidate = candidate + Bignum(1);
+        if (candidate.bitLength() > bits)
+            continue; // carry rippled past the top; resample
+        if (isProbablePrime(candidate, rng))
+            return candidate;
+    }
+}
+
+} // namespace trust::crypto

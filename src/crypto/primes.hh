@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Probabilistic primality testing and random prime generation for
+ * RSA key generation inside the FLock crypto processor model.
+ */
+
+#ifndef TRUST_CRYPTO_PRIMES_HH
+#define TRUST_CRYPTO_PRIMES_HH
+
+#include "crypto/bignum.hh"
+#include "crypto/csprng.hh"
+
+namespace trust::crypto {
+
+/**
+ * Miller-Rabin primality test with @p rounds random bases.
+ * Deterministically correct for small inputs; error probability
+ * <= 4^-rounds for composites otherwise.
+ */
+bool isProbablePrime(const Bignum &n, Csprng &rng, int rounds = 24);
+
+/**
+ * Generate a random prime of exactly @p bits bits (top two bits set
+ * so that products of two such primes have exactly 2*bits bits).
+ */
+Bignum randomPrime(std::size_t bits, Csprng &rng);
+
+/** Uniform random Bignum in [0, bound). */
+Bignum randomBelow(const Bignum &bound, Csprng &rng);
+
+/** Uniform random Bignum with exactly @p bits bits (MSB set). */
+Bignum randomBits(std::size_t bits, Csprng &rng);
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_PRIMES_HH

@@ -1,0 +1,225 @@
+#include "crypto/rsa.hh"
+
+#include "core/logging.hh"
+#include "crypto/primes.hh"
+#include "crypto/sha256.hh"
+
+namespace trust::crypto {
+
+namespace {
+
+/**
+ * EMSA-PKCS1-v1_5-style encoding of a SHA-256 digest into @p len
+ * bytes: 0x00 0x01 FF..FF 0x00 || digest-marker || digest.
+ */
+core::Bytes
+emsaEncode(const core::Bytes &digest, std::size_t len)
+{
+    // 8-byte marker standing in for the DER AlgorithmIdentifier.
+    static const core::Bytes kMarker = {0x53, 0x48, 0x41, 0x32,
+                                        0x35, 0x36, 0x3a, 0x20};
+    const std::size_t overhead = 3 + kMarker.size();
+    TRUST_ASSERT(len >= digest.size() + overhead + 8,
+                 "emsaEncode: modulus too small for digest");
+    core::Bytes em;
+    em.reserve(len);
+    em.push_back(0x00);
+    em.push_back(0x01);
+    const std::size_t pad = len - digest.size() - overhead;
+    em.insert(em.end(), pad, 0xff);
+    em.push_back(0x00);
+    em.insert(em.end(), kMarker.begin(), kMarker.end());
+    em.insert(em.end(), digest.begin(), digest.end());
+    return em;
+}
+
+} // namespace
+
+core::Bytes
+RsaPublicKey::serialize() const
+{
+    core::ByteWriter w;
+    w.writeBytes(n.toBytes());
+    w.writeBytes(e.toBytes());
+    return w.take();
+}
+
+std::optional<RsaPublicKey>
+RsaPublicKey::deserialize(const core::Bytes &data)
+{
+    core::ByteReader r(data);
+    RsaPublicKey key;
+    key.n = Bignum::fromBytes(r.readBytes());
+    key.e = Bignum::fromBytes(r.readBytes());
+    if (!r.ok() || !r.atEnd() || key.n.isZero() || key.e.isZero())
+        return std::nullopt;
+    return key;
+}
+
+core::Bytes
+RsaPublicKey::fingerprint() const
+{
+    return Sha256::digest(serialize());
+}
+
+core::Bytes
+RsaPrivateKey::serialize() const
+{
+    core::ByteWriter w;
+    for (const Bignum *v : {&n, &e, &d, &p, &q, &dP, &dQ, &qInv})
+        w.writeBytes(v->toBytes());
+    return w.take();
+}
+
+std::optional<RsaPrivateKey>
+RsaPrivateKey::deserialize(const core::Bytes &data)
+{
+    core::ByteReader r(data);
+    RsaPrivateKey key;
+    for (Bignum *v : {&key.n, &key.e, &key.d, &key.p, &key.q, &key.dP,
+                      &key.dQ, &key.qInv})
+        *v = Bignum::fromBytes(r.readBytes());
+    if (!r.ok() || !r.atEnd() || key.n.isZero() || key.d.isZero())
+        return std::nullopt;
+    return key;
+}
+
+Bignum
+RsaPrivateKey::apply(const Bignum &m) const
+{
+    // CRT: m1 = m^dP mod p, m2 = m^dQ mod q,
+    // h = qInv*(m1 - m2) mod p, result = m2 + h*q.
+    const Bignum m1 = Bignum::modExp(m % p, dP, p);
+    const Bignum m2 = Bignum::modExp(m % q, dQ, q);
+    Bignum diff;
+    if (m1 >= m2) {
+        diff = m1 - m2;
+    } else {
+        // (m1 - m2) mod p with unsigned types.
+        diff = p - ((m2 - m1) % p);
+        if (diff == p)
+            diff = Bignum();
+    }
+    const Bignum h = (qInv * diff) % p;
+    return m2 + h * q;
+}
+
+RsaKeyPair
+rsaGenerate(std::size_t modulus_bits, Csprng &rng)
+{
+    TRUST_ASSERT(modulus_bits >= 128, "rsaGenerate: modulus too small");
+    const Bignum e(65537);
+
+    while (true) {
+        const std::size_t half = modulus_bits / 2;
+        const Bignum p = randomPrime(half, rng);
+        const Bignum q = randomPrime(modulus_bits - half, rng);
+        if (p == q)
+            continue;
+
+        const Bignum n = p * q;
+        if (n.bitLength() != modulus_bits)
+            continue;
+
+        const Bignum p1 = p - Bignum(1);
+        const Bignum q1 = q - Bignum(1);
+        const Bignum lambda = (p1 * q1) / Bignum::gcd(p1, q1);
+
+        const auto d = Bignum::modInverse(e, lambda);
+        if (!d)
+            continue; // gcd(e, lambda) != 1; rare
+
+        RsaPrivateKey priv;
+        priv.n = n;
+        priv.e = e;
+        priv.d = *d;
+        priv.p = p;
+        priv.q = q;
+        priv.dP = *d % p1;
+        priv.dQ = *d % q1;
+        const auto q_inv = Bignum::modInverse(q, p);
+        TRUST_ASSERT(q_inv.has_value(), "rsaGenerate: qInv must exist");
+        priv.qInv = *q_inv;
+
+        return {priv.publicKey(), priv};
+    }
+}
+
+core::Bytes
+rsaSign(const RsaPrivateKey &key, const core::Bytes &message)
+{
+    const core::Bytes em =
+        emsaEncode(Sha256::digest(message), key.modulusBytes());
+    const Bignum s = key.apply(Bignum::fromBytes(em));
+    return s.toBytesPadded(key.modulusBytes());
+}
+
+bool
+rsaVerify(const RsaPublicKey &key, const core::Bytes &message,
+          const core::Bytes &signature)
+{
+    if (signature.size() != key.modulusBytes())
+        return false;
+    const Bignum s = Bignum::fromBytes(signature);
+    if (s >= key.n)
+        return false;
+    const Bignum m = Bignum::modExp(s, key.e, key.n);
+    const core::Bytes em = m.toBytesPadded(key.modulusBytes());
+    const core::Bytes expected =
+        emsaEncode(Sha256::digest(message), key.modulusBytes());
+    return core::constantTimeEqual(em, expected);
+}
+
+core::Bytes
+rsaEncrypt(const RsaPublicKey &key, const core::Bytes &message, Csprng &rng)
+{
+    const std::size_t k = key.modulusBytes();
+    if (message.size() + 11 > k)
+        TRUST_FATAL("rsaEncrypt: message too long for modulus");
+
+    // EME-PKCS1-v1_5: 0x00 0x02 PS(nonzero random) 0x00 message.
+    core::Bytes em;
+    em.reserve(k);
+    em.push_back(0x00);
+    em.push_back(0x02);
+    const std::size_t pad = k - message.size() - 3;
+    for (std::size_t i = 0; i < pad; ++i) {
+        std::uint8_t b;
+        do {
+            b = static_cast<std::uint8_t>(rng.randomBytes(1)[0]);
+        } while (b == 0);
+        em.push_back(b);
+    }
+    em.push_back(0x00);
+    em.insert(em.end(), message.begin(), message.end());
+
+    const Bignum c = Bignum::modExp(Bignum::fromBytes(em), key.e, key.n);
+    return c.toBytesPadded(k);
+}
+
+std::optional<core::Bytes>
+rsaDecrypt(const RsaPrivateKey &key, const core::Bytes &ciphertext)
+{
+    const std::size_t k = key.modulusBytes();
+    if (ciphertext.size() != k)
+        return std::nullopt;
+    const Bignum c = Bignum::fromBytes(ciphertext);
+    if (c >= key.n)
+        return std::nullopt;
+
+    const core::Bytes em = key.apply(c).toBytesPadded(k);
+    if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02)
+        return std::nullopt;
+    std::size_t sep = 0;
+    for (std::size_t i = 2; i < em.size(); ++i) {
+        if (em[i] == 0x00) {
+            sep = i;
+            break;
+        }
+    }
+    if (sep < 10) // at least 8 bytes of padding required
+        return std::nullopt;
+    return core::Bytes(em.begin() + static_cast<long>(sep) + 1, em.end());
+}
+
+} // namespace trust::crypto

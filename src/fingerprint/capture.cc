@@ -1,0 +1,221 @@
+#include "fingerprint/capture.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace trust::fingerprint {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/** Bilinear sample of a master image; false if outside/invalid. */
+bool
+sampleMaster(const FingerprintImage &master, double r, double c,
+             float &out)
+{
+    const int r0 = static_cast<int>(std::floor(r));
+    const int c0 = static_cast<int>(std::floor(c));
+    if (!master.inBounds(r0, c0) || !master.inBounds(r0 + 1, c0 + 1))
+        return false;
+    if (!master.valid(r0, c0) || !master.valid(r0 + 1, c0 + 1) ||
+        !master.valid(r0, c0 + 1) || !master.valid(r0 + 1, c0))
+        return false;
+    const double fr = r - r0, fc = c - c0;
+    const double v =
+        master.pixel(r0, c0) * (1 - fr) * (1 - fc) +
+        master.pixel(r0, c0 + 1) * (1 - fr) * fc +
+        master.pixel(r0 + 1, c0) * fr * (1 - fc) +
+        master.pixel(r0 + 1, c0 + 1) * fr * fc;
+    out = static_cast<float>(v);
+    return true;
+}
+
+} // namespace
+
+CaptureConditions
+sampleTouchConditions(int window_rows, int window_cols,
+                      double swipe_speed, core::Rng &rng)
+{
+    swipe_speed = std::clamp(swipe_speed, 0.0, 1.0);
+    CaptureConditions cc;
+    cc.windowRows = window_rows;
+    cc.windowCols = window_cols;
+    // Contact lands near the fingertip core but wanders; sloppier at
+    // speed.
+    const double wander = 12.0 + 20.0 * swipe_speed;
+    cc.centerOffset = {rng.normal(0.0, wander), rng.normal(0.0, wander)};
+    cc.rotation = rng.normal(0.0, 0.15 + 0.25 * swipe_speed);
+    cc.pressure = std::clamp(
+        rng.normal(0.85 - 0.35 * swipe_speed, 0.12), 0.05, 1.0);
+    cc.motionBlur = std::max(0.0, rng.normal(3.0 * swipe_speed, 1.0));
+    cc.noiseSigma = 0.03;
+    return cc;
+}
+
+FingerprintImage
+captureImpression(const MasterFinger &finger,
+                  const CaptureConditions &conditions, core::Rng &rng)
+{
+    const auto &master = finger.image;
+    FingerprintImage out(conditions.windowRows, conditions.windowCols);
+
+    const double wcr = conditions.windowRows / 2.0;
+    const double wcc = conditions.windowCols / 2.0;
+    const double mcr = master.rows() / 2.0 + conditions.centerOffset.y;
+    const double mcc = master.cols() / 2.0 + conditions.centerOffset.x;
+    const double cos_t = std::cos(conditions.rotation);
+    const double sin_t = std::sin(conditions.rotation);
+
+    // Motion blur: average a few samples along a random smear
+    // direction.
+    const double blur_angle = rng.uniform(0.0, 2.0 * kPi);
+    const double bx = std::cos(blur_angle), by = std::sin(blur_angle);
+    const int blur_taps =
+        conditions.motionBlur > 0.2
+            ? 1 + static_cast<int>(std::ceil(conditions.motionBlur))
+            : 1;
+
+    for (int r = 0; r < out.rows(); ++r) {
+        for (int c = 0; c < out.cols(); ++c) {
+            const double dr = r - wcr, dc = c - wcc;
+            // Rotate the window frame into the master frame.
+            const double mr = mcr + dr * cos_t - dc * sin_t;
+            const double mc = mcc + dr * sin_t + dc * cos_t;
+
+            double acc = 0.0;
+            int hits = 0;
+            for (int t = 0; t < blur_taps; ++t) {
+                const double frac =
+                    blur_taps == 1
+                        ? 0.0
+                        : (static_cast<double>(t) / (blur_taps - 1) -
+                           0.5) *
+                              conditions.motionBlur;
+                float v;
+                if (sampleMaster(master, mr + by * frac, mc + bx * frac,
+                                 v)) {
+                    acc += v;
+                    ++hits;
+                }
+            }
+            if (hits == 0)
+                continue;
+
+            double v = acc / hits;
+            // Pressure scales ridge/valley contrast about mid-gray.
+            v = 0.5 + (v - 0.5) * conditions.pressure;
+            v += rng.normal(0.0, conditions.noiseSigma);
+            out.pixel(r, c) =
+                static_cast<float>(std::clamp(v, 0.0, 1.0));
+            out.setValid(r, c, true);
+        }
+    }
+    return out;
+}
+
+double
+estimateCaptureQuality(const CaptureConditions &conditions,
+                       double coverage)
+{
+    // Multiplicative degradation model: each physical impairment
+    // independently scales down usable signal.
+    const double cover_f = std::clamp(coverage / 0.6, 0.0, 1.0);
+    const double pressure_f =
+        std::clamp(conditions.pressure / 0.5, 0.0, 1.0);
+    const double blur_f =
+        std::clamp(1.0 - conditions.motionBlur / 6.0, 0.0, 1.0);
+    const double noise_f =
+        std::clamp(1.0 - conditions.noiseSigma / 0.3, 0.0, 1.0);
+    return cover_f * pressure_f * blur_f * noise_f;
+}
+
+TemplateCapture
+captureTemplateFast(const MasterFinger &finger,
+                    const CaptureConditions &conditions, core::Rng &rng)
+{
+    TemplateCapture out;
+
+    const auto &master = finger.image;
+    const double wcr = conditions.windowRows / 2.0;
+    const double wcc = conditions.windowCols / 2.0;
+    const double mcr = master.rows() / 2.0 + conditions.centerOffset.y;
+    const double mcc = master.cols() / 2.0 + conditions.centerOffset.x;
+    const double cos_t = std::cos(conditions.rotation);
+    const double sin_t = std::sin(conditions.rotation);
+
+    // Coverage: sample the window sparsely against the master mask.
+    int samples = 0, inside = 0;
+    for (int r = 0; r < conditions.windowRows; r += 4) {
+        for (int c = 0; c < conditions.windowCols; c += 4) {
+            ++samples;
+            const double dr = r - wcr, dc = c - wcc;
+            const int mr = static_cast<int>(
+                std::lround(mcr + dr * cos_t - dc * sin_t));
+            const int mc = static_cast<int>(
+                std::lround(mcc + dr * sin_t + dc * cos_t));
+            if (master.inBounds(mr, mc) && master.valid(mr, mc))
+                ++inside;
+        }
+    }
+    out.coverage =
+        samples ? static_cast<double>(inside) / samples : 0.0;
+    out.quality = estimateCaptureQuality(conditions, out.coverage);
+
+    // Degradation-driven minutia dropout and jitter.
+    const double drop_p = std::clamp(
+        0.05 + 0.6 * (1.0 - conditions.pressure) +
+            0.08 * conditions.motionBlur,
+        0.0, 0.95);
+    const double pos_sigma = 1.0 + 0.6 * conditions.motionBlur;
+    const double ang_sigma = 0.06 + 0.02 * conditions.motionBlur;
+
+    for (const auto &m : finger.minutiae) {
+        // Master frame -> window frame (inverse of the capture map).
+        const double dr_m = m.y - mcr, dc_m = m.x - mcc;
+        const double wr = wcr + dr_m * cos_t + dc_m * sin_t;
+        const double wc = wcc - dr_m * sin_t + dc_m * cos_t;
+        if (wr < 2 || wc < 2 || wr >= conditions.windowRows - 2 ||
+            wc >= conditions.windowCols - 2)
+            continue;
+        if (rng.chance(drop_p))
+            continue;
+        Minutia t;
+        t.x = std::clamp(wc + rng.normal(0.0, pos_sigma), 0.0,
+                         conditions.windowCols - 1.0);
+        t.y = std::clamp(wr + rng.normal(0.0, pos_sigma), 0.0,
+                         conditions.windowRows - 1.0);
+        t.angle = core::wrapOrientation(
+            m.angle - conditions.rotation + rng.normal(0.0, ang_sigma));
+        t.type = rng.chance(0.05)
+                     ? (m.type == MinutiaType::Ending
+                            ? MinutiaType::Bifurcation
+                            : MinutiaType::Ending)
+                     : m.type;
+        out.minutiae.push_back(t);
+    }
+
+    // Spurious minutiae grow as quality degrades.
+    const double lambda = 0.5 + 4.0 * (1.0 - out.quality);
+    int spurious = 0;
+    // Poisson via exponential gaps.
+    double acc = rng.exponential(1.0);
+    while (acc < lambda) {
+        ++spurious;
+        acc += rng.exponential(1.0);
+    }
+    for (int i = 0; i < spurious; ++i) {
+        Minutia s;
+        s.x = rng.uniform(2.0, conditions.windowCols - 2.0);
+        s.y = rng.uniform(2.0, conditions.windowRows - 2.0);
+        s.angle = rng.uniform(0.0, kPi);
+        s.type = rng.chance(0.5) ? MinutiaType::Ending
+                                 : MinutiaType::Bifurcation;
+        out.minutiae.push_back(s);
+    }
+
+    return out;
+}
+
+} // namespace trust::fingerprint

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Partial-fingerprint capture model.
+ *
+ * Models what a small TFT sensor window sees when a finger touches
+ * the screen: a translated/rotated crop of the master print degraded
+ * by pressure, motion blur and sensor noise. Two paths are provided:
+ *
+ *  - captureImpression(): full image-domain capture, used by the
+ *    accuracy experiments (FAR/FRR, quality-gate sweeps);
+ *  - captureTemplateFast(): minutiae-domain capture that transforms
+ *    ground-truth minutiae directly, used by the large session-level
+ *    protocol simulations where thousands of touches are needed.
+ *
+ * Both paths are driven by the same CaptureConditions so experiments
+ * can trade fidelity for speed without changing workloads.
+ */
+
+#ifndef TRUST_FINGERPRINT_CAPTURE_HH
+#define TRUST_FINGERPRINT_CAPTURE_HH
+
+#include "core/geometry.hh"
+#include "core/rng.hh"
+#include "fingerprint/image.hh"
+#include "fingerprint/synthesis.hh"
+
+namespace trust::fingerprint {
+
+/** Physical conditions of one touch on a sensor window. */
+struct CaptureConditions
+{
+    /** Sensor-window size in pixels (sensor cells). */
+    int windowRows = 80;
+    int windowCols = 80;
+
+    /**
+     * Offset of the touched spot from the master-print centre, in
+     * master pixels (models where on the fingertip the contact is).
+     */
+    core::Vec2 centerOffset;
+
+    /** Finger rotation relative to enrollment, radians. */
+    double rotation = 0.0;
+
+    /** Contact pressure in (0, 1]; low pressure weakens contrast. */
+    double pressure = 1.0;
+
+    /** Motion smear in pixels (finger moving during the scan). */
+    double motionBlur = 0.0;
+
+    /** Additive sensor noise standard deviation (intensity units). */
+    double noiseSigma = 0.03;
+};
+
+/**
+ * Sample plausible touch conditions for a natural tap. Fast swipes
+ * produce larger blur; sloppy touches produce larger offsets.
+ *
+ * @param window_rows sensor window height in cells.
+ * @param window_cols sensor window width in cells.
+ * @param swipe_speed 0 = stationary tap, 1 = fast swipe.
+ */
+CaptureConditions sampleTouchConditions(int window_rows, int window_cols,
+                                        double swipe_speed,
+                                        core::Rng &rng);
+
+/**
+ * Image-domain capture: what the sensor window digitizes for this
+ * touch. Pixels where the window extends past the fingertip are
+ * marked invalid.
+ */
+FingerprintImage captureImpression(const MasterFinger &finger,
+                                   const CaptureConditions &conditions,
+                                   core::Rng &rng);
+
+/** Result of the fast minutiae-domain capture. */
+struct TemplateCapture
+{
+    std::vector<Minutia> minutiae; ///< Window-coordinate minutiae.
+    double coverage = 0.0;         ///< Window fraction over the finger.
+    double quality = 0.0;          ///< Analytic quality score in [0,1].
+};
+
+/**
+ * Minutiae-domain capture: transforms ground-truth minutiae into the
+ * window frame with positional/angular jitter, drops minutiae with a
+ * probability that grows as conditions degrade, and injects spurious
+ * minutiae. Roughly three orders of magnitude faster than the image
+ * path; its quality score matches the analytic model used by
+ * estimateCaptureQuality().
+ */
+TemplateCapture captureTemplateFast(const MasterFinger &finger,
+                                    const CaptureConditions &conditions,
+                                    core::Rng &rng);
+
+/**
+ * Analytic capture quality in [0, 1] from physical conditions and
+ * footprint coverage: the model the FLock quality gate thresholds.
+ */
+double estimateCaptureQuality(const CaptureConditions &conditions,
+                              double coverage);
+
+} // namespace trust::fingerprint
+
+#endif // TRUST_FINGERPRINT_CAPTURE_HH

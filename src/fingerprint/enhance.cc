@@ -1,0 +1,292 @@
+#include "fingerprint/enhance.hh"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/geometry.hh"
+
+namespace trust::fingerprint {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+} // namespace
+
+void
+normalizeImage(FingerprintImage &image, double target_mean,
+               double target_var)
+{
+    const double mean = image.meanIntensity();
+    const double var = image.intensityVariance();
+    if (var <= 1e-12)
+        return;
+    const double scale = std::sqrt(target_var / var);
+    for (int r = 0; r < image.rows(); ++r) {
+        for (int c = 0; c < image.cols(); ++c) {
+            if (!image.valid(r, c))
+                continue;
+            const double v =
+                target_mean + (image.pixel(r, c) - mean) * scale;
+            image.pixel(r, c) =
+                static_cast<float>(std::clamp(v, 0.0, 1.0));
+        }
+    }
+}
+
+core::Grid<float>
+estimateOrientation(const FingerprintImage &image, int block)
+{
+    const int rows = image.rows(), cols = image.cols();
+
+    // Sobel-style central-difference gradients.
+    core::Grid<float> gx(rows, cols, 0.0f), gy(rows, cols, 0.0f);
+    for (int r = 1; r < rows - 1; ++r) {
+        for (int c = 1; c < cols - 1; ++c) {
+            gx(r, c) = (image.pixel(r, c + 1) - image.pixel(r, c - 1)) *
+                       0.5f;
+            gy(r, c) = (image.pixel(r + 1, c) - image.pixel(r - 1, c)) *
+                       0.5f;
+        }
+    }
+
+    // Block-averaged double-angle representation: the gradient is
+    // normal to the ridge, so ridge orientation = gradient angle +
+    // pi/2, averaged via (gxx - gyy, 2 gxy).
+    core::Grid<float> orientation(rows, cols, 0.0f);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            double vx = 0.0, vy = 0.0;
+            for (int dr = -block; dr <= block; ++dr) {
+                for (int dc = -block; dc <= block; ++dc) {
+                    const int rr = std::clamp(r + dr, 0, rows - 1);
+                    const int cc = std::clamp(c + dc, 0, cols - 1);
+                    const double dx = gx(rr, cc);
+                    const double dy = gy(rr, cc);
+                    vx += dx * dx - dy * dy;
+                    vy += 2.0 * dx * dy;
+                }
+            }
+            // Gradient double-angle; ridge orientation is orthogonal.
+            const double grad_angle = 0.5 * std::atan2(vy, vx);
+            orientation(r, c) = static_cast<float>(
+                core::wrapOrientation(grad_angle + kPi / 2.0));
+        }
+    }
+    return orientation;
+}
+
+double
+estimateRidgePeriod(const FingerprintImage &image,
+                    const core::Grid<float> &orientation)
+{
+    // Probe along the normal direction at a sparse set of valid
+    // anchor pixels; count mean crossings of the 0.5 level.
+    const int rows = image.rows(), cols = image.cols();
+    const int probe_len = 24;
+
+    double period_sum = 0.0;
+    int period_count = 0;
+
+    for (int r = probe_len; r < rows - probe_len; r += 8) {
+        for (int c = probe_len; c < cols - probe_len; c += 8) {
+            if (!image.valid(r, c))
+                continue;
+            const double theta = orientation(r, c);
+            const double nx = -std::sin(theta);
+            const double ny = std::cos(theta);
+
+            // Sample the signature along the normal.
+            std::vector<double> sig;
+            bool in_mask = true;
+            for (int t = -probe_len; t <= probe_len; ++t) {
+                const int rr = r + static_cast<int>(std::lround(ny * t));
+                const int cc = c + static_cast<int>(std::lround(nx * t));
+                if (!image.inBounds(rr, cc) || !image.valid(rr, cc)) {
+                    in_mask = false;
+                    break;
+                }
+                sig.push_back(image.pixel(rr, cc));
+            }
+            if (!in_mask)
+                continue;
+
+            // Count rising crossings through the mean level.
+            double mean = 0.0;
+            for (double v : sig)
+                mean += v;
+            mean /= static_cast<double>(sig.size());
+            int crossings = 0;
+            int first = -1, last = -1;
+            for (std::size_t i = 1; i < sig.size(); ++i) {
+                if (sig[i - 1] < mean && sig[i] >= mean) {
+                    ++crossings;
+                    if (first < 0)
+                        first = static_cast<int>(i);
+                    last = static_cast<int>(i);
+                }
+            }
+            if (crossings >= 2) {
+                period_sum += static_cast<double>(last - first) /
+                              static_cast<double>(crossings - 1);
+                ++period_count;
+            }
+        }
+    }
+
+    return period_count ? period_sum / period_count : 0.0;
+}
+
+void
+gaborEnhanceVarFreq(FingerprintImage &image,
+                    const core::Grid<float> &orientation,
+                    const core::Grid<float> &frequency_map, int radius,
+                    double sigma)
+{
+    const int rows = image.rows(), cols = image.cols();
+
+    // Find the frequency range present in the map.
+    float fmin = 1e9f, fmax = 0.0f;
+    for (float f : frequency_map.data()) {
+        fmin = std::min(fmin, f);
+        fmax = std::max(fmax, f);
+    }
+    if (fmax <= 0.0f) {
+        return;
+    }
+
+    constexpr int kOrientBins = 16;
+    constexpr int kFreqBins = 6;
+    const int size = 2 * radius + 1;
+    const double fstep =
+        kFreqBins > 1 ? (fmax - fmin) / (kFreqBins - 1) : 0.0;
+
+    // Kernel bank over orientation x frequency.
+    std::vector<std::vector<float>> bank(
+        kOrientBins * kFreqBins,
+        std::vector<float>(static_cast<std::size_t>(size * size)));
+    for (int ob = 0; ob < kOrientBins; ++ob) {
+        const double theta = kPi * (ob + 0.5) / kOrientBins;
+        const double nx = -std::sin(theta);
+        const double ny = std::cos(theta);
+        for (int fb = 0; fb < kFreqBins; ++fb) {
+            const double f = fmin + fstep * fb;
+            auto &kernel = bank[static_cast<std::size_t>(
+                ob * kFreqBins + fb)];
+            double sum_pos = 0.0;
+            for (int dr = -radius; dr <= radius; ++dr) {
+                for (int dc = -radius; dc <= radius; ++dc) {
+                    const double along = dc * nx + dr * ny;
+                    const double env = std::exp(
+                        -(dr * dr + dc * dc) / (2.0 * sigma * sigma));
+                    const double v =
+                        env * std::cos(2.0 * kPi * f * along);
+                    kernel[static_cast<std::size_t>(
+                        (dr + radius) * size + (dc + radius))] =
+                        static_cast<float>(v);
+                    if (v > 0)
+                        sum_pos += v;
+                }
+            }
+            if (sum_pos > 0) {
+                for (auto &v : kernel)
+                    v = static_cast<float>(v / sum_pos);
+            }
+        }
+    }
+
+    const FingerprintImage src = image;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (!image.valid(r, c))
+                continue;
+            int ob = static_cast<int>(orientation(r, c) / kPi *
+                                      kOrientBins);
+            ob = std::clamp(ob, 0, kOrientBins - 1);
+            int fb = fstep > 0.0
+                         ? static_cast<int>(
+                               (frequency_map(r, c) - fmin) / fstep +
+                               0.5)
+                         : 0;
+            fb = std::clamp(fb, 0, kFreqBins - 1);
+            const auto &kernel = bank[static_cast<std::size_t>(
+                ob * kFreqBins + fb)];
+            double acc = 0.0;
+            for (int dr = -radius; dr <= radius; ++dr) {
+                for (int dc = -radius; dc <= radius; ++dc) {
+                    const int rr = std::clamp(r + dr, 0, rows - 1);
+                    const int cc = std::clamp(c + dc, 0, cols - 1);
+                    acc += kernel[static_cast<std::size_t>(
+                               (dr + radius) * size + (dc + radius))] *
+                           (src.pixel(rr, cc) - 0.5);
+                }
+            }
+            image.pixel(r, c) =
+                static_cast<float>(std::clamp(0.5 + acc, 0.0, 1.0));
+        }
+    }
+}
+
+void
+gaborEnhance(FingerprintImage &image, const core::Grid<float> &orientation,
+             double frequency, int radius, double sigma)
+{
+    const int rows = image.rows(), cols = image.cols();
+
+    // Quantize orientation into a bank of precomputed kernels.
+    constexpr int kBins = 16;
+    const int size = 2 * radius + 1;
+    std::vector<std::vector<float>> bank(
+        kBins, std::vector<float>(static_cast<std::size_t>(size * size)));
+    for (int b = 0; b < kBins; ++b) {
+        const double theta = kPi * (b + 0.5) / kBins;
+        const double nx = -std::sin(theta);
+        const double ny = std::cos(theta);
+        double sum_pos = 0.0;
+        for (int dr = -radius; dr <= radius; ++dr) {
+            for (int dc = -radius; dc <= radius; ++dc) {
+                const double along = dc * nx + dr * ny;
+                const double env = std::exp(
+                    -(dr * dr + dc * dc) / (2.0 * sigma * sigma));
+                const double v =
+                    env * std::cos(2.0 * kPi * frequency * along);
+                bank[b][static_cast<std::size_t>(
+                    (dr + radius) * size + (dc + radius))] =
+                    static_cast<float>(v);
+                if (v > 0)
+                    sum_pos += v;
+            }
+        }
+        // Scale so a perfect ridge response is ~1.
+        if (sum_pos > 0) {
+            for (auto &v : bank[b])
+                v = static_cast<float>(v / sum_pos);
+        }
+    }
+
+    const FingerprintImage src = image;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (!image.valid(r, c))
+                continue;
+            const double theta = orientation(r, c);
+            int bin = static_cast<int>(theta / kPi * kBins);
+            bin = std::clamp(bin, 0, kBins - 1);
+            const auto &kernel = bank[static_cast<std::size_t>(bin)];
+            double acc = 0.0;
+            for (int dr = -radius; dr <= radius; ++dr) {
+                for (int dc = -radius; dc <= radius; ++dc) {
+                    const int rr = std::clamp(r + dr, 0, rows - 1);
+                    const int cc = std::clamp(c + dc, 0, cols - 1);
+                    // Center the signal so the DC component cancels.
+                    acc += kernel[static_cast<std::size_t>(
+                               (dr + radius) * size + (dc + radius))] *
+                           (src.pixel(rr, cc) - 0.5);
+                }
+            }
+            image.pixel(r, c) =
+                static_cast<float>(std::clamp(0.5 + acc, 0.0, 1.0));
+        }
+    }
+}
+
+} // namespace trust::fingerprint

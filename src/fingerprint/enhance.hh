@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fingerprint image enhancement pipeline: normalization, gradient
+ * based orientation-field estimation, ridge-frequency estimation and
+ * Gabor filtering (the Hong-Wan-Jain style pipeline, from scratch).
+ */
+
+#ifndef TRUST_FINGERPRINT_ENHANCE_HH
+#define TRUST_FINGERPRINT_ENHANCE_HH
+
+#include "core/grid.hh"
+#include "fingerprint/image.hh"
+
+namespace trust::fingerprint {
+
+/**
+ * Normalize valid pixels to a target mean and variance (classic
+ * pre-step that removes pressure/contrast variation).
+ */
+void normalizeImage(FingerprintImage &image, double target_mean = 0.5,
+                    double target_var = 0.05);
+
+/**
+ * Estimate the local ridge orientation (in [0, pi)) at each pixel
+ * using block-averaged squared gradients.
+ *
+ * @param image     input image.
+ * @param block     averaging half-window in pixels.
+ */
+core::Grid<float> estimateOrientation(const FingerprintImage &image,
+                                      int block = 6);
+
+/**
+ * Estimate the mean ridge period (pixels per ridge cycle) over valid
+ * pixels by counting intensity oscillations along the normal to the
+ * local orientation. Returns 0 if the image carries no signal.
+ */
+double estimateRidgePeriod(const FingerprintImage &image,
+                           const core::Grid<float> &orientation);
+
+/**
+ * Gabor-filter the image using the given orientation field and ridge
+ * frequency; writes the filtered result back into the image. Only
+ * valid pixels are updated.
+ *
+ * @param frequency ridges per pixel (1 / ridge period).
+ * @param radius    kernel half-size in pixels.
+ * @param sigma     Gaussian envelope standard deviation.
+ */
+void gaborEnhance(FingerprintImage &image,
+                  const core::Grid<float> &orientation, double frequency,
+                  int radius = 6, double sigma = 3.0);
+
+/**
+ * Gabor filtering with a spatially varying ridge frequency. Used by
+ * the synthesizer: frequency gradients are what spawns minutiae in
+ * real ridge growth.
+ *
+ * @param frequency_map per-pixel ridge frequency (ridges per pixel).
+ */
+void gaborEnhanceVarFreq(FingerprintImage &image,
+                         const core::Grid<float> &orientation,
+                         const core::Grid<float> &frequency_map,
+                         int radius = 6, double sigma = 3.0);
+
+} // namespace trust::fingerprint
+
+#endif // TRUST_FINGERPRINT_ENHANCE_HH

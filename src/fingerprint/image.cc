@@ -1,0 +1,56 @@
+#include "fingerprint/image.hh"
+
+namespace trust::fingerprint {
+
+double
+FingerprintImage::validFraction() const
+{
+    if (empty())
+        return 0.0;
+    std::uint64_t count = 0;
+    for (std::uint8_t v : mask_.data())
+        count += v;
+    return static_cast<double>(count) / static_cast<double>(mask_.size());
+}
+
+double
+FingerprintImage::meanIntensity() const
+{
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (int r = 0; r < rows(); ++r) {
+        for (int c = 0; c < cols(); ++c) {
+            if (valid(r, c)) {
+                sum += pixel(r, c);
+                ++count;
+            }
+        }
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double
+FingerprintImage::intensityVariance() const
+{
+    const double mean = meanIntensity();
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (int r = 0; r < rows(); ++r) {
+        for (int c = 0; c < cols(); ++c) {
+            if (valid(r, c)) {
+                const double d = pixel(r, c) - mean;
+                sum += d * d;
+                ++count;
+            }
+        }
+    }
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+void
+FingerprintImage::fillMaskValid()
+{
+    mask_.fill(1);
+}
+
+} // namespace trust::fingerprint

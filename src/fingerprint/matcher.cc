@@ -1,0 +1,336 @@
+#include "fingerprint/matcher.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+
+#include "core/geometry.hh"
+
+namespace trust::fingerprint {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/** A rigid alignment hypothesis: rotate query by rot, then shift. */
+struct Alignment
+{
+    double rot;
+    double cosT;
+    double sinT;
+    double dx;
+    double dy;
+};
+
+/**
+ * An ordered minutia pair with its rigid-invariant signature:
+ * length, and each endpoint orientation measured relative to the
+ * segment direction (invariant under rotation+translation, mod pi).
+ */
+struct PairFeature
+{
+    int a;
+    int b;
+    double length;
+    double dir; // segment direction, for alignment recovery
+    double psiA;
+    double psiB;
+};
+
+/** Build ordered pair features with lengths in a useful band. */
+std::vector<PairFeature>
+buildPairs(const std::vector<Minutia> &set, double min_len,
+           double max_len, std::size_t cap)
+{
+    std::vector<PairFeature> pairs;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        for (std::size_t j = 0; j < set.size(); ++j) {
+            if (i == j)
+                continue;
+            const double dx = set[j].x - set[i].x;
+            const double dy = set[j].y - set[i].y;
+            const double len = std::sqrt(dx * dx + dy * dy);
+            if (len < min_len || len > max_len)
+                continue;
+            PairFeature f;
+            f.a = static_cast<int>(i);
+            f.b = static_cast<int>(j);
+            f.length = len;
+            f.dir = std::atan2(dy, dx);
+            f.psiA = core::wrapOrientation(set[i].angle - f.dir);
+            f.psiB = core::wrapOrientation(set[j].angle - f.dir);
+            pairs.push_back(f);
+            if (pairs.size() >= cap)
+                return pairs;
+        }
+    }
+    return pairs;
+}
+
+/**
+ * Count greedy one-to-one pairs between template minutiae and the
+ * transformed query minutiae within the tolerances.
+ */
+int
+countPairs(const std::vector<Minutia> &tmpl,
+           const std::vector<Minutia> &query, const Alignment &a,
+           const MatchParams &params)
+{
+    const double tol_sq = params.distTolerance * params.distTolerance;
+    std::vector<bool> used(tmpl.size(), false);
+    int paired = 0;
+    for (const auto &q : query) {
+        const double qx = a.cosT * q.x - a.sinT * q.y + a.dx;
+        const double qy = a.sinT * q.x + a.cosT * q.y + a.dy;
+        const double qa = core::wrapOrientation(q.angle + a.rot);
+
+        int best = -1;
+        double best_d = tol_sq;
+        for (std::size_t i = 0; i < tmpl.size(); ++i) {
+            if (used[i])
+                continue;
+            const double dx = tmpl[i].x - qx;
+            const double dy = tmpl[i].y - qy;
+            const double d = dx * dx + dy * dy;
+            if (d >= best_d)
+                continue;
+            if (core::orientationDiff(tmpl[i].angle, qa) >
+                params.angleTolerance)
+                continue;
+            best_d = d;
+            best = static_cast<int>(i);
+        }
+        if (best >= 0) {
+            used[static_cast<std::size_t>(best)] = true;
+            ++paired;
+        }
+    }
+    return paired;
+}
+
+} // namespace
+
+MatchResult
+matchMinutiae(const std::vector<Minutia> &tmpl,
+              const std::vector<Minutia> &query,
+              const MatchParams &params)
+{
+    MatchResult result;
+    if (tmpl.size() < 2 || query.size() < 2)
+        return result;
+
+    // Pair-anchored alignment: a hypothesis needs TWO minutiae from
+    // each side agreeing on length and on both relative orientations,
+    // which suppresses the chance alignments single-point anchors
+    // admit on small partial prints.
+    const double min_len = 2.0 * params.distTolerance;
+    const double max_len = 90.0;
+    const auto t_pairs = buildPairs(tmpl, min_len, max_len, 6000);
+    const auto q_pairs = buildPairs(query, min_len, max_len, 2000);
+
+    // Bucket template pairs by quantized length for O(1) lookup.
+    const double bucket_w = params.pairLengthTolerance;
+    const int n_buckets =
+        static_cast<int>(max_len / bucket_w) + 2;
+    std::vector<std::vector<int>> buckets(
+        static_cast<std::size_t>(n_buckets));
+    for (std::size_t i = 0; i < t_pairs.size(); ++i) {
+        const int b = static_cast<int>(t_pairs[i].length / bucket_w);
+        buckets[static_cast<std::size_t>(b)].push_back(
+            static_cast<int>(i));
+    }
+
+    // Hough-style consensus: every surviving anchor pair votes for
+    // its implied rigid transform. The true alignment of a genuine
+    // match is proposed by every pair drawn from the common minutiae
+    // and so accumulates many concordant votes; chance anchors on an
+    // impostor comparison scatter across transform space.
+    struct Cell
+    {
+        int votes = 0;
+        double rotSumSin = 0.0;
+        double rotSumCos = 0.0;
+        double dxSum = 0.0;
+        double dySum = 0.0;
+    };
+    std::unordered_map<std::uint64_t, Cell> hough;
+    const double rot_q = 0.20;  // radians per rotation bin
+    const double shift_q = 10.0; // pixels per translation bin
+
+    std::size_t hypotheses = 0;
+    for (const auto &qp : q_pairs) {
+        if (hypotheses >= params.maxAlignments)
+            break;
+        const int qb = static_cast<int>(qp.length / bucket_w);
+        for (int b = std::max(0, qb - 1);
+             b <= std::min(n_buckets - 1, qb + 1); ++b) {
+            for (int ti : buckets[static_cast<std::size_t>(b)]) {
+                const auto &tp =
+                    t_pairs[static_cast<std::size_t>(ti)];
+                if (std::fabs(tp.length - qp.length) >
+                    params.pairLengthTolerance)
+                    continue;
+                if (core::orientationDiff(tp.psiA, qp.psiA) >
+                        params.angleTolerance ||
+                    core::orientationDiff(tp.psiB, qp.psiB) >
+                        params.angleTolerance)
+                    continue;
+                if (tmpl[static_cast<std::size_t>(tp.a)].type !=
+                        query[static_cast<std::size_t>(qp.a)].type ||
+                    tmpl[static_cast<std::size_t>(tp.b)].type !=
+                        query[static_cast<std::size_t>(qp.b)].type)
+                    continue;
+
+                const double rot = core::wrapAngle(tp.dir - qp.dir);
+                const double cos_t = std::cos(rot);
+                const double sin_t = std::sin(rot);
+                const auto &ta =
+                    tmpl[static_cast<std::size_t>(tp.a)];
+                const auto &qa =
+                    query[static_cast<std::size_t>(qp.a)];
+                const double dx =
+                    ta.x - (cos_t * qa.x - sin_t * qa.y);
+                const double dy =
+                    ta.y - (sin_t * qa.x + cos_t * qa.y);
+
+                // Vote (rotation wraps; shift offsets keep keys
+                // positive).
+                const auto rbin = static_cast<std::int64_t>(
+                    std::floor((rot + kPi) / rot_q));
+                const auto xbin = static_cast<std::int64_t>(
+                    std::floor(dx / shift_q)) + 512;
+                const auto ybin = static_cast<std::int64_t>(
+                    std::floor(dy / shift_q)) + 512;
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(rbin) << 40) ^
+                    (static_cast<std::uint64_t>(xbin) << 20) ^
+                    static_cast<std::uint64_t>(ybin);
+                Cell &cell = hough[key];
+                ++cell.votes;
+                cell.rotSumSin += sin_t;
+                cell.rotSumCos += cos_t;
+                cell.dxSum += dx;
+                cell.dySum += dy;
+                ++hypotheses;
+                if (hypotheses >= params.maxAlignments)
+                    break;
+            }
+            if (hypotheses >= params.maxAlignments)
+                break;
+        }
+    }
+
+    // Evaluate the most-supported transform cells with full greedy
+    // pairing; keep the best.
+    std::vector<const Cell *> top;
+    top.reserve(hough.size());
+    for (const auto &[key, cell] : hough)
+        top.push_back(&cell);
+    std::sort(top.begin(), top.end(),
+              [](const Cell *a, const Cell *b) {
+                  return a->votes > b->votes;
+              });
+    if (top.size() > 8)
+        top.resize(8);
+
+    int best_paired = 0;
+    int best_votes = 0;
+    for (const Cell *cell : top) {
+        Alignment a;
+        a.rot = std::atan2(cell->rotSumSin, cell->rotSumCos);
+        a.cosT = std::cos(a.rot);
+        a.sinT = std::sin(a.rot);
+        a.dx = cell->dxSum / cell->votes;
+        a.dy = cell->dySum / cell->votes;
+        const int paired = countPairs(tmpl, query, a, params);
+        if (paired > best_paired ||
+            (paired == best_paired && cell->votes > best_votes)) {
+            best_paired = paired;
+            best_votes = cell->votes;
+            result.alignment = {a.rot, a.dx, a.dy};
+        }
+    }
+
+    result.paired = best_paired;
+    result.votes = best_votes;
+    const double denom =
+        static_cast<double>(std::min(tmpl.size(), query.size()));
+    result.score = static_cast<double>(best_paired) / denom;
+    result.accepted =
+        best_paired >= static_cast<int>(params.minPairedFloor) &&
+        best_votes >= static_cast<int>(params.minVotes) &&
+        result.score >= params.acceptThreshold;
+    return result;
+}
+
+Minutia
+RigidTransform::apply(const Minutia &m) const
+{
+    const double c = std::cos(rot), s = std::sin(rot);
+    Minutia out = m;
+    out.x = c * m.x - s * m.y + dx;
+    out.y = s * m.x + c * m.y + dy;
+    out.angle = core::wrapOrientation(m.angle + rot);
+    return out;
+}
+
+MatchResult
+matchAgainstViews(const std::vector<std::vector<Minutia>> &views,
+                  const std::vector<Minutia> &query,
+                  const MatchParams &params)
+{
+    MatchResult best;
+    for (const auto &view : views) {
+        const MatchResult r = matchMinutiae(view, query, params);
+        if (r.score > best.score || (r.accepted && !best.accepted))
+            best = r;
+    }
+    return best;
+}
+
+std::vector<Minutia>
+mosaicViews(const std::vector<std::vector<Minutia>> &views,
+            const MatchParams &params, int min_stitch_pairs)
+{
+    if (views.empty())
+        return {};
+
+    // Seed with the richest view; stitch the rest in size order.
+    std::vector<std::size_t> order(views.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return views[a].size() > views[b].size();
+              });
+
+    std::vector<Minutia> mosaic = views[order[0]];
+    const double spacing_sq =
+        params.distTolerance * params.distTolerance;
+
+    for (std::size_t k = 1; k < order.size(); ++k) {
+        const auto &view = views[order[k]];
+        const MatchResult r = matchMinutiae(mosaic, view, params);
+        if (r.paired < min_stitch_pairs)
+            continue; // cannot place this view confidently
+
+        for (const auto &m : view) {
+            const Minutia placed = r.alignment.apply(m);
+            bool duplicate = false;
+            for (const auto &existing : mosaic) {
+                const double ddx = existing.x - placed.x;
+                const double ddy = existing.y - placed.y;
+                if (ddx * ddx + ddy * ddy < spacing_sq) {
+                    duplicate = true;
+                    break;
+                }
+            }
+            if (!duplicate)
+                mosaic.push_back(placed);
+        }
+    }
+    return mosaic;
+}
+
+} // namespace trust::fingerprint

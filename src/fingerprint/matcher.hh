@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Partial-fingerprint minutiae matcher.
+ *
+ * Implements the alignment-and-pairing family the paper's assumption
+ * 3 relies on ("existing fingerprint match techniques ... robust
+ * enough to be applied to partial fingerprints"): every cross pair
+ * of minutiae proposes a rigid alignment; aligned minutiae are
+ * greedily paired within distance/angle tolerances; the best
+ * alignment's pairing count, normalized by the smaller minutiae set,
+ * is the match score.
+ */
+
+#ifndef TRUST_FINGERPRINT_MATCHER_HH
+#define TRUST_FINGERPRINT_MATCHER_HH
+
+#include <vector>
+
+#include "fingerprint/minutiae.hh"
+
+namespace trust::fingerprint {
+
+/** Matcher tolerances and decision threshold. */
+struct MatchParams
+{
+    double distTolerance = 7.0;    ///< Pairing radius in pixels.
+    double angleTolerance = 0.30;  ///< Pairing tolerance in radians.
+    double pairLengthTolerance = 3.0; ///< Anchor-pair length slack (px).
+    std::size_t maxAlignments = 20000; ///< Anchor-vote budget.
+    std::size_t minPairedFloor = 5;  ///< Absolute minimum pair count.
+    std::size_t minVotes = 7;        ///< Consensus votes required.
+    double acceptThreshold = 0.40;   ///< Score needed to accept.
+};
+
+/**
+ * The rigid transform mapping query coordinates into the template
+ * frame: rotate by rot, then translate by (dx, dy).
+ */
+struct RigidTransform
+{
+    double rot = 0.0;
+    double dx = 0.0;
+    double dy = 0.0;
+
+    /** Apply to a minutia (position and orientation). */
+    Minutia apply(const Minutia &m) const;
+};
+
+/** Outcome of one template-vs-query comparison. */
+struct MatchResult
+{
+    double score = 0.0; ///< paired / min(|T|, |Q|), in [0, 1].
+    int paired = 0;     ///< Pairs under the best alignment.
+    int votes = 0;      ///< Hough consensus votes for that alignment.
+    bool accepted = false;
+    RigidTransform alignment; ///< Best query->template transform.
+};
+
+/**
+ * Compare a stored template against a query capture.
+ * Either side may be a partial print; scores are normalized by the
+ * smaller set so a clean partial against a full master scores high.
+ */
+MatchResult matchMinutiae(const std::vector<Minutia> &tmpl,
+                          const std::vector<Minutia> &query,
+                          const MatchParams &params = {});
+
+/**
+ * Compare a query against several enrolled views and return the best
+ * result (multi-template enrollment).
+ */
+MatchResult matchAgainstViews(
+    const std::vector<std::vector<Minutia>> &views,
+    const std::vector<Minutia> &query, const MatchParams &params = {});
+
+/**
+ * Stitch several partial views of one finger into a single mosaic
+ * template (what guided enrollment flows do: each new press is
+ * aligned against the growing mosaic and its unseen minutiae are
+ * added). Views that cannot be aligned confidently are skipped.
+ *
+ * @param min_stitch_pairs pairs required to accept an alignment.
+ * @return the mosaic in the coordinate frame of the largest view.
+ */
+std::vector<Minutia> mosaicViews(
+    const std::vector<std::vector<Minutia>> &views,
+    const MatchParams &params = {}, int min_stitch_pairs = 6);
+
+} // namespace trust::fingerprint
+
+#endif // TRUST_FINGERPRINT_MATCHER_HH

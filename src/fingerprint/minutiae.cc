@@ -1,0 +1,144 @@
+#include "fingerprint/minutiae.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trust::fingerprint {
+
+namespace {
+
+/** 8-neighbourhood in clockwise order starting east. */
+constexpr int kDr[8] = {0, 1, 1, 1, 0, -1, -1, -1};
+constexpr int kDc[8] = {1, 1, 0, -1, -1, -1, 0, 1};
+
+/**
+ * Crossing number: half the number of 0->1 transitions around the
+ * 8-neighbourhood. 1 = ridge ending, 3 = bifurcation.
+ */
+int
+crossingNumber(const core::Grid<std::uint8_t> &skel, int r, int c)
+{
+    int transitions = 0;
+    for (int i = 0; i < 8; ++i) {
+        const int j = (i + 1) % 8;
+        const int a = skel.inBounds(r + kDr[i], c + kDc[i])
+                          ? skel(r + kDr[i], c + kDc[i])
+                          : 0;
+        const int b = skel.inBounds(r + kDr[j], c + kDc[j])
+                          ? skel(r + kDr[j], c + kDc[j])
+                          : 0;
+        if (a == 0 && b != 0)
+            ++transitions;
+    }
+    return transitions;
+}
+
+/** Distance (in pixels) from (r, c) to the nearest invalid pixel. */
+bool
+nearMaskBorder(const core::Grid<std::uint8_t> &mask, int r, int c,
+               int margin)
+{
+    for (int dr = -margin; dr <= margin; ++dr) {
+        for (int dc = -margin; dc <= margin; ++dc) {
+            const int rr = r + dr, cc = c + dc;
+            if (!mask.inBounds(rr, cc) || mask(rr, cc) == 0)
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Minutia>
+extractMinutiae(const core::Grid<std::uint8_t> &skeleton,
+                const core::Grid<std::uint8_t> &mask,
+                const core::Grid<float> &orientation,
+                const ExtractionParams &params)
+{
+    std::vector<Minutia> found;
+
+    for (int r = 1; r < skeleton.rows() - 1; ++r) {
+        for (int c = 1; c < skeleton.cols() - 1; ++c) {
+            if (!skeleton(r, c) || !mask(r, c))
+                continue;
+            if (nearMaskBorder(mask, r, c, params.borderMargin))
+                continue;
+            const int cn = crossingNumber(skeleton, r, c);
+            if (cn != 1 && cn != 3)
+                continue;
+            Minutia m;
+            m.x = c;
+            m.y = r;
+            m.angle = orientation(r, c);
+            m.type = (cn == 1) ? MinutiaType::Ending
+                               : MinutiaType::Bifurcation;
+            found.push_back(m);
+        }
+    }
+
+    // De-duplicate close pairs (ridge breaks and lakes create them):
+    // keep the first of each conflicting pair so genuine structure
+    // survives while near-duplicates collapse.
+    std::vector<bool> drop(found.size(), false);
+    for (std::size_t i = 0; i < found.size(); ++i) {
+        if (drop[i])
+            continue;
+        for (std::size_t j = i + 1; j < found.size(); ++j) {
+            const double dx = found[i].x - found[j].x;
+            const double dy = found[i].y - found[j].y;
+            if (dx * dx + dy * dy <
+                params.minSpacing * params.minSpacing) {
+                drop[j] = true;
+            }
+        }
+    }
+
+    std::vector<Minutia> out;
+    for (std::size_t i = 0; i < found.size(); ++i)
+        if (!drop[i])
+            out.push_back(found[i]);
+
+    if (out.size() > params.maxMinutiae)
+        out.resize(params.maxMinutiae);
+    return out;
+}
+
+core::Bytes
+serializeMinutiae(const std::vector<Minutia> &minutiae)
+{
+    core::ByteWriter w;
+    w.writeU32(static_cast<std::uint32_t>(minutiae.size()));
+    for (const auto &m : minutiae) {
+        w.writeDouble(m.x);
+        w.writeDouble(m.y);
+        w.writeDouble(m.angle);
+        w.writeU8(static_cast<std::uint8_t>(m.type));
+    }
+    return w.take();
+}
+
+std::vector<Minutia>
+deserializeMinutiae(const core::Bytes &data)
+{
+    core::ByteReader r(data);
+    const std::uint32_t n = r.readU32();
+    std::vector<Minutia> out;
+    out.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        Minutia m;
+        m.x = r.readDouble();
+        m.y = r.readDouble();
+        m.angle = r.readDouble();
+        const std::uint8_t type = r.readU8();
+        if (!r.ok() || type > 1)
+            return {};
+        m.type = static_cast<MinutiaType>(type);
+        out.push_back(m);
+    }
+    if (!r.ok() || !r.atEnd())
+        return {};
+    return out;
+}
+
+} // namespace trust::fingerprint

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minutia representation and extraction from skeletonized images.
+ *
+ * Minutiae are the ridge endings and bifurcations that minutiae-based
+ * fingerprint matchers (the family the paper's assumption 3 relies
+ * on, e.g. [12]) compare. Extraction uses the classic crossing-number
+ * method on a one-pixel-wide ridge skeleton, followed by spurious
+ * minutia filtering.
+ */
+
+#ifndef TRUST_FINGERPRINT_MINUTIAE_HH
+#define TRUST_FINGERPRINT_MINUTIAE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bytes.hh"
+#include "core/grid.hh"
+
+namespace trust::fingerprint {
+
+/** Minutia type. */
+enum class MinutiaType : std::uint8_t
+{
+    Ending = 0,      ///< Ridge termination (crossing number 1).
+    Bifurcation = 1, ///< Ridge split (crossing number 3).
+};
+
+/** A single minutia point in image pixel coordinates. */
+struct Minutia
+{
+    double x = 0.0;     ///< Column coordinate (pixels).
+    double y = 0.0;     ///< Row coordinate (pixels).
+    double angle = 0.0; ///< Local ridge orientation in [0, pi).
+    MinutiaType type = MinutiaType::Ending;
+
+    bool
+    operator==(const Minutia &o) const
+    {
+        return x == o.x && y == o.y && angle == o.angle && type == o.type;
+    }
+};
+
+/** Tuning parameters for minutiae extraction. */
+struct ExtractionParams
+{
+    /** Minutiae closer than this to the mask border are dropped. */
+    int borderMargin = 6;
+
+    /** Of minutia pairs closer than this (pixels), one is dropped. */
+    double minSpacing = 5.0;
+
+    /** Hard cap on reported minutiae (strongest first by interior). */
+    std::size_t maxMinutiae = 80;
+};
+
+/**
+ * Extract minutiae from a thinned binary skeleton.
+ *
+ * @param skeleton 1 = ridge pixel (one pixel wide), 0 = background.
+ * @param mask     validity mask; minutiae outside are dropped.
+ * @param orientation local ridge orientation per pixel, in [0, pi).
+ * @param params   spurious-filtering knobs.
+ */
+std::vector<Minutia> extractMinutiae(
+    const core::Grid<std::uint8_t> &skeleton,
+    const core::Grid<std::uint8_t> &mask,
+    const core::Grid<float> &orientation,
+    const ExtractionParams &params = {});
+
+/** Serialize a minutiae list (for template storage). */
+core::Bytes serializeMinutiae(const std::vector<Minutia> &minutiae);
+
+/** Parse a serialized minutiae list; empty on malformed input. */
+std::vector<Minutia> deserializeMinutiae(const core::Bytes &data);
+
+} // namespace trust::fingerprint
+
+#endif // TRUST_FINGERPRINT_MINUTIAE_HH

@@ -1,0 +1,66 @@
+#include "fingerprint/pipeline.hh"
+
+#include "fingerprint/enhance.hh"
+#include "fingerprint/skeleton.hh"
+
+namespace trust::fingerprint {
+
+core::Bytes
+FingerprintTemplate::serialize() const
+{
+    core::ByteWriter w;
+    w.writeDouble(quality);
+    w.writeBytes(serializeMinutiae(minutiae));
+    return w.take();
+}
+
+std::optional<FingerprintTemplate>
+FingerprintTemplate::deserialize(const core::Bytes &data)
+{
+    core::ByteReader r(data);
+    FingerprintTemplate t;
+    t.quality = r.readDouble();
+    const core::Bytes m = r.readBytes();
+    if (!r.ok() || !r.atEnd())
+        return std::nullopt;
+    t.minutiae = deserializeMinutiae(m);
+    if (t.minutiae.empty() && !m.empty() && m != serializeMinutiae({}))
+        return std::nullopt;
+    return t;
+}
+
+QualityReport
+assessCapture(const FingerprintImage &capture,
+              const PipelineParams &params)
+{
+    return assessQuality(capture, params.quality);
+}
+
+std::optional<FingerprintTemplate>
+extractTemplate(const FingerprintImage &capture,
+                const PipelineParams &params)
+{
+    const QualityReport quality = assessQuality(capture, params.quality);
+    if (quality.score < params.minAcceptQuality)
+        return std::nullopt;
+
+    FingerprintImage work = capture;
+    normalizeImage(work);
+    const auto orientation = estimateOrientation(work);
+    double period = estimateRidgePeriod(work, orientation);
+    if (period < 3.0 || period > 25.0)
+        period = 9.0; // fall back to the nominal 500 dpi ridge pitch
+    gaborEnhance(work, orientation, 1.0 / period, params.gaborRadius,
+                 params.gaborSigma);
+
+    const auto skeleton = thin(binarize(work));
+    FingerprintTemplate out;
+    out.quality = quality.score;
+    out.minutiae = extractMinutiae(skeleton, work.mask(), orientation,
+                                   params.extraction);
+    if (out.minutiae.empty())
+        return std::nullopt;
+    return out;
+}
+
+} // namespace trust::fingerprint

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * End-to-end template extraction: the full image-domain pipeline the
+ * FLock fingerprint processor runs on a captured impression
+ * (normalize -> orientation -> Gabor -> binarize -> thin -> extract
+ * minutiae -> quality gate), packaged as one call.
+ */
+
+#ifndef TRUST_FINGERPRINT_PIPELINE_HH
+#define TRUST_FINGERPRINT_PIPELINE_HH
+
+#include <optional>
+
+#include "core/bytes.hh"
+#include "fingerprint/image.hh"
+#include "fingerprint/matcher.hh"
+#include "fingerprint/minutiae.hh"
+#include "fingerprint/quality.hh"
+
+namespace trust::fingerprint {
+
+/** A stored fingerprint template: minutiae plus capture quality. */
+struct FingerprintTemplate
+{
+    std::vector<Minutia> minutiae;
+    double quality = 0.0;
+
+    core::Bytes serialize() const;
+    static std::optional<FingerprintTemplate>
+    deserialize(const core::Bytes &data);
+
+    bool
+    operator==(const FingerprintTemplate &o) const
+    {
+        return minutiae == o.minutiae && quality == o.quality;
+    }
+};
+
+/** Pipeline configuration. */
+struct PipelineParams
+{
+    QualityParams quality;
+    ExtractionParams extraction;
+    double minAcceptQuality = 0.45; ///< Gate threshold (Fig. 6 step 2).
+    int gaborRadius = 6;
+    double gaborSigma = 3.0;
+};
+
+/**
+ * Run the full extraction pipeline on a captured impression.
+ * Returns nullopt when the quality gate rejects the capture.
+ */
+std::optional<FingerprintTemplate>
+extractTemplate(const FingerprintImage &capture,
+                const PipelineParams &params = {});
+
+/**
+ * Quality assessment only (the cheap pre-check hardware runs before
+ * committing to full extraction).
+ */
+QualityReport assessCapture(const FingerprintImage &capture,
+                            const PipelineParams &params = {});
+
+} // namespace trust::fingerprint
+
+#endif // TRUST_FINGERPRINT_PIPELINE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Capture quality assessment — the gate in Fig. 6 step 2 ("quality
+ * good enough for recognition?"). Low-quality captures (fast moves,
+ * poor touch angle, incomplete data) are discarded before matching,
+ * both to protect accuracy and to close the paper's "low-quality
+ * evasion" attack when combined with the k-of-n window.
+ */
+
+#ifndef TRUST_FINGERPRINT_QUALITY_HH
+#define TRUST_FINGERPRINT_QUALITY_HH
+
+#include "core/grid.hh"
+#include "fingerprint/image.hh"
+
+namespace trust::fingerprint {
+
+/** Per-capture quality metrics. */
+struct QualityReport
+{
+    double coverage = 0.0;      ///< Valid-pixel fraction of the window.
+    double contrast = 0.0;      ///< Intensity standard deviation.
+    double ridgeStrength = 0.0; ///< Oscillation energy along normals.
+    double coherence = 0.0;     ///< Orientation-field consistency.
+    double score = 0.0;         ///< Combined quality in [0, 1].
+};
+
+/** Tuning for the combined score. */
+struct QualityParams
+{
+    double minCoverage = 0.35;  ///< Coverage for full marks.
+    double minContrast = 0.15;  ///< Contrast for full marks.
+    double minRidgeStrength = 0.08;
+};
+
+/**
+ * Assess a captured impression. The combined score multiplies the
+ * saturating per-metric factors, so any single catastrophic defect
+ * (no coverage, no contrast, smeared ridges) zeroes the score.
+ */
+QualityReport assessQuality(const FingerprintImage &capture,
+                            const QualityParams &params = {});
+
+} // namespace trust::fingerprint
+
+#endif // TRUST_FINGERPRINT_QUALITY_HH

@@ -1,0 +1,88 @@
+#include "fingerprint/skeleton.hh"
+
+#include <array>
+
+namespace trust::fingerprint {
+
+core::Grid<std::uint8_t>
+binarize(const FingerprintImage &image, float threshold)
+{
+    core::Grid<std::uint8_t> out(image.rows(), image.cols(), 0);
+    for (int r = 0; r < image.rows(); ++r)
+        for (int c = 0; c < image.cols(); ++c)
+            if (image.valid(r, c) && image.pixel(r, c) > threshold)
+                out(r, c) = 1;
+    return out;
+}
+
+namespace {
+
+/**
+ * Gather the 8-neighbourhood of (r, c) in the Zhang-Suen order
+ * p2..p9 (N, NE, E, SE, S, SW, W, NW).
+ */
+std::array<std::uint8_t, 8>
+neighbours(const core::Grid<std::uint8_t> &g, int r, int c)
+{
+    auto px = [&](int rr, int cc) -> std::uint8_t {
+        return g.inBounds(rr, cc) ? g(rr, cc) : 0;
+    };
+    return {px(r - 1, c),     px(r - 1, c + 1), px(r, c + 1),
+            px(r + 1, c + 1), px(r + 1, c),     px(r + 1, c - 1),
+            px(r, c - 1),     px(r - 1, c - 1)};
+}
+
+} // namespace
+
+core::Grid<std::uint8_t>
+thin(const core::Grid<std::uint8_t> &binary)
+{
+    core::Grid<std::uint8_t> img = binary;
+    bool changed = true;
+    std::vector<std::pair<int, int>> to_clear;
+
+    while (changed) {
+        changed = false;
+        for (int phase = 0; phase < 2; ++phase) {
+            to_clear.clear();
+            for (int r = 0; r < img.rows(); ++r) {
+                for (int c = 0; c < img.cols(); ++c) {
+                    if (!img(r, c))
+                        continue;
+                    const auto p = neighbours(img, r, c);
+
+                    int b = 0;
+                    for (std::uint8_t v : p)
+                        b += v;
+                    if (b < 2 || b > 6)
+                        continue;
+
+                    int a = 0;
+                    for (int i = 0; i < 8; ++i)
+                        if (p[i] == 0 && p[(i + 1) % 8] == 1)
+                            ++a;
+                    if (a != 1)
+                        continue;
+
+                    // p2*p4*p6 and p4*p6*p8 for phase 0;
+                    // p2*p4*p8 and p2*p6*p8 for phase 1.
+                    const bool cond1 = phase == 0
+                                           ? (p[0] & p[2] & p[4]) == 0
+                                           : (p[0] & p[2] & p[6]) == 0;
+                    const bool cond2 = phase == 0
+                                           ? (p[2] & p[4] & p[6]) == 0
+                                           : (p[0] & p[4] & p[6]) == 0;
+                    if (cond1 && cond2)
+                        to_clear.emplace_back(r, c);
+                }
+            }
+            for (auto [r, c] : to_clear) {
+                img(r, c) = 0;
+                changed = true;
+            }
+        }
+    }
+    return img;
+}
+
+} // namespace trust::fingerprint

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binarization and Zhang-Suen thinning: turns an enhanced grayscale
+ * ridge image into the one-pixel-wide skeleton that minutiae
+ * extraction consumes.
+ */
+
+#ifndef TRUST_FINGERPRINT_SKELETON_HH
+#define TRUST_FINGERPRINT_SKELETON_HH
+
+#include <cstdint>
+
+#include "core/grid.hh"
+#include "fingerprint/image.hh"
+
+namespace trust::fingerprint {
+
+/**
+ * Threshold the image into a binary ridge map (1 = ridge). Pixels
+ * outside the validity mask are always 0.
+ */
+core::Grid<std::uint8_t> binarize(const FingerprintImage &image,
+                                  float threshold = 0.5f);
+
+/**
+ * Zhang-Suen iterative thinning; reduces ridges to one-pixel-wide
+ * 8-connected skeletons while preserving connectivity.
+ */
+core::Grid<std::uint8_t> thin(const core::Grid<std::uint8_t> &binary);
+
+} // namespace trust::fingerprint
+
+#endif // TRUST_FINGERPRINT_SKELETON_HH

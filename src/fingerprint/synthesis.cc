@@ -1,0 +1,198 @@
+#include "fingerprint/synthesis.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/geometry.hh"
+#include "fingerprint/enhance.hh"
+#include "fingerprint/skeleton.hh"
+
+namespace trust::fingerprint {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+struct Singularity
+{
+    double x;
+    double y;
+    double sign; // +1 core, -1 delta
+};
+
+/** Jitter helper: base position plus uniform noise, in unit coords. */
+Singularity
+jittered(double x, double y, double sign, core::Rng &rng, double amount)
+{
+    return {x + rng.uniform(-amount, amount),
+            y + rng.uniform(-amount, amount), sign};
+}
+
+} // namespace
+
+core::Grid<float>
+synthesizeOrientation(PatternClass pattern, int rows, int cols,
+                      core::Rng &rng)
+{
+    // Singularities in unit coordinates (x right, y down).
+    std::vector<Singularity> sing;
+    const double j = 0.04;
+    switch (pattern) {
+      case PatternClass::Arch:
+        // A weak, widely separated core/delta pair produces the
+        // gentle tented-arch flow without interior singular points
+        // (both lie outside or at the edge of the footprint).
+        sing.push_back(jittered(0.50, -0.15, +1.0, rng, j));
+        sing.push_back(jittered(0.50, 1.20, -1.0, rng, j));
+        break;
+      case PatternClass::Loop:
+        sing.push_back(jittered(0.45, 0.42, +1.0, rng, j));
+        sing.push_back(jittered(0.62, 0.80, -1.0, rng, j));
+        break;
+      case PatternClass::Whorl:
+        sing.push_back(jittered(0.44, 0.44, +1.0, rng, j));
+        sing.push_back(jittered(0.56, 0.52, +1.0, rng, j));
+        sing.push_back(jittered(0.28, 0.85, -1.0, rng, j));
+        sing.push_back(jittered(0.72, 0.85, -1.0, rng, j));
+        break;
+    }
+
+    // Global flow tilt gives inter-finger variation beyond the
+    // singularity jitter.
+    const double base = rng.uniform(-0.15, 0.15);
+
+    // A smooth random perturbation field (a few low-frequency plane
+    // waves) roughens the flow so ridge growth produces a realistic
+    // minutiae density, not just singularity-adjacent minutiae.
+    struct Wave
+    {
+        double kx, ky, phase, amp;
+    };
+    std::vector<Wave> waves;
+    for (int i = 0; i < 8; ++i) {
+        waves.push_back({rng.uniform(-12.0, 12.0),
+                         rng.uniform(-12.0, 12.0),
+                         rng.uniform(0.0, 2.0 * kPi),
+                         rng.uniform(0.08, 0.26)});
+    }
+
+    core::Grid<float> orientation(rows, cols, 0.0f);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const double x = static_cast<double>(c) / cols;
+            const double y = static_cast<double>(r) / rows;
+            double theta = base;
+            for (const auto &s : sing) {
+                theta +=
+                    0.5 * s.sign * std::atan2(y - s.y, x - s.x);
+            }
+            for (const auto &w : waves)
+                theta += w.amp * std::sin(w.kx * x + w.ky * y + w.phase);
+            orientation(r, c) =
+                static_cast<float>(core::wrapOrientation(theta));
+        }
+    }
+    return orientation;
+}
+
+MasterFinger
+synthesizeFinger(std::uint64_t id, core::Rng &rng,
+                 const SynthesisParams &params,
+                 const PatternClass *forced_pattern)
+{
+    MasterFinger finger;
+    finger.id = id;
+
+    if (forced_pattern) {
+        finger.pattern = *forced_pattern;
+    } else {
+        const double u = rng.uniform();
+        if (u < 0.05)
+            finger.pattern = PatternClass::Arch;
+        else if (u < 0.70)
+            finger.pattern = PatternClass::Loop;
+        else
+            finger.pattern = PatternClass::Whorl;
+    }
+
+    const int rows = params.rows, cols = params.cols;
+    finger.orientation =
+        synthesizeOrientation(finger.pattern, rows, cols, rng);
+    finger.ridgePeriod =
+        params.ridgePeriod * rng.uniform(0.92, 1.08);
+
+    // Elliptic fingertip footprint mask.
+    FingerprintImage image(rows, cols);
+    const double cx = cols / 2.0, cy = rows / 2.0;
+    const double ax = cols * (0.5 - params.maskMarginFrac);
+    const double ay = rows * (0.5 - params.maskMarginFrac);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const double dx = (c - cx) / ax;
+            const double dy = (r - cy) / ay;
+            image.setValid(r, c, dx * dx + dy * dy <= 1.0);
+        }
+    }
+
+    // Spatially varying ridge period: the frequency gradients are
+    // what spawns minutiae during growth, matching the density of
+    // real prints.
+    struct Wave
+    {
+        double kx, ky, phase, amp;
+    };
+    std::vector<Wave> fwaves;
+    for (int i = 0; i < 5; ++i) {
+        fwaves.push_back({rng.uniform(-14.0, 14.0),
+                          rng.uniform(-14.0, 14.0),
+                          rng.uniform(0.0, 2.0 * kPi),
+                          rng.uniform(0.04, 0.10)});
+    }
+    core::Grid<float> freq_map(rows, cols, 0.0f);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            const double x = static_cast<double>(c) / cols;
+            const double y = static_cast<double>(r) / rows;
+            double scale = 1.0;
+            for (const auto &w : fwaves)
+                scale += w.amp * std::sin(w.kx * x + w.ky * y + w.phase);
+            const double period =
+                std::clamp(finger.ridgePeriod * scale, 6.5, 12.5);
+            freq_map(r, c) = static_cast<float>(1.0 / period);
+        }
+    }
+
+    // Seed with noise; iterate oriented filtering with a contrast
+    // push so the pattern converges to near-binary ridges.
+    for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+            image.pixel(r, c) =
+                static_cast<float>(image.valid(r, c) ? rng.uniform()
+                                                     : 0.0);
+
+    for (int iter = 0; iter < params.growthIterations; ++iter) {
+        gaborEnhanceVarFreq(image, finger.orientation, freq_map, 6,
+                            2.6);
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                if (!image.valid(r, c))
+                    continue;
+                const double v =
+                    0.5 + 1.6 * (image.pixel(r, c) - 0.5);
+                image.pixel(r, c) =
+                    static_cast<float>(std::clamp(v, 0.0, 1.0));
+            }
+        }
+    }
+    finger.image = image;
+
+    // Ground-truth minutiae from the clean master via the standard
+    // extraction pipeline.
+    const auto skeleton = thin(binarize(image));
+    finger.minutiae =
+        extractMinutiae(skeleton, image.mask(), finger.orientation);
+
+    return finger;
+}
+
+} // namespace trust::fingerprint

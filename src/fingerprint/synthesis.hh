@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic fingerprint generation (SFinGe-style).
+ *
+ * Real fingers are unavailable to a simulator, so master fingerprints
+ * are synthesized: a singularity-driven orientation field (Sherlock-
+ * Monro zero-pole model) seeds an iterative oriented-filter growth
+ * process that turns random noise into a ridge pattern whose
+ * discontinuities become minutiae. Each MasterFinger is a stable
+ * identity: repeated captures of the same master agree, captures of
+ * different masters do not — exactly the property the continuous
+ * authentication pipeline consumes.
+ */
+
+#ifndef TRUST_FINGERPRINT_SYNTHESIS_HH
+#define TRUST_FINGERPRINT_SYNTHESIS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid.hh"
+#include "core/rng.hh"
+#include "fingerprint/image.hh"
+#include "fingerprint/minutiae.hh"
+
+namespace trust::fingerprint {
+
+/** Henry-system pattern class of a synthetic finger. */
+enum class PatternClass : std::uint8_t
+{
+    Arch = 0,  ///< No interior singularity (tented base flow).
+    Loop = 1,  ///< One core, one delta.
+    Whorl = 2, ///< Two cores, two deltas.
+};
+
+/** Knobs for the synthetic finger generator. */
+struct SynthesisParams
+{
+    int rows = 192;           ///< Master image height (pixels).
+    int cols = 160;           ///< Master image width (pixels).
+    double ridgePeriod = 9.0; ///< Pixels per ridge cycle (500 dpi-ish).
+    int growthIterations = 12; ///< Oriented-filter growth passes.
+    double maskMarginFrac = 0.06; ///< Elliptic footprint inset.
+};
+
+/** A synthetic identity: master print plus ground truth. */
+struct MasterFinger
+{
+    std::uint64_t id = 0;
+    PatternClass pattern = PatternClass::Loop;
+    FingerprintImage image;          ///< Clean master impression.
+    core::Grid<float> orientation;   ///< Ground-truth orientation.
+    double ridgePeriod = 9.0;        ///< Ground-truth ridge period.
+    std::vector<Minutia> minutiae;   ///< Ground-truth minutiae.
+};
+
+/**
+ * Build the singularity-driven orientation field for a pattern class.
+ * Singularity positions are jittered per finger via @p rng so every
+ * identity has a distinct field.
+ */
+core::Grid<float> synthesizeOrientation(PatternClass pattern, int rows,
+                                        int cols, core::Rng &rng);
+
+/**
+ * Synthesize a complete master finger. The pattern class is drawn
+ * from the natural prior (arch ~5%, loop ~65%, whorl ~30%) unless
+ * forced via @p forced_pattern.
+ */
+MasterFinger synthesizeFinger(std::uint64_t id, core::Rng &rng,
+                              const SynthesisParams &params = {},
+                              const PatternClass *forced_pattern = nullptr);
+
+} // namespace trust::fingerprint
+
+#endif // TRUST_FINGERPRINT_SYNTHESIS_HH

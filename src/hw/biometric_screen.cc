@@ -1,0 +1,116 @@
+#include "hw/biometric_screen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace trust::hw {
+
+BiometricTouchscreen::BiometricTouchscreen(
+    const TouchPanelSpec &panel_spec, std::vector<PlacedSensor> sensors)
+    : panel_(panel_spec), placed_(std::move(sensors))
+{
+    arrays_.reserve(placed_.size());
+    for (const auto &p : placed_) {
+        TRUST_ASSERT(
+            panel_.spec().screen.bounds().intersects(p.region) ||
+                p.region.area() == 0.0,
+            "BiometricTouchscreen: sensor tile off-screen");
+        arrays_.emplace_back(p.spec);
+    }
+}
+
+double
+BiometricTouchscreen::coverageFraction() const
+{
+    // Tiles are placed disjointly by the placement optimizer; sum of
+    // areas over screen area (overlaps would double count and are the
+    // placement layer's responsibility to avoid).
+    double covered = 0.0;
+    for (const auto &p : placed_)
+        covered += p.region
+                       .intersection(panel_.spec().screen.bounds())
+                       .area();
+    return covered / panel_.spec().screen.bounds().area();
+}
+
+int
+BiometricTouchscreen::sensorAt(const core::Vec2 &position) const
+{
+    for (std::size_t i = 0; i < placed_.size(); ++i)
+        if (placed_[i].region.contains(position))
+            return static_cast<int>(i);
+    return -1;
+}
+
+core::CellIndex
+BiometricTouchscreen::toCellAddress(int sensor_index,
+                                    const core::Vec2 &position) const
+{
+    TRUST_ASSERT(sensor_index >= 0 &&
+                     sensor_index < static_cast<int>(placed_.size()),
+                 "toCellAddress: bad sensor index");
+    const auto &p = placed_[static_cast<std::size_t>(sensor_index)];
+    TRUST_ASSERT(p.region.contains(position),
+                 "toCellAddress: position outside tile");
+
+    const double pitch_mm = p.spec.cellPitchUm / 1000.0;
+    core::CellIndex cell;
+    cell.col = std::clamp(
+        static_cast<int>((position.x - p.region.x0) / pitch_mm), 0,
+        p.spec.cols - 1);
+    cell.row = std::clamp(
+        static_cast<int>((position.y - p.region.y0) / pitch_mm), 0,
+        p.spec.rows - 1);
+    return cell;
+}
+
+OpportunisticCapture
+BiometricTouchscreen::captureAtTouch(const core::Vec2 &touch_position,
+                                     double window_mm)
+{
+    OpportunisticCapture result;
+    result.touch = panel_.sense(touch_position);
+    result.totalLatency = result.touch.latency;
+
+    // Coverage is judged on the true touch point: the tile either
+    // physically sits under the finger or it does not. (The panel's
+    // quantized report only affects window centering.)
+    result.sensorIndex = sensorAt(touch_position);
+    if (result.sensorIndex < 0)
+        return result; // Fig. 6: keep waiting for future touches.
+    result.covered = true;
+
+    auto &array =
+        arrays_[static_cast<std::size_t>(result.sensorIndex)];
+    const auto &p =
+        placed_[static_cast<std::size_t>(result.sensorIndex)];
+
+    // Centre the window on the panel-reported position translated
+    // into cell coordinates.
+    const core::Vec2 reported =
+        p.region.contains(result.touch.position)
+            ? result.touch.position
+            : touch_position;
+    result.cellAddress =
+        toCellAddress(result.sensorIndex, reported);
+
+    const double pitch_mm = p.spec.cellPitchUm / 1000.0;
+    const int half_cells = std::max(
+        1, static_cast<int>(std::lround(window_mm / pitch_mm / 2.0)));
+    CellWindow window;
+    window.rowBegin = result.cellAddress.row - half_cells;
+    window.rowEnd = result.cellAddress.row + half_cells;
+    window.colBegin = result.cellAddress.col - half_cells;
+    window.colEnd = result.cellAddress.col + half_cells;
+    result.window = array.clip(window);
+
+    result.totalLatency += array.activate();
+    result.timing = array.capture(result.window);
+    result.totalLatency += result.timing.total();
+    array.sleep();
+    return result;
+}
+
+} // namespace trust::hw

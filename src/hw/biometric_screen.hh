@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The unified biometric touch-display (Sec. III-A): a capacitive
+ * touch panel with transparent TFT fingerprint sensor tiles overlaid
+ * at chosen screen regions. Implements the fingerprint controller's
+ * coordinate translation (touchscreen mm -> sensor line/column
+ * address) and the opportunistic capture sequence: touch sensed ->
+ * covering tile activated -> window around the touch point scanned
+ * with selective column transfer.
+ */
+
+#ifndef TRUST_HW_BIOMETRIC_SCREEN_HH
+#define TRUST_HW_BIOMETRIC_SCREEN_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/geometry.hh"
+#include "hw/tft_sensor.hh"
+#include "hw/touch_panel.hh"
+
+namespace trust::hw {
+
+/** One sensor tile glued over a screen region. */
+struct PlacedSensor
+{
+    core::Rect region; ///< Covered screen area in mm.
+    SensorSpec spec;   ///< Array design of the tile.
+};
+
+/** Outcome of an opportunistic capture attempt (Fig. 6 step 1). */
+struct OpportunisticCapture
+{
+    bool covered = false;     ///< Touch fell on a sensor tile.
+    int sensorIndex = -1;     ///< Which tile (if covered).
+    TouchReading touch;       ///< Panel localization result.
+    core::CellIndex cellAddress; ///< Translated line/column address.
+    CellWindow window;        ///< Cell window actually scanned.
+    CaptureTiming timing;     ///< Sensor-side timing/energy.
+    core::Tick totalLatency = 0; ///< Panel scan + capture total.
+};
+
+/** The integrated panel + sensor-tile assembly. */
+class BiometricTouchscreen
+{
+  public:
+    BiometricTouchscreen(const TouchPanelSpec &panel_spec,
+                         std::vector<PlacedSensor> sensors);
+
+    const TouchPanel &panel() const { return panel_; }
+    const std::vector<PlacedSensor> &sensors() const
+    {
+        return placed_;
+    }
+
+    /** Fraction of the screen area covered by sensor tiles. */
+    double coverageFraction() const;
+
+    /** Index of the tile containing @p position, or -1. */
+    int sensorAt(const core::Vec2 &position) const;
+
+    /**
+     * Fingerprint-controller coordinate translation: screen mm to
+     * the tile's cell (line, column) address. Fatal if the point
+     * lies outside the tile.
+     */
+    core::CellIndex toCellAddress(int sensor_index,
+                                  const core::Vec2 &position) const;
+
+    /**
+     * The full opportunistic sequence for one touch: panel scan,
+     * coverage check, tile activation, windowed capture around the
+     * touch point, tile back to sleep.
+     *
+     * @param touch_position true touch-down point in screen mm.
+     * @param window_mm      square capture window side (mm); the
+     *                       window is clipped to the tile.
+     */
+    OpportunisticCapture captureAtTouch(const core::Vec2 &touch_position,
+                                        double window_mm = 4.0);
+
+  private:
+    TouchPanel panel_;
+    std::vector<PlacedSensor> placed_;
+    std::vector<TftSensorArray> arrays_;
+};
+
+} // namespace trust::hw
+
+#endif // TRUST_HW_BIOMETRIC_SCREEN_HH

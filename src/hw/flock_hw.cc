@@ -1,0 +1,104 @@
+#include "hw/flock_hw.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+#include "crypto/md5.hh"
+#include "crypto/sha256.hh"
+
+namespace trust::hw {
+
+FrameHashEngine::FrameHashEngine(Algorithm algorithm, double clock_hz,
+                                 int bytes_per_cycle)
+    : algorithm_(algorithm), clockHz_(clock_hz),
+      bytesPerCycle_(bytes_per_cycle)
+{
+    TRUST_ASSERT(clock_hz > 0.0 && bytes_per_cycle > 0,
+                 "FrameHashEngine: bad parameters");
+}
+
+core::Bytes
+FrameHashEngine::hashFrame(const core::Bytes &frame) const
+{
+    if (algorithm_ == Algorithm::Sha256)
+        return crypto::Sha256::digest(frame);
+    return crypto::Md5::digest(frame);
+}
+
+core::Tick
+FrameHashEngine::hashLatency(std::int64_t bytes) const
+{
+    TRUST_ASSERT(bytes >= 0, "hashLatency: negative size");
+    // MD5 rounds are cheaper in hardware; model as 1.6x throughput.
+    const double effective_bpc =
+        algorithm_ == Algorithm::Md5 ? bytesPerCycle_ * 1.6
+                                     : bytesPerCycle_;
+    const double cycles = static_cast<double>(bytes) / effective_bpc;
+    return static_cast<core::Tick>(
+        std::llround(cycles / clockHz_ * 1e9));
+}
+
+core::Tick
+CryptoProcessorModel::aesLatency(std::int64_t bytes) const
+{
+    return static_cast<core::Tick>(std::llround(
+        static_cast<double>(bytes) / aesBytesPerMicrosecond * 1e3));
+}
+
+core::Tick
+CryptoProcessorModel::shaLatency(std::int64_t bytes) const
+{
+    return static_cast<core::Tick>(std::llround(
+        static_cast<double>(bytes) / shaBytesPerMicrosecond * 1e3));
+}
+
+ProtectedStore::ProtectedStore(std::size_t flash_capacity_bytes,
+                               core::Tick read_latency,
+                               core::Tick write_latency)
+    : capacity_(flash_capacity_bytes), readLatency_(read_latency),
+      writeLatency_(write_latency)
+{
+}
+
+bool
+ProtectedStore::put(const std::string &key, const core::Bytes &value)
+{
+    const std::size_t entry_size = key.size() + value.size();
+    std::size_t reclaimed = 0;
+    auto it = records_.find(key);
+    if (it != records_.end())
+        reclaimed = key.size() + it->second.size();
+    if (used_ - reclaimed + entry_size > capacity_)
+        return false;
+    used_ = used_ - reclaimed + entry_size;
+    records_[key] = value;
+    return true;
+}
+
+std::optional<core::Bytes>
+ProtectedStore::get(const std::string &key) const
+{
+    auto it = records_.find(key);
+    if (it == records_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ProtectedStore::erase(const std::string &key)
+{
+    auto it = records_.find(key);
+    if (it == records_.end())
+        return;
+    used_ -= key.size() + it->second.size();
+    records_.erase(it);
+}
+
+void
+ProtectedStore::wipeAll()
+{
+    records_.clear();
+    used_ = 0;
+}
+
+} // namespace trust::hw

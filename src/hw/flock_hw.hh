@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Timing/capacity models of the remaining FLock blocks (Fig. 5):
+ * the display repeater + frame hash engine, the crypto processor,
+ * and the protected on-module store (SRAM + Flash). These bound the
+ * hardware budget of the end-to-end pipeline reproduced by the
+ * Fig. 5 bench.
+ */
+
+#ifndef TRUST_HW_FLOCK_HW_HH
+#define TRUST_HW_FLOCK_HW_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/bytes.hh"
+#include "core/sim_clock.hh"
+
+namespace trust::hw {
+
+/** Display geometry relayed by the display repeater. */
+struct DisplaySpec
+{
+    int width = 480;  ///< 2012-era WVGA panel.
+    int height = 800;
+    int bytesPerPixel = 2; ///< RGB565.
+
+    std::int64_t
+    frameBytes() const
+    {
+        return static_cast<std::int64_t>(width) * height *
+               bytesPerPixel;
+    }
+};
+
+/**
+ * Frame hash engine: hashes the frames the display repeater relays
+ * (Sec. III-B). Computes real digests (SHA-256 or MD5) and models
+ * the hardware latency from a bytes/cycle throughput.
+ */
+class FrameHashEngine
+{
+  public:
+    enum class Algorithm { Sha256, Md5 };
+
+    explicit FrameHashEngine(Algorithm algorithm = Algorithm::Sha256,
+                             double clock_hz = 200e6,
+                             int bytes_per_cycle = 8);
+
+    Algorithm algorithm() const { return algorithm_; }
+
+    /** Digest of a frame buffer. */
+    core::Bytes hashFrame(const core::Bytes &frame) const;
+
+    /** Modeled latency to hash @p bytes of frame data. */
+    core::Tick hashLatency(std::int64_t bytes) const;
+
+  private:
+    Algorithm algorithm_;
+    double clockHz_;
+    int bytesPerCycle_;
+};
+
+/**
+ * Crypto processor latency model: calibrated costs of the public
+ * key and symmetric operations the TRUST protocol issues. The
+ * *functional* crypto lives in trust_crypto; this class only prices
+ * the operations for pipeline-latency accounting.
+ */
+struct CryptoProcessorModel
+{
+    core::Tick rsaSign1024 = core::milliseconds(18);
+    core::Tick rsaVerify1024 = core::microseconds(900);
+    core::Tick rsaKeygen1024 = core::milliseconds(900);
+    double aesBytesPerMicrosecond = 40.0;
+    double shaBytesPerMicrosecond = 120.0;
+
+    /** Latency of AES-CTR over @p bytes. */
+    core::Tick aesLatency(std::int64_t bytes) const;
+
+    /** Latency of hashing @p bytes on the crypto core. */
+    core::Tick shaLatency(std::int64_t bytes) const;
+};
+
+/**
+ * Protected non-volatile store inside FLock: holds per-domain
+ * records (key pairs, templates, server keys) plus the device key.
+ * Models capacity and access latency; contents are opaque bytes.
+ */
+class ProtectedStore
+{
+  public:
+    explicit ProtectedStore(std::size_t flash_capacity_bytes =
+                                512 * 1024,
+                            core::Tick read_latency =
+                                core::microseconds(5),
+                            core::Tick write_latency =
+                                core::microseconds(60));
+
+    /** Store a record; false (and no change) if capacity exceeded. */
+    bool put(const std::string &key, const core::Bytes &value);
+
+    /** Fetch a record if present. */
+    std::optional<core::Bytes> get(const std::string &key) const;
+
+    /** Remove a record (idempotent). */
+    void erase(const std::string &key);
+
+    /** Wipe everything (identity reset of a lost/sold device). */
+    void wipeAll();
+
+    std::size_t usedBytes() const { return used_; }
+    std::size_t capacityBytes() const { return capacity_; }
+    std::size_t recordCount() const { return records_.size(); }
+
+    core::Tick readLatency() const { return readLatency_; }
+    core::Tick writeLatency() const { return writeLatency_; }
+
+  private:
+    std::size_t capacity_;
+    core::Tick readLatency_;
+    core::Tick writeLatency_;
+    std::size_t used_ = 0;
+    std::map<std::string, core::Bytes> records_;
+};
+
+} // namespace trust::hw
+
+#endif // TRUST_HW_FLOCK_HW_HH

@@ -1,0 +1,113 @@
+#include "hw/sensor_spec.hh"
+
+#include <cmath>
+
+namespace trust::hw {
+
+SensorSpec
+specLee1999()
+{
+    SensorSpec spec;
+    spec.name = "Lee 1999 [24]";
+    spec.cellPitchUm = 42.0;
+    spec.rows = 64;
+    spec.cols = 256;
+    spec.clockHz = 4e6;
+    spec.addressing = Addressing::ParallelRow;
+    // 3 ms * 4 MHz / 64 rows = 187 cycles/row.
+    spec.rowOverheadCycles = 186;
+    spec.publishedResponseMs = 3.0;
+    return spec;
+}
+
+SensorSpec
+specShigematsu1999()
+{
+    SensorSpec spec;
+    spec.name = "Shigematsu 1999 [20]";
+    spec.cellPitchUm = 81.6;
+    spec.rows = 124;
+    spec.cols = 166;
+    // Clock unpublished; 3 MHz with 48-cycle rows gives the
+    // published 2 ms.
+    spec.clockHz = 3e6;
+    spec.addressing = Addressing::ParallelRow;
+    spec.rowOverheadCycles = 47;
+    spec.publishedResponseMs = 2.0;
+    return spec;
+}
+
+SensorSpec
+specHashido2003()
+{
+    SensorSpec spec;
+    spec.name = "Hashido 2003 [10]";
+    spec.cellPitchUm = 60.0;
+    spec.rows = 320;
+    spec.cols = 250;
+    spec.clockHz = 500e3;
+    spec.addressing = Addressing::ParallelRow;
+    // 160 ms * 500 kHz / 320 rows = 250 cycles/row (slow poly-Si
+    // lines need long settle).
+    spec.rowOverheadCycles = 249;
+    spec.publishedResponseMs = 160.0;
+    return spec;
+}
+
+SensorSpec
+specHara2004()
+{
+    SensorSpec spec;
+    spec.name = "Hara 2004 [9]";
+    spec.cellPitchUm = 66.0;
+    spec.rows = 304;
+    spec.cols = 304;
+    spec.clockHz = 250e3;
+    spec.addressing = Addressing::ParallelRow;
+    // 200 ms * 250 kHz / 304 rows = 164 cycles/row.
+    spec.rowOverheadCycles = 163;
+    spec.publishedResponseMs = 200.0;
+    return spec;
+}
+
+SensorSpec
+specShimamura2010()
+{
+    SensorSpec spec;
+    spec.name = "Shimamura 2010 [21]";
+    spec.cellPitchUm = 50.0;
+    spec.rows = 224;
+    spec.cols = 256;
+    // Clock unpublished; 875 kHz with 78-cycle rows gives the
+    // published 20 ms.
+    spec.clockHz = 875e3;
+    spec.addressing = Addressing::ParallelRow;
+    spec.rowOverheadCycles = 77;
+    spec.publishedResponseMs = 20.0;
+    return spec;
+}
+
+std::vector<SensorSpec>
+tableTwoSpecs()
+{
+    return {specLee1999(), specShigematsu1999(), specHashido2003(),
+            specHara2004(), specShimamura2010()};
+}
+
+SensorSpec
+specFlockTile(double side_mm)
+{
+    SensorSpec spec;
+    spec.name = "FLock transparent TFT tile";
+    spec.cellPitchUm = 50.8; // 500 dpi
+    spec.rows = static_cast<int>(
+        std::lround(side_mm * 1000.0 / spec.cellPitchUm));
+    spec.cols = spec.rows;
+    spec.clockHz = 4e6;
+    spec.addressing = Addressing::ParallelRow;
+    spec.rowOverheadCycles = 48;
+    spec.busBits = 16;
+    return spec;
+}
+
+} // namespace trust::hw

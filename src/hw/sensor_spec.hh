@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fingerprint sensor specifications, including the five published
+ * designs surveyed in Table II of the paper. Each spec carries the
+ * published cell size, array resolution and clock plus a fitted
+ * per-row overhead so the timing model reproduces the published
+ * response time.
+ */
+
+#ifndef TRUST_HW_SENSOR_SPEC_HH
+#define TRUST_HW_SENSOR_SPEC_HH
+
+#include <string>
+#include <vector>
+
+namespace trust::hw {
+
+/** Row addressing strategy of the readout (Fig. 4). */
+enum class Addressing
+{
+    /** One cell converted per clock (no per-column comparators). */
+    SerialCell,
+    /**
+     * A whole row converted in parallel by per-column comparators
+     * and latched (the paper's design).
+     */
+    ParallelRow,
+};
+
+/** Static description of a TFT/CMOS fingerprint sensor array. */
+struct SensorSpec
+{
+    std::string name;       ///< Design name / citation tag.
+    double cellPitchUm = 50.8; ///< Sensing cell pitch (micrometres).
+    int rows = 224;         ///< Scan lines.
+    int cols = 256;         ///< Columns (one comparator each).
+    double clockHz = 2e6;   ///< Readout clock.
+    Addressing addressing = Addressing::ParallelRow;
+
+    /**
+     * Extra cycles spent per row beyond the conversion itself
+     * (line charge, settle, latch strobe). Fitted so modeled
+     * response matches published response for the Table II designs.
+     */
+    int rowOverheadCycles = 48;
+
+    /** Transfer bus width in bits (latch readout to controller). */
+    int busBits = 8;
+
+    /** Published end-to-end response time in ms (0 if unpublished). */
+    double publishedResponseMs = 0.0;
+
+    /** Physical sensing area width in millimetres. */
+    double widthMm() const { return cols * cellPitchUm / 1000.0; }
+
+    /** Physical sensing area height in millimetres. */
+    double heightMm() const { return rows * cellPitchUm / 1000.0; }
+
+    /** Dots-per-inch of the array. */
+    double dpi() const { return 25400.0 / cellPitchUm; }
+};
+
+/** @{ @name Table II designs. */
+
+/** Lee et al., JSSC 1999 [24]: 600-dpi CMOS, 42 um, 64x256, 4 MHz. */
+SensorSpec specLee1999();
+
+/** Shigematsu et al., JSSC 1999 [20]: 81.6 um, 124x166, 2 ms. */
+SensorSpec specShigematsu1999();
+
+/** Hashido et al., JSSC 2003 [10]: poly-Si TFT, 60 um, 320x250. */
+SensorSpec specHashido2003();
+
+/** Hara et al., ESSCIRC 2004 [9]: TFT + comparator, 66 um, 304x304. */
+SensorSpec specHara2004();
+
+/** Shimamura et al., JSSC 2010 [21]: 50 um, 224x256, 20 ms. */
+SensorSpec specShimamura2010();
+
+/** All five Table II designs in paper order. */
+std::vector<SensorSpec> tableTwoSpecs();
+
+/** @} */
+
+/**
+ * The transparent TFT sensor tile used by the biometric touchscreen
+ * in this work: a small (default 4 x 4 mm) 500-dpi array with
+ * parallel row addressing, fast enough for opportunistic capture
+ * within a tap.
+ */
+SensorSpec specFlockTile(double side_mm = 4.0);
+
+} // namespace trust::hw
+
+#endif // TRUST_HW_SENSOR_SPEC_HH

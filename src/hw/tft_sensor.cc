@@ -1,0 +1,113 @@
+#include "hw/tft_sensor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace trust::hw {
+
+TftSensorArray::TftSensorArray(const SensorSpec &spec,
+                               const SensorPowerModel &power)
+    : spec_(spec), powerModel_(power)
+{
+    TRUST_ASSERT(spec_.rows > 0 && spec_.cols > 0,
+                 "TftSensorArray: empty array");
+    TRUST_ASSERT(spec_.clockHz > 0.0,
+                 "TftSensorArray: clock must be positive");
+}
+
+core::Tick
+TftSensorArray::activate()
+{
+    if (power_ == SensorPower::Active)
+        return 0;
+    power_ = SensorPower::Active;
+    return powerModel_.activationTime;
+}
+
+void
+TftSensorArray::sleep()
+{
+    power_ = SensorPower::Idle;
+}
+
+CellWindow
+TftSensorArray::fullWindow() const
+{
+    return {0, spec_.rows, 0, spec_.cols};
+}
+
+CellWindow
+TftSensorArray::clip(const CellWindow &window) const
+{
+    CellWindow out;
+    out.rowBegin = std::clamp(window.rowBegin, 0, spec_.rows);
+    out.rowEnd = std::clamp(window.rowEnd, out.rowBegin, spec_.rows);
+    out.colBegin = std::clamp(window.colBegin, 0, spec_.cols);
+    out.colEnd = std::clamp(window.colEnd, out.colBegin, spec_.cols);
+    return out;
+}
+
+CaptureTiming
+TftSensorArray::capture(const CellWindow &window) const
+{
+    TRUST_ASSERT(power_ == SensorPower::Active,
+                 "TftSensorArray: capture while idle");
+    const CellWindow w = clip(window);
+
+    CaptureTiming timing;
+    if (w.cells() == 0)
+        return timing;
+
+    const core::Tick period = core::clockPeriod(spec_.clockHz);
+
+    // Scan: each selected row is enabled once. Parallel-row designs
+    // convert all columns in one overhead window; serial designs pay
+    // one cycle per cell on top of the row overhead.
+    std::uint64_t scan_cycles = 0;
+    if (spec_.addressing == Addressing::ParallelRow) {
+        scan_cycles = static_cast<std::uint64_t>(w.rows()) *
+                      static_cast<std::uint64_t>(
+                          spec_.rowOverheadCycles);
+    } else {
+        scan_cycles =
+            static_cast<std::uint64_t>(w.rows()) *
+            (static_cast<std::uint64_t>(spec_.rowOverheadCycles) +
+             static_cast<std::uint64_t>(spec_.cols));
+    }
+    timing.scan = scan_cycles * period;
+
+    // Selective transfer: 1-bit pixels from the latches of the
+    // selected columns only, busBits per cycle.
+    const std::int64_t bits = w.cells();
+    timing.bytesTransferred = (bits + 7) / 8;
+    const std::uint64_t transfer_cycles =
+        (static_cast<std::uint64_t>(bits) +
+         static_cast<std::uint64_t>(spec_.busBits) - 1) /
+        static_cast<std::uint64_t>(spec_.busBits);
+    timing.transfer = transfer_cycles * period;
+
+    // Energy: active power over the busy time plus per-cell
+    // conversion energy. With parallel addressing every column
+    // converts whenever a row is enabled, selected or not.
+    const std::int64_t converted =
+        spec_.addressing == Addressing::ParallelRow
+            ? static_cast<std::int64_t>(w.rows()) * spec_.cols
+            : w.cells();
+    const double busy_s =
+        core::toSeconds(timing.scan + timing.transfer);
+    timing.energyMicroJoule =
+        busy_s * powerModel_.activePowerMw * 1e3 +
+        static_cast<double>(converted) *
+            powerModel_.energyPerCellPj * 1e-6;
+    return timing;
+}
+
+CaptureTiming
+TftSensorArray::captureFull() const
+{
+    return capture(fullWindow());
+}
+
+} // namespace trust::hw

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * TFT fingerprint sensor array timing/behaviour model (Figs. 2, 4).
+ *
+ * Models the readout micro-architecture the paper describes: a line
+ * decoder drives a parallel-in/parallel-out shift register that
+ * enables one row of capacitive cells at a time; per-column
+ * comparators digitize the whole row in parallel into latches; the
+ * fingerprint controller then transfers only the latch columns
+ * inside a selected window (selective data transfer). The model is
+ * cycle-approximate at row/transfer granularity and also tracks
+ * power state and energy.
+ */
+
+#ifndef TRUST_HW_TFT_SENSOR_HH
+#define TRUST_HW_TFT_SENSOR_HH
+
+#include <cstdint>
+
+#include "core/sim_clock.hh"
+#include "hw/sensor_spec.hh"
+
+namespace trust::hw {
+
+/** Power state of a sensor tile (opportunistic activation). */
+enum class SensorPower
+{
+    Idle,   ///< Unpowered except wake logic.
+    Active, ///< Scanning.
+};
+
+/** A rectangular cell window to capture (rows/cols inclusive). */
+struct CellWindow
+{
+    int rowBegin = 0;
+    int rowEnd = 0; ///< exclusive
+    int colBegin = 0;
+    int colEnd = 0; ///< exclusive
+
+    int rows() const { return rowEnd - rowBegin; }
+    int cols() const { return colEnd - colBegin; }
+    std::int64_t
+    cells() const
+    {
+        return static_cast<std::int64_t>(rows()) * cols();
+    }
+};
+
+/** Timing/energy breakdown of one capture. */
+struct CaptureTiming
+{
+    core::Tick activation = 0; ///< Idle -> active power-up.
+    core::Tick scan = 0;       ///< Row addressing + conversion.
+    core::Tick transfer = 0;   ///< Latch-to-controller transfer.
+    std::int64_t bytesTransferred = 0;
+    double energyMicroJoule = 0.0;
+
+    core::Tick total() const { return activation + scan + transfer; }
+};
+
+/** Configurable energy/activation constants. */
+struct SensorPowerModel
+{
+    core::Tick activationTime = core::microseconds(50);
+    double activePowerMw = 18.0;    ///< While scanning/transferring.
+    double idlePowerUw = 2.0;       ///< Leakage in idle.
+    double energyPerCellPj = 350.0; ///< Conversion energy per cell.
+};
+
+/** The sensor array model. */
+class TftSensorArray
+{
+  public:
+    explicit TftSensorArray(const SensorSpec &spec,
+                            const SensorPowerModel &power = {});
+
+    const SensorSpec &spec() const { return spec_; }
+    SensorPower powerState() const { return power_; }
+
+    /** Wake the tile (returns activation latency; idempotent). */
+    core::Tick activate();
+
+    /** Return to idle. */
+    void sleep();
+
+    /** The full-array window. */
+    CellWindow fullWindow() const;
+
+    /**
+     * Clip an arbitrary window against the array bounds; empty
+     * windows collapse to zero cells.
+     */
+    CellWindow clip(const CellWindow &window) const;
+
+    /**
+     * Model one capture of @p window. The scan must enable every
+     * row in the window; with parallel-row addressing all columns
+     * convert simultaneously and only the selected columns are
+     * transferred (Fig. 4); with serial addressing every cell in
+     * the window costs a cycle.
+     *
+     * Fatal if the tile is idle (callers must activate() first,
+     * mirroring the opportunistic power discipline).
+     */
+    CaptureTiming capture(const CellWindow &window) const;
+
+    /** Convenience: capture of the whole array. */
+    CaptureTiming captureFull() const;
+
+  private:
+    SensorSpec spec_;
+    SensorPowerModel powerModel_;
+    SensorPower power_ = SensorPower::Idle;
+};
+
+} // namespace trust::hw
+
+#endif // TRUST_HW_TFT_SENSOR_HH

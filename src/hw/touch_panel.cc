@@ -1,0 +1,81 @@
+#include "hw/touch_panel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace trust::hw {
+
+TouchPanel::TouchPanel(const TouchPanelSpec &spec)
+    : spec_(spec)
+{
+    TRUST_ASSERT(spec_.rowElectrodes > 0 && spec_.colElectrodes > 0,
+                 "TouchPanel: need positive electrode counts");
+    TRUST_ASSERT(spec_.scanRateHz > 0.0,
+                 "TouchPanel: scan rate must be positive");
+}
+
+core::Tick
+TouchPanel::scanLatency() const
+{
+    // Rows and columns scan concurrently on the two ITO layers.
+    const int electrodes =
+        std::max(spec_.rowElectrodes, spec_.colElectrodes);
+    const double cycles =
+        static_cast<double>(electrodes) * spec_.cyclesPerElectrode;
+    const double seconds = cycles / spec_.scanRateHz;
+    return static_cast<core::Tick>(std::llround(seconds * 1e9));
+}
+
+double
+TouchPanel::pitchX() const
+{
+    return spec_.screen.widthMm / spec_.colElectrodes;
+}
+
+double
+TouchPanel::pitchY() const
+{
+    return spec_.screen.heightMm / spec_.rowElectrodes;
+}
+
+TouchReading
+TouchPanel::sense(const core::Vec2 &position) const
+{
+    const core::Vec2 p = spec_.screen.bounds().clamp(position);
+
+    TouchReading reading;
+    reading.cell.col = std::clamp(
+        static_cast<int>(p.x / pitchX()), 0, spec_.colElectrodes - 1);
+    reading.cell.row = std::clamp(
+        static_cast<int>(p.y / pitchY()), 0, spec_.rowElectrodes - 1);
+    // Reported position is the electrode-cell centre: localization is
+    // quantized by the electrode pitch.
+    reading.position = {(reading.cell.col + 0.5) * pitchX(),
+                        (reading.cell.row + 0.5) * pitchY()};
+    reading.latency = scanLatency();
+    return reading;
+}
+
+std::vector<TouchReading>
+TouchPanel::senseMulti(const std::vector<core::Vec2> &positions) const
+{
+    std::vector<TouchReading> readings;
+    readings.reserve(positions.size());
+    for (const auto &p : positions) {
+        TouchReading r = sense(p);
+        // Aliasing: drop duplicates landing on an already-reported
+        // cell (indistinguishable on the electrode grid).
+        const bool duplicate =
+            std::any_of(readings.begin(), readings.end(),
+                        [&](const TouchReading &seen) {
+                            return seen.cell == r.cell;
+                        });
+        if (!duplicate)
+            readings.push_back(r);
+    }
+    return readings;
+}
+
+} // namespace trust::hw

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Capacitive touch panel model (Fig. 1).
+ *
+ * Two ITO electrode layers sense rows (X) and columns (Y) in
+ * parallel; a touch is localized by combining the row and column
+ * scans. The model reproduces the ~4 ms response time of typical
+ * capacitive controllers (Sec. II-B) and exposes the electrode
+ * pitch that bounds localization accuracy.
+ */
+
+#ifndef TRUST_HW_TOUCH_PANEL_HH
+#define TRUST_HW_TOUCH_PANEL_HH
+
+#include <vector>
+
+#include "core/geometry.hh"
+#include "core/sim_clock.hh"
+#include "touch/ui.hh"
+
+namespace trust::hw {
+
+/** Electrical/geometric description of a capacitive panel. */
+struct TouchPanelSpec
+{
+    touch::ScreenSpec screen;
+    int rowElectrodes = 20;  ///< Y-sensing lines (bottom ITO layer).
+    int colElectrodes = 12;  ///< X-sensing lines (top ITO layer).
+    double scanRateHz = 120e3; ///< Electrode scan rate.
+
+    /**
+     * Cycles to sense one electrode (charge transfer + ADC);
+     * calibrated so the default panel responds in ~4 ms.
+     */
+    int cyclesPerElectrode = 15;
+};
+
+/** Result of localizing one touch. */
+struct TouchReading
+{
+    core::Vec2 position;  ///< Quantized touch centre in screen mm.
+    core::CellIndex cell; ///< (row, col) electrode indices.
+    core::Tick latency = 0; ///< Scan latency for this reading.
+};
+
+/** Capacitive touch panel with parallel row/column sensing. */
+class TouchPanel
+{
+  public:
+    explicit TouchPanel(const TouchPanelSpec &spec = {});
+
+    const TouchPanelSpec &spec() const { return spec_; }
+
+    /**
+     * Scan latency of one full panel sweep: rows and columns are
+     * sensed in parallel (Sec. II-B), so the slower layer dominates.
+     */
+    core::Tick scanLatency() const;
+
+    /** Localize a single touch-down point. */
+    TouchReading sense(const core::Vec2 &position) const;
+
+    /**
+     * Localize several simultaneous touches (multi-touch). Touches
+     * closer than one electrode pitch alias to the same cell, as on
+     * real mutual-capacitance panels.
+     */
+    std::vector<TouchReading>
+    senseMulti(const std::vector<core::Vec2> &positions) const;
+
+    /** Electrode pitch in mm (x direction). */
+    double pitchX() const;
+
+    /** Electrode pitch in mm (y direction). */
+    double pitchY() const;
+
+  private:
+    TouchPanelSpec spec_;
+};
+
+} // namespace trust::hw
+
+#endif // TRUST_HW_TOUCH_PANEL_HH

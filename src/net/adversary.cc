@@ -1,0 +1,92 @@
+#include "net/adversary.hh"
+
+namespace trust::net {
+
+Verdict
+PassiveSniffer::onMessage(Message &message)
+{
+    captured_.push_back(message);
+    return Verdict::Deliver;
+}
+
+ReplayAttacker::ReplayAttacker(Network &network, std::string victim_to,
+                               core::Tick delay, int copies)
+    : network_(network), victimTo_(std::move(victim_to)), delay_(delay),
+      copies_(copies)
+{
+}
+
+Verdict
+ReplayAttacker::onMessage(Message &message)
+{
+    if (message.to == victimTo_) {
+        // Schedule replays of a snapshot of this message.
+        const Message snapshot = message;
+        for (int i = 1; i <= copies_; ++i) {
+            network_.queue().scheduleAfter(
+                delay_ * static_cast<core::Tick>(i),
+                [this, snapshot] {
+                    ++injected_;
+                    network_.inject(snapshot);
+                });
+        }
+    }
+    return Verdict::Deliver;
+}
+
+Tamperer::Tamperer(core::Rng rng, double tamper_probability,
+                   int flips_per_message)
+    : rng_(rng), probability_(tamper_probability),
+      flips_(flips_per_message)
+{
+}
+
+Verdict
+Tamperer::onMessage(Message &message)
+{
+    if (message.payload.empty() || !rng_.chance(probability_))
+        return Verdict::Deliver;
+    ++tampered_;
+    for (int i = 0; i < flips_; ++i) {
+        const auto pos = static_cast<std::size_t>(rng_.uniformInt(
+            0, static_cast<std::int64_t>(message.payload.size()) - 1));
+        const auto bit = static_cast<std::uint8_t>(
+            1u << rng_.uniformInt(0, 7));
+        message.payload[pos] ^= bit;
+    }
+    return Verdict::Deliver;
+}
+
+MitmSubstitutor::MitmSubstitutor(std::string victim_to,
+                                 core::Bytes forged_payload)
+    : victimTo_(std::move(victim_to)), forged_(std::move(forged_payload))
+{
+}
+
+Verdict
+MitmSubstitutor::onMessage(Message &message)
+{
+    if (message.to == victimTo_) {
+        message.payload = forged_;
+        ++substitutions_;
+    }
+    return Verdict::Deliver;
+}
+
+Dropper::Dropper(core::Rng rng, double drop_probability)
+    : rng_(rng), probability_(drop_probability)
+{
+}
+
+Verdict
+Dropper::onMessage(Message &message)
+{
+    (void)message;
+    if (rng_.chance(probability_)) {
+        ++dropped_;
+        return Verdict::Drop;
+    }
+    return Verdict::Deliver;
+}
+
+} // namespace trust::net

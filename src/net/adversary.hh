@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Concrete network adversaries for the TRUST security experiments:
+ * passive sniffing, replay, tampering, and full man-in-the-middle
+ * payload substitution (assumption iii / Figs. 9-10 analysis).
+ */
+
+#ifndef TRUST_NET_ADVERSARY_HH
+#define TRUST_NET_ADVERSARY_HH
+
+#include <deque>
+
+#include "core/rng.hh"
+#include "net/network.hh"
+
+namespace trust::net {
+
+/** Records everything it sees; never interferes. */
+class PassiveSniffer : public Adversary
+{
+  public:
+    Verdict onMessage(Message &message) override;
+
+    const std::vector<Message> &captured() const { return captured_; }
+
+  private:
+    std::vector<Message> captured_;
+};
+
+/**
+ * Replay attacker: records messages matching a direction filter and
+ * re-injects each one @p copies times after a delay, attempting to
+ * re-execute old authenticated requests (countered by nonces).
+ */
+class ReplayAttacker : public Adversary
+{
+  public:
+    /**
+     * @param network the network used for re-injection.
+     * @param victim_to only messages addressed to this endpoint are
+     *                  recorded and replayed.
+     * @param delay    re-injection delay after the original.
+     * @param copies   replays per recorded message.
+     */
+    ReplayAttacker(Network &network, std::string victim_to,
+                   core::Tick delay = core::milliseconds(500),
+                   int copies = 1);
+
+    Verdict onMessage(Message &message) override;
+
+    std::uint64_t replaysInjected() const { return injected_; }
+
+  private:
+    Network &network_;
+    std::string victimTo_;
+    core::Tick delay_;
+    int copies_;
+    std::uint64_t injected_ = 0;
+};
+
+/** Flips payload bits with a per-message probability. */
+class Tamperer : public Adversary
+{
+  public:
+    Tamperer(core::Rng rng, double tamper_probability = 1.0,
+             int flips_per_message = 3);
+
+    Verdict onMessage(Message &message) override;
+
+    std::uint64_t messagesTampered() const { return tampered_; }
+
+  private:
+    core::Rng rng_;
+    double probability_;
+    int flips_;
+    std::uint64_t tampered_ = 0;
+};
+
+/**
+ * Man-in-the-middle: substitutes the payload of messages addressed
+ * to the victim with an attacker-chosen payload (e.g. a forged
+ * request). Used to show MAC verification rejects wholesale
+ * substitution.
+ */
+class MitmSubstitutor : public Adversary
+{
+  public:
+    MitmSubstitutor(std::string victim_to, core::Bytes forged_payload);
+
+    Verdict onMessage(Message &message) override;
+
+    std::uint64_t substitutions() const { return substitutions_; }
+
+  private:
+    std::string victimTo_;
+    core::Bytes forged_;
+    std::uint64_t substitutions_ = 0;
+};
+
+/** Drops messages matching a direction with a given probability. */
+class Dropper : public Adversary
+{
+  public:
+    Dropper(core::Rng rng, double drop_probability);
+
+    Verdict onMessage(Message &message) override;
+
+    std::uint64_t messagesDropped() const { return dropped_; }
+
+  private:
+    core::Rng rng_;
+    double probability_;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace trust::net
+
+#endif // TRUST_NET_ADVERSARY_HH

@@ -1,0 +1,61 @@
+#include "net/network.hh"
+
+namespace trust::net {
+
+Network::Network(core::EventQueue &queue, LatencyModel latency)
+    : queue_(queue), latency_(latency)
+{
+}
+
+void
+Network::attach(const std::string &endpoint, Handler handler)
+{
+    handlers_[endpoint] = std::move(handler);
+}
+
+void
+Network::detach(const std::string &endpoint)
+{
+    handlers_.erase(endpoint);
+}
+
+void
+Network::setAdversary(std::shared_ptr<Adversary> adversary)
+{
+    adversary_ = std::move(adversary);
+}
+
+void
+Network::send(const std::string &from, const std::string &to,
+              const core::Bytes &payload)
+{
+    ++sent_;
+    bytesSent_ += payload.size();
+
+    Message message{from, to, payload, queue_.now()};
+    if (adversary_ &&
+        adversary_->onMessage(message) == Verdict::Drop)
+        return;
+
+    const core::Tick delay = latency_.latencyFor(message.payload.size());
+    queue_.scheduleAfter(delay, [this, message] { deliver(message); });
+}
+
+void
+Network::inject(const Message &message)
+{
+    const core::Tick delay = latency_.latencyFor(message.payload.size());
+    queue_.scheduleAfter(delay, [this, message] { deliver(message); });
+}
+
+void
+Network::deliver(const Message &message)
+{
+    auto it = handlers_.find(message.to);
+    if (it == handlers_.end())
+        return;
+    ++delivered_;
+    it->second(message);
+}
+
+} // namespace trust::net

@@ -1,0 +1,245 @@
+#include "placement/placement.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+#include "hw/sensor_spec.hh"
+
+namespace trust::placement {
+
+namespace {
+
+/** Density mass inside @p rect (cells weighted by overlap area). */
+double
+massInRect(const core::Rect &rect, const PlacementProblem &problem)
+{
+    const auto &density = problem.density;
+    const double cell_w = problem.screen.widthMm / density.cols();
+    const double cell_h = problem.screen.heightMm / density.rows();
+
+    const int c0 = std::max(0, static_cast<int>(rect.x0 / cell_w));
+    const int c1 = std::min(density.cols() - 1,
+                            static_cast<int>(rect.x1 / cell_w));
+    const int r0 = std::max(0, static_cast<int>(rect.y0 / cell_h));
+    const int r1 = std::min(density.rows() - 1,
+                            static_cast<int>(rect.y1 / cell_h));
+
+    double mass = 0.0;
+    for (int r = r0; r <= r1; ++r) {
+        for (int c = c0; c <= c1; ++c) {
+            const core::Rect cell(c * cell_w, r * cell_h,
+                                  (c + 1) * cell_w, (r + 1) * cell_h);
+            const double overlap =
+                rect.intersection(cell).area() / cell.area();
+            mass += density(r, c) * overlap;
+        }
+    }
+    return mass;
+}
+
+bool
+overlapsAny(const core::Rect &rect, const std::vector<core::Rect> &tiles,
+            std::size_t skip = static_cast<std::size_t>(-1))
+{
+    for (std::size_t i = 0; i < tiles.size(); ++i)
+        if (i != skip && rect.intersects(tiles[i]))
+            return true;
+    return false;
+}
+
+bool
+onScreen(const core::Rect &rect, const touch::ScreenSpec &screen)
+{
+    return rect.x0 >= 0.0 && rect.y0 >= 0.0 &&
+           rect.x1 <= screen.widthMm && rect.y1 <= screen.heightMm;
+}
+
+} // namespace
+
+double
+evaluateCoverage(const Placement &placement,
+                 const PlacementProblem &problem)
+{
+    double total = 0.0;
+    for (const auto &tile : placement.tiles)
+        total += massInRect(tile, problem);
+    return std::min(total, 1.0);
+}
+
+bool
+isFeasible(const Placement &placement, const PlacementProblem &problem)
+{
+    for (std::size_t i = 0; i < placement.tiles.size(); ++i) {
+        if (!onScreen(placement.tiles[i], problem.screen))
+            return false;
+        if (overlapsAny(placement.tiles[i], placement.tiles, i))
+            return false;
+    }
+    return true;
+}
+
+Placement
+placeGreedy(const PlacementProblem &problem, double step_mm)
+{
+    TRUST_ASSERT(step_mm > 0.0, "placeGreedy: bad step");
+    const double side = problem.sensorSideMm;
+    Placement placement;
+
+    for (int k = 0; k < problem.sensorCount; ++k) {
+        core::Rect best;
+        double best_mass = -1.0;
+        for (double y = 0.0; y + side <= problem.screen.heightMm;
+             y += step_mm) {
+            for (double x = 0.0; x + side <= problem.screen.widthMm;
+                 x += step_mm) {
+                const core::Rect candidate =
+                    core::Rect::fromOriginSize(x, y, side, side);
+                if (overlapsAny(candidate, placement.tiles))
+                    continue;
+                const double mass = massInRect(candidate, problem);
+                if (mass > best_mass) {
+                    best_mass = mass;
+                    best = candidate;
+                }
+            }
+        }
+        if (best_mass < 0.0)
+            break; // screen exhausted
+        placement.tiles.push_back(best);
+        // Zero out captured mass so the next tile seeks residual
+        // density: emulate by subtracting from a working copy.
+        // massInRect reads problem.density directly, so instead keep
+        // the overlap exclusion: tiles cannot overlap, and density
+        // under placed tiles is excluded from future candidates only
+        // via the overlap test. To avoid double counting adjacent
+        // mass, nothing further is needed because tiles are disjoint.
+    }
+    return placement;
+}
+
+Placement
+placeAnnealing(const PlacementProblem &problem, core::Rng &rng,
+               int iterations, double step_mm)
+{
+    Placement current = placeGreedy(problem, step_mm);
+    // Greedy may place fewer tiles than requested on tiny screens.
+    while (static_cast<int>(current.tiles.size()) <
+           problem.sensorCount) {
+        const double side = problem.sensorSideMm;
+        const core::Rect candidate = core::Rect::fromOriginSize(
+            rng.uniform(0.0, problem.screen.widthMm - side),
+            rng.uniform(0.0, problem.screen.heightMm - side), side,
+            side);
+        if (!overlapsAny(candidate, current.tiles))
+            current.tiles.push_back(candidate);
+    }
+
+    double current_cov = evaluateCoverage(current, problem);
+    Placement best = current;
+    double best_cov = current_cov;
+
+    double temperature = 0.02;
+    const double cooling =
+        std::pow(1e-3, 1.0 / std::max(1, iterations));
+
+    for (int it = 0; it < iterations; ++it) {
+        // Perturb one tile.
+        Placement proposal = current;
+        const std::size_t idx = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(proposal.tiles.size()) - 1));
+        const double side = problem.sensorSideMm;
+        const double sigma = 3.0 * step_mm;
+        core::Rect &tile = proposal.tiles[idx];
+        const double nx = std::clamp(
+            tile.x0 + rng.normal(0.0, sigma), 0.0,
+            problem.screen.widthMm - side);
+        const double ny = std::clamp(
+            tile.y0 + rng.normal(0.0, sigma), 0.0,
+            problem.screen.heightMm - side);
+        tile = core::Rect::fromOriginSize(nx, ny, side, side);
+        if (overlapsAny(tile, proposal.tiles, idx))
+            continue;
+
+        const double cov = evaluateCoverage(proposal, problem);
+        const double delta = cov - current_cov;
+        if (delta >= 0.0 ||
+            rng.chance(std::exp(delta / std::max(1e-9, temperature)))) {
+            current = std::move(proposal);
+            current_cov = cov;
+            if (cov > best_cov) {
+                best = current;
+                best_cov = cov;
+            }
+        }
+        temperature *= cooling;
+    }
+    return best;
+}
+
+Placement
+placeUniformGrid(const PlacementProblem &problem)
+{
+    Placement placement;
+    const double side = problem.sensorSideMm;
+    const int n = problem.sensorCount;
+
+    // Choose the most square grid arrangement that fits n tiles.
+    int grid_cols = static_cast<int>(
+        std::ceil(std::sqrt(static_cast<double>(n))));
+    int grid_rows = (n + grid_cols - 1) / grid_cols;
+
+    for (int i = 0; i < n; ++i) {
+        const int gr = i / grid_cols;
+        const int gc = i % grid_cols;
+        const double cx =
+            (gc + 0.5) * problem.screen.widthMm / grid_cols;
+        const double cy =
+            (gr + 0.5) * problem.screen.heightMm / grid_rows;
+        const double x = std::clamp(cx - side / 2.0, 0.0,
+                                    problem.screen.widthMm - side);
+        const double y = std::clamp(cy - side / 2.0, 0.0,
+                                    problem.screen.heightMm - side);
+        const core::Rect tile =
+            core::Rect::fromOriginSize(x, y, side, side);
+        if (!overlapsAny(tile, placement.tiles))
+            placement.tiles.push_back(tile);
+    }
+    return placement;
+}
+
+Placement
+placeRandom(const PlacementProblem &problem, core::Rng &rng,
+            int max_attempts)
+{
+    Placement placement;
+    const double side = problem.sensorSideMm;
+    int attempts = 0;
+    while (static_cast<int>(placement.tiles.size()) <
+               problem.sensorCount &&
+           attempts++ < max_attempts) {
+        const core::Rect tile = core::Rect::fromOriginSize(
+            rng.uniform(0.0, problem.screen.widthMm - side),
+            rng.uniform(0.0, problem.screen.heightMm - side), side,
+            side);
+        if (!overlapsAny(tile, placement.tiles))
+            placement.tiles.push_back(tile);
+    }
+    return placement;
+}
+
+std::vector<hw::PlacedSensor>
+toPlacedSensors(const Placement &placement)
+{
+    std::vector<hw::PlacedSensor> out;
+    out.reserve(placement.tiles.size());
+    for (const auto &tile : placement.tiles) {
+        hw::PlacedSensor sensor;
+        sensor.region = tile;
+        sensor.spec = hw::specFlockTile(tile.width());
+        out.push_back(sensor);
+    }
+    return out;
+}
+
+} // namespace trust::placement

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fingerprint sensor placement optimization (Sec. IV-A, challenge 2).
+ *
+ * Full-screen sensor coverage is ruled out by cost, power and scan
+ * time, so a few small tiles must be placed where touches actually
+ * land. Given a touch-density map (from touch::UserBehavior or a
+ * multi-user mixture), the optimizers below choose non-overlapping
+ * tile positions maximizing the probability that a natural touch
+ * falls on a sensor. Greedy and simulated-annealing optimizers are
+ * provided along with uniform-grid and random baselines for the
+ * ablation bench.
+ */
+
+#ifndef TRUST_PLACEMENT_PLACEMENT_HH
+#define TRUST_PLACEMENT_PLACEMENT_HH
+
+#include <vector>
+
+#include "core/grid.hh"
+#include "core/rng.hh"
+#include "hw/biometric_screen.hh"
+#include "touch/ui.hh"
+
+namespace trust::placement {
+
+/** The placement problem instance. */
+struct PlacementProblem
+{
+    touch::ScreenSpec screen;
+    core::Grid<double> density; ///< Touch density; cells sum to 1.
+    double sensorSideMm = 4.0;  ///< Square tile side.
+    int sensorCount = 4;        ///< Tiles to place.
+};
+
+/** A solution: tile regions in screen mm. */
+struct Placement
+{
+    std::vector<core::Rect> tiles;
+};
+
+/**
+ * Probability that a touch drawn from @p density lands on a tile
+ * (density-mass capture fraction).
+ */
+double evaluateCoverage(const Placement &placement,
+                        const PlacementProblem &problem);
+
+/** True if no tile overlaps another or leaves the screen. */
+bool isFeasible(const Placement &placement,
+                const PlacementProblem &problem);
+
+/**
+ * Greedy: repeatedly place the tile that captures the most residual
+ * density mass, on a fine candidate grid, without overlap.
+ */
+Placement placeGreedy(const PlacementProblem &problem,
+                      double step_mm = 1.0);
+
+/**
+ * Simulated annealing starting from the greedy solution: joint
+ * refinement can beat greedy when hot spots are larger than a tile.
+ */
+Placement placeAnnealing(const PlacementProblem &problem,
+                         core::Rng &rng, int iterations = 20000,
+                         double step_mm = 1.0);
+
+/** Baseline: tiles on a uniform grid, ignoring the density. */
+Placement placeUniformGrid(const PlacementProblem &problem);
+
+/** Baseline: uniformly random non-overlapping tiles. */
+Placement placeRandom(const PlacementProblem &problem, core::Rng &rng,
+                      int max_attempts = 1000);
+
+/**
+ * Convert a placement into hardware tiles for BiometricTouchscreen.
+ * Each tile gets a FLock transparent-TFT spec sized to the tile.
+ */
+std::vector<hw::PlacedSensor> toPlacedSensors(
+    const Placement &placement);
+
+} // namespace trust::placement
+
+#endif // TRUST_PLACEMENT_PLACEMENT_HH

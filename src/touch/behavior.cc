@@ -1,0 +1,168 @@
+#include "touch/behavior.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace trust::touch {
+
+UserBehavior
+UserBehavior::forUser(std::uint64_t user_seed,
+                      const std::vector<UiLayout> &layouts)
+{
+    TRUST_ASSERT(!layouts.empty(), "UserBehavior: need layouts");
+    core::Rng rng(user_seed ^ 0x5bd1e995u);
+
+    UserBehavior behavior;
+    behavior.screen_ = layouts.front().screen;
+
+    // Per-user app-usage mix over the provided layouts.
+    std::vector<double> layout_weight(layouts.size());
+    for (auto &w : layout_weight)
+        w = rng.uniform(0.3, 1.0);
+
+    // Per-user motor traits.
+    const double precision = rng.uniform(0.7, 1.4); // sigma scale
+    const core::Vec2 hand_bias{rng.normal(0.0, 1.5),
+                               rng.normal(0.0, 2.0)};
+
+    for (std::size_t li = 0; li < layouts.size(); ++li) {
+        const auto &layout = layouts[li];
+        for (const auto &element : layout.elements) {
+            HotSpot spot;
+            spot.mean = element.rect.center() + hand_bias;
+            spot.sigmaX =
+                std::max(0.8, element.rect.width() / 4.0) * precision;
+            spot.sigmaY =
+                std::max(0.8, element.rect.height() / 4.0) * precision;
+            // Habit jitter: not everyone uses every key equally.
+            spot.weight = element.attraction * layout_weight[li] *
+                          rng.uniform(0.4, 1.6);
+            spot.target = element.id;
+            behavior.spots_.push_back(spot);
+        }
+    }
+
+    behavior.weights_.reserve(behavior.spots_.size());
+    for (const auto &s : behavior.spots_)
+        behavior.weights_.push_back(s.weight);
+
+    // Gesture habits.
+    GestureMix mix;
+    mix.tap = rng.uniform(0.55, 0.75);
+    mix.swipe = rng.uniform(0.15, 0.30);
+    mix.longPress = rng.uniform(0.02, 0.08);
+    mix.zoom = std::max(
+        0.0, 1.0 - mix.tap - mix.swipe - mix.longPress);
+    behavior.gestureMix_ = mix;
+
+    behavior.enrolledFingers_ = rng.chance(0.3) ? 3 : 2;
+    behavior.primaryFingerBias_ = rng.uniform(0.7, 0.9);
+    return behavior;
+}
+
+TouchEvent
+UserBehavior::sampleTouch(core::Rng &rng, core::Tick now) const
+{
+    TRUST_ASSERT(!spots_.empty(), "UserBehavior: no hot spots");
+    const auto &spot = spots_[rng.weightedIndex(weights_)];
+
+    TouchEvent event;
+    event.time = now;
+    event.position = screen_.bounds().clamp(
+        {rng.normal(spot.mean.x, spot.sigmaX),
+         rng.normal(spot.mean.y, spot.sigmaY)});
+    event.target = spot.target;
+
+    // Gesture type drives speed and duration.
+    const double u = rng.uniform();
+    if (u < gestureMix_.tap) {
+        event.gesture = GestureType::Tap;
+        event.speed = std::clamp(rng.normal(0.12, 0.06), 0.0, 1.0);
+        event.duration = core::milliseconds(
+            static_cast<std::uint64_t>(rng.uniform(60.0, 160.0)));
+    } else if (u < gestureMix_.tap + gestureMix_.swipe) {
+        event.gesture = GestureType::Swipe;
+        event.speed = std::clamp(rng.normal(0.70, 0.15), 0.0, 1.0);
+        event.duration = core::milliseconds(
+            static_cast<std::uint64_t>(rng.uniform(120.0, 400.0)));
+    } else if (u < gestureMix_.tap + gestureMix_.swipe +
+                       gestureMix_.longPress) {
+        event.gesture = GestureType::LongPress;
+        event.speed = std::clamp(rng.normal(0.05, 0.03), 0.0, 1.0);
+        event.duration = core::milliseconds(
+            static_cast<std::uint64_t>(rng.uniform(500.0, 1200.0)));
+    } else {
+        event.gesture = GestureType::Zoom;
+        event.speed = std::clamp(rng.normal(0.40, 0.10), 0.0, 1.0);
+        event.duration = core::milliseconds(
+            static_cast<std::uint64_t>(rng.uniform(250.0, 700.0)));
+    }
+
+    event.fingerIndex =
+        rng.chance(primaryFingerBias_)
+            ? 0
+            : static_cast<int>(
+                  rng.uniformInt(1, enrolledFingers_ - 1));
+    return event;
+}
+
+core::Grid<double>
+UserBehavior::densityMap(int rows, int cols, int samples,
+                         core::Rng &rng) const
+{
+    core::Grid<double> density(rows, cols, 0.0);
+    const double cell_w = screen_.widthMm / cols;
+    const double cell_h = screen_.heightMm / rows;
+    for (int i = 0; i < samples; ++i) {
+        const TouchEvent event = sampleTouch(rng, 0);
+        int r = static_cast<int>(event.position.y / cell_h);
+        int c = static_cast<int>(event.position.x / cell_w);
+        r = std::clamp(r, 0, rows - 1);
+        c = std::clamp(c, 0, cols - 1);
+        density(r, c) += 1.0;
+    }
+    for (auto &v : density.data())
+        v /= samples;
+    return density;
+}
+
+double
+densityOverlap(const core::Grid<double> &a, const core::Grid<double> &b)
+{
+    TRUST_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                 "densityOverlap: shape mismatch");
+    double overlap = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        overlap += std::min(a.data()[i], b.data()[i]);
+    return overlap;
+}
+
+std::string
+renderDensityAscii(const core::Grid<double> &density, int levels)
+{
+    static const char ramp[] = " .:-=+*#%@";
+    const int ramp_len = static_cast<int>(sizeof(ramp)) - 2;
+    levels = std::clamp(levels, 2, ramp_len + 1);
+
+    double max_v = 0.0;
+    for (double v : density.data())
+        max_v = std::max(max_v, v);
+
+    std::string out;
+    for (int r = 0; r < density.rows(); ++r) {
+        for (int c = 0; c < density.cols(); ++c) {
+            int level = 0;
+            if (max_v > 0.0) {
+                level = static_cast<int>(density(r, c) / max_v *
+                                         (levels - 1) + 0.5);
+            }
+            out.push_back(ramp[std::min(level, ramp_len)]);
+        }
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace trust::touch

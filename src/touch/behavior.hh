@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Per-user touch behaviour model.
+ *
+ * Substitutes for the paper's HTC user study (Fig. 7): touch-down
+ * points are drawn from a Gaussian-mixture of hot spots anchored at
+ * UI elements, weighted by per-user app-usage habits. Different
+ * users share structural hot spots (keyboard, dock, nav bar) but
+ * differ in weights and precision — exactly the overlap-plus-
+ * variation structure the paper reports and the placement optimizer
+ * exploits.
+ */
+
+#ifndef TRUST_TOUCH_BEHAVIOR_HH
+#define TRUST_TOUCH_BEHAVIOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid.hh"
+#include "core/rng.hh"
+#include "touch/event.hh"
+#include "touch/ui.hh"
+
+namespace trust::touch {
+
+/** One Gaussian hot spot of the touch mixture. */
+struct HotSpot
+{
+    core::Vec2 mean;      ///< Centre in screen mm.
+    double sigmaX = 2.0;  ///< Horizontal spread (mm).
+    double sigmaY = 2.0;  ///< Vertical spread (mm).
+    double weight = 1.0;  ///< Mixture weight (unnormalized).
+    std::string target;   ///< UI element the spot is anchored to.
+};
+
+/** Gesture mix of a user (probabilities sum to 1). */
+struct GestureMix
+{
+    double tap = 0.70;
+    double longPress = 0.05;
+    double swipe = 0.20;
+    double zoom = 0.05;
+};
+
+/** A user's stochastic touch model. */
+class UserBehavior
+{
+  public:
+    /**
+     * Build a behaviour model for one user over a set of layouts.
+     * @param user_seed  identity seed; same seed -> same habits.
+     * @param layouts    screens the user spends time on.
+     */
+    static UserBehavior forUser(std::uint64_t user_seed,
+                                const std::vector<UiLayout> &layouts);
+
+    const std::vector<HotSpot> &hotSpots() const { return spots_; }
+    const ScreenSpec &screen() const { return screen_; }
+    const GestureMix &gestures() const { return gestureMix_; }
+    int enrolledFingers() const { return enrolledFingers_; }
+
+    /** Sample one touch event at simulated time @p now. */
+    TouchEvent sampleTouch(core::Rng &rng, core::Tick now) const;
+
+    /**
+     * Empirical touch density over a rows x cols screen grid from
+     * @p samples touches; cells sum to 1 (Fig. 7 reproduction).
+     */
+    core::Grid<double> densityMap(int rows, int cols, int samples,
+                                  core::Rng &rng) const;
+
+  private:
+    ScreenSpec screen_;
+    std::vector<HotSpot> spots_;
+    std::vector<double> weights_; // cached for weightedIndex
+    GestureMix gestureMix_;
+    int enrolledFingers_ = 2;
+    double primaryFingerBias_ = 0.8;
+};
+
+/**
+ * Fraction of probability mass two density maps share
+ * (histogram intersection in [0, 1]); quantifies the hot-spot
+ * overlap between users that Fig. 7 shows qualitatively.
+ */
+double densityOverlap(const core::Grid<double> &a,
+                      const core::Grid<double> &b);
+
+/** Render a density map as an ASCII heat map (for bench output). */
+std::string renderDensityAscii(const core::Grid<double> &density,
+                               int levels = 6);
+
+} // namespace trust::touch
+
+#endif // TRUST_TOUCH_BEHAVIOR_HH

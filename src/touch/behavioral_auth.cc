@@ -1,0 +1,140 @@
+#include "touch/behavioral_auth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace trust::touch {
+
+namespace {
+constexpr double kMinVariance = 1e-4;
+constexpr double kLog2Pi = 1.8378770664093453;
+} // namespace
+
+TouchFeatures
+extractFeatures(const TouchEvent &event)
+{
+    TouchFeatures f;
+    f.values[0] = event.position.x;
+    f.values[1] = event.position.y;
+    f.values[2] = event.speed;
+    f.values[3] =
+        std::log1p(core::toMilliseconds(event.duration));
+    f.values[4] = static_cast<double>(event.gesture);
+    return f;
+}
+
+BehaviorProfile
+BehaviorProfile::train(const std::vector<TouchEvent> &events)
+{
+    TRUST_ASSERT(events.size() >= 10,
+                 "BehaviorProfile: need at least 10 events");
+    BehaviorProfile profile;
+    profile.count_ = events.size();
+
+    for (const auto &event : events) {
+        const TouchFeatures f = extractFeatures(event);
+        for (int i = 0; i < TouchFeatures::kCount; ++i)
+            profile.mean_[static_cast<std::size_t>(i)] +=
+                f.values[static_cast<std::size_t>(i)];
+    }
+    for (auto &m : profile.mean_)
+        m /= static_cast<double>(events.size());
+
+    for (const auto &event : events) {
+        const TouchFeatures f = extractFeatures(event);
+        for (int i = 0; i < TouchFeatures::kCount; ++i) {
+            const double d =
+                f.values[static_cast<std::size_t>(i)] -
+                profile.mean_[static_cast<std::size_t>(i)];
+            profile.variance_[static_cast<std::size_t>(i)] += d * d;
+        }
+    }
+    for (auto &v : profile.variance_)
+        v = std::max(kMinVariance,
+                     v / static_cast<double>(events.size()));
+    return profile;
+}
+
+double
+BehaviorProfile::logLikelihood(const TouchEvent &event) const
+{
+    TRUST_ASSERT(count_ > 0, "BehaviorProfile: untrained");
+    const TouchFeatures f = extractFeatures(event);
+    double ll = 0.0;
+    for (int i = 0; i < TouchFeatures::kCount; ++i) {
+        const double v = variance_[static_cast<std::size_t>(i)];
+        const double d = f.values[static_cast<std::size_t>(i)] -
+                         mean_[static_cast<std::size_t>(i)];
+        ll += -0.5 * (kLog2Pi + std::log(v) + d * d / v);
+    }
+    return ll / TouchFeatures::kCount;
+}
+
+BehavioralAuthenticator::BehavioralAuthenticator(
+    BehaviorProfile profile, int window, double threshold)
+    : profile_(std::move(profile)), window_(window),
+      threshold_(threshold)
+{
+    TRUST_ASSERT(window > 0, "BehavioralAuthenticator: bad window");
+}
+
+double
+BehavioralAuthenticator::record(const TouchEvent &event)
+{
+    scores_.push_back(profile_.logLikelihood(event));
+    if (static_cast<int>(scores_.size()) > window_)
+        scores_.pop_front();
+    double sum = 0.0;
+    for (double s : scores_)
+        sum += s;
+    return sum / static_cast<double>(scores_.size());
+}
+
+bool
+BehavioralAuthenticator::flagged() const
+{
+    if (static_cast<int>(scores_.size()) < window_)
+        return false;
+    double sum = 0.0;
+    for (double s : scores_)
+        sum += s;
+    return sum / static_cast<double>(scores_.size()) < threshold_;
+}
+
+void
+BehavioralAuthenticator::reset()
+{
+    scores_.clear();
+}
+
+double
+BehavioralAuthenticator::calibrate(
+    const BehaviorProfile &profile,
+    const std::vector<TouchEvent> &genuine, int window,
+    double target_frr)
+{
+    TRUST_ASSERT(static_cast<int>(genuine.size()) >= window,
+                 "calibrate: not enough genuine events");
+    // Windowed means over the genuine stream.
+    std::vector<double> means;
+    std::deque<double> w;
+    for (const auto &event : genuine) {
+        w.push_back(profile.logLikelihood(event));
+        if (static_cast<int>(w.size()) > window)
+            w.pop_front();
+        if (static_cast<int>(w.size()) == window) {
+            double sum = 0.0;
+            for (double s : w)
+                sum += s;
+            means.push_back(sum / window);
+        }
+    }
+    std::sort(means.begin(), means.end());
+    const auto idx = static_cast<std::size_t>(
+        target_frr * static_cast<double>(means.size()));
+    return means[std::min(idx, means.size() - 1)];
+}
+
+} // namespace trust::touch

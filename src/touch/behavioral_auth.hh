@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Behavioural continuous authentication baseline.
+ *
+ * The paper's related work (Sec. V) covers implicit authentication
+ * from touch *behaviour* — gesture dynamics [8], keystroke dynamics
+ * [17][11], multi-sensor behaviour [18][19] — and argues fingerprint
+ * biometrics are stronger. This module implements that baseline so
+ * the claim can be measured: a per-user statistical profile over
+ * touch features (position, speed, duration, gesture mix) scored
+ * with a naive-Bayes Gaussian model and aggregated over a sliding
+ * window, exactly the structure of the cited systems.
+ */
+
+#ifndef TRUST_TOUCH_BEHAVIORAL_AUTH_HH
+#define TRUST_TOUCH_BEHAVIORAL_AUTH_HH
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "touch/event.hh"
+
+namespace trust::touch {
+
+/** Feature vector extracted from one touch event. */
+struct TouchFeatures
+{
+    static constexpr int kCount = 5;
+
+    /** x, y (mm), speed, log-duration (ms), gesture class. */
+    std::array<double, kCount> values{};
+};
+
+/** Extract the behavioural features of one event. */
+TouchFeatures extractFeatures(const TouchEvent &event);
+
+/**
+ * A trained per-user behavioural profile: independent Gaussians per
+ * feature (naive Bayes), fitted from an enrollment session.
+ */
+class BehaviorProfile
+{
+  public:
+    /** Fit from enrollment touches; needs at least 10 events. */
+    static BehaviorProfile train(const std::vector<TouchEvent> &events);
+
+    /**
+     * Average per-feature log-likelihood of an event under the
+     * profile (higher = more typical of this user).
+     */
+    double logLikelihood(const TouchEvent &event) const;
+
+    std::size_t trainedOn() const { return count_; }
+
+  private:
+    std::array<double, TouchFeatures::kCount> mean_{};
+    std::array<double, TouchFeatures::kCount> variance_{};
+    std::size_t count_ = 0;
+};
+
+/**
+ * Sliding-window behavioural authenticator: scores each touch
+ * against the owner profile and flags when the windowed mean
+ * log-likelihood drops below a threshold (the [8]/[18] decision
+ * structure).
+ */
+class BehavioralAuthenticator
+{
+  public:
+    /**
+     * @param profile   the enrolled owner's profile.
+     * @param window    touches aggregated per decision.
+     * @param threshold mean log-likelihood below which the session
+     *                  is flagged. Calibrate with calibrate().
+     */
+    BehavioralAuthenticator(BehaviorProfile profile, int window = 8,
+                            double threshold = -12.0);
+
+    /** Score one touch; returns the current windowed mean. */
+    double record(const TouchEvent &event);
+
+    /** True when the full window scores below the threshold. */
+    bool flagged() const;
+
+    /** Clear history. */
+    void reset();
+
+    double threshold() const { return threshold_; }
+
+    /**
+     * Pick the threshold achieving @p target_far on a held-out
+     * genuine sample: the quantile of windowed genuine scores.
+     */
+    static double calibrate(const BehaviorProfile &profile,
+                            const std::vector<TouchEvent> &genuine,
+                            int window, double target_frr = 0.05);
+
+  private:
+    BehaviorProfile profile_;
+    int window_;
+    double threshold_;
+    std::deque<double> scores_;
+};
+
+} // namespace trust::touch
+
+#endif // TRUST_TOUCH_BEHAVIORAL_AUTH_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Touch event model: what the capacitive panel reports to the FLock
+ * touchscreen controller for each user-device interaction.
+ */
+
+#ifndef TRUST_TOUCH_EVENT_HH
+#define TRUST_TOUCH_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/geometry.hh"
+#include "core/sim_clock.hh"
+
+namespace trust::touch {
+
+/** Gesture category of a touch interaction. */
+enum class GestureType : std::uint8_t
+{
+    Tap = 0,       ///< Short stationary press (buttons, keys).
+    LongPress = 1, ///< Extended stationary press.
+    Swipe = 2,     ///< Fast directional stroke (scroll, flick).
+    Zoom = 3,      ///< Pinch gesture (two fingers; one sampled here).
+};
+
+/** One touch interaction on the screen. */
+struct TouchEvent
+{
+    core::Vec2 position;    ///< Touch-down point in screen mm.
+    core::Tick time = 0;    ///< Touch-down simulated time.
+    core::Tick duration = 0; ///< Contact duration.
+    double speed = 0.0;      ///< Normalized finger speed in [0, 1].
+    GestureType gesture = GestureType::Tap;
+    int fingerIndex = 0;     ///< Which enrolled finger touched (0-based).
+    std::string target;      ///< UI element hit ("" if none).
+};
+
+} // namespace trust::touch
+
+#endif // TRUST_TOUCH_EVENT_HH

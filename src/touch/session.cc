@@ -1,0 +1,42 @@
+#include "touch/session.hh"
+
+#include <cmath>
+
+#include "core/logging.hh"
+
+namespace trust::touch {
+
+std::vector<TouchEvent>
+generateSession(const UserBehavior &behavior, core::Rng &rng,
+                core::Tick start, int touches,
+                const SessionParams &params)
+{
+    TRUST_ASSERT(touches >= 0, "generateSession: negative touch count");
+    std::vector<TouchEvent> events;
+    events.reserve(static_cast<std::size_t>(touches));
+
+    core::Tick now = start;
+    int burst_remaining = 0;
+    for (int i = 0; i < touches; ++i) {
+        const double gap_ms =
+            burst_remaining > 0
+                ? rng.exponential(1.0 / params.burstGapMs)
+                : rng.exponential(1.0 / params.meanGapMs);
+        now += core::milliseconds(
+            static_cast<std::uint64_t>(std::ceil(gap_ms)) + 1);
+
+        TouchEvent event = behavior.sampleTouch(rng, now);
+        events.push_back(event);
+        now += event.duration;
+
+        if (burst_remaining > 0) {
+            --burst_remaining;
+        } else if (rng.chance(params.burstProbability)) {
+            burst_remaining = 1 + static_cast<int>(
+                rng.exponential(1.0 / params.meanBurstLength));
+        }
+    }
+    return events;
+}
+
+} // namespace trust::touch

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Session workload generation: time-ordered streams of touch events
+ * driving the local and remote continuous-authentication
+ * simulations.
+ */
+
+#ifndef TRUST_TOUCH_SESSION_HH
+#define TRUST_TOUCH_SESSION_HH
+
+#include <vector>
+
+#include "core/rng.hh"
+#include "touch/behavior.hh"
+
+namespace trust::touch {
+
+/** Inter-arrival and burst structure of a usage session. */
+struct SessionParams
+{
+    /** Mean inter-touch gap in milliseconds (exponential). */
+    double meanGapMs = 1200.0;
+
+    /** Probability a touch starts a rapid burst (typing). */
+    double burstProbability = 0.25;
+
+    /** Mean burst length in touches. */
+    double meanBurstLength = 6.0;
+
+    /** Mean inter-touch gap inside a burst (ms). */
+    double burstGapMs = 280.0;
+};
+
+/**
+ * Generate a session of @p touches events starting at @p start.
+ * Events are strictly time-ordered; bursts model typing runs.
+ */
+std::vector<TouchEvent> generateSession(const UserBehavior &behavior,
+                                        core::Rng &rng,
+                                        core::Tick start, int touches,
+                                        const SessionParams &params = {});
+
+} // namespace trust::touch
+
+#endif // TRUST_TOUCH_SESSION_HH

@@ -1,0 +1,160 @@
+#include "touch/ui.hh"
+
+#include <cstdio>
+
+namespace trust::touch {
+
+const UiElement *
+UiLayout::hitTest(const core::Vec2 &p) const
+{
+    for (const auto &e : elements)
+        if (e.rect.contains(p))
+            return &e;
+    return nullptr;
+}
+
+const UiElement *
+UiLayout::find(const std::string &id) const
+{
+    for (const auto &e : elements)
+        if (e.id == id)
+            return &e;
+    return nullptr;
+}
+
+UiLayout
+homeScreenLayout(const ScreenSpec &screen)
+{
+    UiLayout layout;
+    layout.name = "home";
+    layout.screen = screen;
+
+    const double w = screen.widthMm, h = screen.heightMm;
+
+    // Status strip (rarely touched).
+    layout.elements.push_back(
+        {"status", {0.0, 0.0, w, 0.06 * h}, 0.2, false});
+
+    // 4x5 app grid over the middle of the screen.
+    const double grid_top = 0.10 * h, grid_bottom = 0.80 * h;
+    const double cell_h = (grid_bottom - grid_top) / 5.0;
+    const double cell_w = w / 4.0;
+    char id[32];
+    for (int row = 0; row < 5; ++row) {
+        for (int col = 0; col < 4; ++col) {
+            std::snprintf(id, sizeof(id), "app_%d_%d", row, col);
+            // Icons occupy the centre of each cell.
+            const double x0 = col * cell_w + 0.2 * cell_w;
+            const double y0 = grid_top + row * cell_h + 0.2 * cell_h;
+            layout.elements.push_back(
+                {id,
+                 {x0, y0, x0 + 0.6 * cell_w, y0 + 0.6 * cell_h},
+                 1.0,
+                 false});
+        }
+    }
+
+    // Dock: 4 high-traffic launcher icons at the bottom.
+    const double dock_top = 0.86 * h;
+    for (int col = 0; col < 4; ++col) {
+        std::snprintf(id, sizeof(id), "dock_%d", col);
+        const double x0 = col * cell_w + 0.15 * cell_w;
+        layout.elements.push_back(
+            {id,
+             {x0, dock_top, x0 + 0.7 * cell_w, 0.97 * h},
+             4.0,
+             false});
+    }
+    return layout;
+}
+
+UiLayout
+keyboardLayout(const ScreenSpec &screen)
+{
+    UiLayout layout;
+    layout.name = "keyboard";
+    layout.screen = screen;
+
+    const double w = screen.widthMm, h = screen.heightMm;
+
+    // Conversation / text area (scrolled occasionally).
+    layout.elements.push_back(
+        {"text_area", {0.0, 0.05 * h, w, 0.55 * h}, 0.6, false});
+
+    // QWERTY rows on the lower third: 10/9/7 keys.
+    const int keys_per_row[3] = {10, 9, 7};
+    const double kb_top = 0.62 * h;
+    const double row_h = 0.09 * h;
+    char id[32];
+    for (int row = 0; row < 3; ++row) {
+        const int n = keys_per_row[row];
+        const double key_w = w / n;
+        for (int k = 0; k < n; ++k) {
+            std::snprintf(id, sizeof(id), "key_%d_%d", row, k);
+            layout.elements.push_back(
+                {id,
+                 {k * key_w, kb_top + row * row_h, (k + 1) * key_w,
+                  kb_top + (row + 1) * row_h},
+                 5.0,
+                 false});
+        }
+    }
+
+    // Space bar and send button.
+    layout.elements.push_back(
+        {"space",
+         {0.2 * w, kb_top + 3 * row_h, 0.7 * w, kb_top + 4 * row_h},
+         8.0,
+         false});
+    layout.elements.push_back(
+        {"send",
+         {0.74 * w, kb_top + 3 * row_h, 0.98 * w, kb_top + 4 * row_h},
+         3.0,
+         true});
+    return layout;
+}
+
+UiLayout
+browserLayout(const ScreenSpec &screen)
+{
+    UiLayout layout;
+    layout.name = "browser";
+    layout.screen = screen;
+
+    const double w = screen.widthMm, h = screen.heightMm;
+    layout.elements.push_back(
+        {"url_bar", {0.05 * w, 0.02 * h, 0.95 * w, 0.08 * h}, 1.0,
+         false});
+    layout.elements.push_back(
+        {"content", {0.0, 0.10 * h, w, 0.82 * h}, 5.0, false});
+    layout.elements.push_back(
+        {"nav_back", {0.02 * w, 0.88 * h, 0.18 * w, 0.97 * h}, 2.0,
+         false});
+    layout.elements.push_back(
+        {"nav_forward", {0.22 * w, 0.88 * h, 0.38 * w, 0.97 * h}, 0.8,
+         false});
+    layout.elements.push_back(
+        {"login_button", {0.55 * w, 0.88 * h, 0.95 * w, 0.97 * h}, 1.5,
+         true});
+    return layout;
+}
+
+UiLayout
+lockScreenLayout(const ScreenSpec &screen)
+{
+    UiLayout layout;
+    layout.name = "lock";
+    layout.screen = screen;
+
+    const double w = screen.widthMm, h = screen.heightMm;
+    // One critical unlock button, centred in the lower half where a
+    // fingerprint sensor is provisioned.
+    layout.elements.push_back(
+        {"unlock",
+         {0.35 * w, 0.62 * h, 0.65 * w, 0.75 * h},
+         10.0,
+         true});
+    return layout;
+}
+
+} // namespace trust::touch

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Screen geometry and UI layouts.
+ *
+ * Touch behaviour is driven by what is on screen: keyboards pull
+ * touches to the bottom rows, navigation bars to screen edges, and
+ * so on. The layouts below model a 2012-era smartphone (the paper's
+ * Fig. 7 traces came from an HTC device) and let the placement
+ * optimizer exploit the resulting hot spots. The paper's defence of
+ * placing critical buttons over sensor regions (Sec. IV-A) is
+ * modeled by the `critical` flag.
+ */
+
+#ifndef TRUST_TOUCH_UI_HH
+#define TRUST_TOUCH_UI_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/geometry.hh"
+
+namespace trust::touch {
+
+/** Physical screen description (2012-era 4.3" phone by default). */
+struct ScreenSpec
+{
+    double widthMm = 53.0;
+    double heightMm = 94.0;
+
+    core::Rect bounds() const { return {0.0, 0.0, widthMm, heightMm}; }
+};
+
+/** A tappable region of the UI. */
+struct UiElement
+{
+    std::string id;
+    core::Rect rect;       ///< Region in screen mm.
+    double attraction = 1.0; ///< Relative touch likelihood weight.
+    bool critical = false;  ///< Security-critical (login, confirm).
+};
+
+/** A named UI layout: a set of elements over a screen. */
+struct UiLayout
+{
+    std::string name;
+    ScreenSpec screen;
+    std::vector<UiElement> elements;
+
+    /** First element whose rect contains @p p, if any. */
+    const UiElement *hitTest(const core::Vec2 &p) const;
+
+    /** Element lookup by id; nullptr if absent. */
+    const UiElement *find(const std::string &id) const;
+};
+
+/**
+ * Home-screen layout: app grid (4x5 icons), bottom dock and status
+ * strip.
+ */
+UiLayout homeScreenLayout(const ScreenSpec &screen = {});
+
+/**
+ * Messaging layout: QWERTY keyboard on the lower third, text area,
+ * send button.
+ */
+UiLayout keyboardLayout(const ScreenSpec &screen = {});
+
+/**
+ * Browser layout: content area (scroll), URL bar, back/forward nav.
+ */
+UiLayout browserLayout(const ScreenSpec &screen = {});
+
+/**
+ * Lock-screen layout: a single critical unlock button placed where
+ * a fingerprint sensor is guaranteed (Fig. 6 unlock flow).
+ */
+UiLayout lockScreenLayout(const ScreenSpec &screen = {});
+
+} // namespace trust::touch
+
+#endif // TRUST_TOUCH_UI_HH

@@ -1,0 +1,47 @@
+#include "trust/capture_glue.hh"
+
+#include "fingerprint/capture.hh"
+
+namespace trust::trust {
+
+TouchCapture
+captureTouch(hw::BiometricTouchscreen &screen,
+             const touch::TouchEvent &event,
+             const fingerprint::MasterFinger *finger, core::Rng &rng,
+             double window_mm)
+{
+    TouchCapture out;
+    out.hardware = screen.captureAtTouch(event.position, window_mm);
+    out.sample.covered = out.hardware.covered;
+    if (!out.hardware.covered)
+        return out;
+
+    if (!finger) {
+        // A contact with no ridge pattern: the scan completes but
+        // quality assessment finds nothing usable.
+        out.sample.quality = 0.0;
+        return out;
+    }
+
+    // Minimal-touch-time countermeasure (Sec. IV-A): the finger must
+    // stay on the tile for the whole scan. Ultra-quick taps leave an
+    // incomplete scan that the quality gate discards.
+    if (event.duration != 0 &&
+        event.duration < out.hardware.timing.total()) {
+        out.sample.quality = 0.0;
+        return out;
+    }
+
+    // The scanned cell window defines the capture footprint; touch
+    // speed degrades the physical conditions.
+    auto conditions = fingerprint::sampleTouchConditions(
+        out.hardware.window.rows(), out.hardware.window.cols(),
+        event.speed, rng);
+    const auto capture =
+        fingerprint::captureTemplateFast(*finger, conditions, rng);
+    out.sample.minutiae = capture.minutiae;
+    out.sample.quality = capture.quality;
+    return out;
+}
+
+} // namespace trust::trust

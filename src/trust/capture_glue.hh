@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Glue between the hardware capture path and the FLock biometric
+ * logic: turns a touch event on the biometric touchscreen into the
+ * CaptureSample the FLock fingerprint processor consumes.
+ */
+
+#ifndef TRUST_TRUST_CAPTURE_GLUE_HH
+#define TRUST_TRUST_CAPTURE_GLUE_HH
+
+#include "core/rng.hh"
+#include "fingerprint/synthesis.hh"
+#include "hw/biometric_screen.hh"
+#include "touch/event.hh"
+#include "trust/flock.hh"
+
+namespace trust::trust {
+
+/** Capture plus the hardware-side latency it cost. */
+struct TouchCapture
+{
+    CaptureSample sample;
+    hw::OpportunisticCapture hardware;
+};
+
+/**
+ * Run the opportunistic capture sequence for one touch: the panel
+ * localizes the touch, a covering sensor tile (if any) scans a
+ * window, and the impression is modeled from the physical finger.
+ *
+ * @param finger the physical finger touching, or nullptr for a
+ *               non-biometric contact (stylus, knuckle, glove) that
+ *               yields no usable print.
+ */
+TouchCapture captureTouch(hw::BiometricTouchscreen &screen,
+                          const touch::TouchEvent &event,
+                          const fingerprint::MasterFinger *finger,
+                          core::Rng &rng, double window_mm = 4.0);
+
+} // namespace trust::trust
+
+#endif // TRUST_TRUST_CAPTURE_GLUE_HH

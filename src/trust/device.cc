@@ -1,0 +1,352 @@
+#include "trust/device.hh"
+
+#include "core/logging.hh"
+#include "fingerprint/capture.hh"
+
+namespace trust::trust {
+
+MobileDevice::MobileDevice(std::string name,
+                           hw::BiometricTouchscreen screen,
+                           FlockModule flock, std::uint64_t seed)
+    : name_(std::move(name)), screen_(std::move(screen)),
+      flock_(std::move(flock)), hostRng_(seed)
+{
+}
+
+void
+MobileDevice::attachToNetwork(net::Network &network)
+{
+    network_ = &network;
+    network.attach(name_, [this](const net::Message &message) {
+        handleMessage(message);
+    });
+}
+
+bool
+MobileDevice::enrollOwner(const fingerprint::MasterFinger &finger,
+                          int capture_attempts)
+{
+    // Setup flow: the enrollment UI draws a target over the first
+    // sensor tile and asks for several deliberate (slow) touches.
+    if (screen_.sensors().empty())
+        return false;
+    const core::Vec2 target = screen_.sensors()[0].region.center();
+
+    std::vector<std::vector<fingerprint::Minutia>> views;
+    for (int i = 0; i < capture_attempts; ++i) {
+        touch::TouchEvent event;
+        event.position = target;
+        event.speed = 0.02; // deliberate enrollment touches
+        // Enrollment is a guided setup flow: the full tile is
+        // scanned so the enrolled views cover the finger area that
+        // later opportunistic windows sample from.
+        const double tile_mm = screen_.sensors()[0].region.width();
+        const TouchCapture capture = captureTouch(
+            screen_, event, &finger, hostRng_, tile_mm);
+        if (capture.sample.covered &&
+            capture.sample.quality >=
+                flock_.config().minCaptureQuality &&
+            capture.sample.minutiae.size() >= 5)
+            views.push_back(capture.sample.minutiae);
+    }
+    if (views.empty())
+        return false;
+    flock_.enrollFinger(views);
+    counters_.bump("owner-enrolled");
+    return true;
+}
+
+core::Bytes
+MobileDevice::displayFrame(const core::Bytes &page_content)
+{
+    // The host browser picks a view (zoom/scroll) to render.
+    const auto views = standardViews();
+    const auto &view = views[static_cast<std::size_t>(hostRng_.uniformInt(
+        0, static_cast<std::int64_t>(views.size()) - 1))];
+    core::Bytes frame = renderFrame(page_content, view,
+                                    flock_.config().display);
+
+    if (malware_.tamperFrames) {
+        // Malware overlays fake content: any byte change moves the
+        // frame hash outside the server's expected set.
+        for (std::size_t i = 0; i < 64 && i < frame.size(); ++i)
+            frame[i * 7 % frame.size()] ^= 0x5a;
+        counters_.bump("malware:frame-tampered");
+    }
+    return frame;
+}
+
+void
+MobileDevice::startRegistration(const std::string &domain,
+                                const std::string &account)
+{
+    TRUST_ASSERT(network_, "device not attached to a network");
+    pending_ = PendingOp{};
+    pending_.await = Await::RegistrationPageMsg;
+    pending_.domain = domain;
+    pending_.account = account;
+    accounts_[domain] = account;
+    network_->send(name_, domain,
+                   RegistrationRequest{domain, account}.serialize());
+    counters_.bump("registration-started");
+}
+
+void
+MobileDevice::startLogin(const std::string &domain)
+{
+    TRUST_ASSERT(network_, "device not attached to a network");
+    auto it = registered_.find(domain);
+    if (it == registered_.end() || !it->second) {
+        counters_.bump("login-without-registration");
+        return;
+    }
+    pending_ = PendingOp{};
+    pending_.await = Await::LoginPageMsg;
+    pending_.domain = domain;
+    pending_.account = accounts_[domain];
+    network_->send(name_, domain,
+                   LoginRequest{domain, pending_.account}.serialize());
+    counters_.bump("login-started");
+}
+
+void
+MobileDevice::handleMessage(const net::Message &message)
+{
+    const auto kind = peekKind(message.payload);
+    if (!kind) {
+        counters_.bump("malformed-reply");
+        return;
+    }
+
+    switch (*kind) {
+      case MsgKind::RegistrationPage: {
+        if (pending_.await != Await::RegistrationPageMsg)
+            return;
+        const auto page =
+            RegistrationPage::deserialize(message.payload);
+        if (!page || page->domain != pending_.domain) {
+            counters_.bump("bad-registration-page");
+            pending_ = PendingOp{};
+            return;
+        }
+        pending_.regPage = *page;
+        pending_.await = Await::RegistrationTouch;
+        counters_.bump("registration-page-shown");
+        break;
+      }
+      case MsgKind::RegistrationResult: {
+        if (pending_.await != Await::RegistrationResultMsg)
+            return;
+        const auto result =
+            RegistrationResult::deserialize(message.payload);
+        if (result && result->ok) {
+            registered_[result->domain] = true;
+            counters_.bump("registration-complete");
+        } else {
+            counters_.bump("registration-failed");
+        }
+        pending_ = PendingOp{};
+        break;
+      }
+      case MsgKind::LoginPage: {
+        if (pending_.await != Await::LoginPageMsg)
+            return;
+        const auto page = LoginPage::deserialize(message.payload);
+        if (!page || page->domain != pending_.domain) {
+            counters_.bump("bad-login-page");
+            pending_ = PendingOp{};
+            return;
+        }
+        pending_.loginPage = *page;
+        pending_.await = Await::LoginTouch;
+        counters_.bump("login-page-shown");
+        break;
+      }
+      case MsgKind::ContentPage: {
+        const auto page = ContentPage::deserialize(message.payload);
+        if (!page) {
+            counters_.bump("bad-content-page");
+            return;
+        }
+        if (!flock_.acceptContentPage(*page)) {
+            counters_.bump("content-page-mac-rejected");
+            pending_ = PendingOp{};
+            return;
+        }
+        const auto plain = flock_.decryptPageContent(
+            page->domain, page->pageContent);
+        if (!plain) {
+            counters_.bump("content-page-decrypt-failed");
+            pending_ = PendingOp{};
+            return;
+        }
+        currentPage_[page->domain] = *plain;
+        currentFrame_[page->domain] = displayFrame(*plain);
+        sessionIds_[page->domain] = page->sessionId;
+        counters_.bump("content-page-accepted");
+        pending_ = PendingOp{};
+        maybeForgeRequest();
+        break;
+      }
+      case MsgKind::ErrorReply: {
+        counters_.bump("server-error-reply");
+        pending_ = PendingOp{};
+        break;
+      }
+      default:
+        counters_.bump("unexpected-reply");
+        break;
+    }
+}
+
+void
+MobileDevice::completeRegistrationTouch(
+    const touch::TouchEvent &event, const fingerprint::MasterFinger *f)
+{
+    // A deliberate button press rests the whole fingertip on the
+    // tile; scan a wider window than an incidental tap.
+    const TouchCapture capture =
+        captureTouch(screen_, event, f, hostRng_, 6.0);
+    const core::Bytes frame =
+        displayFrame(pending_.regPage->pageContent);
+    const auto submit = flock_.handleRegistrationPage(
+        *pending_.regPage, pending_.account, frame, capture.sample);
+    if (!submit) {
+        counters_.bump("registration-touch-rejected");
+        pending_ = PendingOp{};
+        return;
+    }
+    pending_.await = Await::RegistrationResultMsg;
+    network_->send(name_, pending_.domain, submit->serialize());
+    counters_.bump("registration-submitted");
+}
+
+void
+MobileDevice::completeLoginTouch(const touch::TouchEvent &event,
+                                 const fingerprint::MasterFinger *f)
+{
+    const TouchCapture capture =
+        captureTouch(screen_, event, f, hostRng_, 6.0);
+    const core::Bytes frame =
+        displayFrame(pending_.loginPage->pageContent);
+    const auto submit = flock_.handleLoginPage(*pending_.loginPage,
+                                               frame, capture.sample);
+    if (!submit) {
+        counters_.bump("login-touch-rejected");
+        pending_ = PendingOp{};
+        return;
+    }
+    pending_.await = Await::LoginReplyMsg;
+    network_->send(name_, pending_.domain, submit->serialize());
+    counters_.bump("login-submitted");
+}
+
+void
+MobileDevice::applyRiskPolicy()
+{
+    if (!policy_.autoLogoutOnHardFailure ||
+        !flock_.riskHardFailure())
+        return;
+    for (auto &[domain, page] : currentPage_) {
+        if (flock_.sessionActive(domain)) {
+            flock_.endSession(domain);
+            counters_.bump("auto-logout");
+        }
+    }
+    flock_.resetRisk();
+}
+
+void
+MobileDevice::onTouch(const touch::TouchEvent &event,
+                      const fingerprint::MasterFinger *finger)
+{
+    switch (pending_.await) {
+      case Await::RegistrationTouch:
+        completeRegistrationTouch(event, finger);
+        return;
+      case Await::LoginTouch:
+        completeLoginTouch(event, finger);
+        return;
+      case Await::Nothing: {
+        // Free navigation: pick the first live session and issue an
+        // authenticated page request for the touched element.
+        for (auto &[domain, page] : currentPage_) {
+            if (!flock_.sessionActive(domain))
+                continue;
+            const TouchCapture capture =
+                captureTouch(screen_, event, finger, hostRng_);
+            const std::string action =
+                event.target.empty() ? "tap" : event.target;
+            const auto request = flock_.makePageRequest(
+                domain, action, currentFrame_[domain],
+                capture.sample);
+            applyRiskPolicy();
+            if (!request || !flock_.sessionActive(domain)) {
+                counters_.bump("page-request-unavailable");
+                return;
+            }
+            pending_.await = Await::PageReplyMsg;
+            pending_.domain = domain;
+            network_->send(name_, domain, request->serialize());
+            counters_.bump("page-request-sent");
+            return;
+        }
+        counters_.bump("touch-without-session");
+        return;
+      }
+      default: {
+        // Waiting on the network; touches meanwhile still feed the
+        // local risk window opportunistically.
+        const TouchCapture capture =
+            captureTouch(screen_, event, finger, hostRng_);
+        flock_.processTouch(capture.sample);
+        applyRiskPolicy();
+        counters_.bump("touch-while-waiting");
+        return;
+      }
+    }
+}
+
+void
+MobileDevice::maybeForgeRequest()
+{
+    if (!malware_.forgeRequests || !network_)
+        return;
+    // Malware on the host knows account/session ids (it can read the
+    // browser) but NOT the session key inside FLock: its MAC is
+    // garbage and its risk field is whatever it claims.
+    for (auto &[domain, session_id] : sessionIds_) {
+        PageRequest forged;
+        forged.domain = domain;
+        // Malware can read the account string off the host browser.
+        auto account_it = accounts_.find(domain);
+        forged.account = account_it != accounts_.end()
+                             ? account_it->second
+                             : "victim";
+        forged.sessionId = session_id;
+        forged.nonce = hostRng_.next() % 2 ? core::Bytes(16, 0)
+                                           : core::Bytes{};
+        forged.action = "transfer-funds";
+        forged.frameHash = core::Bytes(32, 0);
+        forged.riskMatched = 8;
+        forged.riskWindow = 8;
+        forged.mac = core::Bytes(32, 0);
+        network_->send(name_, domain, forged.serialize());
+        counters_.bump("malware:request-forged");
+    }
+}
+
+bool
+MobileDevice::registrationComplete(const std::string &domain) const
+{
+    auto it = registered_.find(domain);
+    return it != registered_.end() && it->second;
+}
+
+bool
+MobileDevice::sessionActive(const std::string &domain) const
+{
+    return flock_.sessionActive(domain);
+}
+
+} // namespace trust::trust

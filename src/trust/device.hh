@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The mobile device of Figs. 8-10: biometric touchscreen hardware,
+ * the trusted FLock module, and the UNTRUSTED host SoC running the
+ * browser. Per the threat model (Sec. IV-B assumption i) the host
+ * may be controlled by malware; the MalwareProfile lets experiments
+ * switch on frame tampering and request forgery and observe that
+ * the server rejects or audits them.
+ */
+
+#ifndef TRUST_TRUST_DEVICE_HH
+#define TRUST_TRUST_DEVICE_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/stats.hh"
+#include "net/network.hh"
+#include "trust/capture_glue.hh"
+#include "trust/frames.hh"
+
+namespace trust::trust {
+
+/** Device-side response policy (the Fig. 6 pre-defined responses). */
+struct DevicePolicy
+{
+    /**
+     * End every remote session when the risk window hard-fails
+     * (the paper's "logging out automatically" response). Off by
+     * default so experiments can observe the server-side policy in
+     * isolation.
+     */
+    bool autoLogoutOnHardFailure = false;
+};
+
+/** Host-side malware capabilities. */
+struct MalwareProfile
+{
+    /** Tamper with displayed frames (phishing overlay). */
+    bool tamperFrames = false;
+
+    /** Forge page requests without going through FLock. */
+    bool forgeRequests = false;
+};
+
+/** A mobile device with an integrated FLock module. */
+class MobileDevice
+{
+  public:
+    /**
+     * @param name   network endpoint name of the device.
+     * @param screen biometric touchscreen hardware.
+     * @param flock  the trusted module (moved in).
+     * @param seed   host-side RNG seed (view choice, malware).
+     */
+    MobileDevice(std::string name, hw::BiometricTouchscreen screen,
+                 FlockModule flock, std::uint64_t seed);
+
+    const std::string &name() const { return name_; }
+    FlockModule &flock() { return flock_; }
+    const FlockModule &flock() const { return flock_; }
+    hw::BiometricTouchscreen &screen() { return screen_; }
+
+    /** Install the host-compromise profile. */
+    void setMalware(const MalwareProfile &profile)
+    {
+        malware_ = profile;
+    }
+
+    /** Install the local response policy. */
+    void setPolicy(const DevicePolicy &policy) { policy_ = policy; }
+
+    /** Register the device endpoint on the network. */
+    void attachToNetwork(net::Network &network);
+
+    /**
+     * Enroll the owner's finger from repeated setup touches on a
+     * sensor tile (multi-view enrollment). Returns true when at
+     * least one good view enrolled.
+     */
+    bool enrollOwner(const fingerprint::MasterFinger &finger,
+                     int capture_attempts = 6);
+
+    // --- Asynchronous protocol operations ------------------------------
+
+    /** Fig. 9 step 1: ask @p domain for its registration page. */
+    void startRegistration(const std::string &domain,
+                           const std::string &account);
+
+    /** Fig. 10 step 1: ask @p domain for its login page. */
+    void startLogin(const std::string &domain);
+
+    /**
+     * One user touch. Completes any pending protocol step that was
+     * waiting for a touch (registration / login confirmation) or,
+     * inside a live session, issues the next authenticated page
+     * request with the touch's opportunistic capture.
+     */
+    void onTouch(const touch::TouchEvent &event,
+                 const fingerprint::MasterFinger *finger);
+
+    // --- State inspection -----------------------------------------------
+
+    bool registrationComplete(const std::string &domain) const;
+    bool sessionActive(const std::string &domain) const;
+
+    /** Pages successfully received and decrypted in sessions. */
+    std::uint64_t pagesReceived() const
+    {
+        return counters_.get("content-page-accepted");
+    }
+
+    const core::CounterSet &counters() const { return counters_; }
+
+  private:
+    enum class Await
+    {
+        Nothing,
+        RegistrationPageMsg,
+        RegistrationTouch,
+        RegistrationResultMsg,
+        LoginPageMsg,
+        LoginTouch,
+        LoginReplyMsg,
+        PageReplyMsg,
+    };
+
+    struct PendingOp
+    {
+        Await await = Await::Nothing;
+        std::string domain;
+        std::string account;
+        std::optional<RegistrationPage> regPage;
+        std::optional<LoginPage> loginPage;
+    };
+
+    /** Render (and possibly tamper) the frame the user looks at. */
+    core::Bytes displayFrame(const core::Bytes &page_content);
+
+    void handleMessage(const net::Message &message);
+    void completeRegistrationTouch(const touch::TouchEvent &event,
+                                   const fingerprint::MasterFinger *f);
+    void completeLoginTouch(const touch::TouchEvent &event,
+                            const fingerprint::MasterFinger *f);
+    void maybeForgeRequest();
+    void applyRiskPolicy();
+
+    std::string name_;
+    hw::BiometricTouchscreen screen_;
+    FlockModule flock_;
+    core::Rng hostRng_;
+    MalwareProfile malware_;
+    DevicePolicy policy_;
+    net::Network *network_ = nullptr;
+
+    PendingOp pending_;
+    std::map<std::string, bool> registered_;
+    std::map<std::string, std::string> accounts_; ///< domain -> account.
+    /** Per-domain current page plaintext (host browser state). */
+    std::map<std::string, core::Bytes> currentPage_;
+    /** Frame shown for the current page (repeater sees this). */
+    std::map<std::string, core::Bytes> currentFrame_;
+    std::map<std::string, std::uint64_t> sessionIds_;
+    core::CounterSet counters_;
+};
+
+} // namespace trust::trust
+
+#endif // TRUST_TRUST_DEVICE_HH

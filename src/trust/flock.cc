@@ -1,0 +1,445 @@
+#include "trust/flock.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "crypto/aes128.hh"
+#include "crypto/hmac.hh"
+#include "crypto/sha256.hh"
+#include "fingerprint/minutiae.hh"
+
+namespace trust::trust {
+
+namespace {
+
+/** Modeled fingerprint-processor time for one template match. */
+constexpr core::Tick kMatchLatency = core::milliseconds(3);
+
+/** AES-CTR helper keyed by the 32-byte session key (first 16B). */
+core::Bytes
+sessionCipher(const core::Bytes &session_key, const core::Bytes &data,
+              std::uint64_t counter_tag)
+{
+    TRUST_ASSERT(session_key.size() >= 16,
+                 "sessionCipher: key too short");
+    const core::Bytes key(session_key.begin(), session_key.begin() + 16);
+    core::Bytes iv(16, 0);
+    for (int i = 0; i < 8; ++i)
+        iv[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(counter_tag >> (8 * i));
+    return crypto::Aes128(key).ctrTransform(iv, data);
+}
+
+} // namespace
+
+FlockModule::FlockModule(std::string device_id,
+                         crypto::RsaPublicKey ca_key, std::uint64_t seed,
+                         FlockConfig config)
+    : deviceId_(std::move(device_id)), caKey_(std::move(ca_key)),
+      config_(config), rng_(seed),
+      deviceKeys_(crypto::rsaGenerate(config.rsaBits, rng_)),
+      frameHash_(config.frameHashAlgorithm),
+      risk_(config.riskWindow, config.riskRequiredMatches)
+{
+    busyTime_ += cryptoModel_.rsaKeygen1024;
+}
+
+void
+FlockModule::installDeviceCertificate(const crypto::Certificate &cert)
+{
+    TRUST_ASSERT(cert.subjectKey == deviceKeys_.pub,
+                 "installDeviceCertificate: certificate for another key");
+    deviceCert_ = cert;
+    store_.put("device/cert", cert.serialize());
+}
+
+int
+FlockModule::enrollFinger(
+    const std::vector<std::vector<fingerprint::Minutia>> &views)
+{
+    TRUST_ASSERT(!views.empty(), "enrollFinger: no views");
+    fingers_.push_back(views);
+    const int index = static_cast<int>(fingers_.size()) - 1;
+    // Persist templates in the protected store.
+    core::ByteWriter w;
+    w.writeU32(static_cast<std::uint32_t>(views.size()));
+    for (const auto &view : views)
+        w.writeBytes(fingerprint::serializeMinutiae(view));
+    store_.put("finger/" + std::to_string(index), w.take());
+    busyTime_ += store_.writeLatency();
+    return index;
+}
+
+bool
+FlockModule::matchesFinger(const CaptureSample &capture, int finger,
+                           bool strict) const
+{
+    const auto &views = fingers_[static_cast<std::size_t>(finger)];
+    return fingerprint::matchAgainstViews(
+               views, capture.minutiae,
+               strict ? config_.strictMatchParams
+                      : config_.matchParams)
+        .accepted;
+}
+
+bool
+FlockModule::verifyCapture(const CaptureSample &capture) const
+{
+    if (!capture.covered || capture.quality < config_.minCaptureQuality)
+        return false;
+    for (int f = 0; f < enrolledFingerCount(); ++f)
+        if (matchesFinger(capture, f, /*strict=*/true))
+            return true;
+    return false;
+}
+
+TouchOutcome
+FlockModule::processTouch(const CaptureSample &capture)
+{
+    TouchOutcome outcome;
+    if (!capture.covered) {
+        outcome = TouchOutcome::NotCovered;
+    } else if (capture.quality < config_.minCaptureQuality ||
+               capture.minutiae.size() <
+                   static_cast<std::size_t>(
+                       config_.minMatchableMinutiae)) {
+        // Too little ridge evidence to judge either way: treat as a
+        // quality discard, not as contradicting evidence.
+        outcome = TouchOutcome::LowQuality;
+    } else {
+        busyTime_ += kMatchLatency;
+        bool matched = false;
+        for (int f = 0; f < enrolledFingerCount() && !matched; ++f)
+            matched = matchesFinger(capture, f);
+        outcome = matched ? TouchOutcome::Matched
+                          : TouchOutcome::Rejected;
+    }
+    risk_.record(outcome);
+    return outcome;
+}
+
+core::Bytes
+FlockModule::frameHashFor(const core::Bytes &frame)
+{
+    busyTime_ += frameHash_.hashLatency(
+        static_cast<std::int64_t>(frame.size()));
+    return frameHash_.hashFrame(frame);
+}
+
+std::optional<RegistrationSubmit>
+FlockModule::handleRegistrationPage(const RegistrationPage &page,
+                                    const std::string &account,
+                                    const core::Bytes &frame,
+                                    const CaptureSample &capture,
+                                    std::uint64_t now)
+{
+    if (!deviceCert_)
+        return std::nullopt;
+
+    // Verify the server certificate chain and the page signature.
+    const auto cert = crypto::Certificate::deserialize(page.serverCert);
+    busyTime_ += cryptoModel_.rsaVerify1024 * 2;
+    if (!cert || cert->subject != page.domain ||
+        !crypto::verifyCertificate(*cert, caKey_, now,
+                                   crypto::CertRole::WebServer))
+        return std::nullopt;
+    if (!crypto::rsaVerify(cert->subjectKey, page.signedBody(),
+                           page.signature))
+        return std::nullopt;
+
+    // The registration touch must carry a usable fingerprint: this
+    // is the template that will own the binding.
+    if (!capture.covered ||
+        capture.quality < config_.minCaptureQuality ||
+        capture.minutiae.size() < 5)
+        return std::nullopt;
+
+    // The registration capture must verify against a finger the
+    // owner enrolled during device setup: the binding references
+    // that enrolled multi-view template, never a one-off partial
+    // capture (which would be too thin to match again later).
+    int finger = -1;
+    for (int f = 0; f < enrolledFingerCount(); ++f) {
+        if (matchesFinger(capture, f, /*strict=*/true)) {
+            finger = f;
+            break;
+        }
+    }
+    if (finger < 0)
+        return std::nullopt;
+
+    DomainBinding binding;
+    binding.account = account;
+    binding.userKeys = crypto::rsaGenerate(config_.rsaBits, rng_);
+    busyTime_ += cryptoModel_.rsaKeygen1024;
+    binding.serverKey = cert->subjectKey;
+    binding.fingerIndex = finger;
+
+    RegistrationSubmit submit;
+    submit.domain = page.domain;
+    submit.account = account;
+    submit.nonce = page.nonce;
+    submit.deviceCert = deviceCert_->serialize();
+    submit.userPublicKey = binding.userKeys.pub.serialize();
+    submit.frameHash = frameHashFor(frame);
+    submit.signature =
+        crypto::rsaSign(deviceKeys_.priv, submit.signedBody());
+    busyTime_ += cryptoModel_.rsaSign1024;
+
+    // Persist the binding.
+    core::ByteWriter w;
+    w.writeString(binding.account);
+    w.writeBytes(binding.userKeys.priv.serialize());
+    w.writeBytes(binding.serverKey.serialize());
+    w.writeU32(static_cast<std::uint32_t>(binding.fingerIndex));
+    if (!store_.put("domain/" + page.domain, w.take())) {
+        core::warn("FLock protected store full; binding not persisted");
+        return std::nullopt;
+    }
+    busyTime_ += store_.writeLatency();
+    bindings_[page.domain] = std::move(binding);
+    return submit;
+}
+
+bool
+FlockModule::hasBinding(const std::string &domain) const
+{
+    return bindings_.count(domain) > 0;
+}
+
+std::optional<LoginSubmit>
+FlockModule::handleLoginPage(const LoginPage &page,
+                             const core::Bytes &frame,
+                             const CaptureSample &capture)
+{
+    auto it = bindings_.find(page.domain);
+    if (it == bindings_.end())
+        return std::nullopt;
+    const DomainBinding &binding = it->second;
+
+    busyTime_ += cryptoModel_.rsaVerify1024;
+    if (!crypto::rsaVerify(binding.serverKey, page.signedBody(),
+                           page.signature))
+        return std::nullopt;
+
+    // The login touch must verify against the bound finger.
+    if (!capture.covered ||
+        capture.quality < config_.minCaptureQuality)
+        return std::nullopt;
+    busyTime_ += kMatchLatency;
+    if (!matchesFinger(capture, binding.fingerIndex, /*strict=*/true))
+        return std::nullopt;
+
+    risk_.reset();
+    risk_.record(TouchOutcome::Matched);
+
+    Session session;
+    session.sessionKey = rng_.randomBytes(32);
+    session.pendingLoginNonce = page.nonce;
+    session.established = false;
+
+    LoginSubmit submit;
+    submit.domain = page.domain;
+    submit.account = binding.account;
+    submit.nonce = page.nonce;
+    submit.encSessionKey =
+        crypto::rsaEncrypt(binding.serverKey, session.sessionKey, rng_);
+    busyTime_ += cryptoModel_.rsaVerify1024; // public-key op
+    submit.frameHash = frameHashFor(frame);
+    const RiskReport rr = risk_.report();
+    submit.riskMatched = static_cast<std::uint32_t>(rr.matched);
+    submit.riskWindow = static_cast<std::uint32_t>(
+        std::max(rr.windowTouches, 1));
+    submit.mac =
+        crypto::hmacSha256(session.sessionKey, submit.macBody());
+
+    sessions_[page.domain] = std::move(session);
+    return submit;
+}
+
+bool
+FlockModule::acceptContentPage(const ContentPage &page)
+{
+    auto it = sessions_.find(page.domain);
+    if (it == sessions_.end())
+        return false;
+    Session &session = it->second;
+
+    if (!crypto::hmacSha256Verify(session.sessionKey, page.macBody(),
+                                  page.mac))
+        return false;
+    if (session.established && page.sessionId != session.sessionId)
+        return false;
+
+    session.sessionId = page.sessionId;
+    session.nextNonce = page.nonce;
+    session.established = true;
+    return true;
+}
+
+std::optional<PageRequest>
+FlockModule::makePageRequest(const std::string &domain,
+                             const std::string &action,
+                             const core::Bytes &frame,
+                             const CaptureSample &capture)
+{
+    auto it = sessions_.find(domain);
+    if (it == sessions_.end() || !it->second.established)
+        return std::nullopt;
+    Session &session = it->second;
+    auto binding_it = bindings_.find(domain);
+    if (binding_it == bindings_.end())
+        return std::nullopt;
+
+    // Opportunistic continuous authentication (Fig. 6 inside
+    // Fig. 10): every touch updates the risk window.
+    processTouch(capture);
+
+    PageRequest request;
+    request.domain = domain;
+    request.account = binding_it->second.account;
+    request.sessionId = session.sessionId;
+    request.nonce = session.nextNonce;
+    request.action = action;
+    request.frameHash = frameHashFor(frame);
+    const RiskReport rr = risk_.report();
+    request.riskMatched = static_cast<std::uint32_t>(rr.matched);
+    request.riskWindow =
+        static_cast<std::uint32_t>(std::max(rr.windowTouches, 1));
+    request.mac =
+        crypto::hmacSha256(session.sessionKey, request.macBody());
+    busyTime_ += cryptoModel_.shaLatency(
+        static_cast<std::int64_t>(request.macBody().size()));
+    return request;
+}
+
+std::optional<core::Bytes>
+FlockModule::decryptPageContent(const std::string &domain,
+                                const core::Bytes &encrypted) const
+{
+    auto it = sessions_.find(domain);
+    if (it == sessions_.end() || !it->second.established)
+        return std::nullopt;
+    return sessionCipher(it->second.sessionKey, encrypted,
+                         it->second.sessionId);
+}
+
+void
+FlockModule::endSession(const std::string &domain)
+{
+    sessions_.erase(domain);
+}
+
+bool
+FlockModule::sessionActive(const std::string &domain) const
+{
+    auto it = sessions_.find(domain);
+    return it != sessions_.end() && it->second.established;
+}
+
+std::optional<core::Bytes>
+FlockModule::exportIdentity(const crypto::RsaPublicKey &new_device_key,
+                            const CaptureSample &authorization)
+{
+    // The user authorizes the transfer with a verified fingerprint
+    // (Sec. IV-B, Identity Transfer).
+    if (!verifyCapture(authorization))
+        return std::nullopt;
+
+    core::ByteWriter bundle;
+    bundle.writeU32(static_cast<std::uint32_t>(fingers_.size()));
+    for (const auto &views : fingers_) {
+        bundle.writeU32(static_cast<std::uint32_t>(views.size()));
+        for (const auto &view : views)
+            bundle.writeBytes(fingerprint::serializeMinutiae(view));
+    }
+    bundle.writeU32(static_cast<std::uint32_t>(bindings_.size()));
+    for (const auto &[domain, binding] : bindings_) {
+        bundle.writeString(domain);
+        bundle.writeString(binding.account);
+        bundle.writeBytes(binding.userKeys.priv.serialize());
+        bundle.writeBytes(binding.serverKey.serialize());
+        bundle.writeU32(static_cast<std::uint32_t>(binding.fingerIndex));
+    }
+    const core::Bytes plain = bundle.take();
+
+    // Hybrid encryption to the new device's public key.
+    const core::Bytes aes_key = rng_.randomBytes(16);
+    const core::Bytes iv = rng_.randomBytes(16);
+    const core::Bytes ciphertext =
+        crypto::Aes128(aes_key).ctrTransform(iv, plain);
+
+    core::ByteWriter out;
+    out.writeBytes(crypto::rsaEncrypt(new_device_key, aes_key, rng_));
+    out.writeBytes(iv);
+    out.writeBytes(ciphertext);
+    busyTime_ += cryptoModel_.aesLatency(
+        static_cast<std::int64_t>(plain.size()));
+    return out.take();
+}
+
+bool
+FlockModule::importIdentity(const core::Bytes &bundle)
+{
+    core::ByteReader outer(bundle);
+    const core::Bytes enc_key = outer.readBytes();
+    const core::Bytes iv = outer.readBytes();
+    const core::Bytes ciphertext = outer.readBytes();
+    if (!outer.ok() || !outer.atEnd() || iv.size() != 16)
+        return false;
+
+    const auto aes_key = crypto::rsaDecrypt(deviceKeys_.priv, enc_key);
+    if (!aes_key || aes_key->size() != 16)
+        return false;
+    const core::Bytes plain =
+        crypto::Aes128(*aes_key).ctrTransform(iv, ciphertext);
+
+    core::ByteReader r(plain);
+    const std::uint32_t finger_count = r.readU32();
+    std::vector<std::vector<std::vector<fingerprint::Minutia>>> fingers;
+    for (std::uint32_t f = 0; f < finger_count && r.ok(); ++f) {
+        const std::uint32_t view_count = r.readU32();
+        std::vector<std::vector<fingerprint::Minutia>> views;
+        for (std::uint32_t v = 0; v < view_count && r.ok(); ++v)
+            views.push_back(
+                fingerprint::deserializeMinutiae(r.readBytes()));
+        fingers.push_back(std::move(views));
+    }
+    const std::uint32_t binding_count = r.readU32();
+    std::map<std::string, DomainBinding> bindings;
+    for (std::uint32_t b = 0; b < binding_count && r.ok(); ++b) {
+        const std::string domain = r.readString();
+        DomainBinding binding;
+        binding.account = r.readString();
+        const auto priv =
+            crypto::RsaPrivateKey::deserialize(r.readBytes());
+        const auto server =
+            crypto::RsaPublicKey::deserialize(r.readBytes());
+        binding.fingerIndex = static_cast<int>(r.readU32());
+        if (!priv || !server)
+            return false;
+        binding.userKeys = {priv->publicKey(), *priv};
+        binding.serverKey = *server;
+        bindings[domain] = std::move(binding);
+    }
+    if (!r.ok() || !r.atEnd())
+        return false;
+
+    fingers_ = std::move(fingers);
+    bindings_ = std::move(bindings);
+    sessions_.clear();
+    risk_.reset();
+    return true;
+}
+
+void
+FlockModule::factoryReset()
+{
+    fingers_.clear();
+    bindings_.clear();
+    sessions_.clear();
+    risk_.reset();
+    store_.wipeAll();
+}
+
+} // namespace trust::trust

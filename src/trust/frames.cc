@@ -1,0 +1,71 @@
+#include "trust/frames.hh"
+
+#include "core/rng.hh"
+
+namespace trust::trust {
+
+std::vector<ViewTransform>
+standardViews()
+{
+    std::vector<ViewTransform> views;
+    for (int zoom : {100, 150, 200})
+        for (int scroll = 0; scroll < 4; ++scroll)
+            views.push_back({zoom, scroll});
+    return views;
+}
+
+core::Bytes
+renderFrame(const core::Bytes &page_content, const ViewTransform &view,
+            const hw::DisplaySpec &display)
+{
+    const std::size_t frame_bytes =
+        static_cast<std::size_t>(display.frameBytes());
+    core::Bytes frame(frame_bytes);
+    if (page_content.empty())
+        return frame;
+
+    // Deterministic expansion: a SplitMix64 stream seeded by the view
+    // parameters indexes into the content, emulating layout: zoom
+    // changes glyph scaling (stride), scroll shifts the window.
+    std::uint64_t seed = 0x9d2c5680u;
+    seed = seed * 31 + static_cast<std::uint64_t>(view.zoomPercent);
+    seed = seed * 31 + static_cast<std::uint64_t>(view.scrollStep);
+
+    const std::size_t n = page_content.size();
+    const std::size_t stride =
+        1 + static_cast<std::size_t>(view.zoomPercent) / 100;
+    std::size_t pos =
+        (static_cast<std::size_t>(view.scrollStep) * n / 4) % n;
+
+    std::uint64_t mix_state = seed;
+    std::uint64_t mix = core::splitMix64(mix_state);
+    int mix_left = 8;
+    for (std::size_t i = 0; i < frame_bytes; ++i) {
+        if (mix_left == 0) {
+            mix = core::splitMix64(mix_state);
+            mix_left = 8;
+        }
+        frame[i] = static_cast<std::uint8_t>(
+            page_content[pos] ^ static_cast<std::uint8_t>(mix));
+        mix >>= 8;
+        --mix_left;
+        pos += stride;
+        if (pos >= n)
+            pos -= n;
+    }
+    return frame;
+}
+
+std::vector<core::Bytes>
+expectedFrameHashes(const core::Bytes &page_content,
+                    const hw::DisplaySpec &display,
+                    const hw::FrameHashEngine &engine)
+{
+    std::vector<core::Bytes> hashes;
+    for (const auto &view : standardViews())
+        hashes.push_back(
+            engine.hashFrame(renderFrame(page_content, view, display)));
+    return hashes;
+}
+
+} // namespace trust::trust

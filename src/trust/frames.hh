@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-rendering of hyper-text pages into display
+ * frames, shared by the device (display repeater input) and the
+ * server (frame-hash audit).
+ *
+ * The paper observes that the displayed view of a page varies with
+ * user zoom/scroll but "can only belong to a finite set of all the
+ * possible views of the original page", so a server can match a
+ * logged frame hash against the hashes of that finite set. The
+ * renderer below is a stand-in for a real layout engine: it expands
+ * page bytes into a frame buffer as a deterministic function of
+ * (content, view), which preserves exactly the property the audit
+ * relies on — same content + same view => same frame; any malware
+ * edit to content or frame => different hash.
+ */
+
+#ifndef TRUST_TRUST_FRAMES_HH
+#define TRUST_TRUST_FRAMES_HH
+
+#include <vector>
+
+#include "core/bytes.hh"
+#include "hw/flock_hw.hh"
+
+namespace trust::trust {
+
+/** A display view of a page (zoom + scroll). */
+struct ViewTransform
+{
+    int zoomPercent = 100; ///< 100, 150, 200.
+    int scrollStep = 0;    ///< Scroll position in half-screen steps.
+
+    bool
+    operator==(const ViewTransform &o) const
+    {
+        return zoomPercent == o.zoomPercent && scrollStep == o.scrollStep;
+    }
+};
+
+/** The finite set of views the audit enumerates. */
+std::vector<ViewTransform> standardViews();
+
+/** Render page content into a frame buffer for a view. */
+core::Bytes renderFrame(const core::Bytes &page_content,
+                        const ViewTransform &view,
+                        const hw::DisplaySpec &display);
+
+/**
+ * Hashes of all standard views of a page: the expected set a server
+ * checks logged frame hashes against during offline audit.
+ */
+std::vector<core::Bytes> expectedFrameHashes(
+    const core::Bytes &page_content, const hw::DisplaySpec &display,
+    const hw::FrameHashEngine &engine);
+
+} // namespace trust::trust
+
+#endif // TRUST_TRUST_FRAMES_HH

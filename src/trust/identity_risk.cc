@@ -1,0 +1,87 @@
+#include "trust/identity_risk.hh"
+
+#include "core/logging.hh"
+
+namespace trust::trust {
+
+IdentityRisk::IdentityRisk(int window_size, int required_matches)
+    : windowSize_(window_size), requiredMatches_(required_matches)
+{
+    TRUST_ASSERT(window_size > 0, "IdentityRisk: window must be > 0");
+    TRUST_ASSERT(required_matches > 0 && required_matches <= window_size,
+                 "IdentityRisk: need 0 < k <= n");
+}
+
+void
+IdentityRisk::record(TouchOutcome outcome)
+{
+    ++total_;
+    if (outcome == TouchOutcome::NotCovered) {
+        ++notCovered_;
+        return;
+    }
+    window_.push_back(outcome);
+    if (static_cast<int>(window_.size()) > windowSize_)
+        window_.pop_front();
+}
+
+void
+IdentityRisk::reset()
+{
+    window_.clear();
+}
+
+RiskReport
+IdentityRisk::report() const
+{
+    RiskReport r;
+    r.windowTouches = static_cast<int>(window_.size());
+    r.notCovered = notCovered_;
+    for (TouchOutcome o : window_) {
+        switch (o) {
+          case TouchOutcome::Matched:
+            ++r.matched;
+            break;
+          case TouchOutcome::Rejected:
+            ++r.rejected;
+            break;
+          case TouchOutcome::LowQuality:
+            ++r.lowQuality;
+            break;
+          case TouchOutcome::NotCovered:
+            break; // never stored in the window
+        }
+    }
+    // Risk: 1 minus the verified fraction of the window, weighted so
+    // explicit rejections hurt more than mere lack of evidence.
+    if (r.windowTouches > 0) {
+        const double verified =
+            static_cast<double>(r.matched) / r.windowTouches;
+        const double reject_penalty =
+            static_cast<double>(r.rejected) / r.windowTouches;
+        double risk = (1.0 - verified) * 0.5 + reject_penalty * 0.5;
+        if (risk < 0.0)
+            risk = 0.0;
+        if (risk > 1.0)
+            risk = 1.0;
+        r.risk = risk;
+    }
+    return r;
+}
+
+bool
+IdentityRisk::violated() const
+{
+    if (static_cast<int>(window_.size()) < windowSize_)
+        return false;
+    return report().matched < requiredMatches_;
+}
+
+bool
+IdentityRisk::hardFailure(int max_rejects) const
+{
+    const RiskReport r = report();
+    return r.rejected >= max_rejects && r.rejected > 2 * r.matched;
+}
+
+} // namespace trust::trust

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Identity-risk bookkeeping (Sec. IV-A).
+ *
+ * The paper quantifies the likelihood of identity fraud as the
+ * number of touches whose fingerprints could be captured and
+ * verified out of the last n touches, and proposes a window-based
+ * policy: at least k of the last n consecutive touches must have
+ * produced a valid fingerprint. This class maintains that sliding
+ * window and derives the risk factor reported to remote servers in
+ * the Fig. 10 protocol ("Risk: x out of the n touches
+ * authenticated").
+ */
+
+#ifndef TRUST_TRUST_IDENTITY_RISK_HH
+#define TRUST_TRUST_IDENTITY_RISK_HH
+
+#include <cstdint>
+#include <deque>
+
+namespace trust::trust {
+
+/** Per-touch authentication outcome (Fig. 6 pipeline exits). */
+enum class TouchOutcome : std::uint8_t
+{
+    NotCovered = 0, ///< Touch outside every sensor tile.
+    LowQuality = 1, ///< Captured but discarded by the quality gate.
+    Matched = 2,    ///< Captured, extracted and matched.
+    Rejected = 3,   ///< Captured with good quality but match failed.
+};
+
+/** Snapshot of the current risk state. */
+struct RiskReport
+{
+    int windowTouches = 0;   ///< Covered touches in the window.
+    int matched = 0;         ///< Matched outcomes in the window.
+    int rejected = 0;        ///< Good-quality non-matches.
+    int lowQuality = 0;      ///< Quality-gate discards.
+    std::uint64_t notCovered = 0; ///< Off-sensor touches (lifetime).
+    double risk = 0.0;       ///< Risk factor in [0, 1] (1 = worst).
+};
+
+/** Sliding-window identity risk tracker. */
+class IdentityRisk
+{
+  public:
+    /**
+     * @param window_size n, the window length in touches.
+     * @param required_matches k, matches required per window.
+     */
+    explicit IdentityRisk(int window_size = 8, int required_matches = 2);
+
+    int windowSize() const { return windowSize_; }
+    int requiredMatches() const { return requiredMatches_; }
+
+    /** Record the outcome of one touch. */
+    void record(TouchOutcome outcome);
+
+    /** Clear history (after re-authentication or unlock). */
+    void reset();
+
+    /** Current state. */
+    RiskReport report() const;
+
+    /**
+     * The k-of-n policy check: true when the window of *covered*
+     * touches is full and fewer than k of them matched. Off-sensor
+     * touches carry no biometric evidence either way and never
+     * enter the window (the paper's placement strategy bounds how
+     * many of those occur); low-quality captures DO enter it, which
+     * is precisely the defence against the low-quality-evasion
+     * attack: an impostor feeding n consecutive smudged touches
+     * still trips the policy.
+     */
+    bool violated() const;
+
+    /**
+     * Hard-failure check: true when the window contains
+     * @p max_rejects or more explicit match rejections AND the
+     * rejections outnumber the matches two-to-one. Genuine users
+     * reject regularly (partial-print FRR is ~1/3 per touch) but
+     * also match; an impostor rejects without matching.
+     */
+    bool hardFailure(int max_rejects = 3) const;
+
+    /** Total touches ever recorded. */
+    std::uint64_t totalTouches() const { return total_; }
+
+  private:
+    int windowSize_;
+    int requiredMatches_;
+    std::deque<TouchOutcome> window_;
+    std::uint64_t total_ = 0;
+    std::uint64_t notCovered_ = 0;
+};
+
+} // namespace trust::trust
+
+#endif // TRUST_TRUST_IDENTITY_RISK_HH

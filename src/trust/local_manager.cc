@@ -1,0 +1,86 @@
+#include "trust/local_manager.hh"
+
+namespace trust::trust {
+
+LocalIdentityManager::LocalIdentityManager(
+    hw::BiometricTouchscreen &screen, FlockModule &flock,
+    ResponsePolicy policy)
+    : screen_(screen), flock_(flock), policy_(policy)
+{
+}
+
+bool
+LocalIdentityManager::attemptUnlock(
+    const touch::TouchEvent &event,
+    const fingerprint::MasterFinger *finger, core::Rng &rng)
+{
+    counters_.bump("unlock-attempt");
+    const TouchCapture capture =
+        captureTouch(screen_, event, finger, rng);
+
+    // The unlock button sits over a sensor; a touch that somehow
+    // missed every tile cannot unlock.
+    if (!capture.sample.covered) {
+        counters_.bump("unlock-miss-sensor");
+        return false;
+    }
+    if (!flock_.verifyCapture(capture.sample)) {
+        counters_.bump("unlock-rejected");
+        return false;
+    }
+    flock_.resetRisk();
+    state_ = LockState::Unlocked;
+    counters_.bump("unlock-accepted");
+    return true;
+}
+
+TouchOutcome
+LocalIdentityManager::processTouch(
+    const touch::TouchEvent &event,
+    const fingerprint::MasterFinger *finger, core::Rng &rng)
+{
+    const TouchCapture capture =
+        captureTouch(screen_, event, finger, rng);
+    const TouchOutcome outcome = flock_.processTouch(capture.sample);
+
+    switch (outcome) {
+      case TouchOutcome::Matched:
+        counters_.bump("touch-matched");
+        break;
+      case TouchOutcome::Rejected:
+        counters_.bump("touch-rejected");
+        break;
+      case TouchOutcome::LowQuality:
+        counters_.bump("touch-low-quality");
+        break;
+      case TouchOutcome::NotCovered:
+        counters_.bump("touch-not-covered");
+        break;
+    }
+
+    applyPolicy();
+    return outcome;
+}
+
+void
+LocalIdentityManager::applyPolicy()
+{
+    if (state_ != LockState::Unlocked)
+        return;
+    const auto risk = flock_.risk();
+    if (policy_.lockOnHardFailure &&
+        risk.rejected >= policy_.hardFailureRejects &&
+        risk.rejected > 2 * risk.matched) {
+        state_ = LockState::Locked;
+        counters_.bump("lock:hard-failure");
+        flock_.resetRisk();
+        return;
+    }
+    if (policy_.lockOnWindowViolation && flock_.riskViolated()) {
+        state_ = LockState::Locked;
+        counters_.bump("lock:window-violation");
+        flock_.resetRisk();
+    }
+}
+
+} // namespace trust::trust

@@ -1,0 +1,425 @@
+#include "trust/messages.hh"
+
+namespace trust::trust {
+
+namespace {
+
+/** Begin a payload with its kind byte. */
+core::ByteWriter
+beginMessage(MsgKind kind)
+{
+    core::ByteWriter w;
+    w.writeU8(static_cast<std::uint8_t>(kind));
+    return w;
+}
+
+/** Open a reader and verify the kind byte. */
+std::optional<core::ByteReader>
+openMessage(const core::Bytes &payload, MsgKind expected)
+{
+    core::ByteReader r(payload);
+    if (r.readU8() != static_cast<std::uint8_t>(expected) || !r.ok())
+        return std::nullopt;
+    return r;
+}
+
+} // namespace
+
+std::optional<MsgKind>
+peekKind(const core::Bytes &payload)
+{
+    if (payload.empty())
+        return std::nullopt;
+    const std::uint8_t k = payload[0];
+    if (k < 1 || k > 10)
+        return std::nullopt;
+    return static_cast<MsgKind>(k);
+}
+
+// --- RegistrationRequest -------------------------------------------------
+
+core::Bytes
+RegistrationRequest::serialize() const
+{
+    auto w = beginMessage(MsgKind::RegistrationRequest);
+    w.writeString(domain);
+    w.writeString(account);
+    return w.take();
+}
+
+std::optional<RegistrationRequest>
+RegistrationRequest::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::RegistrationRequest);
+    if (!r)
+        return std::nullopt;
+    RegistrationRequest m;
+    m.domain = r->readString();
+    m.account = r->readString();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- RegistrationPage ----------------------------------------------------
+
+core::Bytes
+RegistrationPage::signedBody() const
+{
+    core::ByteWriter w;
+    w.writeU8(static_cast<std::uint8_t>(MsgKind::RegistrationPage));
+    w.writeString(domain);
+    w.writeBytes(nonce);
+    w.writeBytes(pageContent);
+    w.writeBytes(serverCert);
+    return w.take();
+}
+
+core::Bytes
+RegistrationPage::serialize() const
+{
+    auto w = beginMessage(MsgKind::RegistrationPage);
+    w.writeString(domain);
+    w.writeBytes(nonce);
+    w.writeBytes(pageContent);
+    w.writeBytes(serverCert);
+    w.writeBytes(signature);
+    return w.take();
+}
+
+std::optional<RegistrationPage>
+RegistrationPage::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::RegistrationPage);
+    if (!r)
+        return std::nullopt;
+    RegistrationPage m;
+    m.domain = r->readString();
+    m.nonce = r->readBytes();
+    m.pageContent = r->readBytes();
+    m.serverCert = r->readBytes();
+    m.signature = r->readBytes();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- RegistrationSubmit --------------------------------------------------
+
+core::Bytes
+RegistrationSubmit::signedBody() const
+{
+    core::ByteWriter w;
+    w.writeU8(static_cast<std::uint8_t>(MsgKind::RegistrationSubmit));
+    w.writeString(domain);
+    w.writeString(account);
+    w.writeBytes(nonce);
+    w.writeBytes(deviceCert);
+    w.writeBytes(userPublicKey);
+    w.writeBytes(frameHash);
+    return w.take();
+}
+
+core::Bytes
+RegistrationSubmit::serialize() const
+{
+    auto w = beginMessage(MsgKind::RegistrationSubmit);
+    w.writeString(domain);
+    w.writeString(account);
+    w.writeBytes(nonce);
+    w.writeBytes(deviceCert);
+    w.writeBytes(userPublicKey);
+    w.writeBytes(frameHash);
+    w.writeBytes(signature);
+    return w.take();
+}
+
+std::optional<RegistrationSubmit>
+RegistrationSubmit::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::RegistrationSubmit);
+    if (!r)
+        return std::nullopt;
+    RegistrationSubmit m;
+    m.domain = r->readString();
+    m.account = r->readString();
+    m.nonce = r->readBytes();
+    m.deviceCert = r->readBytes();
+    m.userPublicKey = r->readBytes();
+    m.frameHash = r->readBytes();
+    m.signature = r->readBytes();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- RegistrationResult --------------------------------------------------
+
+core::Bytes
+RegistrationResult::serialize() const
+{
+    auto w = beginMessage(MsgKind::RegistrationResult);
+    w.writeString(domain);
+    w.writeString(account);
+    w.writeBool(ok);
+    w.writeString(reason);
+    return w.take();
+}
+
+std::optional<RegistrationResult>
+RegistrationResult::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::RegistrationResult);
+    if (!r)
+        return std::nullopt;
+    RegistrationResult m;
+    m.domain = r->readString();
+    m.account = r->readString();
+    m.ok = r->readBool();
+    m.reason = r->readString();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- LoginRequest ---------------------------------------------------------
+
+core::Bytes
+LoginRequest::serialize() const
+{
+    auto w = beginMessage(MsgKind::LoginRequest);
+    w.writeString(domain);
+    w.writeString(account);
+    return w.take();
+}
+
+std::optional<LoginRequest>
+LoginRequest::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::LoginRequest);
+    if (!r)
+        return std::nullopt;
+    LoginRequest m;
+    m.domain = r->readString();
+    m.account = r->readString();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- LoginPage --------------------------------------------------------------
+
+core::Bytes
+LoginPage::signedBody() const
+{
+    core::ByteWriter w;
+    w.writeU8(static_cast<std::uint8_t>(MsgKind::LoginPage));
+    w.writeString(domain);
+    w.writeBytes(nonce);
+    w.writeBytes(pageContent);
+    return w.take();
+}
+
+core::Bytes
+LoginPage::serialize() const
+{
+    auto w = beginMessage(MsgKind::LoginPage);
+    w.writeString(domain);
+    w.writeBytes(nonce);
+    w.writeBytes(pageContent);
+    w.writeBytes(signature);
+    return w.take();
+}
+
+std::optional<LoginPage>
+LoginPage::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::LoginPage);
+    if (!r)
+        return std::nullopt;
+    LoginPage m;
+    m.domain = r->readString();
+    m.nonce = r->readBytes();
+    m.pageContent = r->readBytes();
+    m.signature = r->readBytes();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- LoginSubmit ------------------------------------------------------------
+
+core::Bytes
+LoginSubmit::macBody() const
+{
+    core::ByteWriter w;
+    w.writeU8(static_cast<std::uint8_t>(MsgKind::LoginSubmit));
+    w.writeString(domain);
+    w.writeString(account);
+    w.writeBytes(nonce);
+    w.writeBytes(encSessionKey);
+    w.writeBytes(frameHash);
+    w.writeU32(riskMatched);
+    w.writeU32(riskWindow);
+    return w.take();
+}
+
+core::Bytes
+LoginSubmit::serialize() const
+{
+    auto w = beginMessage(MsgKind::LoginSubmit);
+    w.writeString(domain);
+    w.writeString(account);
+    w.writeBytes(nonce);
+    w.writeBytes(encSessionKey);
+    w.writeBytes(frameHash);
+    w.writeU32(riskMatched);
+    w.writeU32(riskWindow);
+    w.writeBytes(mac);
+    return w.take();
+}
+
+std::optional<LoginSubmit>
+LoginSubmit::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::LoginSubmit);
+    if (!r)
+        return std::nullopt;
+    LoginSubmit m;
+    m.domain = r->readString();
+    m.account = r->readString();
+    m.nonce = r->readBytes();
+    m.encSessionKey = r->readBytes();
+    m.frameHash = r->readBytes();
+    m.riskMatched = r->readU32();
+    m.riskWindow = r->readU32();
+    m.mac = r->readBytes();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- ContentPage ------------------------------------------------------------
+
+core::Bytes
+ContentPage::macBody() const
+{
+    core::ByteWriter w;
+    w.writeU8(static_cast<std::uint8_t>(MsgKind::ContentPage));
+    w.writeString(domain);
+    w.writeU64(sessionId);
+    w.writeBytes(nonce);
+    w.writeBytes(pageContent);
+    return w.take();
+}
+
+core::Bytes
+ContentPage::serialize() const
+{
+    auto w = beginMessage(MsgKind::ContentPage);
+    w.writeString(domain);
+    w.writeU64(sessionId);
+    w.writeBytes(nonce);
+    w.writeBytes(pageContent);
+    w.writeBytes(mac);
+    return w.take();
+}
+
+std::optional<ContentPage>
+ContentPage::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::ContentPage);
+    if (!r)
+        return std::nullopt;
+    ContentPage m;
+    m.domain = r->readString();
+    m.sessionId = r->readU64();
+    m.nonce = r->readBytes();
+    m.pageContent = r->readBytes();
+    m.mac = r->readBytes();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- PageRequest ------------------------------------------------------------
+
+core::Bytes
+PageRequest::macBody() const
+{
+    core::ByteWriter w;
+    w.writeU8(static_cast<std::uint8_t>(MsgKind::PageRequest));
+    w.writeString(domain);
+    w.writeString(account);
+    w.writeU64(sessionId);
+    w.writeBytes(nonce);
+    w.writeString(action);
+    w.writeBytes(frameHash);
+    w.writeU32(riskMatched);
+    w.writeU32(riskWindow);
+    return w.take();
+}
+
+core::Bytes
+PageRequest::serialize() const
+{
+    auto w = beginMessage(MsgKind::PageRequest);
+    w.writeString(domain);
+    w.writeString(account);
+    w.writeU64(sessionId);
+    w.writeBytes(nonce);
+    w.writeString(action);
+    w.writeBytes(frameHash);
+    w.writeU32(riskMatched);
+    w.writeU32(riskWindow);
+    w.writeBytes(mac);
+    return w.take();
+}
+
+std::optional<PageRequest>
+PageRequest::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::PageRequest);
+    if (!r)
+        return std::nullopt;
+    PageRequest m;
+    m.domain = r->readString();
+    m.account = r->readString();
+    m.sessionId = r->readU64();
+    m.nonce = r->readBytes();
+    m.action = r->readString();
+    m.frameHash = r->readBytes();
+    m.riskMatched = r->readU32();
+    m.riskWindow = r->readU32();
+    m.mac = r->readBytes();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+// --- ErrorReply -------------------------------------------------------------
+
+core::Bytes
+ErrorReply::serialize() const
+{
+    auto w = beginMessage(MsgKind::ErrorReply);
+    w.writeString(domain);
+    w.writeString(reason);
+    return w.take();
+}
+
+std::optional<ErrorReply>
+ErrorReply::deserialize(const core::Bytes &payload)
+{
+    auto r = openMessage(payload, MsgKind::ErrorReply);
+    if (!r)
+        return std::nullopt;
+    ErrorReply m;
+    m.domain = r->readString();
+    m.reason = r->readString();
+    if (!r->ok() || !r->atEnd())
+        return std::nullopt;
+    return m;
+}
+
+} // namespace trust::trust

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * TRUST wire messages: the concrete encoding of the registration
+ * flow (Fig. 9) and the continuous-authentication flow (Fig. 10).
+ *
+ * Authenticity layers follow the paper: pages sent by the Web
+ * Server are RSA-signed with its private key; the registration
+ * submission is RSA-signed with the FLock device key; session-phase
+ * messages carry an HMAC under the negotiated session key. Every
+ * message embeds the current nonce so replays are detectable.
+ */
+
+#ifndef TRUST_TRUST_MESSAGES_HH
+#define TRUST_TRUST_MESSAGES_HH
+
+#include <optional>
+#include <string>
+
+#include "core/bytes.hh"
+
+namespace trust::trust {
+
+/** Message discriminator (first payload byte). */
+enum class MsgKind : std::uint8_t
+{
+    RegistrationRequest = 1,
+    RegistrationPage = 2,
+    RegistrationSubmit = 3,
+    RegistrationResult = 4,
+    LoginRequest = 5,
+    LoginPage = 6,
+    LoginSubmit = 7,
+    ContentPage = 8,
+    PageRequest = 9,
+    ErrorReply = 10,
+};
+
+/** Read the kind byte of a raw payload (nullopt if empty/unknown). */
+std::optional<MsgKind> peekKind(const core::Bytes &payload);
+
+/** Device -> server: start account binding. */
+struct RegistrationRequest
+{
+    std::string domain;
+    std::string account;
+
+    core::Bytes serialize() const;
+    static std::optional<RegistrationRequest>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Server -> device: registration page + certificate + nonce. */
+struct RegistrationPage
+{
+    std::string domain;
+    core::Bytes nonce;       ///< Fresh 16-byte server nonce.
+    core::Bytes pageContent; ///< Hyper-text page bytes.
+    core::Bytes serverCert;  ///< CA-signed server certificate.
+    core::Bytes signature;   ///< Server RSA signature over body.
+
+    /** The byte string the signature covers. */
+    core::Bytes signedBody() const;
+
+    core::Bytes serialize() const;
+    static std::optional<RegistrationPage>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Device -> server: the Fig. 9 binding submission. */
+struct RegistrationSubmit
+{
+    std::string domain;
+    std::string account;
+    core::Bytes nonce;      ///< Echo of the server nonce.
+    core::Bytes deviceCert; ///< CA-signed FLock device certificate.
+    core::Bytes userPublicKey; ///< Fresh per-(user,domain) key.
+    core::Bytes frameHash;  ///< Hash of the displayed frame.
+    core::Bytes signature;  ///< FLock device RSA signature.
+
+    core::Bytes signedBody() const;
+
+    core::Bytes serialize() const;
+    static std::optional<RegistrationSubmit>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Server -> device: binding outcome. */
+struct RegistrationResult
+{
+    std::string domain;
+    std::string account;
+    bool ok = false;
+    std::string reason;
+
+    core::Bytes serialize() const;
+    static std::optional<RegistrationResult>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Device -> server: request the login page. */
+struct LoginRequest
+{
+    std::string domain;
+    std::string account;
+
+    core::Bytes serialize() const;
+    static std::optional<LoginRequest>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Server -> device: login page with a fresh nonce. */
+struct LoginPage
+{
+    std::string domain;
+    core::Bytes nonce;
+    core::Bytes pageContent;
+    core::Bytes signature; ///< Server RSA signature over body.
+
+    core::Bytes signedBody() const;
+
+    core::Bytes serialize() const;
+    static std::optional<LoginPage>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Device -> server: the Fig. 10 login submission. */
+struct LoginSubmit
+{
+    std::string domain;
+    std::string account;
+    core::Bytes nonce;          ///< Echo of the login nonce.
+    core::Bytes encSessionKey;  ///< RSA(server_pub, session key).
+    core::Bytes frameHash;      ///< Hash of the displayed login frame.
+    std::uint32_t riskMatched = 0; ///< x of "x out of n".
+    std::uint32_t riskWindow = 0;  ///< n of "x out of n".
+    core::Bytes mac;            ///< HMAC(session key, body).
+
+    core::Bytes macBody() const;
+
+    core::Bytes serialize() const;
+    static std::optional<LoginSubmit>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Server -> device: content page inside a session. */
+struct ContentPage
+{
+    std::string domain;
+    std::uint64_t sessionId = 0;
+    core::Bytes nonce;       ///< Nonce for the *next* request.
+    core::Bytes pageContent; ///< Encrypted under the session key.
+    core::Bytes mac;         ///< HMAC(session key, body).
+
+    core::Bytes macBody() const;
+
+    core::Bytes serialize() const;
+    static std::optional<ContentPage>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Device -> server: one continuous-auth page request (Fig. 10). */
+struct PageRequest
+{
+    std::string domain;
+    std::string account;
+    std::uint64_t sessionId = 0;
+    core::Bytes nonce;     ///< Echo of the last issued nonce.
+    std::string action;    ///< What the user tapped (link id).
+    core::Bytes frameHash; ///< Hash of the frame the user acted on.
+    std::uint32_t riskMatched = 0;
+    std::uint32_t riskWindow = 0;
+    core::Bytes mac;       ///< HMAC(session key, body).
+
+    core::Bytes macBody() const;
+
+    core::Bytes serialize() const;
+    static std::optional<PageRequest>
+    deserialize(const core::Bytes &payload);
+};
+
+/** Server -> device: rejection (bad MAC, stale nonce, risk...). */
+struct ErrorReply
+{
+    std::string domain;
+    std::string reason;
+
+    core::Bytes serialize() const;
+    static std::optional<ErrorReply>
+    deserialize(const core::Bytes &payload);
+};
+
+} // namespace trust::trust
+
+#endif // TRUST_TRUST_MESSAGES_HH

@@ -1,0 +1,150 @@
+#include "trust/scenario.hh"
+
+#include "core/logging.hh"
+
+namespace trust::trust {
+
+Ecosystem::Ecosystem(const EcosystemConfig &config)
+    : config_(config), network_(queue_, config.latency),
+      caRng_(config.seed ^ 0xCAFECAFEULL),
+      ca_(std::make_unique<crypto::CertificateAuthority>(
+          "TrustRootCA", config.rsaBits, caRng_)),
+      nextSeed_(config.seed * 7919 + 17)
+{
+}
+
+WebServer &
+Ecosystem::addServer(const std::string &domain)
+{
+    auto server = std::make_unique<WebServer>(
+        domain, *ca_, nextSeed_++, config_.rsaBits,
+        config_.serverPolicy, config_.flockConfig.display);
+    WebServer &ref = *server;
+    network_.attach(domain, [this, &ref](const net::Message &message) {
+        const core::Bytes reply = ref.handle(message.payload);
+        network_.send(ref.domain(), message.from, reply);
+    });
+    servers_.push_back(std::move(server));
+    return ref;
+}
+
+MobileDevice &
+Ecosystem::addDevice(const std::string &name,
+                     const touch::UserBehavior &behavior,
+                     const fingerprint::MasterFinger &owner)
+{
+    hw::BiometricTouchscreen screen = makeOptimizedScreen(
+        behavior, config_.sensorTiles, config_.tileSideMm, nextSeed_++);
+
+    FlockConfig flock_config = config_.flockConfig;
+    flock_config.rsaBits = config_.rsaBits;
+    FlockModule flock(name + "-flock", ca_->rootKey(), nextSeed_++,
+                      flock_config);
+    flock.installDeviceCertificate(
+        ca_->issue(name + "-flock", crypto::CertRole::FlockDevice,
+                   flock.devicePublicKey()));
+
+    auto device = std::make_unique<MobileDevice>(
+        name, std::move(screen), std::move(flock), nextSeed_++);
+    MobileDevice &ref = *device;
+    ref.attachToNetwork(network_);
+    if (!ref.enrollOwner(owner))
+        core::warn("owner enrollment produced no usable view");
+    devices_.push_back(std::move(device));
+    return ref;
+}
+
+hw::BiometricTouchscreen
+makeOptimizedScreen(const touch::UserBehavior &behavior, int tiles,
+                    double tile_side_mm, std::uint64_t seed)
+{
+    core::Rng rng(seed);
+
+    placement::PlacementProblem problem;
+    problem.screen = behavior.screen();
+    problem.density = behavior.densityMap(47, 26, 4000, rng);
+    problem.sensorSideMm = tile_side_mm;
+    problem.sensorCount = tiles;
+
+    const placement::Placement placement =
+        placement::placeGreedy(problem);
+
+    hw::TouchPanelSpec panel_spec;
+    panel_spec.screen = behavior.screen();
+    return hw::BiometricTouchscreen(
+        panel_spec, placement::toPlacedSensors(placement));
+}
+
+SessionOutcome
+runBrowsingSession(Ecosystem &ecosystem, MobileDevice &device,
+                   WebServer &server,
+                   const touch::UserBehavior &behavior,
+                   const fingerprint::MasterFinger &finger,
+                   core::Rng &rng, int clicks,
+                   const std::string &account)
+{
+    SessionOutcome outcome;
+    const std::string &domain = server.domain();
+
+    // The registration / login confirmation buttons are drawn over
+    // the first sensor tile (critical-button countermeasure).
+    TRUST_ASSERT(!device.screen().sensors().empty(),
+                 "runBrowsingSession: device has no sensor tiles");
+    const core::Vec2 critical_button =
+        device.screen().sensors()[0].region.center();
+
+    auto critical_touch = [&]() {
+        touch::TouchEvent event;
+        event.position = critical_button;
+        event.speed = 0.05; // deliberate press
+        event.gesture = touch::GestureType::Tap;
+        event.target = "critical-button";
+        return event;
+    };
+
+    // Registration (Fig. 9). A rejected confirmation touch (per
+    // touch FRR of partial prints) just means the user presses the
+    // button again, re-requesting the page.
+    for (int attempt = 0;
+         attempt < 16 && !device.registrationComplete(domain);
+         ++attempt) {
+        device.startRegistration(domain, account);
+        ecosystem.settle();
+        device.onTouch(critical_touch(), &finger);
+        ecosystem.settle();
+    }
+    outcome.registered = device.registrationComplete(domain);
+    if (!outcome.registered)
+        return outcome;
+
+    // Login (Fig. 10 steps 1-3), same retry discipline.
+    for (int attempt = 0;
+         attempt < 16 && !device.sessionActive(domain); ++attempt) {
+        device.startLogin(domain);
+        ecosystem.settle();
+        device.onTouch(critical_touch(), &finger);
+        ecosystem.settle();
+    }
+    outcome.loggedIn = device.sessionActive(domain);
+    if (!outcome.loggedIn)
+        return outcome;
+
+    // Natural browsing: every touch is a navigation plus an
+    // opportunistic authentication sample.
+    const std::uint64_t rejected_before =
+        device.counters().get("server-error-reply");
+    const auto touches = touch::generateSession(
+        behavior, rng, ecosystem.queue().now() + core::seconds(1),
+        clicks);
+    for (const auto &event : touches) {
+        device.onTouch(event, &finger);
+        ecosystem.settle();
+    }
+    outcome.pagesReceived =
+        static_cast<int>(device.pagesReceived()) - 1; // minus login page
+    outcome.requestsRejected = static_cast<int>(
+        device.counters().get("server-error-reply") - rejected_before);
+    return outcome;
+}
+
+} // namespace trust::trust

@@ -1,0 +1,398 @@
+#include "trust/server.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+#include "crypto/aes128.hh"
+#include "crypto/hmac.hh"
+#include "crypto/sha256.hh"
+#include "trust/frames.hh"
+
+namespace trust::trust {
+
+namespace {
+
+/** AES-CTR page encryption (mirror of FlockModule::sessionCipher). */
+core::Bytes
+sessionCipher(const core::Bytes &session_key, const core::Bytes &data,
+              std::uint64_t counter_tag)
+{
+    const core::Bytes key(session_key.begin(), session_key.begin() + 16);
+    core::Bytes iv(16, 0);
+    for (int i = 0; i < 8; ++i)
+        iv[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(counter_tag >> (8 * i));
+    return crypto::Aes128(key).ctrTransform(iv, data);
+}
+
+} // namespace
+
+WebServer::WebServer(std::string domain,
+                     crypto::CertificateAuthority &ca,
+                     std::uint64_t seed, std::size_t rsa_bits,
+                     ServerPolicy policy, hw::DisplaySpec display)
+    : domain_(std::move(domain)), caKey_(ca.rootKey()), rng_(seed),
+      keys_(crypto::rsaGenerate(rsa_bits, rng_)),
+      cert_(ca.issue(domain_, crypto::CertRole::WebServer, keys_.pub)),
+      policy_(policy), display_(display),
+      frameHash_(hw::FrameHashEngine::Algorithm::Sha256)
+{
+}
+
+core::Bytes
+WebServer::pageFor(const std::string &tag) const
+{
+    // Deterministic page body: hash-expanded from (domain, tag).
+    core::Bytes seed = crypto::Sha256::digest(domain_ + "/" + tag);
+    core::Bytes page;
+    page.reserve(1024);
+    core::Bytes block = seed;
+    while (page.size() < 1024) {
+        block = crypto::Sha256::digest(block);
+        page.insert(page.end(), block.begin(), block.end());
+    }
+    page.resize(1024);
+    return page;
+}
+
+core::Bytes
+WebServer::freshNonce()
+{
+    return rng_.randomBytes(16);
+}
+
+ErrorReply
+WebServer::error(const std::string &reason)
+{
+    counters_.bump("error:" + reason);
+    return ErrorReply{domain_, reason};
+}
+
+core::Bytes
+WebServer::handle(const core::Bytes &request)
+{
+    const auto kind = peekKind(request);
+    if (!kind)
+        return error("malformed").serialize();
+
+    switch (*kind) {
+      case MsgKind::RegistrationRequest: {
+        const auto m = RegistrationRequest::deserialize(request);
+        if (!m)
+            return error("malformed").serialize();
+        return handleRegistrationRequest(*m).serialize();
+      }
+      case MsgKind::RegistrationSubmit: {
+        const auto m = RegistrationSubmit::deserialize(request);
+        if (!m)
+            return error("malformed").serialize();
+        return handleRegistrationSubmit(*m).serialize();
+      }
+      case MsgKind::LoginRequest: {
+        const auto m = LoginRequest::deserialize(request);
+        if (!m)
+            return error("malformed").serialize();
+        const auto page = handleLoginRequest(*m);
+        if (!page)
+            return error("unknown-account").serialize();
+        return page->serialize();
+      }
+      case MsgKind::LoginSubmit: {
+        const auto m = LoginSubmit::deserialize(request);
+        if (!m)
+            return error("malformed").serialize();
+        const auto page = handleLoginSubmit(*m);
+        if (!page)
+            return error("login-rejected").serialize();
+        return page->serialize();
+      }
+      case MsgKind::PageRequest: {
+        const auto m = PageRequest::deserialize(request);
+        if (!m)
+            return error("malformed").serialize();
+        const auto page = handlePageRequest(*m);
+        if (!page)
+            return error("request-rejected").serialize();
+        return page->serialize();
+      }
+      default:
+        return error("unexpected-kind").serialize();
+    }
+}
+
+RegistrationPage
+WebServer::handleRegistrationRequest(const RegistrationRequest &request)
+{
+    counters_.bump("registration-request");
+    RegistrationPage page;
+    page.domain = domain_;
+    page.nonce = freshNonce();
+    page.pageContent = pageFor("register");
+    page.serverCert = cert_.serialize();
+    page.signature = crypto::rsaSign(keys_.priv, page.signedBody());
+    auto &outstanding = pendingRegNonce_[request.account];
+    outstanding.push_back(page.nonce);
+    if (outstanding.size() > 16) // bound state per account
+        outstanding.erase(outstanding.begin());
+    return page;
+}
+
+RegistrationResult
+WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
+{
+    RegistrationResult result;
+    result.domain = domain_;
+    result.account = submit.account;
+    result.ok = false;
+
+    if (submit.domain != domain_) {
+        result.reason = "wrong-domain";
+        counters_.bump("registration-rejected");
+        return result;
+    }
+
+    auto pending = pendingRegNonce_.find(submit.account);
+    auto nonce_it = pending == pendingRegNonce_.end()
+                        ? std::vector<core::Bytes>::iterator{}
+                        : std::find(pending->second.begin(),
+                                    pending->second.end(), submit.nonce);
+    if (pending == pendingRegNonce_.end() ||
+        nonce_it == pending->second.end()) {
+        result.reason = "stale-nonce";
+        counters_.bump("registration-rejected");
+        return result;
+    }
+
+    // Verify the FLock device certificate and the submit signature.
+    const auto device_cert =
+        crypto::Certificate::deserialize(submit.deviceCert);
+    if (!device_cert ||
+        !crypto::verifyCertificate(*device_cert, caKey_, 0,
+                                   crypto::CertRole::FlockDevice)) {
+        result.reason = "bad-device-cert";
+        counters_.bump("registration-rejected");
+        return result;
+    }
+    if (std::find(revokedSerials_.begin(), revokedSerials_.end(),
+                  device_cert->serial) != revokedSerials_.end()) {
+        result.reason = "revoked-device-cert";
+        counters_.bump("registration-rejected");
+        return result;
+    }
+    if (!crypto::rsaVerify(device_cert->subjectKey,
+                           submit.signedBody(), submit.signature)) {
+        result.reason = "bad-signature";
+        counters_.bump("registration-rejected");
+        return result;
+    }
+    const auto user_key =
+        crypto::RsaPublicKey::deserialize(submit.userPublicKey);
+    if (!user_key) {
+        result.reason = "bad-user-key";
+        counters_.bump("registration-rejected");
+        return result;
+    }
+
+    // Log the registration frame hash for audit.
+    auditLog_.push_back(
+        {submit.account, 0, submit.frameHash,
+         expectedFrameHashes(pageFor("register"), display_,
+                             frameHash_)});
+
+    database_[submit.account] = *user_key;
+    pending->second.erase(nonce_it);
+    result.ok = true;
+    counters_.bump("registration-accepted");
+    return result;
+}
+
+std::optional<LoginPage>
+WebServer::handleLoginRequest(const LoginRequest &request)
+{
+    if (!database_.count(request.account))
+        return std::nullopt;
+    counters_.bump("login-request");
+    LoginPage page;
+    page.domain = domain_;
+    page.nonce = freshNonce();
+    page.pageContent = pageFor("login");
+    page.signature = crypto::rsaSign(keys_.priv, page.signedBody());
+    auto &outstanding = pendingLoginNonce_[request.account];
+    outstanding.push_back(page.nonce);
+    if (outstanding.size() > 16)
+        outstanding.erase(outstanding.begin());
+    return page;
+}
+
+ContentPage
+WebServer::makeContentPage(std::uint64_t session_id,
+                           SessionState &session, const std::string &tag)
+{
+    session.currentPage = pageFor(tag);
+    session.expectedNonce = freshNonce();
+
+    ContentPage page;
+    page.domain = domain_;
+    page.sessionId = session_id;
+    page.nonce = session.expectedNonce;
+    page.pageContent = sessionCipher(session.sessionKey,
+                                     session.currentPage, session_id);
+    page.mac = crypto::hmacSha256(session.sessionKey, page.macBody());
+    return page;
+}
+
+std::optional<ContentPage>
+WebServer::handleLoginSubmit(const LoginSubmit &submit)
+{
+    if (submit.domain != domain_)
+        return std::nullopt;
+    auto db = database_.find(submit.account);
+    if (db == database_.end()) {
+        counters_.bump("login-rejected:unknown-account");
+        return std::nullopt;
+    }
+    auto pending = pendingLoginNonce_.find(submit.account);
+    auto nonce_it = pending == pendingLoginNonce_.end()
+                        ? std::vector<core::Bytes>::iterator{}
+                        : std::find(pending->second.begin(),
+                                    pending->second.end(), submit.nonce);
+    if (pending == pendingLoginNonce_.end() ||
+        nonce_it == pending->second.end()) {
+        counters_.bump("login-rejected:stale-nonce");
+        return std::nullopt;
+    }
+
+    // Recover the session key, then authenticate the message.
+    const auto session_key =
+        crypto::rsaDecrypt(keys_.priv, submit.encSessionKey);
+    if (!session_key || session_key->size() != 32) {
+        counters_.bump("login-rejected:bad-session-key");
+        return std::nullopt;
+    }
+    if (!crypto::hmacSha256Verify(*session_key, submit.macBody(),
+                                  submit.mac)) {
+        counters_.bump("login-rejected:bad-mac");
+        return std::nullopt;
+    }
+
+    pending->second.erase(nonce_it);
+
+    const std::uint64_t session_id = nextSessionId_++;
+    SessionState session;
+    session.account = submit.account;
+    session.sessionKey = *session_key;
+
+    // Log the login frame hash.
+    auditLog_.push_back(
+        {submit.account, session_id, submit.frameHash,
+         expectedFrameHashes(pageFor("login"), display_, frameHash_)});
+
+    ContentPage page = makeContentPage(session_id, session, "home");
+    sessions_[session_id] = std::move(session);
+    counters_.bump("login-accepted");
+    return page;
+}
+
+std::optional<ContentPage>
+WebServer::handlePageRequest(const PageRequest &request)
+{
+    if (request.domain != domain_)
+        return std::nullopt;
+    auto it = sessions_.find(request.sessionId);
+    if (it == sessions_.end()) {
+        counters_.bump("request-rejected:no-session");
+        return std::nullopt;
+    }
+    SessionState &session = it->second;
+    if (session.account != request.account) {
+        counters_.bump("request-rejected:account-mismatch");
+        return std::nullopt;
+    }
+
+    // MAC first: only the FLock module holds the session key, so a
+    // valid MAC proves the request left the trusted module.
+    if (!crypto::hmacSha256Verify(session.sessionKey,
+                                  request.macBody(), request.mac)) {
+        counters_.bump("request-rejected:bad-mac");
+        return std::nullopt;
+    }
+
+    // Nonce freshness: must echo exactly the nonce issued with the
+    // previous page (replay defence).
+    if (request.nonce != session.expectedNonce) {
+        counters_.bump("request-rejected:stale-nonce");
+        return std::nullopt;
+    }
+
+    // Risk policy: the continuous-auth signal from FLock.
+    if (request.riskWindow >= policy_.riskEnforceWindow &&
+        request.riskMatched < policy_.minRiskMatched) {
+        counters_.bump("request-rejected:risk");
+        return std::nullopt;
+    }
+
+    // Frame hash: log for offline audit (default) or verify online.
+    const auto expected = expectedFrameHashes(session.currentPage,
+                                              display_, frameHash_);
+    if (policy_.onlineFrameVerification) {
+        const bool known =
+            std::find(expected.begin(), expected.end(),
+                      request.frameHash) != expected.end();
+        if (!known) {
+            counters_.bump("request-rejected:frame-hash");
+            return std::nullopt;
+        }
+    }
+    auditLog_.push_back({request.account, request.sessionId,
+                         request.frameHash, expected});
+
+    counters_.bump("request-accepted");
+    return makeContentPage(request.sessionId, session,
+                           "page/" + request.action);
+}
+
+bool
+WebServer::accountRegistered(const std::string &account) const
+{
+    return database_.count(account) > 0;
+}
+
+bool
+WebServer::resetIdentity(const std::string &account)
+{
+    // Drop the key binding and any sessions (the user re-registers
+    // from the new device).
+    const bool existed = database_.erase(account) > 0;
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+        if (it->second.account == account)
+            it = sessions_.erase(it);
+        else
+            ++it;
+    }
+    if (existed)
+        counters_.bump("identity-reset");
+    return existed;
+}
+
+void
+WebServer::installRevocationList(std::vector<std::uint64_t> serials)
+{
+    revokedSerials_ = std::move(serials);
+}
+
+std::size_t
+WebServer::auditFrameHashes() const
+{
+    std::size_t mismatches = 0;
+    for (const auto &entry : auditLog_) {
+        const bool known =
+            std::find(entry.expectedHashes.begin(),
+                      entry.expectedHashes.end(),
+                      entry.frameHash) != entry.expectedHashes.end();
+        if (!known)
+            ++mismatches;
+    }
+    return mismatches;
+}
+
+} // namespace trust::trust

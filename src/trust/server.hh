@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The TRUST-aware Web Server (Figs. 8-10 server side).
+ *
+ * Holds the CA-issued server certificate, the Server Database of
+ * (account, user public key) bindings created at registration, the
+ * per-session state of the continuous-authentication protocol, and
+ * the frame-hash audit log the paper proposes for offline detection
+ * of display tampering.
+ */
+
+#ifndef TRUST_TRUST_SERVER_HH
+#define TRUST_TRUST_SERVER_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/stats.hh"
+#include "crypto/cert.hh"
+#include "hw/flock_hw.hh"
+#include "trust/messages.hh"
+
+namespace trust::trust {
+
+/** Server-side policy knobs. */
+struct ServerPolicy
+{
+    /**
+     * Minimum matched touches the risk field must report once the
+     * window is full; requests below are rejected (Fig. 10 "update
+     * identity risk" on the server side).
+     */
+    std::uint32_t minRiskMatched = 2;
+
+    /** Window fill above which the risk policy is enforced. */
+    std::uint32_t riskEnforceWindow = 8;
+
+    /** Verify frame hashes online instead of logging for audit. */
+    bool onlineFrameVerification = false;
+};
+
+/** One audit-log entry (frame hash + what it should have shown). */
+struct AuditEntry
+{
+    std::string account;
+    std::uint64_t sessionId = 0;
+    core::Bytes frameHash;
+    std::vector<core::Bytes> expectedHashes;
+};
+
+/** The web service. */
+class WebServer
+{
+  public:
+    /**
+     * @param domain   DNS-style service name ("www.xyz.com").
+     * @param ca       issuing authority (also used for verification).
+     * @param seed     CSPRNG seed.
+     * @param rsa_bits server key size.
+     */
+    WebServer(std::string domain, crypto::CertificateAuthority &ca,
+              std::uint64_t seed, std::size_t rsa_bits = 512,
+              ServerPolicy policy = {},
+              hw::DisplaySpec display = {});
+
+    const std::string &domain() const { return domain_; }
+    const crypto::Certificate &certificate() const { return cert_; }
+    const crypto::RsaPublicKey &publicKey() const { return keys_.pub; }
+
+    /**
+     * Dispatch one raw request payload and return the raw reply
+     * (always produces a reply; errors become ErrorReply).
+     */
+    core::Bytes handle(const core::Bytes &request);
+
+    // --- Typed handlers (Fig. 9 / Fig. 10 steps) -----------------------
+
+    RegistrationPage
+    handleRegistrationRequest(const RegistrationRequest &request);
+
+    RegistrationResult
+    handleRegistrationSubmit(const RegistrationSubmit &submit);
+
+    std::optional<LoginPage> handleLoginRequest(const LoginRequest &);
+
+    /** Login: returns a ContentPage on success. */
+    std::optional<ContentPage> handleLoginSubmit(const LoginSubmit &);
+
+    /** Continuous auth: each page request yields the next page. */
+    std::optional<ContentPage> handlePageRequest(const PageRequest &);
+
+    // --- Account management --------------------------------------------
+
+    bool accountRegistered(const std::string &account) const;
+
+    /** The Identity Reset flow: drop the public-key binding. */
+    bool resetIdentity(const std::string &account);
+
+    /**
+     * Install a certificate revocation snapshot from the CA: device
+     * certificates whose serials appear here are refused at
+     * registration (a lost device's certificate is revoked as part
+     * of the Identity Reset flow).
+     */
+    void installRevocationList(std::vector<std::uint64_t> serials);
+
+    std::size_t registeredAccounts() const { return database_.size(); }
+    std::size_t activeSessions() const { return sessions_.size(); }
+
+    // --- Audit -----------------------------------------------------------
+
+    /**
+     * Offline frame-hash audit: number of logged frames whose hash
+     * does not belong to the expected view set of the page that was
+     * being displayed (i.e. display-tampering detections).
+     */
+    std::size_t auditFrameHashes() const;
+
+    std::size_t auditLogSize() const { return auditLog_.size(); }
+
+    /** Event counters (accepted/rejected requests by cause). */
+    const core::CounterSet &counters() const { return counters_; }
+
+  private:
+    struct SessionState
+    {
+        std::string account;
+        core::Bytes sessionKey;
+        core::Bytes expectedNonce;
+        core::Bytes currentPage; ///< Plaintext page last served.
+    };
+
+    /** Page content generator (deterministic per action). */
+    core::Bytes pageFor(const std::string &tag) const;
+
+    core::Bytes freshNonce();
+
+    /** Build, MAC and log a content page for a session. */
+    ContentPage makeContentPage(std::uint64_t session_id,
+                                SessionState &session,
+                                const std::string &tag);
+
+    ErrorReply error(const std::string &reason);
+
+    std::string domain_;
+    crypto::RsaPublicKey caKey_;
+    crypto::Csprng rng_;
+    crypto::RsaKeyPair keys_;
+    crypto::Certificate cert_;
+    ServerPolicy policy_;
+    hw::DisplaySpec display_;
+    hw::FrameHashEngine frameHash_;
+
+    std::map<std::string, crypto::RsaPublicKey> database_;
+    /**
+     * Outstanding nonces are per-request tokens: each page issue
+     * adds one, each successful submit consumes it, so replaying a
+     * page request cannot invalidate an in-flight genuine exchange
+     * and replaying a submit finds its nonce already spent.
+     */
+    std::map<std::string, std::vector<core::Bytes>> pendingRegNonce_;
+    std::map<std::string, std::vector<core::Bytes>> pendingLoginNonce_;
+    std::map<std::uint64_t, SessionState> sessions_;
+    std::uint64_t nextSessionId_ = 1;
+    std::vector<AuditEntry> auditLog_;
+    std::vector<std::uint64_t> revokedSerials_;
+    core::CounterSet counters_;
+};
+
+} // namespace trust::trust
+
+#endif // TRUST_TRUST_SERVER_HH

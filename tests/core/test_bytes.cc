@@ -1,0 +1,128 @@
+/** @file Unit tests for byte buffers and serialization. */
+
+#include <gtest/gtest.h>
+
+#include "core/bytes.hh"
+
+namespace {
+
+using trust::core::ByteReader;
+using trust::core::Bytes;
+using trust::core::ByteWriter;
+
+TEST(Bytes, StringRoundTrip)
+{
+    const std::string s = "hello \x01\x02 world";
+    EXPECT_EQ(trust::core::toString(trust::core::toBytes(s)), s);
+}
+
+TEST(Bytes, ConstantTimeEqual)
+{
+    const Bytes a = {1, 2, 3};
+    const Bytes b = {1, 2, 3};
+    const Bytes c = {1, 2, 4};
+    const Bytes d = {1, 2};
+    EXPECT_TRUE(trust::core::constantTimeEqual(a, b));
+    EXPECT_FALSE(trust::core::constantTimeEqual(a, c));
+    EXPECT_FALSE(trust::core::constantTimeEqual(a, d));
+    EXPECT_TRUE(trust::core::constantTimeEqual({}, {}));
+}
+
+TEST(ByteWriterReader, ScalarRoundTrip)
+{
+    ByteWriter w;
+    w.writeU8(0xab);
+    w.writeU16(0x1234);
+    w.writeU32(0xdeadbeef);
+    w.writeU64(0x0123456789abcdefULL);
+    w.writeI64(-42);
+    w.writeDouble(3.14159);
+    w.writeBool(true);
+    w.writeBool(false);
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.readU8(), 0xab);
+    EXPECT_EQ(r.readU16(), 0x1234);
+    EXPECT_EQ(r.readU32(), 0xdeadbeefu);
+    EXPECT_EQ(r.readU64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.readI64(), -42);
+    EXPECT_DOUBLE_EQ(r.readDouble(), 3.14159);
+    EXPECT_TRUE(r.readBool());
+    EXPECT_FALSE(r.readBool());
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteWriterReader, VariableLengthRoundTrip)
+{
+    ByteWriter w;
+    w.writeString("domain.example");
+    w.writeBytes({9, 8, 7});
+    w.writeString("");
+    w.writeBytes({});
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.readString(), "domain.example");
+    EXPECT_EQ(r.readBytes(), (Bytes{9, 8, 7}));
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_EQ(r.readBytes(), Bytes{});
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteReaderTest, ShortBufferSetsError)
+{
+    const Bytes buf = {1, 2};
+    ByteReader r(buf);
+    EXPECT_EQ(r.readU32(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReaderTest, TruncatedLengthPrefixedField)
+{
+    ByteWriter w;
+    w.writeU32(100); // claims 100 bytes follow
+    w.writeU8(1);
+    ByteReader r(w.bytes());
+    EXPECT_TRUE(r.readBytes().empty());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReaderTest, ErrorIsSticky)
+{
+    const Bytes buf = {1};
+    ByteReader r(buf);
+    (void)r.readU64();
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.readU8(), 0u); // still fails even though 1 byte exists
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReaderTest, RemainingTracksCursor)
+{
+    const Bytes buf = {1, 2, 3, 4};
+    ByteReader r(buf);
+    EXPECT_EQ(r.remaining(), 4u);
+    (void)r.readU16();
+    EXPECT_EQ(r.remaining(), 2u);
+    EXPECT_FALSE(r.atEnd());
+    (void)r.readU16();
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteWriterTest, RawHasNoPrefix)
+{
+    ByteWriter w;
+    w.writeRaw({0xaa, 0xbb});
+    EXPECT_EQ(w.bytes().size(), 2u);
+}
+
+TEST(ByteWriterTest, TakeMovesBuffer)
+{
+    ByteWriter w;
+    w.writeU8(1);
+    Bytes b = w.take();
+    EXPECT_EQ(b.size(), 1u);
+}
+
+} // namespace

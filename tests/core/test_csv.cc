@@ -1,0 +1,56 @@
+/** @file Unit tests for the table/CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include "core/csv.hh"
+
+namespace {
+
+using trust::core::Table;
+
+TEST(Table, CsvBasic)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"x", "y"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\nx,y\n");
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvQuoting)
+{
+    Table t({"name"});
+    t.addRow({"has,comma"});
+    t.addRow({"has\"quote"});
+    EXPECT_EQ(t.toCsv(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Table, TextAlignment)
+{
+    Table t({"col", "x"});
+    t.addRow({"long-value", "1"});
+    const std::string text = t.toText();
+    // Every line has the same width.
+    std::size_t line_len = text.find('\n');
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t next = text.find('\n', pos);
+        EXPECT_EQ(next - pos, line_len);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(TableDeathTest, ArityMismatchAborts)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+} // namespace

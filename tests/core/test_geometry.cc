@@ -1,0 +1,147 @@
+/** @file Unit tests for 2-D geometry helpers. */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "core/geometry.hh"
+
+namespace {
+
+using trust::core::CellIndex;
+using trust::core::Rect;
+using trust::core::Vec2;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Vec2, Arithmetic)
+{
+    const Vec2 a(1.0, 2.0), b(3.0, -4.0);
+    EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+    EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+    EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+    EXPECT_EQ(b / 2.0, Vec2(1.5, -2.0));
+}
+
+TEST(Vec2, NormAndDistance)
+{
+    const Vec2 a(3.0, 4.0);
+    EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+    EXPECT_DOUBLE_EQ(a.normSq(), 25.0);
+    EXPECT_DOUBLE_EQ(Vec2(0.0, 0.0).dist(a), 5.0);
+}
+
+TEST(Vec2, DotProduct)
+{
+    EXPECT_DOUBLE_EQ(Vec2(1.0, 2.0).dot(Vec2(3.0, 4.0)), 11.0);
+    EXPECT_DOUBLE_EQ(Vec2(1.0, 0.0).dot(Vec2(0.0, 1.0)), 0.0);
+}
+
+TEST(Vec2, Rotation)
+{
+    const Vec2 x(1.0, 0.0);
+    const Vec2 r = x.rotated(kPi / 2.0);
+    EXPECT_NEAR(r.x, 0.0, 1e-12);
+    EXPECT_NEAR(r.y, 1.0, 1e-12);
+    const Vec2 full = x.rotated(2.0 * kPi);
+    EXPECT_NEAR(full.x, 1.0, 1e-12);
+    EXPECT_NEAR(full.y, 0.0, 1e-12);
+}
+
+TEST(Vec2, Angle)
+{
+    EXPECT_NEAR(Vec2(1.0, 1.0).angle(), kPi / 4.0, 1e-12);
+    EXPECT_NEAR(Vec2(-1.0, 0.0).angle(), kPi, 1e-12);
+}
+
+TEST(Rect, BasicProperties)
+{
+    const Rect r(1.0, 2.0, 4.0, 6.0);
+    EXPECT_DOUBLE_EQ(r.width(), 3.0);
+    EXPECT_DOUBLE_EQ(r.height(), 4.0);
+    EXPECT_DOUBLE_EQ(r.area(), 12.0);
+    EXPECT_EQ(r.center(), Vec2(2.5, 4.0));
+}
+
+TEST(Rect, FromOriginSize)
+{
+    const Rect r = Rect::fromOriginSize(1.0, 2.0, 3.0, 4.0);
+    EXPECT_EQ(r, Rect(1.0, 2.0, 4.0, 6.0));
+}
+
+TEST(Rect, ContainsHalfOpen)
+{
+    const Rect r(0.0, 0.0, 10.0, 10.0);
+    EXPECT_TRUE(r.contains(Vec2(0.0, 0.0)));
+    EXPECT_TRUE(r.contains(Vec2(9.999, 9.999)));
+    EXPECT_FALSE(r.contains(Vec2(10.0, 5.0)));
+    EXPECT_FALSE(r.contains(Vec2(5.0, 10.0)));
+    EXPECT_FALSE(r.contains(Vec2(-0.001, 5.0)));
+}
+
+TEST(Rect, Intersection)
+{
+    const Rect a(0.0, 0.0, 10.0, 10.0);
+    const Rect b(5.0, 5.0, 15.0, 15.0);
+    EXPECT_TRUE(a.intersects(b));
+    const Rect i = a.intersection(b);
+    EXPECT_EQ(i, Rect(5.0, 5.0, 10.0, 10.0));
+}
+
+TEST(Rect, DisjointIntersectionIsEmpty)
+{
+    const Rect a(0.0, 0.0, 1.0, 1.0);
+    const Rect b(2.0, 2.0, 3.0, 3.0);
+    EXPECT_FALSE(a.intersects(b));
+    EXPECT_DOUBLE_EQ(a.intersection(b).area(), 0.0);
+}
+
+TEST(Rect, TouchingEdgesDoNotIntersect)
+{
+    const Rect a(0.0, 0.0, 1.0, 1.0);
+    const Rect b(1.0, 0.0, 2.0, 1.0);
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(Rect, ClampPullsPointsInside)
+{
+    const Rect r(0.0, 0.0, 10.0, 10.0);
+    const auto c = r.clamp(Vec2(-5.0, 20.0));
+    EXPECT_TRUE(r.contains(c));
+    EXPECT_DOUBLE_EQ(c.x, 0.0);
+}
+
+TEST(CellIndexTest, Equality)
+{
+    EXPECT_EQ((CellIndex{1, 2}), (CellIndex{1, 2}));
+    EXPECT_FALSE((CellIndex{1, 2}) == (CellIndex{2, 1}));
+}
+
+TEST(Angles, WrapAngle)
+{
+    EXPECT_NEAR(trust::core::wrapAngle(3.0 * kPi), kPi, 1e-12);
+    EXPECT_NEAR(trust::core::wrapAngle(-3.0 * kPi), kPi, 1e-9);
+    EXPECT_NEAR(trust::core::wrapAngle(0.5), 0.5, 1e-12);
+}
+
+TEST(Angles, WrapOrientationPeriodPi)
+{
+    EXPECT_NEAR(trust::core::wrapOrientation(kPi + 0.3), 0.3, 1e-12);
+    EXPECT_NEAR(trust::core::wrapOrientation(-0.3), kPi - 0.3, 1e-12);
+}
+
+TEST(Angles, OrientationDiffSymmetricAndBounded)
+{
+    EXPECT_NEAR(trust::core::orientationDiff(0.1, kPi - 0.1), 0.2, 1e-12);
+    EXPECT_NEAR(trust::core::orientationDiff(0.0, kPi / 2.0), kPi / 2.0,
+                1e-12);
+    for (double a : {0.0, 0.7, 1.4, 2.8}) {
+        for (double b : {0.1, 0.9, 2.2}) {
+            EXPECT_NEAR(trust::core::orientationDiff(a, b),
+                        trust::core::orientationDiff(b, a), 1e-12);
+            EXPECT_LE(trust::core::orientationDiff(a, b), kPi / 2.0 + 1e-12);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+/** @file Unit tests for the Grid container. */
+
+#include <gtest/gtest.h>
+
+#include "core/grid.hh"
+
+namespace {
+
+using trust::core::Grid;
+
+TEST(Grid, DefaultIsEmpty)
+{
+    Grid<int> g;
+    EXPECT_TRUE(g.empty());
+    EXPECT_EQ(g.rows(), 0);
+    EXPECT_EQ(g.cols(), 0);
+}
+
+TEST(Grid, ConstructWithFill)
+{
+    Grid<int> g(3, 4, 7);
+    EXPECT_EQ(g.rows(), 3);
+    EXPECT_EQ(g.cols(), 4);
+    EXPECT_EQ(g.size(), 12u);
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_EQ(g.at(r, c), 7);
+}
+
+TEST(Grid, WriteAndRead)
+{
+    Grid<double> g(2, 2);
+    g.at(0, 1) = 3.5;
+    g(1, 0) = -1.25;
+    EXPECT_DOUBLE_EQ(g.at(0, 1), 3.5);
+    EXPECT_DOUBLE_EQ(g(1, 0), -1.25);
+    EXPECT_DOUBLE_EQ(g.at(0, 0), 0.0);
+}
+
+TEST(Grid, InBounds)
+{
+    Grid<int> g(2, 3);
+    EXPECT_TRUE(g.inBounds(0, 0));
+    EXPECT_TRUE(g.inBounds(1, 2));
+    EXPECT_FALSE(g.inBounds(2, 0));
+    EXPECT_FALSE(g.inBounds(0, 3));
+    EXPECT_FALSE(g.inBounds(-1, 0));
+}
+
+TEST(Grid, AtClampedMirrorsBorder)
+{
+    Grid<int> g(2, 2);
+    g(0, 0) = 1;
+    g(0, 1) = 2;
+    g(1, 0) = 3;
+    g(1, 1) = 4;
+    EXPECT_EQ(g.atClamped(-5, -5), 1);
+    EXPECT_EQ(g.atClamped(-1, 10), 2);
+    EXPECT_EQ(g.atClamped(10, -1), 3);
+    EXPECT_EQ(g.atClamped(10, 10), 4);
+}
+
+TEST(Grid, Fill)
+{
+    Grid<int> g(3, 3, 1);
+    g.fill(9);
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            EXPECT_EQ(g(r, c), 9);
+}
+
+TEST(Grid, RowMajorLayout)
+{
+    Grid<int> g(2, 3);
+    int v = 0;
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 3; ++c)
+            g(r, c) = v++;
+    const auto &d = g.data();
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Grid, Equality)
+{
+    Grid<int> a(2, 2, 1), b(2, 2, 1);
+    EXPECT_TRUE(a == b);
+    b(1, 1) = 2;
+    EXPECT_FALSE(a == b);
+    Grid<int> c(2, 3, 1);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(GridDeathTest, OutOfBoundsAtAborts)
+{
+    Grid<int> g(2, 2);
+    EXPECT_DEATH((void)g.at(2, 0), "out of bounds");
+}
+
+} // namespace

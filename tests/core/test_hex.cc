@@ -1,0 +1,46 @@
+/** @file Unit tests for hex encode/decode. */
+
+#include <gtest/gtest.h>
+
+#include "core/hex.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::hexDecode;
+using trust::core::hexEncode;
+
+TEST(Hex, EncodeKnown)
+{
+    EXPECT_EQ(hexEncode({}), "");
+    EXPECT_EQ(hexEncode({0x00}), "00");
+    EXPECT_EQ(hexEncode({0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+    EXPECT_EQ(hexEncode({0x0f, 0xf0}), "0ff0");
+}
+
+TEST(Hex, DecodeKnown)
+{
+    EXPECT_EQ(hexDecode(""), Bytes{});
+    EXPECT_EQ(hexDecode("deadbeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+    EXPECT_EQ(hexDecode("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, RoundTrip)
+{
+    Bytes data;
+    for (int i = 0; i < 256; ++i)
+        data.push_back(static_cast<std::uint8_t>(i));
+    EXPECT_EQ(hexDecode(hexEncode(data)), data);
+}
+
+TEST(HexDeathTest, OddLengthFails)
+{
+    EXPECT_DEATH((void)hexDecode("abc"), "odd-length");
+}
+
+TEST(HexDeathTest, NonHexFails)
+{
+    EXPECT_DEATH((void)hexDecode("zz"), "non-hex");
+}
+
+} // namespace

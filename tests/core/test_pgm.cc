@@ -1,0 +1,87 @@
+/** @file Tests for the PGM writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pgm.hh"
+
+namespace {
+
+using trust::core::Grid;
+using trust::core::toPgm;
+using trust::core::writePgm;
+
+TEST(Pgm, HeaderAndSize)
+{
+    Grid<double> g(3, 5, 0.5);
+    const std::string pgm = toPgm(g, 0.0, 1.0);
+    EXPECT_EQ(pgm.rfind("P5\n5 3\n255\n", 0), 0u);
+    // Header + one byte per pixel.
+    EXPECT_EQ(pgm.size(), std::string("P5\n5 3\n255\n").size() + 15u);
+}
+
+TEST(Pgm, ValueMapping)
+{
+    Grid<double> g(1, 3);
+    g(0, 0) = 0.0;
+    g(0, 1) = 0.5;
+    g(0, 2) = 1.0;
+    const std::string pgm = toPgm(g, 0.0, 1.0);
+    const std::size_t data = pgm.size() - 3;
+    EXPECT_EQ(static_cast<unsigned char>(pgm[data]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(pgm[data + 1]), 128);
+    EXPECT_EQ(static_cast<unsigned char>(pgm[data + 2]), 255);
+}
+
+TEST(Pgm, AutoRange)
+{
+    Grid<double> g(1, 2);
+    g(0, 0) = -3.0;
+    g(0, 1) = 7.0;
+    const std::string pgm = toPgm(g); // lo==hi -> auto
+    const std::size_t data = pgm.size() - 2;
+    EXPECT_EQ(static_cast<unsigned char>(pgm[data]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(pgm[data + 1]), 255);
+}
+
+TEST(Pgm, ClampOutOfRange)
+{
+    Grid<double> g(1, 2);
+    g(0, 0) = -10.0;
+    g(0, 1) = 10.0;
+    const std::string pgm = toPgm(g, 0.0, 1.0);
+    const std::size_t data = pgm.size() - 2;
+    EXPECT_EQ(static_cast<unsigned char>(pgm[data]), 0);
+    EXPECT_EQ(static_cast<unsigned char>(pgm[data + 1]), 255);
+}
+
+TEST(Pgm, ConstantGridDoesNotDivideByZero)
+{
+    Grid<float> g(2, 2, 4.0f);
+    const std::string pgm = toPgm(g);
+    EXPECT_FALSE(pgm.empty());
+}
+
+TEST(Pgm, WriteToFileRoundTrip)
+{
+    Grid<double> g(4, 4, 0.25);
+    const std::string path = "/tmp/trust_pgm_test.pgm";
+    ASSERT_TRUE(writePgm(path, g, 0.0, 1.0));
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[2] = {0, 0};
+    EXPECT_EQ(std::fread(magic, 1, 2, f), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '5');
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Pgm, WriteToBadPathFails)
+{
+    Grid<double> g(1, 1, 0.0);
+    EXPECT_FALSE(writePgm("/no/such/dir/file.pgm", g));
+}
+
+} // namespace

@@ -1,0 +1,193 @@
+/** @file Unit tests for the deterministic simulation RNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/rng.hh"
+
+namespace {
+
+using trust::core::Rng;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-5.0, 2.5);
+        EXPECT_GE(u, -5.0);
+        EXPECT_LT(u, 2.5);
+    }
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(5);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::int64_t v = rng.uniformInt(-2, 3);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(17, 17), 17);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 200000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted)
+{
+    Rng rng(17);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(29);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedIndexProportions)
+{
+    Rng rng(31);
+    const std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.weightedIndex(w)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(37);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes)
+{
+    Rng rng(41);
+    std::vector<int> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[i] = i;
+    const auto original = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, original);
+}
+
+TEST(Rng, ForkIndependence)
+{
+    Rng parent(43);
+    Rng child = parent.fork();
+    // The child stream must differ from the parent's continuation.
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (parent.next() == child.next())
+            ++equal;
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SplitMix64KnownRelation)
+{
+    // SplitMix64 is deterministic and stateless given the state.
+    std::uint64_t s1 = 0, s2 = 0;
+    EXPECT_EQ(trust::core::splitMix64(s1), trust::core::splitMix64(s2));
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(s1, 0x9e3779b97f4a7c15ULL);
+}
+
+} // namespace

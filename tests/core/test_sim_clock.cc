@@ -1,0 +1,131 @@
+/** @file Unit tests for the simulated clock and event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/sim_clock.hh"
+
+namespace {
+
+using trust::core::clockPeriod;
+using trust::core::EventQueue;
+using trust::core::Tick;
+
+TEST(TimeUnits, Conversions)
+{
+    EXPECT_EQ(trust::core::microseconds(1), 1000u);
+    EXPECT_EQ(trust::core::milliseconds(4), 4000000u);
+    EXPECT_EQ(trust::core::seconds(1), 1000000000u);
+    EXPECT_DOUBLE_EQ(trust::core::toMilliseconds(4000000), 4.0);
+    EXPECT_DOUBLE_EQ(trust::core::toMicroseconds(1500), 1.5);
+    EXPECT_DOUBLE_EQ(trust::core::toSeconds(2500000000ULL), 2.5);
+}
+
+TEST(TimeUnits, ClockPeriod)
+{
+    EXPECT_EQ(clockPeriod(1e9), 1u);    // 1 GHz -> 1 ns
+    EXPECT_EQ(clockPeriod(4e6), 250u);  // 4 MHz -> 250 ns
+    EXPECT_EQ(clockPeriod(500e3), 2000u);
+    EXPECT_EQ(clockPeriod(1e10), 1u);   // sub-ns clamps to 1
+}
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(100, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesNow)
+{
+    EventQueue q;
+    Tick fired_at = 0;
+    q.scheduleAt(50, [&] {
+        q.scheduleAfter(25, [&] { fired_at = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int count = 0;
+    q.scheduleAt(10, [&] { ++count; });
+    q.scheduleAt(20, [&] { ++count; });
+    q.scheduleAt(30, [&] { ++count; });
+    q.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.now(), 500u);
+}
+
+TEST(EventQueueTest, StepReturnsFalseWhenEmpty)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueTest, EventsCanCascade)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            q.scheduleAfter(1, chain);
+    };
+    q.scheduleAt(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(q.now(), 9u);
+}
+
+TEST(EventQueueTest, RunLimitBoundsEventCount)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        q.scheduleAt(static_cast<Tick>(i), [&] { ++fired; });
+    q.run(4);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(q.pending(), 6u);
+}
+
+TEST(EventQueueTest, AdvanceTo)
+{
+    EventQueue q;
+    q.advanceTo(123);
+    EXPECT_EQ(q.now(), 123u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInPastAborts)
+{
+    EventQueue q;
+    q.advanceTo(100);
+    EXPECT_DEATH(q.scheduleAt(50, [] {}), "past");
+}
+
+} // namespace

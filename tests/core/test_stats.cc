@@ -1,0 +1,133 @@
+/** @file Unit tests for statistics accumulators. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hh"
+#include "core/stats.hh"
+
+namespace {
+
+using trust::core::CounterSet;
+using trust::core::Histogram;
+using trust::core::RunningStat;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic sequence is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    trust::core::Rng rng(77);
+    RunningStat all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Histogram, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);   // bin 0
+    h.add(9.999); // bin 9
+    h.add(5.0);   // bin 5
+    h.add(-1.0);  // underflow
+    h.add(10.0);  // overflow (hi is exclusive)
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.count(5), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, BinLo)
+{
+    Histogram h(2.0, 12.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 10.0);
+}
+
+TEST(Histogram, QuantileOfUniformData)
+{
+    Histogram h(0.0, 1.0, 100);
+    trust::core::Rng rng(99);
+    for (int i = 0; i < 100000; ++i)
+        h.add(rng.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLo)
+{
+    Histogram h(3.0, 5.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+}
+
+TEST(CounterSetTest, BumpAndGet)
+{
+    CounterSet c;
+    EXPECT_EQ(c.get("x"), 0u);
+    c.bump("x");
+    c.bump("x", 4);
+    c.bump("y");
+    EXPECT_EQ(c.get("x"), 5u);
+    EXPECT_EQ(c.get("y"), 1u);
+    EXPECT_EQ(c.all().size(), 2u);
+    c.clear();
+    EXPECT_EQ(c.get("x"), 0u);
+    EXPECT_TRUE(c.all().empty());
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+/** @file AES-128 tests against the FIPS 197 vector plus CTR mode. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/hex.hh"
+#include "crypto/aes128.hh"
+#include "crypto/csprng.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::hexDecode;
+using trust::core::hexEncode;
+using trust::crypto::Aes128;
+
+TEST(Aes128Test, Fips197Vector)
+{
+    const Bytes key = hexDecode("000102030405060708090a0b0c0d0e0f");
+    const Bytes pt = hexDecode("00112233445566778899aabbccddeeff");
+    Aes128 aes(key);
+
+    std::uint8_t block[16];
+    std::memcpy(block, pt.data(), 16);
+    aes.encryptBlock(block);
+    EXPECT_EQ(hexEncode(Bytes(block, block + 16)),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+
+    aes.decryptBlock(block);
+    EXPECT_EQ(Bytes(block, block + 16), pt);
+}
+
+TEST(Aes128Test, EncryptDecryptRandomBlocks)
+{
+    trust::crypto::Csprng rng(std::uint64_t{11});
+    const Bytes key = rng.randomBytes(16);
+    Aes128 aes(key);
+    for (int i = 0; i < 50; ++i) {
+        const Bytes pt = rng.randomBytes(16);
+        std::uint8_t block[16];
+        std::memcpy(block, pt.data(), 16);
+        aes.encryptBlock(block);
+        EXPECT_NE(Bytes(block, block + 16), pt);
+        aes.decryptBlock(block);
+        EXPECT_EQ(Bytes(block, block + 16), pt);
+    }
+}
+
+TEST(Aes128Test, CtrRoundTripArbitraryLength)
+{
+    trust::crypto::Csprng rng(std::uint64_t{12});
+    const Bytes key = rng.randomBytes(16);
+    const Bytes iv = rng.randomBytes(16);
+    Aes128 aes(key);
+    for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 1000u}) {
+        const Bytes pt = rng.randomBytes(len);
+        const Bytes ct = aes.ctrTransform(iv, pt);
+        EXPECT_EQ(ct.size(), len);
+        EXPECT_EQ(aes.ctrTransform(iv, ct), pt);
+    }
+}
+
+TEST(Aes128Test, CtrDifferentIvsDiffer)
+{
+    const Bytes key(16, 1);
+    Aes128 aes(key);
+    const Bytes msg(64, 0);
+    const Bytes c1 = aes.ctrTransform(Bytes(16, 2), msg);
+    const Bytes c2 = aes.ctrTransform(Bytes(16, 3), msg);
+    EXPECT_NE(c1, c2);
+}
+
+TEST(Aes128Test, CtrCounterIncrementCrossesByteBoundary)
+{
+    // IV ending in 0xff forces a carry into the next counter byte
+    // between the first and second block.
+    const Bytes key(16, 9);
+    Bytes iv(16, 0);
+    iv[15] = 0xff;
+    Aes128 aes(key);
+    const Bytes msg(48, 0);
+    const Bytes ct = aes.ctrTransform(iv, msg);
+    // Decrypt must still round-trip (i.e. increments are consistent).
+    EXPECT_EQ(aes.ctrTransform(iv, ct), msg);
+    // Keystream blocks must not repeat.
+    EXPECT_NE(Bytes(ct.begin(), ct.begin() + 16),
+              Bytes(ct.begin() + 16, ct.begin() + 32));
+}
+
+TEST(Aes128DeathTest, RejectsBadKeySize)
+{
+    EXPECT_DEATH(Aes128(Bytes(8, 0)), "16 bytes");
+}
+
+TEST(Aes128DeathTest, RejectsBadIvSize)
+{
+    Aes128 aes(Bytes(16, 0));
+    EXPECT_DEATH((void)aes.ctrTransform(Bytes(8, 0), Bytes(4, 0)),
+                 "16 bytes");
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+/** @file Bignum arithmetic tests, including 64-bit cross-checking. */
+
+#include <gtest/gtest.h>
+
+#include "core/hex.hh"
+#include "crypto/bignum.hh"
+#include "crypto/csprng.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::crypto::Bignum;
+using trust::crypto::Csprng;
+using trust::crypto::Montgomery;
+
+TEST(BignumTest, ZeroProperties)
+{
+    Bignum z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_FALSE(z.isOdd());
+    EXPECT_EQ(z.bitLength(), 0u);
+    EXPECT_EQ(z.toHex(), "0");
+    EXPECT_TRUE(z.toBytes().empty());
+    EXPECT_EQ(z, Bignum(0));
+}
+
+TEST(BignumTest, FromU64)
+{
+    EXPECT_EQ(Bignum(0x12345678).toHex(), "12345678");
+    EXPECT_EQ(Bignum(0x123456789abcdef0ULL).toHex(), "123456789abcdef0");
+    EXPECT_EQ(Bignum(1).bitLength(), 1u);
+    EXPECT_EQ(Bignum(255).bitLength(), 8u);
+    EXPECT_EQ(Bignum(256).bitLength(), 9u);
+}
+
+TEST(BignumTest, HexRoundTrip)
+{
+    const std::string hex =
+        "deadbeefcafebabe0123456789abcdef00ff00ff00ff00ff1";
+    EXPECT_EQ(Bignum::fromHex(hex).toHex(), hex);
+    EXPECT_EQ(Bignum::fromHex("000123").toHex(), "123");
+}
+
+TEST(BignumTest, BytesRoundTrip)
+{
+    const Bytes data = {0x01, 0x02, 0x03, 0x04, 0x05};
+    EXPECT_EQ(Bignum::fromBytes(data).toBytes(), data);
+    // Leading zeros are dropped on the way out.
+    const Bytes padded = {0x00, 0x00, 0x01, 0x02};
+    EXPECT_EQ(Bignum::fromBytes(padded).toBytes(), (Bytes{0x01, 0x02}));
+}
+
+TEST(BignumTest, ToBytesPadded)
+{
+    const Bignum v = Bignum::fromHex("abcd");
+    EXPECT_EQ(v.toBytesPadded(4), (Bytes{0x00, 0x00, 0xab, 0xcd}));
+    EXPECT_EQ(Bignum().toBytesPadded(2), (Bytes{0x00, 0x00}));
+}
+
+TEST(BignumDeathTest, ToBytesPaddedTooSmall)
+{
+    EXPECT_DEATH((void)Bignum::fromHex("aabbcc").toBytesPadded(2),
+                 "does not fit");
+}
+
+TEST(BignumTest, Comparison)
+{
+    EXPECT_LT(Bignum(5), Bignum(6));
+    EXPECT_GT(Bignum::fromHex("100000000"), Bignum(0xffffffffULL >> 0));
+    EXPECT_EQ(Bignum(7).cmp(Bignum(7)), 0);
+    EXPECT_LE(Bignum(7), Bignum(7));
+    EXPECT_GE(Bignum(7), Bignum(7));
+}
+
+TEST(BignumTest, AddSub64BitCrossCheck)
+{
+    Csprng rng(std::uint64_t{101});
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = rng.randomU64() >> 1;
+        const std::uint64_t b = rng.randomU64() >> 1;
+        EXPECT_EQ((Bignum(a) + Bignum(b)).lowU64(), a + b);
+        if (a >= b) {
+            EXPECT_EQ((Bignum(a) - Bignum(b)).lowU64(), a - b);
+        }
+    }
+}
+
+TEST(BignumTest, AddCarriesAcrossLimbs)
+{
+    const Bignum a = Bignum::fromHex("ffffffffffffffffffffffff");
+    EXPECT_EQ((a + Bignum(1)).toHex(), "1000000000000000000000000");
+}
+
+TEST(BignumTest, SubBorrowsAcrossLimbs)
+{
+    const Bignum a = Bignum::fromHex("1000000000000000000000000");
+    EXPECT_EQ((a - Bignum(1)).toHex(), "ffffffffffffffffffffffff");
+}
+
+TEST(BignumDeathTest, NegativeSubtractionAborts)
+{
+    EXPECT_DEATH((void)(Bignum(1) - Bignum(2)), "negative");
+}
+
+TEST(BignumTest, Mul32BitCrossCheck)
+{
+    Csprng rng(std::uint64_t{102});
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t a = rng.randomU64() & 0xffffffff;
+        const std::uint64_t b = rng.randomU64() & 0xffffffff;
+        EXPECT_EQ((Bignum(a) * Bignum(b)).lowU64(), a * b);
+    }
+}
+
+TEST(BignumTest, MulKnownLarge)
+{
+    // (2^128 - 1)^2 = 2^256 - 2^129 + 1
+    const Bignum a = Bignum::fromHex(
+        "ffffffffffffffffffffffffffffffff");
+    const Bignum expected = Bignum::fromHex(
+        "fffffffffffffffffffffffffffffffe"
+        "00000000000000000000000000000001");
+    EXPECT_EQ(a * a, expected);
+}
+
+TEST(BignumTest, MulByZeroAndOne)
+{
+    const Bignum a = Bignum::fromHex("123456789abcdef");
+    EXPECT_TRUE((a * Bignum()).isZero());
+    EXPECT_EQ(a * Bignum(1), a);
+}
+
+TEST(BignumTest, DivMod64BitCrossCheck)
+{
+    Csprng rng(std::uint64_t{103});
+    for (int i = 0; i < 300; ++i) {
+        const std::uint64_t a = rng.randomU64();
+        std::uint64_t b = rng.randomU64() >> (rng.randomU64() % 40);
+        if (b == 0)
+            b = 1;
+        auto [q, r] = Bignum::divMod(Bignum(a), Bignum(b));
+        EXPECT_EQ(q.lowU64(), a / b);
+        EXPECT_EQ(r.lowU64(), a % b);
+    }
+}
+
+TEST(BignumTest, DivModInvariantRandomWide)
+{
+    Csprng rng(std::uint64_t{104});
+    for (int i = 0; i < 100; ++i) {
+        const Bignum a = Bignum::fromBytes(rng.randomBytes(40));
+        Bignum b = Bignum::fromBytes(
+            rng.randomBytes(1 + (rng.randomU64() % 30)));
+        if (b.isZero())
+            b = Bignum(3);
+        auto [q, r] = Bignum::divMod(a, b);
+        EXPECT_LT(r, b);
+        EXPECT_EQ(q * b + r, a);
+    }
+}
+
+TEST(BignumTest, DivModNumeratorSmaller)
+{
+    auto [q, r] = Bignum::divMod(Bignum(5), Bignum::fromHex("ffffffffff"));
+    EXPECT_TRUE(q.isZero());
+    EXPECT_EQ(r, Bignum(5));
+}
+
+TEST(BignumDeathTest, DivisionByZeroAborts)
+{
+    EXPECT_DEATH((void)Bignum::divMod(Bignum(1), Bignum()), "zero");
+}
+
+TEST(BignumTest, Shifts)
+{
+    const Bignum a = Bignum::fromHex("1234");
+    EXPECT_EQ(a.shifted(4).toHex(), "12340");
+    EXPECT_EQ(a.shifted(32).toHex(), "123400000000");
+    EXPECT_EQ(a.shifted(33).toHex(), "246800000000");
+    EXPECT_EQ(a.shiftedRight(4).toHex(), "123");
+    EXPECT_EQ(a.shifted(100).shiftedRight(100), a);
+    EXPECT_TRUE(a.shiftedRight(100).isZero());
+}
+
+TEST(BignumTest, BitAccess)
+{
+    const Bignum a = Bignum::fromHex("5"); // 0b101
+    EXPECT_TRUE(a.bit(0));
+    EXPECT_FALSE(a.bit(1));
+    EXPECT_TRUE(a.bit(2));
+    EXPECT_FALSE(a.bit(100));
+}
+
+TEST(BignumTest, ModExp64BitCrossCheck)
+{
+    // Small odd/even moduli against native exponentiation.
+    auto pow_mod = [](std::uint64_t b, std::uint64_t e, std::uint64_t m) {
+        unsigned __int128 result = 1, base = b % m;
+        while (e) {
+            if (e & 1)
+                result = result * base % m;
+            base = base * base % m;
+            e >>= 1;
+        }
+        return static_cast<std::uint64_t>(result);
+    };
+    Csprng rng(std::uint64_t{105});
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t b = rng.randomU64() % 100000;
+        const std::uint64_t e = rng.randomU64() % 1000;
+        const std::uint64_t m = (rng.randomU64() % 99998) + 2;
+        EXPECT_EQ(Bignum::modExp(Bignum(b), Bignum(e), Bignum(m)).lowU64(),
+                  pow_mod(b, e, m))
+            << "b=" << b << " e=" << e << " m=" << m;
+    }
+}
+
+TEST(BignumTest, ModExpFermat)
+{
+    // Fermat's little theorem with a known prime.
+    const Bignum p(1000003);
+    for (std::uint64_t base : {2ULL, 17ULL, 99999ULL}) {
+        EXPECT_EQ(
+            Bignum::modExp(Bignum(base), p - Bignum(1), p), Bignum(1));
+    }
+}
+
+TEST(BignumTest, ModExpEdgeCases)
+{
+    EXPECT_EQ(Bignum::modExp(Bignum(5), Bignum(0), Bignum(7)), Bignum(1));
+    EXPECT_EQ(Bignum::modExp(Bignum(0), Bignum(5), Bignum(7)), Bignum(0));
+    EXPECT_TRUE(
+        Bignum::modExp(Bignum(5), Bignum(5), Bignum(1)).isZero());
+}
+
+TEST(BignumTest, Gcd)
+{
+    EXPECT_EQ(Bignum::gcd(Bignum(12), Bignum(18)), Bignum(6));
+    EXPECT_EQ(Bignum::gcd(Bignum(17), Bignum(13)), Bignum(1));
+    EXPECT_EQ(Bignum::gcd(Bignum(0), Bignum(5)), Bignum(5));
+    EXPECT_EQ(Bignum::gcd(Bignum(5), Bignum(0)), Bignum(5));
+}
+
+TEST(BignumTest, ModInverseKnown)
+{
+    // 3 * 4 = 12 = 1 mod 11.
+    auto inv = Bignum::modInverse(Bignum(3), Bignum(11));
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(*inv, Bignum(4));
+}
+
+TEST(BignumTest, ModInverseNotCoprime)
+{
+    EXPECT_FALSE(Bignum::modInverse(Bignum(4), Bignum(8)).has_value());
+    EXPECT_FALSE(Bignum::modInverse(Bignum(0), Bignum(8)).has_value());
+}
+
+TEST(BignumTest, ModInverseRandomVerified)
+{
+    Csprng rng(std::uint64_t{106});
+    const Bignum m = Bignum::fromHex("fffffffb"); // prime 2^32-5
+    for (int i = 0; i < 50; ++i) {
+        Bignum a(rng.randomU64() % 0xfffffffaULL + 1);
+        auto inv = Bignum::modInverse(a, m);
+        ASSERT_TRUE(inv.has_value());
+        EXPECT_EQ((a * *inv) % m, Bignum(1));
+    }
+}
+
+TEST(MontgomeryTest, MatchesPlainModExp)
+{
+    Csprng rng(std::uint64_t{107});
+    for (int i = 0; i < 20; ++i) {
+        Bignum m = Bignum::fromBytes(rng.randomBytes(16));
+        if (!m.isOdd())
+            m = m + Bignum(1);
+        if (m <= Bignum(1))
+            m = Bignum(3);
+        const Bignum base = Bignum::fromBytes(rng.randomBytes(16));
+        const Bignum exp = Bignum::fromBytes(rng.randomBytes(4));
+
+        // Reference: naive square-and-multiply with divMod reduction.
+        Bignum ref(1);
+        Bignum b = base % m;
+        for (std::size_t bit = exp.bitLength(); bit-- > 0;) {
+            ref = (ref * ref) % m;
+            if (exp.bit(bit))
+                ref = (ref * b) % m;
+        }
+        EXPECT_EQ(Bignum::modExp(base, exp, m), ref);
+    }
+}
+
+TEST(MontgomeryTest, ToFromMontRoundTrip)
+{
+    const Bignum m = Bignum::fromHex("c7f5326b9e1f4a7d1"); // odd
+    Montgomery mont(m);
+    for (std::uint64_t v : {0ULL, 1ULL, 12345ULL, 0xffffffffULL}) {
+        const Bignum x(v);
+        EXPECT_EQ(mont.fromMont(mont.toMont(x)), x % m);
+    }
+}
+
+TEST(MontgomeryDeathTest, EvenModulusAborts)
+{
+    EXPECT_DEATH(Montgomery(Bignum(10)), "odd");
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+/** @file Property-based bignum tests, parameterized over bit widths. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hh"
+#include "crypto/csprng.hh"
+#include "crypto/primes.hh"
+
+namespace {
+
+using trust::crypto::Bignum;
+using trust::crypto::Csprng;
+using trust::crypto::randomBits;
+
+class BignumWidth : public ::testing::TestWithParam<int>
+{
+  protected:
+    Csprng rng_{static_cast<std::uint64_t>(GetParam()) * 31 + 7};
+
+    Bignum
+    random()
+    {
+        return randomBits(static_cast<std::size_t>(GetParam()), rng_);
+    }
+
+    Bignum
+    randomOdd()
+    {
+        Bignum v = random();
+        if (!v.isOdd())
+            v = v + Bignum(1);
+        return v;
+    }
+};
+
+TEST_P(BignumWidth, AddSubInverse)
+{
+    for (int i = 0; i < 20; ++i) {
+        const Bignum a = random(), b = random();
+        EXPECT_EQ((a + b) - b, a);
+        EXPECT_EQ((a + b) - a, b);
+    }
+}
+
+TEST_P(BignumWidth, AdditionCommutesAndAssociates)
+{
+    for (int i = 0; i < 20; ++i) {
+        const Bignum a = random(), b = random(), c = random();
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ((a + b) + c, a + (b + c));
+    }
+}
+
+TEST_P(BignumWidth, MultiplicationProperties)
+{
+    for (int i = 0; i < 10; ++i) {
+        const Bignum a = random(), b = random(), c = random();
+        EXPECT_EQ(a * b, b * a);
+        EXPECT_EQ(a * (b + c), a * b + a * c);
+        EXPECT_EQ((a * b) / b, a); // b != 0 by construction (MSB set)
+        EXPECT_TRUE(((a * b) % b).isZero());
+    }
+}
+
+TEST_P(BignumWidth, DivModInvariant)
+{
+    for (int i = 0; i < 20; ++i) {
+        const Bignum a = random() * random(); // wider than divisor
+        const Bignum b = random();
+        auto [q, r] = Bignum::divMod(a, b);
+        EXPECT_EQ(q * b + r, a);
+        EXPECT_LT(r, b);
+    }
+}
+
+TEST_P(BignumWidth, ShiftRoundTrip)
+{
+    for (std::size_t bits : {1u, 13u, 32u, 33u, 95u}) {
+        const Bignum a = random();
+        EXPECT_EQ(a.shifted(bits).shiftedRight(bits), a);
+        // Left shift multiplies by 2^bits.
+        EXPECT_EQ(a.shifted(bits), a * Bignum(1).shifted(bits));
+    }
+}
+
+TEST_P(BignumWidth, SerializationRoundTrip)
+{
+    for (int i = 0; i < 20; ++i) {
+        const Bignum a = random();
+        EXPECT_EQ(Bignum::fromBytes(a.toBytes()), a);
+        EXPECT_EQ(Bignum::fromHex(a.toHex()), a);
+    }
+}
+
+TEST_P(BignumWidth, ModExpExponentLaws)
+{
+    const Bignum m = randomOdd();
+    if (m <= Bignum(1))
+        return;
+    for (int i = 0; i < 5; ++i) {
+        const Bignum a = random() % m;
+        const Bignum x(static_cast<std::uint64_t>(
+            rng_.randomBelow(1000)));
+        const Bignum y(static_cast<std::uint64_t>(
+            rng_.randomBelow(1000)));
+        // a^(x+y) == a^x * a^y (mod m)
+        const Bignum lhs = Bignum::modExp(a, x + y, m);
+        const Bignum rhs =
+            (Bignum::modExp(a, x, m) * Bignum::modExp(a, y, m)) % m;
+        EXPECT_EQ(lhs, rhs);
+    }
+}
+
+TEST_P(BignumWidth, ModInverseIsInverse)
+{
+    const Bignum m = randomOdd();
+    if (m <= Bignum(2))
+        return;
+    int verified = 0;
+    for (int i = 0; i < 10 && verified < 5; ++i) {
+        const Bignum a = random() % m;
+        if (a.isZero())
+            continue;
+        const auto inv = Bignum::modInverse(a, m);
+        if (!inv)
+            continue; // not coprime; fine
+        EXPECT_EQ((a * *inv) % m, Bignum(1));
+        ++verified;
+    }
+    EXPECT_GT(verified, 0);
+}
+
+TEST_P(BignumWidth, GcdDividesBoth)
+{
+    for (int i = 0; i < 10; ++i) {
+        const Bignum a = random(), b = random();
+        const Bignum g = Bignum::gcd(a, b);
+        EXPECT_TRUE((a % g).isZero());
+        EXPECT_TRUE((b % g).isZero());
+        EXPECT_EQ(g, Bignum::gcd(b, a));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BignumWidth,
+                         ::testing::Values(16, 64, 128, 256, 521));
+
+} // namespace

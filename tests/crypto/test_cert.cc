@@ -1,0 +1,148 @@
+/** @file Certificate and CA tests. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/cert.hh"
+
+namespace {
+
+using trust::crypto::Certificate;
+using trust::crypto::CertificateAuthority;
+using trust::crypto::CertRole;
+using trust::crypto::Csprng;
+using trust::crypto::rsaGenerate;
+using trust::crypto::verifyCertificate;
+
+struct CertFixture : ::testing::Test
+{
+    static CertificateAuthority &
+    ca()
+    {
+        static Csprng rng(std::uint64_t{900});
+        static CertificateAuthority authority("TrustRootCA", 512, rng);
+        return authority;
+    }
+
+    static Csprng &
+    rng()
+    {
+        static Csprng r(std::uint64_t{901});
+        return r;
+    }
+};
+
+TEST_F(CertFixture, RootCertIsSelfSigned)
+{
+    const Certificate &root = ca().rootCertificate();
+    EXPECT_EQ(root.subject, "TrustRootCA");
+    EXPECT_EQ(root.issuer, "TrustRootCA");
+    EXPECT_TRUE(verifyCertificate(root, ca().rootKey(), 0,
+                                  CertRole::Authority));
+}
+
+TEST_F(CertFixture, IssuedServerCertVerifies)
+{
+    const auto kp = rsaGenerate(512, rng());
+    const Certificate cert =
+        ca().issue("www.xyz.com", CertRole::WebServer, kp.pub);
+    EXPECT_TRUE(verifyCertificate(cert, ca().rootKey(), 100,
+                                  CertRole::WebServer));
+    EXPECT_EQ(cert.subjectKey, kp.pub);
+}
+
+TEST_F(CertFixture, RoleMismatchRejected)
+{
+    const auto kp = rsaGenerate(512, rng());
+    const Certificate cert =
+        ca().issue("device-1", CertRole::FlockDevice, kp.pub);
+    EXPECT_TRUE(verifyCertificate(cert, ca().rootKey(), 0,
+                                  CertRole::FlockDevice));
+    EXPECT_FALSE(verifyCertificate(cert, ca().rootKey(), 0,
+                                   CertRole::WebServer));
+}
+
+TEST_F(CertFixture, ExpiredCertRejected)
+{
+    const auto kp = rsaGenerate(512, rng());
+    const Certificate cert = ca().issue("www.short.com",
+                                        CertRole::WebServer, kp.pub,
+                                        100, 200);
+    EXPECT_TRUE(verifyCertificate(cert, ca().rootKey(), 150,
+                                  CertRole::WebServer));
+    EXPECT_FALSE(verifyCertificate(cert, ca().rootKey(), 50,
+                                   CertRole::WebServer));
+    EXPECT_FALSE(verifyCertificate(cert, ca().rootKey(), 250,
+                                   CertRole::WebServer));
+}
+
+TEST_F(CertFixture, TamperedSubjectRejected)
+{
+    const auto kp = rsaGenerate(512, rng());
+    Certificate cert =
+        ca().issue("www.bank.com", CertRole::WebServer, kp.pub);
+    cert.subject = "www.evil.com";
+    EXPECT_FALSE(verifyCertificate(cert, ca().rootKey(), 0,
+                                   CertRole::WebServer));
+}
+
+TEST_F(CertFixture, SwappedKeyRejected)
+{
+    const auto kp1 = rsaGenerate(512, rng());
+    const auto kp2 = rsaGenerate(512, rng());
+    Certificate cert =
+        ca().issue("www.bank.com", CertRole::WebServer, kp1.pub);
+    cert.subjectKey = kp2.pub;
+    EXPECT_FALSE(verifyCertificate(cert, ca().rootKey(), 0,
+                                   CertRole::WebServer));
+}
+
+TEST_F(CertFixture, WrongCaRejected)
+{
+    Csprng other_rng(std::uint64_t{902});
+    CertificateAuthority rogue("RogueCA", 512, other_rng);
+    const auto kp = rsaGenerate(512, rng());
+    const Certificate cert =
+        rogue.issue("www.bank.com", CertRole::WebServer, kp.pub);
+    EXPECT_FALSE(verifyCertificate(cert, ca().rootKey(), 0,
+                                   CertRole::WebServer));
+}
+
+TEST_F(CertFixture, SerializeRoundTrip)
+{
+    const auto kp = rsaGenerate(512, rng());
+    const Certificate cert =
+        ca().issue("www.xyz.com", CertRole::WebServer, kp.pub, 5, 500);
+    const auto parsed = Certificate::deserialize(cert.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, cert);
+    EXPECT_TRUE(verifyCertificate(*parsed, ca().rootKey(), 10,
+                                  CertRole::WebServer));
+}
+
+TEST_F(CertFixture, DeserializeRejectsMalformed)
+{
+    EXPECT_FALSE(Certificate::deserialize({}).has_value());
+    EXPECT_FALSE(Certificate::deserialize({1, 2, 3, 4}).has_value());
+}
+
+TEST_F(CertFixture, SerialsAreUnique)
+{
+    const auto kp = rsaGenerate(512, rng());
+    const auto c1 = ca().issue("a", CertRole::WebServer, kp.pub);
+    const auto c2 = ca().issue("b", CertRole::WebServer, kp.pub);
+    EXPECT_NE(c1.serial, c2.serial);
+}
+
+TEST_F(CertFixture, Revocation)
+{
+    const auto kp = rsaGenerate(512, rng());
+    const auto cert = ca().issue("lost-device", CertRole::FlockDevice,
+                                 kp.pub);
+    EXPECT_FALSE(ca().isRevoked(cert.serial));
+    ca().revoke(cert.serial);
+    EXPECT_TRUE(ca().isRevoked(cert.serial));
+    ca().revoke(cert.serial); // idempotent
+    EXPECT_TRUE(ca().isRevoked(cert.serial));
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+/** @file ChaCha20 tests: RFC 8439 block-function vector + properties. */
+
+#include <gtest/gtest.h>
+
+#include "core/hex.hh"
+#include "crypto/chacha20.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::hexDecode;
+using trust::crypto::ChaCha20;
+
+Bytes
+sequentialKey()
+{
+    Bytes key(32);
+    for (int i = 0; i < 32; ++i)
+        key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+    return key;
+}
+
+TEST(ChaCha20Test, Rfc8439BlockFunction)
+{
+    // RFC 8439 section 2.3.2 test vector.
+    const Bytes key = sequentialKey();
+    const Bytes nonce =
+        hexDecode("000000090000004a00000000");
+    ChaCha20 cipher(key, nonce, 1);
+    const auto block = cipher.nextBlock();
+    const Bytes expected = hexDecode(
+        "10f1e7e4d13b5915500fdd1fa32071c4"
+        "c7d1f4c733c068030422aa9ac3d46c4e"
+        "d2826446079faa0914c2d705d98b02a2"
+        "b5129cd1de164eb9cbd083e8a2503c4e");
+    EXPECT_EQ(Bytes(block.begin(), block.end()), expected);
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip)
+{
+    const Bytes key = sequentialKey();
+    const Bytes nonce(12, 7);
+    const Bytes msg = trust::core::toBytes(std::string(
+        "Ladies and Gentlemen of the class of '99: If I could offer you "
+        "only one tip for the future, sunscreen would be it."));
+    ChaCha20 enc(key, nonce, 1);
+    ChaCha20 dec(key, nonce, 1);
+    EXPECT_EQ(dec.process(enc.process(msg)), msg);
+}
+
+TEST(ChaCha20Test, KeystreamDependsOnKey)
+{
+    Bytes key2 = sequentialKey();
+    key2[0] ^= 1;
+    const Bytes nonce(12, 0);
+    ChaCha20 a(sequentialKey(), nonce, 0);
+    ChaCha20 b(key2, nonce, 0);
+    EXPECT_NE(a.nextBlock(), b.nextBlock());
+}
+
+TEST(ChaCha20Test, KeystreamDependsOnNonce)
+{
+    Bytes nonce2(12, 0);
+    nonce2[11] = 1;
+    ChaCha20 a(sequentialKey(), Bytes(12, 0), 0);
+    ChaCha20 b(sequentialKey(), nonce2, 0);
+    EXPECT_NE(a.nextBlock(), b.nextBlock());
+}
+
+TEST(ChaCha20Test, CounterAdvances)
+{
+    ChaCha20 c(sequentialKey(), Bytes(12, 0), 0);
+    const auto b0 = c.nextBlock();
+    const auto b1 = c.nextBlock();
+    EXPECT_NE(b0, b1);
+}
+
+TEST(ChaCha20Test, ProcessEmptyMessage)
+{
+    ChaCha20 c(sequentialKey(), Bytes(12, 0), 0);
+    EXPECT_TRUE(c.process({}).empty());
+}
+
+TEST(ChaCha20Test, ProcessAcrossBlockBoundary)
+{
+    // 100 bytes spans two keystream blocks; piecewise processing on a
+    // fresh cipher must match one-shot processing.
+    const Bytes msg(100, 0x5a);
+    ChaCha20 one(sequentialKey(), Bytes(12, 3), 0);
+    const Bytes whole = one.process(msg);
+
+    ChaCha20 two(sequentialKey(), Bytes(12, 3), 0);
+    Bytes piecewise = two.process(Bytes(msg.begin(), msg.begin() + 64));
+    const Bytes tail = two.process(Bytes(msg.begin() + 64, msg.end()));
+    piecewise.insert(piecewise.end(), tail.begin(), tail.end());
+    EXPECT_EQ(whole, piecewise);
+}
+
+TEST(ChaCha20DeathTest, RejectsBadKeySize)
+{
+    EXPECT_DEATH(ChaCha20(Bytes(16, 0), Bytes(12, 0), 0), "32 bytes");
+}
+
+TEST(ChaCha20DeathTest, RejectsBadNonceSize)
+{
+    EXPECT_DEATH(ChaCha20(Bytes(32, 0), Bytes(8, 0), 0), "12 bytes");
+}
+
+} // namespace

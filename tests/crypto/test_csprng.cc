@@ -1,0 +1,96 @@
+/** @file Tests for the deterministic CSPRNG. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "crypto/csprng.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::crypto::Csprng;
+
+TEST(CsprngTest, DeterministicFromSeed)
+{
+    Csprng a(std::uint64_t{1234}), b(std::uint64_t{1234});
+    EXPECT_EQ(a.randomBytes(100), b.randomBytes(100));
+    EXPECT_EQ(a.randomU64(), b.randomU64());
+}
+
+TEST(CsprngTest, DifferentSeedsDiffer)
+{
+    Csprng a(std::uint64_t{1}), b(std::uint64_t{2});
+    EXPECT_NE(a.randomBytes(32), b.randomBytes(32));
+}
+
+TEST(CsprngTest, RequestSpanningRefills)
+{
+    Csprng a(std::uint64_t{5});
+    Csprng b(std::uint64_t{5});
+    // One big request equals many small ones.
+    const Bytes big = a.randomBytes(2000);
+    Bytes small;
+    while (small.size() < 2000) {
+        const Bytes chunk = b.randomBytes(123);
+        small.insert(small.end(), chunk.begin(), chunk.end());
+    }
+    small.resize(2000);
+    EXPECT_EQ(big, small);
+}
+
+TEST(CsprngTest, ByteDistributionRoughlyUniform)
+{
+    Csprng rng(std::uint64_t{42});
+    std::array<int, 256> counts{};
+    const Bytes data = rng.randomBytes(256 * 100);
+    for (std::uint8_t b : data)
+        ++counts[b];
+    for (int c : counts) {
+        EXPECT_GT(c, 40);  // expect ~100 each
+        EXPECT_LT(c, 200);
+    }
+}
+
+TEST(CsprngTest, RandomBelowRespectsBound)
+{
+    Csprng rng(std::uint64_t{7});
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.randomBelow(17), 17u);
+}
+
+TEST(CsprngTest, RandomBelowHitsAllResidues)
+{
+    Csprng rng(std::uint64_t{8});
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.randomBelow(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(CsprngTest, ReseedChangesStream)
+{
+    Csprng a(std::uint64_t{9}), b(std::uint64_t{9});
+    (void)a.randomBytes(8);
+    (void)b.randomBytes(8);
+    a.reseed(trust::core::toBytes(std::string("entropy")));
+    EXPECT_NE(a.randomBytes(32), b.randomBytes(32));
+}
+
+TEST(CsprngTest, ReseedIsDeterministic)
+{
+    Csprng a(std::uint64_t{9}), b(std::uint64_t{9});
+    a.reseed(trust::core::toBytes(std::string("e")));
+    b.reseed(trust::core::toBytes(std::string("e")));
+    EXPECT_EQ(a.randomBytes(32), b.randomBytes(32));
+}
+
+TEST(CsprngTest, SeedFromBytesMatchesNothingElse)
+{
+    Csprng a(trust::core::toBytes(std::string("seed-a")));
+    Csprng b(trust::core::toBytes(std::string("seed-b")));
+    EXPECT_NE(a.randomBytes(16), b.randomBytes(16));
+}
+
+} // namespace

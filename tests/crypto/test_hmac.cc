@@ -1,0 +1,117 @@
+/** @file HMAC-SHA256 tests against RFC 4231 vectors. */
+
+#include <gtest/gtest.h>
+
+#include "core/hex.hh"
+#include "crypto/hmac.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::hexDecode;
+using trust::core::hexEncode;
+using trust::core::toBytes;
+using trust::crypto::hkdfSha256;
+using trust::crypto::hmacSha256;
+using trust::crypto::hmacSha256Verify;
+
+TEST(HmacSha256, Rfc4231Case1)
+{
+    const Bytes key(20, 0x0b);
+    const Bytes msg = toBytes(std::string("Hi There"));
+    EXPECT_EQ(
+        hexEncode(hmacSha256(key, msg)),
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    const Bytes key = toBytes(std::string("Jefe"));
+    const Bytes msg = toBytes(std::string("what do ya want for nothing?"));
+    EXPECT_EQ(
+        hexEncode(hmacSha256(key, msg)),
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3)
+{
+    const Bytes key(20, 0xaa);
+    const Bytes msg(50, 0xdd);
+    EXPECT_EQ(
+        hexEncode(hmacSha256(key, msg)),
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey)
+{
+    const Bytes key(131, 0xaa);
+    const Bytes msg = toBytes(std::string(
+        "Test Using Larger Than Block-Size Key - Hash Key First"));
+    EXPECT_EQ(
+        hexEncode(hmacSha256(key, msg)),
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, VerifyAcceptsCorrectTag)
+{
+    const Bytes key = toBytes(std::string("session-key"));
+    const Bytes msg = toBytes(std::string("request body"));
+    EXPECT_TRUE(hmacSha256Verify(key, msg, hmacSha256(key, msg)));
+}
+
+TEST(HmacSha256, VerifyRejectsTamperedMessage)
+{
+    const Bytes key = toBytes(std::string("session-key"));
+    const Bytes tag = hmacSha256(key, toBytes(std::string("original")));
+    EXPECT_FALSE(
+        hmacSha256Verify(key, toBytes(std::string("tampered")), tag));
+}
+
+TEST(HmacSha256, VerifyRejectsWrongKey)
+{
+    const Bytes msg = toBytes(std::string("body"));
+    const Bytes tag = hmacSha256(toBytes(std::string("k1")), msg);
+    EXPECT_FALSE(hmacSha256Verify(toBytes(std::string("k2")), msg, tag));
+}
+
+TEST(HmacSha256, VerifyRejectsTruncatedTag)
+{
+    const Bytes key = toBytes(std::string("k"));
+    const Bytes msg = toBytes(std::string("m"));
+    Bytes tag = hmacSha256(key, msg);
+    tag.pop_back();
+    EXPECT_FALSE(hmacSha256Verify(key, msg, tag));
+}
+
+TEST(HkdfSha256, OutputLengthAndDeterminism)
+{
+    const Bytes ikm = toBytes(std::string("input key material"));
+    const Bytes salt = toBytes(std::string("salt"));
+    const Bytes info = toBytes(std::string("ctx"));
+    const Bytes k1 = hkdfSha256(ikm, salt, info, 48);
+    const Bytes k2 = hkdfSha256(ikm, salt, info, 48);
+    EXPECT_EQ(k1.size(), 48u);
+    EXPECT_EQ(k1, k2);
+}
+
+TEST(HkdfSha256, DistinctInfoYieldsDistinctKeys)
+{
+    const Bytes ikm = toBytes(std::string("ikm"));
+    const Bytes salt = toBytes(std::string("salt"));
+    EXPECT_NE(hkdfSha256(ikm, salt, toBytes(std::string("enc")), 32),
+              hkdfSha256(ikm, salt, toBytes(std::string("mac")), 32));
+}
+
+TEST(HkdfSha256, PrefixConsistency)
+{
+    // A shorter output must be a prefix of a longer one (HKDF property).
+    const Bytes ikm = toBytes(std::string("ikm"));
+    const Bytes salt = toBytes(std::string("s"));
+    const Bytes info = toBytes(std::string("i"));
+    const Bytes short_key = hkdfSha256(ikm, salt, info, 16);
+    const Bytes long_key = hkdfSha256(ikm, salt, info, 64);
+    EXPECT_TRUE(std::equal(short_key.begin(), short_key.end(),
+                           long_key.begin()));
+}
+
+} // namespace

@@ -1,0 +1,61 @@
+/** @file MD5 tests against the RFC 1321 test suite. */
+
+#include <gtest/gtest.h>
+
+#include "core/hex.hh"
+#include "crypto/md5.hh"
+
+namespace {
+
+using trust::core::hexEncode;
+using trust::core::toBytes;
+using trust::crypto::Md5;
+
+TEST(Md5Test, Rfc1321Suite)
+{
+    EXPECT_EQ(hexEncode(Md5::digest(std::string(""))),
+              "d41d8cd98f00b204e9800998ecf8427e");
+    EXPECT_EQ(hexEncode(Md5::digest(std::string("a"))),
+              "0cc175b9c0f1b6a831c399e269772661");
+    EXPECT_EQ(hexEncode(Md5::digest(std::string("abc"))),
+              "900150983cd24fb0d6963f7d28e17f72");
+    EXPECT_EQ(hexEncode(Md5::digest(std::string("message digest"))),
+              "f96b697d7cb7938d525a2f31aaf161d0");
+    EXPECT_EQ(hexEncode(Md5::digest(std::string(
+                  "abcdefghijklmnopqrstuvwxyz"))),
+              "c3fcd3d76192e4007dfb496cca67e13b");
+    EXPECT_EQ(hexEncode(Md5::digest(std::string(
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+                  "0123456789"))),
+              "d174ab98d277d9f5a5611c2c9f419d9f");
+    EXPECT_EQ(hexEncode(Md5::digest(std::string(
+                  "1234567890123456789012345678901234567890"
+                  "1234567890123456789012345678901234567890"))),
+              "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, StreamingMatchesOneShot)
+{
+    const std::string msg(300, 'x');
+    Md5 ctx;
+    ctx.update(toBytes(msg.substr(0, 100)));
+    ctx.update(toBytes(msg.substr(100, 100)));
+    ctx.update(toBytes(msg.substr(200)));
+    EXPECT_EQ(ctx.finish(), Md5::digest(msg));
+}
+
+TEST(Md5Test, FinishResets)
+{
+    Md5 ctx;
+    ctx.update(toBytes(std::string("junk")));
+    (void)ctx.finish();
+    EXPECT_EQ(hexEncode(ctx.finish()),
+              "d41d8cd98f00b204e9800998ecf8427e");
+}
+
+TEST(Md5Test, DigestSize)
+{
+    EXPECT_EQ(Md5::digest(std::string("x")).size(), 16u);
+}
+
+} // namespace

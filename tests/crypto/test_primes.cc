@@ -1,0 +1,90 @@
+/** @file Primality-testing and prime-generation tests. */
+
+#include <gtest/gtest.h>
+
+#include "crypto/bignum.hh"
+#include "crypto/csprng.hh"
+#include "crypto/primes.hh"
+
+namespace {
+
+using trust::crypto::Bignum;
+using trust::crypto::Csprng;
+using trust::crypto::isProbablePrime;
+using trust::crypto::randomBelow;
+using trust::crypto::randomBits;
+using trust::crypto::randomPrime;
+
+TEST(Primes, SmallKnownPrimes)
+{
+    Csprng rng(std::uint64_t{1});
+    for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 251ULL,
+                            65537ULL, 1000003ULL})
+        EXPECT_TRUE(isProbablePrime(Bignum(p), rng)) << p;
+}
+
+TEST(Primes, SmallKnownComposites)
+{
+    Csprng rng(std::uint64_t{2});
+    for (std::uint64_t c : {0ULL, 1ULL, 4ULL, 9ULL, 15ULL, 91ULL, 561ULL,
+                            65535ULL, 1000001ULL})
+        EXPECT_FALSE(isProbablePrime(Bignum(c), rng)) << c;
+}
+
+TEST(Primes, CarmichaelNumbersRejected)
+{
+    // Carmichael numbers fool Fermat tests but not Miller-Rabin.
+    Csprng rng(std::uint64_t{3});
+    for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 2821ULL,
+                            6601ULL, 8911ULL, 41041ULL, 62745ULL})
+        EXPECT_FALSE(isProbablePrime(Bignum(c), rng)) << c;
+}
+
+TEST(Primes, LargeKnownPrime)
+{
+    // 2^89 - 1 is a Mersenne prime.
+    Csprng rng(std::uint64_t{4});
+    const Bignum m89 = Bignum(1).shifted(89) - Bignum(1);
+    EXPECT_TRUE(isProbablePrime(m89, rng));
+    // 2^87 - 1 is composite.
+    const Bignum m87 = Bignum(1).shifted(87) - Bignum(1);
+    EXPECT_FALSE(isProbablePrime(m87, rng));
+}
+
+TEST(Primes, RandomBitsHasExactWidth)
+{
+    Csprng rng(std::uint64_t{5});
+    for (std::size_t bits : {2u, 8u, 17u, 64u, 100u, 256u}) {
+        for (int i = 0; i < 10; ++i)
+            EXPECT_EQ(randomBits(bits, rng).bitLength(), bits);
+    }
+}
+
+TEST(Primes, RandomBelowBound)
+{
+    Csprng rng(std::uint64_t{6});
+    const Bignum bound = Bignum::fromHex("10000000001");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(randomBelow(bound, rng), bound);
+}
+
+TEST(Primes, RandomPrimeHasRequestedSize)
+{
+    Csprng rng(std::uint64_t{7});
+    const Bignum p = randomPrime(128, rng);
+    EXPECT_EQ(p.bitLength(), 128u);
+    EXPECT_TRUE(p.isOdd());
+    EXPECT_TRUE(isProbablePrime(p, rng));
+    // Second-highest bit is forced so products reach full width.
+    EXPECT_TRUE(p.bit(126));
+}
+
+TEST(Primes, TwoRandomPrimesProductWidth)
+{
+    Csprng rng(std::uint64_t{8});
+    const Bignum p = randomPrime(96, rng);
+    const Bignum q = randomPrime(96, rng);
+    EXPECT_EQ((p * q).bitLength(), 192u);
+}
+
+} // namespace

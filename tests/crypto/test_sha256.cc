@@ -1,0 +1,87 @@
+/** @file SHA-256 tests against FIPS 180-4 / NIST known vectors. */
+
+#include <gtest/gtest.h>
+
+#include "core/hex.hh"
+#include "crypto/sha256.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::hexEncode;
+using trust::core::toBytes;
+using trust::crypto::Sha256;
+
+TEST(Sha256Test, EmptyString)
+{
+    EXPECT_EQ(
+        hexEncode(Sha256::digest(std::string(""))),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc)
+{
+    EXPECT_EQ(
+        hexEncode(Sha256::digest(std::string("abc"))),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage)
+{
+    EXPECT_EQ(
+        hexEncode(Sha256::digest(std::string(
+            "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs)
+{
+    Sha256 ctx;
+    const Bytes chunk(1000, static_cast<std::uint8_t>('a'));
+    for (int i = 0; i < 1000; ++i)
+        ctx.update(chunk);
+    EXPECT_EQ(
+        hexEncode(ctx.finish()),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot)
+{
+    const std::string msg =
+        "The quick brown fox jumps over the lazy dog, repeatedly, to "
+        "exercise block boundaries in the streaming interface.";
+    for (std::size_t split = 0; split <= msg.size(); split += 7) {
+        Sha256 ctx;
+        ctx.update(toBytes(msg.substr(0, split)));
+        ctx.update(toBytes(msg.substr(split)));
+        EXPECT_EQ(ctx.finish(), Sha256::digest(msg));
+    }
+}
+
+TEST(Sha256Test, FinishResetsContext)
+{
+    Sha256 ctx;
+    ctx.update(toBytes(std::string("abc")));
+    (void)ctx.finish();
+    // Context must now behave as a fresh one.
+    EXPECT_EQ(hexEncode(ctx.finish()),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, LengthJustBelowAndAbovePadBoundary)
+{
+    // 55 bytes fits padding in one block; 56 forces an extra block.
+    const Bytes m55(55, 0x41);
+    const Bytes m56(56, 0x41);
+    EXPECT_NE(Sha256::digest(m55), Sha256::digest(m56));
+    EXPECT_EQ(Sha256::digest(m55).size(), 32u);
+    EXPECT_EQ(Sha256::digest(m56).size(), 32u);
+}
+
+TEST(Sha256Test, DifferentMessagesDiffer)
+{
+    EXPECT_NE(Sha256::digest(std::string("frame-1")),
+              Sha256::digest(std::string("frame-2")));
+}
+
+} // namespace

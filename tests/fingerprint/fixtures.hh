@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Shared synthetic fingers for the fingerprint test suite: master
+ * synthesis costs ~70 ms each, so tests share a lazily-built pool.
+ */
+
+#ifndef TRUST_TESTS_FINGERPRINT_FIXTURES_HH
+#define TRUST_TESTS_FINGERPRINT_FIXTURES_HH
+
+#include <vector>
+
+#include "core/rng.hh"
+#include "fingerprint/synthesis.hh"
+
+namespace trust::testing {
+
+/** A pool of deterministic masters shared across tests. */
+inline const std::vector<fingerprint::MasterFinger> &
+fingerPool()
+{
+    static const std::vector<fingerprint::MasterFinger> pool = [] {
+        core::Rng rng(20260706);
+        std::vector<fingerprint::MasterFinger> fingers;
+        for (std::uint64_t id = 0; id < 6; ++id)
+            fingers.push_back(fingerprint::synthesizeFinger(id, rng));
+        return fingers;
+    }();
+    return pool;
+}
+
+} // namespace trust::testing
+
+#endif // TRUST_TESTS_FINGERPRINT_FIXTURES_HH

@@ -1,0 +1,204 @@
+/** @file Tests for the partial-capture model (image + fast paths). */
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/capture.hh"
+#include "tests/fingerprint/fixtures.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::fingerprint::CaptureConditions;
+using trust::fingerprint::captureImpression;
+using trust::fingerprint::captureTemplateFast;
+using trust::fingerprint::estimateCaptureQuality;
+using trust::fingerprint::sampleTouchConditions;
+using trust::testing::fingerPool;
+
+CaptureConditions
+centeredConditions()
+{
+    CaptureConditions cc;
+    cc.windowRows = 80;
+    cc.windowCols = 80;
+    cc.pressure = 1.0;
+    cc.motionBlur = 0.0;
+    cc.noiseSigma = 0.0;
+    return cc;
+}
+
+TEST(CaptureImage, WindowDimensions)
+{
+    Rng rng(1);
+    const auto img = captureImpression(fingerPool()[0],
+                                       centeredConditions(), rng);
+    EXPECT_EQ(img.rows(), 80);
+    EXPECT_EQ(img.cols(), 80);
+}
+
+TEST(CaptureImage, CenteredCaptureMostlyValid)
+{
+    Rng rng(2);
+    const auto img = captureImpression(fingerPool()[0],
+                                       centeredConditions(), rng);
+    EXPECT_GT(img.validFraction(), 0.9);
+}
+
+TEST(CaptureImage, FarOffsetCaptureMostlyInvalid)
+{
+    Rng rng(3);
+    CaptureConditions cc = centeredConditions();
+    cc.centerOffset = {500.0, 500.0};
+    const auto img = captureImpression(fingerPool()[0], cc, rng);
+    EXPECT_DOUBLE_EQ(img.validFraction(), 0.0);
+}
+
+TEST(CaptureImage, IdentityConditionsReproduceMaster)
+{
+    Rng rng(4);
+    const auto &finger = fingerPool()[0];
+    const auto img = captureImpression(finger, centeredConditions(), rng);
+    // Centre window pixel equals the master centre pixel (no noise,
+    // full pressure, no rotation).
+    const int mr = finger.image.rows() / 2;
+    const int mc = finger.image.cols() / 2;
+    EXPECT_NEAR(img.pixel(40, 40), finger.image.pixel(mr, mc), 1e-4);
+}
+
+TEST(CaptureImage, LowPressureReducesContrast)
+{
+    Rng rng1(5), rng2(5);
+    CaptureConditions hard = centeredConditions();
+    CaptureConditions soft = centeredConditions();
+    soft.pressure = 0.2;
+    const auto img_hard =
+        captureImpression(fingerPool()[0], hard, rng1);
+    const auto img_soft =
+        captureImpression(fingerPool()[0], soft, rng2);
+    EXPECT_LT(img_soft.intensityVariance(),
+              img_hard.intensityVariance() * 0.3);
+}
+
+TEST(CaptureImage, BlurSmoothsImage)
+{
+    Rng rng1(6), rng2(6);
+    CaptureConditions sharp = centeredConditions();
+    CaptureConditions blurred = centeredConditions();
+    blurred.motionBlur = 6.0;
+    const auto img_sharp =
+        captureImpression(fingerPool()[0], sharp, rng1);
+    const auto img_blur =
+        captureImpression(fingerPool()[0], blurred, rng2);
+    EXPECT_LT(img_blur.intensityVariance(),
+              img_sharp.intensityVariance());
+}
+
+TEST(CaptureQualityModel, PerfectConditionsScoreHigh)
+{
+    EXPECT_GT(estimateCaptureQuality(centeredConditions(), 1.0), 0.95);
+}
+
+TEST(CaptureQualityModel, ZeroCoverageScoresZero)
+{
+    EXPECT_DOUBLE_EQ(estimateCaptureQuality(centeredConditions(), 0.0),
+                     0.0);
+}
+
+TEST(CaptureQualityModel, MonotoneInPressure)
+{
+    CaptureConditions a = centeredConditions();
+    CaptureConditions b = centeredConditions();
+    a.pressure = 0.2;
+    b.pressure = 0.4;
+    EXPECT_LT(estimateCaptureQuality(a, 1.0),
+              estimateCaptureQuality(b, 1.0));
+}
+
+TEST(CaptureQualityModel, MonotoneInBlur)
+{
+    CaptureConditions a = centeredConditions();
+    CaptureConditions b = centeredConditions();
+    a.motionBlur = 4.0;
+    b.motionBlur = 1.0;
+    EXPECT_LT(estimateCaptureQuality(a, 1.0),
+              estimateCaptureQuality(b, 1.0));
+}
+
+TEST(CaptureFast, GoodConditionsYieldMinutiae)
+{
+    Rng rng(7);
+    const auto cap = captureTemplateFast(fingerPool()[0],
+                                         centeredConditions(), rng);
+    EXPECT_GE(cap.minutiae.size(), 5u);
+    EXPECT_GT(cap.coverage, 0.9);
+    EXPECT_GT(cap.quality, 0.9);
+}
+
+TEST(CaptureFast, MinutiaeInsideWindow)
+{
+    Rng rng(8);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto cc = sampleTouchConditions(64, 64, 0.5, rng);
+        const auto cap =
+            captureTemplateFast(fingerPool()[1], cc, rng);
+        for (const auto &m : cap.minutiae) {
+            EXPECT_GE(m.x, 0.0);
+            EXPECT_GE(m.y, 0.0);
+            EXPECT_LE(m.x, 64.0);
+            EXPECT_LE(m.y, 64.0);
+        }
+    }
+}
+
+TEST(CaptureFast, FarOffsetYieldsNoGenuineMinutiae)
+{
+    Rng rng(9);
+    CaptureConditions cc = centeredConditions();
+    cc.centerOffset = {400.0, 400.0};
+    const auto cap = captureTemplateFast(fingerPool()[0], cc, rng);
+    EXPECT_DOUBLE_EQ(cap.coverage, 0.0);
+    EXPECT_DOUBLE_EQ(cap.quality, 0.0);
+}
+
+TEST(CaptureFast, LowPressureDropsMoreMinutiae)
+{
+    Rng rng(10);
+    CaptureConditions hard = centeredConditions();
+    CaptureConditions soft = centeredConditions();
+    soft.pressure = 0.15;
+    double hard_sum = 0.0, soft_sum = 0.0;
+    for (int i = 0; i < 30; ++i) {
+        hard_sum += static_cast<double>(
+            captureTemplateFast(fingerPool()[0], hard, rng)
+                .minutiae.size());
+        soft_sum += static_cast<double>(
+            captureTemplateFast(fingerPool()[0], soft, rng)
+                .minutiae.size());
+    }
+    // Soft touches keep fewer genuine minutiae on average even with
+    // extra spurious ones.
+    EXPECT_LT(soft_sum, hard_sum);
+}
+
+TEST(SampleTouchConditions, SpeedDegradesConditions)
+{
+    Rng rng(11);
+    double slow_q = 0.0, fast_q = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        const auto slow = sampleTouchConditions(80, 80, 0.0, rng);
+        const auto fast = sampleTouchConditions(80, 80, 1.0, rng);
+        slow_q += estimateCaptureQuality(slow, 1.0);
+        fast_q += estimateCaptureQuality(fast, 1.0);
+    }
+    EXPECT_GT(slow_q, fast_q * 1.5);
+}
+
+TEST(SampleTouchConditions, WindowPropagated)
+{
+    Rng rng(12);
+    const auto cc = sampleTouchConditions(48, 56, 0.3, rng);
+    EXPECT_EQ(cc.windowRows, 48);
+    EXPECT_EQ(cc.windowCols, 56);
+}
+
+} // namespace

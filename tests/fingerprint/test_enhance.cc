@@ -1,0 +1,175 @@
+/** @file Tests for normalization, orientation and Gabor enhancement. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/geometry.hh"
+#include "fingerprint/enhance.hh"
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+using trust::core::Grid;
+using trust::fingerprint::estimateOrientation;
+using trust::fingerprint::estimateRidgePeriod;
+using trust::fingerprint::FingerprintImage;
+using trust::fingerprint::gaborEnhance;
+using trust::fingerprint::normalizeImage;
+
+/** Synthetic sinusoidal ridge pattern at a given orientation. */
+FingerprintImage
+ridgePattern(int n, double theta, double period)
+{
+    FingerprintImage img(n, n);
+    img.fillMaskValid();
+    const double nx = -std::sin(theta), ny = std::cos(theta);
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            const double along = c * nx + r * ny;
+            img.pixel(r, c) = static_cast<float>(
+                0.5 + 0.5 * std::sin(2.0 * kPi * along / period));
+        }
+    }
+    return img;
+}
+
+TEST(Normalize, HitsTargetMoments)
+{
+    FingerprintImage img = ridgePattern(64, 0.3, 9.0);
+    // Skew the image first.
+    for (int r = 0; r < 64; ++r)
+        for (int c = 0; c < 64; ++c)
+            img.pixel(r, c) = img.pixel(r, c) * 0.2f + 0.7f;
+    normalizeImage(img, 0.5, 0.05);
+    EXPECT_NEAR(img.meanIntensity(), 0.5, 0.03);
+    EXPECT_NEAR(img.intensityVariance(), 0.05, 0.02);
+}
+
+TEST(Normalize, FlatImageUnchanged)
+{
+    FingerprintImage img(8, 8);
+    img.fillMaskValid();
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            img.pixel(r, c) = 0.3f;
+    normalizeImage(img);
+    EXPECT_FLOAT_EQ(img.pixel(4, 4), 0.3f);
+}
+
+class OrientationParam : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(OrientationParam, RecoversKnownOrientation)
+{
+    const double theta = GetParam();
+    const FingerprintImage img = ridgePattern(72, theta, 9.0);
+    const auto orientation = estimateOrientation(img);
+    // Check interior pixels only (border gradients are clipped).
+    double err_sum = 0.0;
+    int count = 0;
+    for (int r = 16; r < 56; r += 4) {
+        for (int c = 16; c < 56; c += 4) {
+            err_sum += trust::core::orientationDiff(orientation(r, c),
+                                                    theta);
+            ++count;
+        }
+    }
+    EXPECT_LT(err_sum / count, 0.12)
+        << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OrientationParam,
+                         ::testing::Values(0.0, 0.4, 0.9, kPi / 2,
+                                           2.0, 2.7));
+
+class RidgePeriodParam : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RidgePeriodParam, RecoversKnownPeriod)
+{
+    const double period = GetParam();
+    const FingerprintImage img = ridgePattern(96, 0.5, period);
+    const auto orientation = estimateOrientation(img);
+    const double est = estimateRidgePeriod(img, orientation);
+    EXPECT_NEAR(est, period, period * 0.25) << "period=" << period;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RidgePeriodParam,
+                         ::testing::Values(7.0, 9.0, 12.0));
+
+TEST(RidgePeriod, FlatImageReturnsZero)
+{
+    FingerprintImage img(64, 64);
+    img.fillMaskValid();
+    const auto orientation = estimateOrientation(img);
+    EXPECT_DOUBLE_EQ(estimateRidgePeriod(img, orientation), 0.0);
+}
+
+TEST(Gabor, SharpensNoisyRidges)
+{
+    FingerprintImage clean = ridgePattern(72, 0.7, 9.0);
+    FingerprintImage noisy = clean;
+    // Salt the pattern with deterministic pseudo-noise.
+    unsigned state = 12345;
+    for (int r = 0; r < 72; ++r) {
+        for (int c = 0; c < 72; ++c) {
+            state = state * 1664525u + 1013904223u;
+            const float n =
+                static_cast<float>((state >> 16) % 1000) / 1000.0f -
+                0.5f;
+            noisy.pixel(r, c) = std::clamp(
+                noisy.pixel(r, c) + 0.35f * n, 0.0f, 1.0f);
+        }
+    }
+    const auto orientation = estimateOrientation(clean);
+    FingerprintImage enhanced = noisy;
+    gaborEnhance(enhanced, orientation, 1.0 / 9.0);
+
+    // The enhanced image must be closer to the clean pattern than the
+    // noisy input over the interior.
+    auto rms = [&](const FingerprintImage &a) {
+        double sum = 0.0;
+        int count = 0;
+        for (int r = 12; r < 60; ++r) {
+            for (int c = 12; c < 60; ++c) {
+                const double d = a.pixel(r, c) - clean.pixel(r, c);
+                sum += d * d;
+                ++count;
+            }
+        }
+        return std::sqrt(sum / count);
+    };
+    EXPECT_LT(rms(enhanced), rms(noisy));
+}
+
+TEST(Gabor, InvalidPixelsUntouched)
+{
+    FingerprintImage img = ridgePattern(32, 0.0, 8.0);
+    img.setValid(5, 5, false);
+    img.pixel(5, 5) = 0.123f;
+    const auto orientation = estimateOrientation(img);
+    gaborEnhance(img, orientation, 1.0 / 8.0);
+    EXPECT_FLOAT_EQ(img.pixel(5, 5), 0.123f);
+}
+
+TEST(GaborVarFreq, MatchesFixedFreqWhenUniform)
+{
+    FingerprintImage a = ridgePattern(48, 0.6, 9.0);
+    FingerprintImage b = a;
+    const auto orientation = estimateOrientation(a);
+    gaborEnhance(a, orientation, 1.0 / 9.0);
+    trust::core::Grid<float> freq(48, 48,
+                                  static_cast<float>(1.0 / 9.0));
+    trust::fingerprint::gaborEnhanceVarFreq(b, orientation, freq);
+    // Same kernels (single frequency bin) => identical output.
+    for (int r = 0; r < 48; r += 5)
+        for (int c = 0; c < 48; c += 5)
+            EXPECT_NEAR(a.pixel(r, c), b.pixel(r, c), 1e-4);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+/** @file Unit tests for the fingerprint image container. */
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/image.hh"
+
+namespace {
+
+using trust::fingerprint::FingerprintImage;
+
+TEST(FingerprintImageTest, DefaultEmpty)
+{
+    FingerprintImage img;
+    EXPECT_TRUE(img.empty());
+    EXPECT_DOUBLE_EQ(img.validFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(img.meanIntensity(), 0.0);
+}
+
+TEST(FingerprintImageTest, ConstructionInvalidByDefault)
+{
+    FingerprintImage img(4, 5);
+    EXPECT_EQ(img.rows(), 4);
+    EXPECT_EQ(img.cols(), 5);
+    EXPECT_DOUBLE_EQ(img.validFraction(), 0.0);
+    EXPECT_FALSE(img.valid(0, 0));
+}
+
+TEST(FingerprintImageTest, ValidFraction)
+{
+    FingerprintImage img(2, 2);
+    img.setValid(0, 0, true);
+    img.setValid(1, 1, true);
+    EXPECT_DOUBLE_EQ(img.validFraction(), 0.5);
+    img.fillMaskValid();
+    EXPECT_DOUBLE_EQ(img.validFraction(), 1.0);
+}
+
+TEST(FingerprintImageTest, MeanIgnoresInvalidPixels)
+{
+    FingerprintImage img(2, 2);
+    img.pixel(0, 0) = 1.0f;
+    img.pixel(0, 1) = 0.0f; // invalid; excluded
+    img.setValid(0, 0, true);
+    EXPECT_DOUBLE_EQ(img.meanIntensity(), 1.0);
+}
+
+TEST(FingerprintImageTest, VarianceOfConstantIsZero)
+{
+    FingerprintImage img(3, 3);
+    img.fillMaskValid();
+    for (int r = 0; r < 3; ++r)
+        for (int c = 0; c < 3; ++c)
+            img.pixel(r, c) = 0.7f;
+    EXPECT_NEAR(img.intensityVariance(), 0.0, 1e-12);
+}
+
+TEST(FingerprintImageTest, VarianceOfTwoLevels)
+{
+    FingerprintImage img(1, 2);
+    img.fillMaskValid();
+    img.pixel(0, 0) = 0.0f;
+    img.pixel(0, 1) = 1.0f;
+    // Population variance of {0, 1} is 0.25.
+    EXPECT_NEAR(img.intensityVariance(), 0.25, 1e-12);
+}
+
+TEST(FingerprintImageTest, StandardResolutionConstants)
+{
+    EXPECT_DOUBLE_EQ(trust::fingerprint::kStandardDpi, 500.0);
+    EXPECT_NEAR(trust::fingerprint::kPixelPitchMm, 0.0508, 1e-6);
+}
+
+} // namespace

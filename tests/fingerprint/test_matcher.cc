@@ -1,0 +1,224 @@
+/** @file Tests for the partial-print minutiae matcher. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/geometry.hh"
+#include "fingerprint/capture.hh"
+#include "fingerprint/matcher.hh"
+#include "tests/fingerprint/fixtures.hh"
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+using trust::core::Rng;
+using trust::fingerprint::captureTemplateFast;
+using trust::fingerprint::MatchParams;
+using trust::fingerprint::matchAgainstViews;
+using trust::fingerprint::matchMinutiae;
+using trust::fingerprint::Minutia;
+using trust::fingerprint::MinutiaType;
+using trust::fingerprint::sampleTouchConditions;
+using trust::testing::fingerPool;
+
+/** Deterministic pseudo-random minutiae cloud. */
+std::vector<Minutia>
+randomCloud(int n, std::uint64_t seed, double extent = 150.0)
+{
+    Rng rng(seed);
+    std::vector<Minutia> out;
+    for (int i = 0; i < n; ++i) {
+        Minutia m;
+        m.x = rng.uniform(0.0, extent);
+        m.y = rng.uniform(0.0, extent);
+        m.angle = rng.uniform(0.0, kPi);
+        m.type = rng.chance(0.5) ? MinutiaType::Ending
+                                 : MinutiaType::Bifurcation;
+        out.push_back(m);
+    }
+    return out;
+}
+
+/** Apply a rigid transform to a minutiae set. */
+std::vector<Minutia>
+transformed(const std::vector<Minutia> &set, double rot, double dx,
+            double dy)
+{
+    std::vector<Minutia> out;
+    const double c = std::cos(rot), s = std::sin(rot);
+    for (const auto &m : set) {
+        Minutia t = m;
+        t.x = c * m.x - s * m.y + dx;
+        t.y = s * m.x + c * m.y + dy;
+        t.angle = trust::core::wrapOrientation(m.angle + rot);
+        out.push_back(t);
+    }
+    return out;
+}
+
+TEST(Matcher, IdenticalSetsMatchPerfectly)
+{
+    const auto cloud = randomCloud(30, 1);
+    const auto r = matchMinutiae(cloud, cloud);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_DOUBLE_EQ(r.score, 1.0);
+    EXPECT_EQ(r.paired, 30);
+}
+
+TEST(Matcher, EmptyOrTinySetsRejected)
+{
+    const auto cloud = randomCloud(20, 2);
+    EXPECT_FALSE(matchMinutiae(cloud, {}).accepted);
+    EXPECT_FALSE(matchMinutiae({}, cloud).accepted);
+    EXPECT_FALSE(matchMinutiae(cloud, {cloud[0]}).accepted);
+}
+
+class RigidTransformParam
+    : public ::testing::TestWithParam<std::tuple<double, double, double>>
+{
+};
+
+TEST_P(RigidTransformParam, InvariantToRigidMotion)
+{
+    const auto [rot, dx, dy] = GetParam();
+    const auto cloud = randomCloud(25, 3);
+    const auto moved = transformed(cloud, rot, dx, dy);
+    const auto r = matchMinutiae(cloud, moved);
+    EXPECT_TRUE(r.accepted) << "rot=" << rot;
+    EXPECT_GE(r.score, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RigidTransformParam,
+    ::testing::Values(std::make_tuple(0.0, 40.0, -25.0),
+                      std::make_tuple(0.5, 0.0, 0.0),
+                      std::make_tuple(-0.8, 15.0, 30.0),
+                      std::make_tuple(3.0, -20.0, 10.0),
+                      std::make_tuple(kPi, 5.0, 5.0)));
+
+TEST(Matcher, PartialSubsetMatches)
+{
+    const auto cloud = randomCloud(40, 4);
+    // Query = 12 of the 40, displaced.
+    std::vector<Minutia> subset(cloud.begin(), cloud.begin() + 12);
+    const auto moved = transformed(subset, 0.3, 22.0, -17.0);
+    const auto r = matchMinutiae(cloud, moved);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_GE(r.score, 0.9); // normalized by the smaller set
+}
+
+TEST(Matcher, IndependentCloudsRejected)
+{
+    // Independent random clouds of realistic sizes must not match.
+    int false_accepts = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        const auto a = randomCloud(35, 100 + seed);
+        const auto b = randomCloud(12, 200 + seed, 80.0);
+        if (matchMinutiae(a, b).accepted)
+            ++false_accepts;
+    }
+    EXPECT_LE(false_accepts, 1);
+}
+
+TEST(Matcher, JitterToleratedWithinLimits)
+{
+    Rng rng(5);
+    const auto cloud = randomCloud(30, 6);
+    auto noisy = transformed(cloud, 0.2, 10.0, 5.0);
+    for (auto &m : noisy) {
+        m.x += rng.normal(0.0, 1.2);
+        m.y += rng.normal(0.0, 1.2);
+        m.angle = trust::core::wrapOrientation(
+            m.angle + rng.normal(0.0, 0.05));
+    }
+    const auto r = matchMinutiae(cloud, noisy);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_GE(r.score, 0.6);
+}
+
+TEST(Matcher, GenuineCapturesBeatImpostors)
+{
+    Rng rng(7);
+    const auto &genuine = fingerPool()[0];
+    const auto &impostor = fingerPool()[1];
+    double genuine_mean = 0.0, impostor_mean = 0.0;
+    int n = 0;
+    for (int i = 0; i < 30; ++i) {
+        const auto cc = sampleTouchConditions(80, 80, 0.2, rng);
+        const auto cap = captureTemplateFast(genuine, cc, rng);
+        if (cap.minutiae.size() < 5 || cap.quality < 0.4)
+            continue;
+        genuine_mean +=
+            matchMinutiae(genuine.minutiae, cap.minutiae).score;
+        impostor_mean +=
+            matchMinutiae(impostor.minutiae, cap.minutiae).score;
+        ++n;
+    }
+    ASSERT_GT(n, 5);
+    EXPECT_GT(genuine_mean, impostor_mean * 1.5);
+}
+
+TEST(Matcher, ImpostorFingersRarelyAccepted)
+{
+    Rng rng(8);
+    int accepted = 0, trials = 0;
+    for (int i = 0; i < 60; ++i) {
+        const auto &probe_finger = fingerPool()[i % 3];
+        const auto &gallery_finger = fingerPool()[3 + i % 3];
+        const auto cc = sampleTouchConditions(80, 80, 0.2, rng);
+        const auto cap = captureTemplateFast(probe_finger, cc, rng);
+        if (cap.minutiae.size() < 5 || cap.quality < 0.4)
+            continue;
+        ++trials;
+        if (matchMinutiae(gallery_finger.minutiae, cap.minutiae)
+                .accepted)
+            ++accepted;
+    }
+    ASSERT_GT(trials, 20);
+    EXPECT_LE(static_cast<double>(accepted) / trials, 0.05);
+}
+
+TEST(Matcher, VotesHigherForGenuine)
+{
+    Rng rng(9);
+    const auto &finger = fingerPool()[2];
+    const auto cc = sampleTouchConditions(96, 96, 0.0, rng);
+    const auto cap = captureTemplateFast(finger, cc, rng);
+    const auto genuine = matchMinutiae(finger.minutiae, cap.minutiae);
+    const auto impostor =
+        matchMinutiae(fingerPool()[4].minutiae, cap.minutiae);
+    EXPECT_GT(genuine.votes, impostor.votes);
+}
+
+TEST(Matcher, MatchAgainstViewsTakesBest)
+{
+    const auto cloud = randomCloud(30, 10);
+    const auto decoy = randomCloud(30, 11);
+    const auto moved = transformed(cloud, 0.4, 12.0, -8.0);
+    const auto r = matchAgainstViews({decoy, cloud}, moved);
+    EXPECT_TRUE(r.accepted);
+    EXPECT_GE(r.score, 0.9);
+}
+
+TEST(Matcher, MatchAgainstNoViewsRejects)
+{
+    const auto cloud = randomCloud(10, 12);
+    EXPECT_FALSE(matchAgainstViews({}, cloud).accepted);
+}
+
+TEST(Matcher, ThresholdKnobsRespected)
+{
+    const auto cloud = randomCloud(20, 13);
+    MatchParams strict;
+    strict.acceptThreshold = 1.1; // impossible
+    EXPECT_FALSE(matchMinutiae(cloud, cloud, strict).accepted);
+
+    MatchParams high_floor;
+    high_floor.minPairedFloor = 25; // more than available
+    EXPECT_FALSE(matchMinutiae(cloud, cloud, high_floor).accepted);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/** @file Property tests for the matcher across capture windows. */
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/capture.hh"
+#include "fingerprint/matcher.hh"
+#include "tests/fingerprint/fixtures.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::fingerprint::captureTemplateFast;
+using trust::fingerprint::CaptureConditions;
+using trust::fingerprint::matchMinutiae;
+using trust::testing::fingerPool;
+
+/** Parameter: capture window side in cells. */
+class MatcherWindow : public ::testing::TestWithParam<int>
+{
+  protected:
+    CaptureConditions
+    conditions() const
+    {
+        CaptureConditions cc;
+        cc.windowRows = GetParam();
+        cc.windowCols = GetParam();
+        cc.pressure = 0.9;
+        return cc;
+    }
+};
+
+TEST_P(MatcherWindow, GenuineScoresBeatImpostorScores)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 101);
+    const auto &genuine = fingerPool()[0];
+    const auto &impostor = fingerPool()[1];
+
+    double genuine_sum = 0.0, impostor_sum = 0.0;
+    int n = 0;
+    for (int i = 0; i < 25; ++i) {
+        const auto cap =
+            captureTemplateFast(genuine, conditions(), rng);
+        if (cap.minutiae.size() < 4)
+            continue;
+        genuine_sum +=
+            matchMinutiae(genuine.minutiae, cap.minutiae).score;
+        impostor_sum +=
+            matchMinutiae(impostor.minutiae, cap.minutiae).score;
+        ++n;
+    }
+    ASSERT_GT(n, 10);
+    EXPECT_GT(genuine_sum, impostor_sum);
+}
+
+TEST_P(MatcherWindow, ScoreAndPairsWithinBounds)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 103);
+    const auto &finger = fingerPool()[2];
+    for (int i = 0; i < 15; ++i) {
+        const auto cap =
+            captureTemplateFast(finger, conditions(), rng);
+        const auto r = matchMinutiae(finger.minutiae, cap.minutiae);
+        EXPECT_GE(r.score, 0.0);
+        EXPECT_LE(r.score, 1.0);
+        EXPECT_GE(r.paired, 0);
+        EXPECT_LE(static_cast<std::size_t>(r.paired),
+                  std::min(finger.minutiae.size(),
+                           cap.minutiae.size()));
+        EXPECT_GE(r.votes, 0);
+    }
+}
+
+TEST_P(MatcherWindow, SelfMatchIsPerfect)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 107);
+    const auto &finger = fingerPool()[3];
+    const auto cap = captureTemplateFast(finger, conditions(), rng);
+    if (cap.minutiae.size() < 2)
+        return;
+    const auto r = matchMinutiae(cap.minutiae, cap.minutiae);
+    EXPECT_DOUBLE_EQ(r.score, 1.0);
+    EXPECT_EQ(r.paired,
+              static_cast<int>(cap.minutiae.size()));
+}
+
+TEST_P(MatcherWindow, MatchDeterministic)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 109);
+    const auto &finger = fingerPool()[4];
+    const auto cap = captureTemplateFast(finger, conditions(), rng);
+    const auto r1 = matchMinutiae(finger.minutiae, cap.minutiae);
+    const auto r2 = matchMinutiae(finger.minutiae, cap.minutiae);
+    EXPECT_EQ(r1.score, r2.score);
+    EXPECT_EQ(r1.paired, r2.paired);
+    EXPECT_EQ(r1.votes, r2.votes);
+    EXPECT_EQ(r1.accepted, r2.accepted);
+}
+
+TEST_P(MatcherWindow, LargerTemplatesNeverHurtSelfScore)
+{
+    // Matching a capture against its own source master must stay
+    // accepted regardless of window size, given enough minutiae.
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 113);
+    const auto &finger = fingerPool()[5];
+    int accepted = 0, usable = 0;
+    for (int i = 0; i < 20; ++i) {
+        const auto cap =
+            captureTemplateFast(finger, conditions(), rng);
+        if (cap.minutiae.size() < 8)
+            continue;
+        ++usable;
+        accepted += matchMinutiae(finger.minutiae, cap.minutiae)
+                        .accepted;
+    }
+    if (usable >= 8) {
+        // At least a third accepted at any window size (larger
+        // windows should do much better).
+        EXPECT_GE(accepted * 3, usable);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSweep, MatcherWindow,
+                         ::testing::Values(60, 79, 100, 130));
+
+} // namespace

@@ -1,0 +1,188 @@
+/** @file Tests for enrollment mosaicking and alignment exposure. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/geometry.hh"
+#include "fingerprint/capture.hh"
+#include "fingerprint/matcher.hh"
+#include "tests/fingerprint/fixtures.hh"
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+using trust::core::Rng;
+using trust::fingerprint::captureTemplateFast;
+using trust::fingerprint::matchMinutiae;
+using trust::fingerprint::Minutia;
+using trust::fingerprint::MinutiaType;
+using trust::fingerprint::mosaicViews;
+using trust::fingerprint::RigidTransform;
+using trust::testing::fingerPool;
+
+std::vector<Minutia>
+randomCloud(int n, std::uint64_t seed, double extent = 120.0)
+{
+    Rng rng(seed);
+    std::vector<Minutia> out;
+    for (int i = 0; i < n; ++i) {
+        Minutia m;
+        m.x = rng.uniform(0.0, extent);
+        m.y = rng.uniform(0.0, extent);
+        m.angle = rng.uniform(0.0, kPi);
+        m.type = rng.chance(0.5) ? MinutiaType::Ending
+                                 : MinutiaType::Bifurcation;
+        out.push_back(m);
+    }
+    return out;
+}
+
+TEST(RigidTransformTest, ApplyMatchesManualMath)
+{
+    RigidTransform t{kPi / 2.0, 10.0, -5.0};
+    Minutia m{3.0, 4.0, 0.2, MinutiaType::Ending};
+    const Minutia moved = t.apply(m);
+    EXPECT_NEAR(moved.x, -4.0 + 10.0, 1e-9);
+    EXPECT_NEAR(moved.y, 3.0 - 5.0, 1e-9);
+    EXPECT_NEAR(moved.angle,
+                trust::core::wrapOrientation(0.2 + kPi / 2.0), 1e-9);
+}
+
+TEST(MatcherAlignment, RecoversAppliedTransform)
+{
+    const auto cloud = randomCloud(30, 1);
+    const RigidTransform truth{0.4, 25.0, -12.0};
+    // Build the query as the template moved by the INVERSE of truth,
+    // so the matcher's query->template alignment equals truth.
+    std::vector<Minutia> query;
+    const double c = std::cos(-truth.rot), s = std::sin(-truth.rot);
+    for (const auto &m : cloud) {
+        Minutia q = m;
+        const double x = m.x - truth.dx, y = m.y - truth.dy;
+        q.x = c * x - s * y;
+        q.y = s * x + c * y;
+        q.angle = trust::core::wrapOrientation(m.angle - truth.rot);
+        query.push_back(q);
+    }
+    const auto r = matchMinutiae(cloud, query);
+    ASSERT_TRUE(r.accepted);
+    EXPECT_NEAR(r.alignment.rot, truth.rot, 0.05);
+    EXPECT_NEAR(r.alignment.dx, truth.dx, 3.0);
+    EXPECT_NEAR(r.alignment.dy, truth.dy, 3.0);
+
+    // Applying the recovered alignment maps query onto template.
+    const Minutia mapped = r.alignment.apply(query[0]);
+    EXPECT_NEAR(mapped.x, cloud[0].x, 3.0);
+    EXPECT_NEAR(mapped.y, cloud[0].y, 3.0);
+}
+
+TEST(Mosaic, EmptyAndSingleView)
+{
+    EXPECT_TRUE(mosaicViews({}).empty());
+    const auto cloud = randomCloud(15, 2);
+    EXPECT_EQ(mosaicViews({cloud}), cloud);
+}
+
+TEST(Mosaic, OverlappingShiftedViewsMerge)
+{
+    // One synthetic "finger": a master cloud; two views are subsets
+    // seen through different windows (different frames).
+    const auto master = randomCloud(40, 3, 150.0);
+    std::vector<Minutia> left, right;
+    for (const auto &m : master) {
+        if (m.x < 100.0)
+            left.push_back(m);
+        if (m.x > 50.0) {
+            // Right view in its own frame: shifted by -50 in x.
+            Minutia shifted = m;
+            shifted.x -= 50.0;
+            right.push_back(shifted);
+        }
+    }
+    ASSERT_GE(left.size(), 10u);
+    ASSERT_GE(right.size(), 10u);
+
+    const auto mosaic = mosaicViews({left, right});
+    // The mosaic covers more minutiae than either view alone and at
+    // most the master count (no duplicate explosion).
+    EXPECT_GT(mosaic.size(), std::max(left.size(), right.size()));
+    EXPECT_LE(mosaic.size(), master.size() + 2);
+}
+
+TEST(Mosaic, DisjointViewSkipped)
+{
+    const auto base = randomCloud(20, 4);
+    const auto unrelated = randomCloud(20, 5);
+    const auto mosaic = mosaicViews({base, unrelated});
+    // The unrelated view cannot be aligned: mosaic stays the seed.
+    EXPECT_EQ(mosaic.size(), base.size());
+}
+
+TEST(Mosaic, ImprovesGenuineMatchRate)
+{
+    // Mosaic of several captures should match new captures at least
+    // as well as the best single view.
+    Rng rng(6);
+    const auto &finger = fingerPool()[0];
+
+    std::vector<std::vector<Minutia>> views;
+    while (views.size() < 5) {
+        trust::fingerprint::CaptureConditions cc;
+        cc.windowRows = 110;
+        cc.windowCols = 110;
+        const auto cap = captureTemplateFast(finger, cc, rng);
+        if (cap.minutiae.size() >= 8)
+            views.push_back(cap.minutiae);
+    }
+    const auto mosaic = mosaicViews(views);
+    EXPECT_GT(mosaic.size(), views[0].size());
+
+    int mosaic_hits = 0, single_hits = 0, trials = 0;
+    for (int i = 0; i < 40; ++i) {
+        const auto cc = trust::fingerprint::sampleTouchConditions(
+            79, 79, 0.1, rng);
+        const auto cap = captureTemplateFast(finger, cc, rng);
+        if (cap.minutiae.size() < 6)
+            continue;
+        ++trials;
+        mosaic_hits += matchMinutiae(mosaic, cap.minutiae).accepted;
+        single_hits += matchMinutiae(views[0], cap.minutiae).accepted;
+    }
+    ASSERT_GT(trials, 15);
+    EXPECT_GE(mosaic_hits, single_hits);
+}
+
+TEST(Mosaic, DoesNotHelpImpostors)
+{
+    Rng rng(7);
+    const auto &owner = fingerPool()[0];
+    const auto &impostor = fingerPool()[1];
+    std::vector<std::vector<Minutia>> views;
+    while (views.size() < 5) {
+        trust::fingerprint::CaptureConditions cc;
+        cc.windowRows = 110;
+        cc.windowCols = 110;
+        const auto cap = captureTemplateFast(owner, cc, rng);
+        if (cap.minutiae.size() >= 8)
+            views.push_back(cap.minutiae);
+    }
+    const auto mosaic = mosaicViews(views);
+
+    int false_accepts = 0, trials = 0;
+    for (int i = 0; i < 40; ++i) {
+        const auto cc = trust::fingerprint::sampleTouchConditions(
+            79, 79, 0.1, rng);
+        const auto cap = captureTemplateFast(impostor, cc, rng);
+        if (cap.minutiae.size() < 6)
+            continue;
+        ++trials;
+        false_accepts += matchMinutiae(mosaic, cap.minutiae).accepted;
+    }
+    ASSERT_GT(trials, 15);
+    EXPECT_LE(false_accepts, trials / 8);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/** @file End-to-end extraction pipeline tests (capture -> template). */
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/capture.hh"
+#include "fingerprint/matcher.hh"
+#include "fingerprint/pipeline.hh"
+#include "tests/fingerprint/fixtures.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::fingerprint::CaptureConditions;
+using trust::fingerprint::captureImpression;
+using trust::fingerprint::extractTemplate;
+using trust::fingerprint::FingerprintImage;
+using trust::fingerprint::FingerprintTemplate;
+using trust::fingerprint::matchMinutiae;
+using trust::testing::fingerPool;
+
+CaptureConditions
+goodConditions()
+{
+    CaptureConditions cc;
+    cc.windowRows = 80;
+    cc.windowCols = 80;
+    cc.pressure = 1.0;
+    cc.motionBlur = 0.0;
+    cc.noiseSigma = 0.02;
+    return cc;
+}
+
+TEST(Pipeline, GoodCaptureYieldsTemplate)
+{
+    Rng rng(1);
+    const auto img =
+        captureImpression(fingerPool()[0], goodConditions(), rng);
+    const auto tpl = extractTemplate(img);
+    ASSERT_TRUE(tpl.has_value());
+    EXPECT_GE(tpl->minutiae.size(), 4u);
+    EXPECT_GT(tpl->quality, 0.4);
+}
+
+TEST(Pipeline, ExtractedTemplateMatchesMaster)
+{
+    Rng rng(2);
+    const auto &finger = fingerPool()[0];
+    int accepted = 0, extracted = 0;
+    for (int i = 0; i < 6; ++i) {
+        const auto cc = trust::fingerprint::sampleTouchConditions(
+            80, 80, 0.1, rng);
+        const auto img = captureImpression(finger, cc, rng);
+        const auto tpl = extractTemplate(img);
+        if (!tpl)
+            continue;
+        ++extracted;
+        if (matchMinutiae(finger.minutiae, tpl->minutiae).accepted)
+            ++accepted;
+    }
+    ASSERT_GE(extracted, 3);
+    EXPECT_GE(accepted * 2, extracted); // at least half accepted
+}
+
+TEST(Pipeline, ExtractedTemplateRejectsImpostorMaster)
+{
+    Rng rng(3);
+    const auto img =
+        captureImpression(fingerPool()[0], goodConditions(), rng);
+    const auto tpl = extractTemplate(img);
+    ASSERT_TRUE(tpl.has_value());
+    EXPECT_FALSE(
+        matchMinutiae(fingerPool()[1].minutiae, tpl->minutiae)
+            .accepted);
+}
+
+TEST(Pipeline, QualityGateRejectsWeakTouch)
+{
+    Rng rng(4);
+    CaptureConditions weak = goodConditions();
+    weak.pressure = 0.08;
+    weak.motionBlur = 8.0;
+    const auto img = captureImpression(fingerPool()[0], weak, rng);
+    EXPECT_FALSE(extractTemplate(img).has_value());
+}
+
+TEST(Pipeline, QualityGateRejectsEmptyWindow)
+{
+    Rng rng(5);
+    CaptureConditions off = goodConditions();
+    off.centerOffset = {500.0, 500.0};
+    const auto img = captureImpression(fingerPool()[0], off, rng);
+    EXPECT_FALSE(extractTemplate(img).has_value());
+}
+
+TEST(Pipeline, GateThresholdKnob)
+{
+    Rng rng(6);
+    const auto img =
+        captureImpression(fingerPool()[0], goodConditions(), rng);
+    trust::fingerprint::PipelineParams impossible;
+    impossible.minAcceptQuality = 1.01;
+    EXPECT_FALSE(extractTemplate(img, impossible).has_value());
+}
+
+TEST(TemplateSerde, RoundTrip)
+{
+    Rng rng(7);
+    const auto img =
+        captureImpression(fingerPool()[0], goodConditions(), rng);
+    const auto tpl = extractTemplate(img);
+    ASSERT_TRUE(tpl.has_value());
+    const auto parsed =
+        FingerprintTemplate::deserialize(tpl->serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, *tpl);
+}
+
+TEST(TemplateSerde, RejectsMalformed)
+{
+    EXPECT_FALSE(FingerprintTemplate::deserialize({1, 2, 3}).has_value());
+    EXPECT_FALSE(FingerprintTemplate::deserialize({}).has_value());
+}
+
+TEST(Pipeline, AssessCaptureMatchesQualityGate)
+{
+    Rng rng(8);
+    const auto img =
+        captureImpression(fingerPool()[0], goodConditions(), rng);
+    const auto q = trust::fingerprint::assessCapture(img);
+    EXPECT_GT(q.score, 0.45); // consistent with extraction succeeding
+}
+
+} // namespace

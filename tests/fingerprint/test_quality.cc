@@ -1,0 +1,121 @@
+/** @file Tests for capture quality assessment (Fig. 6 quality gate). */
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/capture.hh"
+#include "fingerprint/quality.hh"
+#include "tests/fingerprint/fixtures.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::fingerprint::assessQuality;
+using trust::fingerprint::CaptureConditions;
+using trust::fingerprint::captureImpression;
+using trust::fingerprint::FingerprintImage;
+using trust::testing::fingerPool;
+
+CaptureConditions
+goodConditions()
+{
+    CaptureConditions cc;
+    cc.windowRows = 80;
+    cc.windowCols = 80;
+    cc.pressure = 1.0;
+    cc.motionBlur = 0.0;
+    cc.noiseSigma = 0.01;
+    return cc;
+}
+
+TEST(Quality, EmptyImageScoresZero)
+{
+    EXPECT_DOUBLE_EQ(assessQuality(FingerprintImage()).score, 0.0);
+}
+
+TEST(Quality, BlankWindowScoresZero)
+{
+    FingerprintImage img(64, 64); // all invalid
+    const auto q = assessQuality(img);
+    EXPECT_DOUBLE_EQ(q.coverage, 0.0);
+    EXPECT_DOUBLE_EQ(q.score, 0.0);
+}
+
+TEST(Quality, FlatGrayScoresNearZero)
+{
+    FingerprintImage img(64, 64);
+    img.fillMaskValid();
+    for (int r = 0; r < 64; ++r)
+        for (int c = 0; c < 64; ++c)
+            img.pixel(r, c) = 0.5f;
+    const auto q = assessQuality(img);
+    EXPECT_LT(q.score, 0.05);
+}
+
+TEST(Quality, GoodCaptureScoresHigh)
+{
+    Rng rng(1);
+    const auto img =
+        captureImpression(fingerPool()[0], goodConditions(), rng);
+    const auto q = assessQuality(img);
+    EXPECT_GT(q.coverage, 0.9);
+    EXPECT_GT(q.score, 0.6);
+}
+
+TEST(Quality, LowPressureLowersScore)
+{
+    Rng rng1(2), rng2(2);
+    auto soft = goodConditions();
+    soft.pressure = 0.15;
+    const auto good =
+        captureImpression(fingerPool()[0], goodConditions(), rng1);
+    const auto weak = captureImpression(fingerPool()[0], soft, rng2);
+    EXPECT_LT(assessQuality(weak).score, assessQuality(good).score);
+}
+
+TEST(Quality, HeavyBlurLowersScore)
+{
+    Rng rng1(3), rng2(3);
+    auto blurred = goodConditions();
+    blurred.motionBlur = 8.0;
+    const auto good =
+        captureImpression(fingerPool()[0], goodConditions(), rng1);
+    const auto blur =
+        captureImpression(fingerPool()[0], blurred, rng2);
+    EXPECT_LT(assessQuality(blur).score,
+              assessQuality(good).score);
+}
+
+TEST(Quality, PartialCoverageLowersScore)
+{
+    Rng rng1(4), rng2(4);
+    auto offset = goodConditions();
+    offset.centerOffset = {70.0, 80.0}; // window mostly off-finger
+    const auto good =
+        captureImpression(fingerPool()[0], goodConditions(), rng1);
+    const auto partial =
+        captureImpression(fingerPool()[0], offset, rng2);
+    const auto q_good = assessQuality(good);
+    const auto q_partial = assessQuality(partial);
+    EXPECT_LT(q_partial.coverage, q_good.coverage);
+    EXPECT_LT(q_partial.score, q_good.score);
+}
+
+TEST(Quality, MetricsAreBounded)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10; ++i) {
+        const auto cc = trust::fingerprint::sampleTouchConditions(
+            64, 64, rng.uniform(), rng);
+        const auto img =
+            captureImpression(fingerPool()[1], cc, rng);
+        const auto q = assessQuality(img);
+        EXPECT_GE(q.score, 0.0);
+        EXPECT_LE(q.score, 1.0);
+        EXPECT_GE(q.coverage, 0.0);
+        EXPECT_LE(q.coverage, 1.0);
+        EXPECT_GE(q.coherence, 0.0);
+        EXPECT_LE(q.coherence, 1.0);
+    }
+}
+
+} // namespace

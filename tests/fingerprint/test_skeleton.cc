@@ -1,0 +1,134 @@
+/** @file Tests for binarization and Zhang-Suen thinning. */
+
+#include <gtest/gtest.h>
+
+#include "fingerprint/skeleton.hh"
+
+namespace {
+
+using trust::core::Grid;
+using trust::fingerprint::binarize;
+using trust::fingerprint::FingerprintImage;
+using trust::fingerprint::thin;
+
+TEST(Binarize, ThresholdAndMask)
+{
+    FingerprintImage img(2, 2);
+    img.fillMaskValid();
+    img.pixel(0, 0) = 0.9f;
+    img.pixel(0, 1) = 0.2f;
+    img.pixel(1, 0) = 0.9f;
+    img.setValid(1, 0, false); // masked out despite high intensity
+    img.pixel(1, 1) = 0.5f;    // equal to threshold -> 0
+    const auto b = binarize(img, 0.5f);
+    EXPECT_EQ(b(0, 0), 1);
+    EXPECT_EQ(b(0, 1), 0);
+    EXPECT_EQ(b(1, 0), 0);
+    EXPECT_EQ(b(1, 1), 0);
+}
+
+TEST(Thin, ThickLineBecomesThinLine)
+{
+    Grid<std::uint8_t> img(20, 30, 0);
+    for (int r = 8; r <= 12; ++r)
+        for (int c = 5; c <= 25; ++c)
+            img(r, c) = 1;
+    const auto skel = thin(img);
+
+    // Each interior column must retain exactly one skeleton pixel.
+    for (int c = 8; c <= 22; ++c) {
+        int count = 0;
+        for (int r = 0; r < 20; ++r)
+            count += skel(r, c);
+        EXPECT_EQ(count, 1) << "column " << c;
+    }
+}
+
+TEST(Thin, PreservesConnectivity)
+{
+    // An L-shaped thick stroke must stay one connected component.
+    Grid<std::uint8_t> img(40, 40, 0);
+    for (int r = 5; r <= 35; ++r)
+        for (int c = 5; c <= 9; ++c)
+            img(r, c) = 1;
+    for (int r = 31; r <= 35; ++r)
+        for (int c = 5; c <= 35; ++c)
+            img(r, c) = 1;
+    const auto skel = thin(img);
+
+    // Flood fill from any skeleton pixel and count reached pixels.
+    int total = 0;
+    std::pair<int, int> seed{-1, -1};
+    for (int r = 0; r < 40; ++r) {
+        for (int c = 0; c < 40; ++c) {
+            if (skel(r, c)) {
+                ++total;
+                if (seed.first < 0)
+                    seed = {r, c};
+            }
+        }
+    }
+    ASSERT_GT(total, 0);
+
+    Grid<std::uint8_t> seen(40, 40, 0);
+    std::vector<std::pair<int, int>> stack{seed};
+    seen(seed.first, seed.second) = 1;
+    int reached = 0;
+    while (!stack.empty()) {
+        auto [r, c] = stack.back();
+        stack.pop_back();
+        ++reached;
+        for (int dr = -1; dr <= 1; ++dr) {
+            for (int dc = -1; dc <= 1; ++dc) {
+                const int rr = r + dr, cc = c + dc;
+                if (skel.inBounds(rr, cc) && skel(rr, cc) &&
+                    !seen(rr, cc)) {
+                    seen(rr, cc) = 1;
+                    stack.emplace_back(rr, cc);
+                }
+            }
+        }
+    }
+    EXPECT_EQ(reached, total);
+}
+
+TEST(Thin, AlreadyThinLineUnchanged)
+{
+    Grid<std::uint8_t> img(10, 20, 0);
+    for (int c = 3; c <= 16; ++c)
+        img(5, c) = 1;
+    const auto skel = thin(img);
+    int count = 0;
+    for (int r = 0; r < 10; ++r)
+        for (int c = 0; c < 20; ++c)
+            count += skel(r, c);
+    EXPECT_EQ(count, 14);
+    EXPECT_EQ(skel(5, 3), 1);
+    EXPECT_EQ(skel(5, 16), 1);
+}
+
+TEST(Thin, EmptyImageStaysEmpty)
+{
+    Grid<std::uint8_t> img(10, 10, 0);
+    const auto skel = thin(img);
+    for (int r = 0; r < 10; ++r)
+        for (int c = 0; c < 10; ++c)
+            EXPECT_EQ(skel(r, c), 0);
+}
+
+TEST(Thin, SolidBlockLeavesSkeleton)
+{
+    Grid<std::uint8_t> img(16, 16, 0);
+    for (int r = 4; r <= 11; ++r)
+        for (int c = 4; c <= 11; ++c)
+            img(r, c) = 1;
+    const auto skel = thin(img);
+    int count = 0;
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < 16; ++c)
+            count += skel(r, c);
+    EXPECT_GT(count, 0);
+    EXPECT_LT(count, 20); // much thinner than the 64-pixel block
+}
+
+} // namespace

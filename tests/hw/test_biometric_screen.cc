@@ -1,0 +1,128 @@
+/** @file Tests for the integrated biometric touchscreen (Sec. III-A). */
+
+#include <gtest/gtest.h>
+
+#include "hw/biometric_screen.hh"
+#include "hw/sensor_spec.hh"
+
+namespace {
+
+using trust::core::Rect;
+using trust::core::Vec2;
+using trust::hw::BiometricTouchscreen;
+using trust::hw::PlacedSensor;
+using trust::hw::specFlockTile;
+using trust::hw::TouchPanelSpec;
+
+BiometricTouchscreen
+makeScreen()
+{
+    TouchPanelSpec panel;
+    std::vector<PlacedSensor> sensors;
+    sensors.push_back(
+        {Rect::fromOriginSize(10.0, 60.0, 6.0, 6.0), specFlockTile(6.0)});
+    sensors.push_back(
+        {Rect::fromOriginSize(30.0, 20.0, 4.0, 4.0), specFlockTile(4.0)});
+    return BiometricTouchscreen(panel, std::move(sensors));
+}
+
+TEST(BiometricScreen, CoverageFraction)
+{
+    const auto screen = makeScreen();
+    const double screen_area = 53.0 * 94.0;
+    EXPECT_NEAR(screen.coverageFraction(),
+                (36.0 + 16.0) / screen_area, 1e-9);
+}
+
+TEST(BiometricScreen, SensorAt)
+{
+    const auto screen = makeScreen();
+    EXPECT_EQ(screen.sensorAt(Vec2(13.0, 63.0)), 0);
+    EXPECT_EQ(screen.sensorAt(Vec2(31.0, 21.0)), 1);
+    EXPECT_EQ(screen.sensorAt(Vec2(50.0, 5.0)), -1);
+}
+
+TEST(BiometricScreen, CellAddressTranslation)
+{
+    const auto screen = makeScreen();
+    // Tile 0 spans [10, 16) x [60, 66) mm at ~500 dpi: 0.0508 mm per
+    // cell. A point 1 mm into the tile is around cell 19-20.
+    const auto cell = screen.toCellAddress(0, Vec2(11.0, 61.0));
+    EXPECT_NEAR(cell.col, 19, 1);
+    EXPECT_NEAR(cell.row, 19, 1);
+}
+
+TEST(BiometricScreen, CellAddressCorners)
+{
+    const auto screen = makeScreen();
+    const auto origin = screen.toCellAddress(0, Vec2(10.0, 60.0));
+    EXPECT_EQ(origin.row, 0);
+    EXPECT_EQ(origin.col, 0);
+    const auto far_corner =
+        screen.toCellAddress(0, Vec2(15.999, 65.999));
+    EXPECT_EQ(far_corner.row, screen.sensors()[0].spec.rows - 1);
+    EXPECT_EQ(far_corner.col, screen.sensors()[0].spec.cols - 1);
+}
+
+TEST(BiometricScreen, OpportunisticCaptureOnTile)
+{
+    auto screen = makeScreen();
+    const auto result = screen.captureAtTouch(Vec2(13.0, 63.0), 4.0);
+    EXPECT_TRUE(result.covered);
+    EXPECT_EQ(result.sensorIndex, 0);
+    EXPECT_GT(result.window.cells(), 0);
+    // Total latency includes panel scan plus sensor activation/scan.
+    EXPECT_GT(result.totalLatency, result.touch.latency);
+    // Fig. 6 requirement: the whole opportunistic sequence fits
+    // comfortably within a tap.
+    EXPECT_LT(trust::core::toMilliseconds(result.totalLatency), 12.0);
+}
+
+TEST(BiometricScreen, OffTileTouchNotCovered)
+{
+    auto screen = makeScreen();
+    const auto result = screen.captureAtTouch(Vec2(50.0, 5.0), 4.0);
+    EXPECT_FALSE(result.covered);
+    EXPECT_EQ(result.sensorIndex, -1);
+    EXPECT_EQ(result.timing.total(), 0u);
+    // Only the panel scan was spent.
+    EXPECT_EQ(result.totalLatency, result.touch.latency);
+}
+
+TEST(BiometricScreen, WindowClippedAtTileEdge)
+{
+    auto screen = makeScreen();
+    // Touch near the tile corner: the window cannot extend past it.
+    const auto result = screen.captureAtTouch(Vec2(10.2, 60.2), 4.0);
+    ASSERT_TRUE(result.covered);
+    EXPECT_GE(result.window.rowBegin, 0);
+    EXPECT_GE(result.window.colBegin, 0);
+    const auto &spec = screen.sensors()[0].spec;
+    EXPECT_LE(result.window.rowEnd, spec.rows);
+    EXPECT_LE(result.window.colEnd, spec.cols);
+    // Corner windows are smaller than centre windows.
+    const auto centre = screen.captureAtTouch(Vec2(13.0, 63.0), 4.0);
+    EXPECT_LT(result.window.cells(), centre.window.cells());
+}
+
+TEST(BiometricScreen, SmallerRequestedWindowFaster)
+{
+    auto screen = makeScreen();
+    const auto small = screen.captureAtTouch(Vec2(13.0, 63.0), 2.0);
+    const auto large = screen.captureAtTouch(Vec2(13.0, 63.0), 5.0);
+    ASSERT_TRUE(small.covered);
+    ASSERT_TRUE(large.covered);
+    EXPECT_LT(small.window.cells(), large.window.cells());
+    EXPECT_LT(small.timing.total(), large.timing.total());
+}
+
+TEST(BiometricScreen, NoSensorsScreenWorks)
+{
+    TouchPanelSpec panel;
+    BiometricTouchscreen screen(panel, {});
+    EXPECT_DOUBLE_EQ(screen.coverageFraction(), 0.0);
+    auto result = screen.captureAtTouch(Vec2(20.0, 20.0));
+    EXPECT_FALSE(result.covered);
+}
+
+} // namespace

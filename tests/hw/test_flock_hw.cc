@@ -1,0 +1,123 @@
+/** @file Tests for FLock hardware blocks (frame hash, store, crypto). */
+
+#include <gtest/gtest.h>
+
+#include "crypto/md5.hh"
+#include "crypto/sha256.hh"
+#include "hw/flock_hw.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::hw::CryptoProcessorModel;
+using trust::hw::DisplaySpec;
+using trust::hw::FrameHashEngine;
+using trust::hw::ProtectedStore;
+
+TEST(DisplaySpecTest, FrameBytes)
+{
+    DisplaySpec d;
+    EXPECT_EQ(d.frameBytes(), 480 * 800 * 2);
+}
+
+TEST(FrameHashEngineTest, Sha256MatchesLibrary)
+{
+    FrameHashEngine engine(FrameHashEngine::Algorithm::Sha256);
+    const Bytes frame(1000, 0x42);
+    EXPECT_EQ(engine.hashFrame(frame),
+              trust::crypto::Sha256::digest(frame));
+}
+
+TEST(FrameHashEngineTest, Md5MatchesLibrary)
+{
+    FrameHashEngine engine(FrameHashEngine::Algorithm::Md5);
+    const Bytes frame(1000, 0x42);
+    EXPECT_EQ(engine.hashFrame(frame),
+              trust::crypto::Md5::digest(frame));
+}
+
+TEST(FrameHashEngineTest, LatencyLinearInSize)
+{
+    FrameHashEngine engine(FrameHashEngine::Algorithm::Sha256, 200e6, 8);
+    const auto t1 = engine.hashLatency(1 << 20);
+    const auto t2 = engine.hashLatency(2 << 20);
+    EXPECT_NEAR(static_cast<double>(t2),
+                2.0 * static_cast<double>(t1),
+                static_cast<double>(t1) * 0.01);
+}
+
+TEST(FrameHashEngineTest, FullFrameHashUnderTwoMs)
+{
+    // The frame hash engine must keep up with display refresh.
+    FrameHashEngine engine;
+    DisplaySpec d;
+    EXPECT_LT(trust::core::toMilliseconds(
+                  engine.hashLatency(d.frameBytes())),
+              2.0);
+}
+
+TEST(FrameHashEngineTest, Md5CheaperThanSha)
+{
+    FrameHashEngine sha(FrameHashEngine::Algorithm::Sha256);
+    FrameHashEngine md5(FrameHashEngine::Algorithm::Md5);
+    EXPECT_LT(md5.hashLatency(1 << 20), sha.hashLatency(1 << 20));
+}
+
+TEST(CryptoProcessorModelTest, LatenciesPositiveAndOrdered)
+{
+    CryptoProcessorModel model;
+    EXPECT_GT(model.rsaSign1024, model.rsaVerify1024);
+    EXPECT_GT(model.rsaKeygen1024, model.rsaSign1024);
+    EXPECT_GT(model.aesLatency(4096), 0u);
+    EXPECT_LT(model.shaLatency(4096), model.aesLatency(4096));
+}
+
+TEST(ProtectedStoreTest, PutGetErase)
+{
+    ProtectedStore store;
+    EXPECT_TRUE(store.put("domain/www.x.com", Bytes{1, 2, 3}));
+    EXPECT_EQ(store.recordCount(), 1u);
+    const auto v = store.get("domain/www.x.com");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, (Bytes{1, 2, 3}));
+    store.erase("domain/www.x.com");
+    EXPECT_FALSE(store.get("domain/www.x.com").has_value());
+    EXPECT_EQ(store.usedBytes(), 0u);
+}
+
+TEST(ProtectedStoreTest, OverwriteReclaimsSpace)
+{
+    ProtectedStore store(100);
+    EXPECT_TRUE(store.put("k", Bytes(50, 0)));
+    EXPECT_TRUE(store.put("k", Bytes(70, 0))); // replaces, fits
+    EXPECT_EQ(store.usedBytes(), 71u);
+}
+
+TEST(ProtectedStoreTest, CapacityEnforced)
+{
+    ProtectedStore store(64);
+    EXPECT_TRUE(store.put("a", Bytes(30, 0)));
+    EXPECT_FALSE(store.put("b", Bytes(40, 0))); // would exceed
+    EXPECT_EQ(store.recordCount(), 1u);
+    EXPECT_TRUE(store.get("a").has_value());
+}
+
+TEST(ProtectedStoreTest, WipeAll)
+{
+    ProtectedStore store;
+    store.put("a", Bytes{1});
+    store.put("b", Bytes{2});
+    store.wipeAll();
+    EXPECT_EQ(store.recordCount(), 0u);
+    EXPECT_EQ(store.usedBytes(), 0u);
+    EXPECT_FALSE(store.get("a").has_value());
+}
+
+TEST(ProtectedStoreTest, EraseMissingIsNoop)
+{
+    ProtectedStore store;
+    store.erase("missing");
+    EXPECT_EQ(store.recordCount(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/** @file Property tests over every sensor design (parameterized). */
+
+#include <gtest/gtest.h>
+
+#include "hw/sensor_spec.hh"
+#include "hw/tft_sensor.hh"
+
+namespace {
+
+using trust::hw::Addressing;
+using trust::hw::CellWindow;
+using trust::hw::SensorSpec;
+using trust::hw::TftSensorArray;
+
+std::vector<SensorSpec>
+allSpecs()
+{
+    auto specs = trust::hw::tableTwoSpecs();
+    specs.push_back(trust::hw::specFlockTile(4.0));
+    specs.push_back(trust::hw::specFlockTile(10.0));
+    return specs;
+}
+
+class SensorProperty : public ::testing::TestWithParam<int>
+{
+  protected:
+    SensorSpec spec_ = allSpecs()[static_cast<std::size_t>(GetParam())];
+};
+
+TEST_P(SensorProperty, ScanScalesLinearlyWithRows)
+{
+    TftSensorArray array(spec_);
+    array.activate();
+    const auto full = array.fullWindow();
+    for (int frac : {2, 4}) {
+        CellWindow window = full;
+        window.rowEnd = full.rowBegin + full.rows() / frac;
+        if (window.rows() == 0)
+            continue;
+        const auto t = array.capture(window);
+        const auto t_full = array.capture(full);
+        const double ratio = static_cast<double>(t_full.scan) /
+                             static_cast<double>(t.scan);
+        EXPECT_NEAR(ratio,
+                    static_cast<double>(full.rows()) / window.rows(),
+                    0.1)
+            << spec_.name;
+    }
+}
+
+TEST_P(SensorProperty, TransferProportionalToCells)
+{
+    TftSensorArray array(spec_);
+    array.activate();
+    const auto full = array.fullWindow();
+    CellWindow half = full;
+    half.colEnd = full.colBegin + full.cols() / 2;
+    const auto t_full = array.capture(full);
+    const auto t_half = array.capture(half);
+    EXPECT_NEAR(static_cast<double>(t_half.bytesTransferred),
+                static_cast<double>(t_full.bytesTransferred) / 2.0,
+                static_cast<double>(t_full.bytesTransferred) * 0.02 +
+                    2.0)
+        << spec_.name;
+}
+
+TEST_P(SensorProperty, ParallelNeverSlowerThanSerial)
+{
+    SensorSpec parallel = spec_;
+    parallel.addressing = Addressing::ParallelRow;
+    SensorSpec serial = spec_;
+    serial.addressing = Addressing::SerialCell;
+    TftSensorArray pa(parallel), sa(serial);
+    pa.activate();
+    sa.activate();
+    EXPECT_LE(pa.captureFull().scan, sa.captureFull().scan)
+        << spec_.name;
+}
+
+TEST_P(SensorProperty, WindowTimingSubadditive)
+{
+    // Scanning two disjoint half-windows costs at least a full scan
+    // (no discount for splitting).
+    TftSensorArray array(spec_);
+    array.activate();
+    const auto full = array.fullWindow();
+    CellWindow top = full, bottom = full;
+    top.rowEnd = full.rows() / 2;
+    bottom.rowBegin = full.rows() / 2;
+    const auto t_top = array.capture(top);
+    const auto t_bottom = array.capture(bottom);
+    const auto t_full = array.captureFull();
+    EXPECT_GE(t_top.scan + t_bottom.scan,
+              t_full.scan - trust::core::microseconds(1))
+        << spec_.name;
+}
+
+TEST_P(SensorProperty, EnergyPositiveAndMonotone)
+{
+    TftSensorArray array(spec_);
+    array.activate();
+    const auto full = array.fullWindow();
+    CellWindow quarter = full;
+    quarter.rowEnd = std::max(1, full.rows() / 4);
+    const auto t_q = array.capture(quarter);
+    const auto t_f = array.captureFull();
+    EXPECT_GT(t_q.energyMicroJoule, 0.0) << spec_.name;
+    EXPECT_GE(t_f.energyMicroJoule, t_q.energyMicroJoule)
+        << spec_.name;
+}
+
+TEST_P(SensorProperty, GeometryConsistent)
+{
+    EXPECT_GT(spec_.widthMm(), 0.0);
+    EXPECT_GT(spec_.heightMm(), 0.0);
+    EXPECT_NEAR(spec_.widthMm() / spec_.cols,
+                spec_.cellPitchUm / 1000.0, 1e-9)
+        << spec_.name;
+    EXPECT_GT(spec_.dpi(), 100.0);
+    EXPECT_LT(spec_.dpi(), 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, SensorProperty,
+                         ::testing::Range(0, 7));
+
+} // namespace

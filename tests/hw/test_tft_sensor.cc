@@ -1,0 +1,158 @@
+/** @file Tests for the TFT sensor array timing model (Figs. 2/4). */
+
+#include <gtest/gtest.h>
+
+#include "hw/sensor_spec.hh"
+#include "hw/tft_sensor.hh"
+
+namespace {
+
+using trust::core::toMilliseconds;
+using trust::hw::Addressing;
+using trust::hw::CellWindow;
+using trust::hw::SensorSpec;
+using trust::hw::specFlockTile;
+using trust::hw::TftSensorArray;
+
+TEST(SensorSpecTest, TableTwoResponsesReproduced)
+{
+    // The calibrated timing model must reproduce each published
+    // response time within 10%.
+    for (const auto &spec : trust::hw::tableTwoSpecs()) {
+        TftSensorArray array(spec);
+        array.activate();
+        const auto timing = array.captureFull();
+        const double modeled_ms = toMilliseconds(timing.scan);
+        EXPECT_NEAR(modeled_ms, spec.publishedResponseMs,
+                    spec.publishedResponseMs * 0.10)
+            << spec.name;
+    }
+}
+
+TEST(SensorSpecTest, GeometryDerivation)
+{
+    const SensorSpec lee = trust::hw::specLee1999();
+    EXPECT_NEAR(lee.dpi(), 25400.0 / 42.0, 0.1);
+    EXPECT_NEAR(lee.widthMm(), 256 * 0.042, 1e-9);
+    EXPECT_NEAR(lee.heightMm(), 64 * 0.042, 1e-9);
+}
+
+TEST(SensorSpecTest, FlockTileSizing)
+{
+    const SensorSpec tile = specFlockTile(4.0);
+    EXPECT_NEAR(tile.widthMm(), 4.0, 0.1);
+    EXPECT_EQ(tile.rows, tile.cols);
+    EXPECT_NEAR(tile.dpi(), 500.0, 1.0);
+}
+
+TEST(TftSensor, CaptureRequiresActivation)
+{
+    TftSensorArray array(specFlockTile());
+    EXPECT_DEATH((void)array.captureFull(), "idle");
+}
+
+TEST(TftSensor, ActivationIdempotent)
+{
+    TftSensorArray array(specFlockTile());
+    EXPECT_GT(array.activate(), 0u);
+    EXPECT_EQ(array.activate(), 0u); // already active
+    array.sleep();
+    EXPECT_GT(array.activate(), 0u);
+}
+
+TEST(TftSensor, FlockTileCaptureWithinTapDuration)
+{
+    // Opportunistic capture must finish well inside a ~100 ms tap.
+    TftSensorArray array(specFlockTile(4.0));
+    array.activate();
+    const auto timing = array.captureFull();
+    EXPECT_LT(toMilliseconds(timing.total()), 5.0);
+}
+
+TEST(TftSensor, WindowScanScalesWithRows)
+{
+    TftSensorArray array(specFlockTile(6.0));
+    array.activate();
+    const auto full = array.fullWindow();
+    CellWindow half = full;
+    half.rowEnd = full.rowEnd / 2;
+    const auto t_full = array.capture(full);
+    const auto t_half = array.capture(half);
+    EXPECT_NEAR(static_cast<double>(t_half.scan),
+                static_cast<double>(t_full.scan) / 2.0,
+                static_cast<double>(t_full.scan) * 0.05);
+}
+
+TEST(TftSensor, SelectiveColumnTransferSavesBytes)
+{
+    // Fig. 4: only latches in the selected columns transfer.
+    TftSensorArray array(specFlockTile(6.0));
+    array.activate();
+    const auto full = array.fullWindow();
+    CellWindow narrow = full;
+    narrow.colBegin = full.colEnd / 4;
+    narrow.colEnd = full.colEnd / 2;
+    const auto t_full = array.capture(full);
+    const auto t_narrow = array.capture(narrow);
+    EXPECT_LT(t_narrow.bytesTransferred, t_full.bytesTransferred);
+    EXPECT_LT(t_narrow.transfer, t_full.transfer);
+    // Scan time is unchanged per row: same rows enabled.
+    EXPECT_EQ(t_narrow.scan, t_full.scan);
+}
+
+TEST(TftSensor, ParallelRowBeatsSerial)
+{
+    SensorSpec parallel = specFlockTile(4.0);
+    SensorSpec serial = parallel;
+    serial.addressing = Addressing::SerialCell;
+
+    TftSensorArray pa(parallel), sa(serial);
+    pa.activate();
+    sa.activate();
+    const auto tp = pa.captureFull();
+    const auto ts = sa.captureFull();
+    EXPECT_LT(tp.scan, ts.scan);
+    // Same pixels transferred either way.
+    EXPECT_EQ(tp.bytesTransferred, ts.bytesTransferred);
+}
+
+TEST(TftSensor, EmptyWindowIsFree)
+{
+    TftSensorArray array(specFlockTile());
+    array.activate();
+    const auto timing = array.capture({5, 5, 9, 9}); // rowEnd==rowBegin
+    EXPECT_EQ(timing.total(), 0u);
+    EXPECT_EQ(timing.bytesTransferred, 0);
+}
+
+TEST(TftSensor, ClipBoundsWindow)
+{
+    TftSensorArray array(specFlockTile(4.0));
+    const auto clipped = array.clip({-10, 10000, -5, 10000});
+    EXPECT_EQ(clipped.rowBegin, 0);
+    EXPECT_EQ(clipped.rowEnd, array.spec().rows);
+    EXPECT_EQ(clipped.colBegin, 0);
+    EXPECT_EQ(clipped.colEnd, array.spec().cols);
+}
+
+TEST(TftSensor, EnergyGrowsWithWindow)
+{
+    TftSensorArray array(specFlockTile(6.0));
+    array.activate();
+    CellWindow small = array.clip({0, 20, 0, 20});
+    const auto t_small = array.capture(small);
+    const auto t_full = array.captureFull();
+    EXPECT_GT(t_full.energyMicroJoule, t_small.energyMicroJoule);
+    EXPECT_GT(t_small.energyMicroJoule, 0.0);
+}
+
+TEST(TftSensor, BytesMatchWindowBits)
+{
+    TftSensorArray array(specFlockTile(4.0));
+    array.activate();
+    CellWindow w = array.clip({0, 10, 0, 17});
+    const auto timing = array.capture(w);
+    EXPECT_EQ(timing.bytesTransferred, (10 * 17 + 7) / 8);
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+/** @file Tests for the capacitive touch panel model (Fig. 1). */
+
+#include <gtest/gtest.h>
+
+#include "hw/touch_panel.hh"
+
+namespace {
+
+using trust::core::Vec2;
+using trust::hw::TouchPanel;
+using trust::hw::TouchPanelSpec;
+
+TEST(TouchPanel, DefaultScanLatencyNearFourMs)
+{
+    // Sec. II-B: typical capacitive panel response ~4 ms.
+    TouchPanel panel;
+    const double ms =
+        trust::core::toMilliseconds(panel.scanLatency());
+    EXPECT_GT(ms, 1.0);
+    EXPECT_LT(ms, 6.0);
+}
+
+TEST(TouchPanel, ParallelLayersSlowestDominates)
+{
+    TouchPanelSpec tall;
+    tall.rowElectrodes = 40;
+    tall.colElectrodes = 10;
+    TouchPanelSpec wide;
+    wide.rowElectrodes = 10;
+    wide.colElectrodes = 40;
+    EXPECT_EQ(TouchPanel(tall).scanLatency(),
+              TouchPanel(wide).scanLatency());
+}
+
+TEST(TouchPanel, MoreElectrodesSlowerScan)
+{
+    TouchPanelSpec coarse;
+    coarse.rowElectrodes = 10;
+    coarse.colElectrodes = 6;
+    TouchPanelSpec fine;
+    fine.rowElectrodes = 40;
+    fine.colElectrodes = 24;
+    EXPECT_LT(TouchPanel(coarse).scanLatency(),
+              TouchPanel(fine).scanLatency());
+}
+
+TEST(TouchPanel, SenseQuantizesToCellCenter)
+{
+    TouchPanel panel;
+    const auto reading = panel.sense(Vec2(10.0, 20.0));
+    // Reported position is a cell centre near the true point.
+    EXPECT_NEAR(reading.position.x, 10.0, panel.pitchX());
+    EXPECT_NEAR(reading.position.y, 20.0, panel.pitchY());
+    EXPECT_GE(reading.cell.row, 0);
+    EXPECT_GE(reading.cell.col, 0);
+}
+
+TEST(TouchPanel, SenseClampsOffscreenTouch)
+{
+    TouchPanel panel;
+    const auto reading = panel.sense(Vec2(-100.0, 1e6));
+    EXPECT_EQ(reading.cell.col, 0);
+    EXPECT_EQ(reading.cell.row, panel.spec().rowElectrodes - 1);
+}
+
+TEST(TouchPanel, QuantizationBoundedByPitch)
+{
+    TouchPanel panel;
+    for (double x : {1.0, 17.3, 40.9}) {
+        for (double y : {3.0, 55.5, 90.0}) {
+            const auto r = panel.sense(Vec2(x, y));
+            EXPECT_LE(std::abs(r.position.x - x),
+                      panel.pitchX() / 2 + 1e-9);
+            EXPECT_LE(std::abs(r.position.y - y),
+                      panel.pitchY() / 2 + 1e-9);
+        }
+    }
+}
+
+TEST(TouchPanel, MultiTouchResolvesDistinctPoints)
+{
+    TouchPanel panel;
+    const auto readings = panel.senseMulti(
+        {Vec2(5.0, 10.0), Vec2(40.0, 80.0), Vec2(25.0, 45.0)});
+    EXPECT_EQ(readings.size(), 3u);
+}
+
+TEST(TouchPanel, MultiTouchAliasesSameCell)
+{
+    TouchPanel panel;
+    // Two touches within one electrode pitch collapse to one report.
+    const Vec2 a(20.0, 30.0);
+    const Vec2 b(20.0 + panel.pitchX() * 0.2, 30.0);
+    const auto readings = panel.senseMulti({a, b});
+    EXPECT_EQ(readings.size(), 1u);
+}
+
+TEST(TouchPanelDeathTest, RejectsBadSpec)
+{
+    TouchPanelSpec bad;
+    bad.rowElectrodes = 0;
+    EXPECT_DEATH(TouchPanel panel(bad), "electrode");
+}
+
+} // namespace

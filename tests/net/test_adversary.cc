@@ -1,0 +1,142 @@
+/** @file Tests for the concrete network adversaries. */
+
+#include <gtest/gtest.h>
+
+#include "net/adversary.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::EventQueue;
+using trust::core::Rng;
+using trust::net::Dropper;
+using trust::net::Message;
+using trust::net::MitmSubstitutor;
+using trust::net::Network;
+using trust::net::PassiveSniffer;
+using trust::net::ReplayAttacker;
+using trust::net::Tamperer;
+
+TEST(PassiveSnifferTest, CapturesWithoutInterfering)
+{
+    EventQueue queue;
+    Network net(queue);
+    auto sniffer = std::make_shared<PassiveSniffer>();
+    net.setAdversary(sniffer);
+    int delivered = 0;
+    net.attach("server", [&](const Message &) { ++delivered; });
+    net.send("a", "server", Bytes{1});
+    net.send("a", "server", Bytes{2});
+    queue.run();
+    EXPECT_EQ(delivered, 2);
+    ASSERT_EQ(sniffer->captured().size(), 2u);
+    EXPECT_EQ(sniffer->captured()[1].payload, Bytes{2});
+}
+
+TEST(ReplayAttackerTest, ReplaysVictimTraffic)
+{
+    EventQueue queue;
+    Network net(queue);
+    auto replay = std::make_shared<ReplayAttacker>(
+        net, "server", trust::core::milliseconds(100), 2);
+    net.setAdversary(replay);
+    int delivered = 0;
+    net.attach("server", [&](const Message &) { ++delivered; });
+    net.attach("other", [](const Message &) {});
+
+    net.send("a", "server", Bytes{1}); // recorded + replayed twice
+    net.send("a", "other", Bytes{2});  // not the victim; ignored
+    queue.run();
+    EXPECT_EQ(delivered, 3); // original + 2 replays
+    EXPECT_EQ(replay->replaysInjected(), 2u);
+}
+
+TEST(TampererTest, FlipsBits)
+{
+    EventQueue queue;
+    Network net(queue);
+    net.setAdversary(std::make_shared<Tamperer>(Rng(1), 1.0, 1));
+    Bytes seen;
+    net.attach("server", [&](const Message &m) { seen = m.payload; });
+    const Bytes original(64, 0xaa);
+    net.send("a", "server", original);
+    queue.run();
+    EXPECT_NE(seen, original);
+    // Exactly one bit differs.
+    int bits = 0;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        std::uint8_t diff = seen[i] ^ original[i];
+        while (diff) {
+            bits += diff & 1;
+            diff >>= 1;
+        }
+    }
+    EXPECT_EQ(bits, 1);
+}
+
+TEST(TampererTest, ZeroProbabilityNeverTampers)
+{
+    EventQueue queue;
+    Network net(queue);
+    auto tamperer = std::make_shared<Tamperer>(Rng(2), 0.0);
+    net.setAdversary(tamperer);
+    net.attach("server", [](const Message &) {});
+    for (int i = 0; i < 50; ++i)
+        net.send("a", "server", Bytes(16, 1));
+    queue.run();
+    EXPECT_EQ(tamperer->messagesTampered(), 0u);
+}
+
+TEST(MitmSubstitutorTest, ReplacesVictimPayloads)
+{
+    EventQueue queue;
+    Network net(queue);
+    const Bytes forged{9, 9, 9};
+    auto mitm = std::make_shared<MitmSubstitutor>("server", forged);
+    net.setAdversary(mitm);
+    Bytes seen_server, seen_other;
+    net.attach("server", [&](const Message &m) {
+        seen_server = m.payload;
+    });
+    net.attach("other", [&](const Message &m) {
+        seen_other = m.payload;
+    });
+    net.send("a", "server", Bytes{1});
+    net.send("a", "other", Bytes{2});
+    queue.run();
+    EXPECT_EQ(seen_server, forged);
+    EXPECT_EQ(seen_other, Bytes{2});
+    EXPECT_EQ(mitm->substitutions(), 1u);
+}
+
+TEST(DropperTest, DropsAtConfiguredRate)
+{
+    EventQueue queue;
+    Network net(queue);
+    auto dropper = std::make_shared<Dropper>(Rng(3), 0.5);
+    net.setAdversary(dropper);
+    int delivered = 0;
+    net.attach("server", [&](const Message &) { ++delivered; });
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        net.send("a", "server", Bytes{1});
+    queue.run();
+    EXPECT_NEAR(static_cast<double>(delivered) / n, 0.5, 0.05);
+    EXPECT_EQ(dropper->messagesDropped() + delivered,
+              static_cast<std::uint64_t>(n));
+}
+
+TEST(DropperTest, ZeroRateDropsNothing)
+{
+    EventQueue queue;
+    Network net(queue);
+    net.setAdversary(std::make_shared<Dropper>(Rng(4), 0.0));
+    int delivered = 0;
+    net.attach("server", [&](const Message &) { ++delivered; });
+    for (int i = 0; i < 20; ++i)
+        net.send("a", "server", Bytes{1});
+    queue.run();
+    EXPECT_EQ(delivered, 20);
+}
+
+} // namespace

@@ -1,0 +1,153 @@
+/** @file Tests for the simulated network. */
+
+#include <gtest/gtest.h>
+
+#include "net/network.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::EventQueue;
+using trust::net::LatencyModel;
+using trust::net::Message;
+using trust::net::Network;
+
+TEST(Network, DeliversToAttachedEndpoint)
+{
+    EventQueue queue;
+    Network net(queue);
+    std::vector<Message> received;
+    net.attach("server", [&](const Message &m) {
+        received.push_back(m);
+    });
+    net.send("client", "server", Bytes{1, 2, 3});
+    queue.run();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(received[0].from, "client");
+    EXPECT_EQ(received[0].payload, (Bytes{1, 2, 3}));
+}
+
+TEST(Network, UnknownDestinationDropped)
+{
+    EventQueue queue;
+    Network net(queue);
+    net.send("client", "nobody", Bytes{1});
+    queue.run();
+    EXPECT_EQ(net.messagesSent(), 1u);
+    EXPECT_EQ(net.messagesDelivered(), 0u);
+}
+
+TEST(Network, LatencyModelApplied)
+{
+    EventQueue queue;
+    LatencyModel latency;
+    latency.base = trust::core::milliseconds(30);
+    latency.perKb = trust::core::microseconds(100);
+    Network net(queue);
+    Network slow_net(queue, latency);
+
+    trust::core::Tick delivered_at = 0;
+    slow_net.attach("server", [&](const Message &) {
+        delivered_at = queue.now();
+    });
+    slow_net.send("client", "server", Bytes(2048, 0));
+    queue.run();
+    EXPECT_EQ(delivered_at, trust::core::milliseconds(30) +
+                                trust::core::microseconds(200));
+}
+
+TEST(Network, DetachStopsDelivery)
+{
+    EventQueue queue;
+    Network net(queue);
+    int count = 0;
+    net.attach("server", [&](const Message &) { ++count; });
+    net.send("a", "server", Bytes{1});
+    queue.run();
+    net.detach("server");
+    net.send("a", "server", Bytes{2});
+    queue.run();
+    EXPECT_EQ(count, 1);
+}
+
+TEST(Network, ByteAccounting)
+{
+    EventQueue queue;
+    Network net(queue);
+    net.attach("server", [](const Message &) {});
+    net.send("a", "server", Bytes(100, 0));
+    net.send("a", "server", Bytes(50, 0));
+    EXPECT_EQ(net.bytesSent(), 150u);
+    EXPECT_EQ(net.messagesSent(), 2u);
+}
+
+TEST(Network, InjectBypassesAdversary)
+{
+    EventQueue queue;
+    Network net(queue);
+
+    // Adversary dropping everything.
+    struct DropAll : trust::net::Adversary
+    {
+        trust::net::Verdict
+        onMessage(Message &) override
+        {
+            return trust::net::Verdict::Drop;
+        }
+    };
+    net.setAdversary(std::make_shared<DropAll>());
+
+    int delivered = 0;
+    net.attach("server", [&](const Message &) { ++delivered; });
+    net.send("a", "server", Bytes{1}); // dropped
+    net.inject({"a", "server", Bytes{2}, 0}); // bypasses
+    queue.run();
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(Network, AdversaryCanModify)
+{
+    EventQueue queue;
+    Network net(queue);
+
+    struct FlipFirst : trust::net::Adversary
+    {
+        trust::net::Verdict
+        onMessage(Message &m) override
+        {
+            if (!m.payload.empty())
+                m.payload[0] ^= 0xff;
+            return trust::net::Verdict::Deliver;
+        }
+    };
+    net.setAdversary(std::make_shared<FlipFirst>());
+
+    Bytes seen;
+    net.attach("server", [&](const Message &m) { seen = m.payload; });
+    net.send("a", "server", Bytes{0x01, 0x02});
+    queue.run();
+    EXPECT_EQ(seen, (Bytes{0xfe, 0x02}));
+}
+
+TEST(Network, ClearingAdversaryRestoresPassthrough)
+{
+    EventQueue queue;
+    Network net(queue);
+    struct DropAll : trust::net::Adversary
+    {
+        trust::net::Verdict
+        onMessage(Message &) override
+        {
+            return trust::net::Verdict::Drop;
+        }
+    };
+    net.setAdversary(std::make_shared<DropAll>());
+    net.setAdversary(nullptr);
+    int delivered = 0;
+    net.attach("server", [&](const Message &) { ++delivered; });
+    net.send("a", "server", Bytes{1});
+    queue.run();
+    EXPECT_EQ(delivered, 1);
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+/** @file Tests for sensor placement optimization. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "placement/placement.hh"
+#include "touch/behavior.hh"
+
+namespace {
+
+using trust::core::Grid;
+using trust::core::Rng;
+using trust::placement::evaluateCoverage;
+using trust::placement::isFeasible;
+using trust::placement::placeAnnealing;
+using trust::placement::placeGreedy;
+using trust::placement::Placement;
+using trust::placement::PlacementProblem;
+using trust::placement::placeRandom;
+using trust::placement::placeUniformGrid;
+
+/** Problem with one strong hot spot in the lower-centre. */
+PlacementProblem
+hotSpotProblem()
+{
+    PlacementProblem problem;
+    problem.screen = {};
+    Grid<double> density(40, 24, 0.0);
+    // Hot spot block (rows 28-33, cols 8-15) carries 80% of mass.
+    const double hot_mass = 0.8 / (6 * 8);
+    for (int r = 28; r < 34; ++r)
+        for (int c = 8; c < 16; ++c)
+            density(r, c) = hot_mass;
+    // Remaining mass spread thin.
+    const double rest = 0.2 / (40 * 24 - 48);
+    for (int r = 0; r < 40; ++r)
+        for (int c = 0; c < 24; ++c)
+            if (density(r, c) == 0.0)
+                density(r, c) = rest;
+    problem.density = density;
+    problem.sensorSideMm = 8.0;
+    problem.sensorCount = 2;
+    return problem;
+}
+
+PlacementProblem
+behaviorProblem(std::uint64_t user)
+{
+    const auto behavior = trust::touch::UserBehavior::forUser(
+        user, {trust::touch::homeScreenLayout(),
+               trust::touch::keyboardLayout()});
+    Rng rng(user * 3 + 1);
+    PlacementProblem problem;
+    problem.screen = behavior.screen();
+    problem.density = behavior.densityMap(47, 26, 8000, rng);
+    problem.sensorSideMm = 7.0;
+    problem.sensorCount = 4;
+    return problem;
+}
+
+TEST(Placement, GreedyFindsHotSpot)
+{
+    const auto problem = hotSpotProblem();
+    const Placement placement = placeGreedy(problem);
+    ASSERT_EQ(placement.tiles.size(), 2u);
+    EXPECT_TRUE(isFeasible(placement, problem));
+    // The hot block is ~17.7 x 14.1 mm; two 8 mm tiles capture a
+    // large share of its 80% mass.
+    EXPECT_GT(evaluateCoverage(placement, problem), 0.25);
+}
+
+TEST(Placement, GreedyTilesDisjointAndOnScreen)
+{
+    const auto problem = behaviorProblem(5);
+    const Placement placement = placeGreedy(problem);
+    EXPECT_EQ(placement.tiles.size(), 4u);
+    EXPECT_TRUE(isFeasible(placement, problem));
+}
+
+TEST(Placement, CoverageMonotoneInSensorCount)
+{
+    auto problem = behaviorProblem(6);
+    double last = 0.0;
+    for (int n : {1, 2, 4, 8}) {
+        problem.sensorCount = n;
+        const double cov =
+            evaluateCoverage(placeGreedy(problem), problem);
+        EXPECT_GE(cov, last - 1e-9) << n;
+        last = cov;
+    }
+}
+
+TEST(Placement, GreedyBeatsUniformAndRandom)
+{
+    // The paper's claim: density-aware placement beats agnostic
+    // baselines at equal sensor budget.
+    Rng rng(7);
+    int greedy_wins_uniform = 0, greedy_wins_random = 0;
+    for (std::uint64_t user = 0; user < 5; ++user) {
+        const auto problem = behaviorProblem(user);
+        const double greedy =
+            evaluateCoverage(placeGreedy(problem), problem);
+        const double uniform =
+            evaluateCoverage(placeUniformGrid(problem), problem);
+        const double random = evaluateCoverage(
+            placeRandom(problem, rng), problem);
+        if (greedy > uniform)
+            ++greedy_wins_uniform;
+        if (greedy > random)
+            ++greedy_wins_random;
+    }
+    EXPECT_EQ(greedy_wins_uniform, 5);
+    EXPECT_EQ(greedy_wins_random, 5);
+}
+
+TEST(Placement, AnnealingAtLeastAsGoodAsGreedy)
+{
+    const auto problem = behaviorProblem(8);
+    Rng rng(9);
+    const double greedy =
+        evaluateCoverage(placeGreedy(problem), problem);
+    const double annealed = evaluateCoverage(
+        placeAnnealing(problem, rng, 4000), problem);
+    EXPECT_GE(annealed, greedy - 1e-9);
+}
+
+TEST(Placement, UniformGridFeasible)
+{
+    const auto problem = behaviorProblem(10);
+    const Placement placement = placeUniformGrid(problem);
+    EXPECT_EQ(placement.tiles.size(), 4u);
+    EXPECT_TRUE(isFeasible(placement, problem));
+}
+
+TEST(Placement, RandomFeasible)
+{
+    Rng rng(11);
+    const auto problem = behaviorProblem(12);
+    const Placement placement = placeRandom(problem, rng);
+    EXPECT_EQ(placement.tiles.size(), 4u);
+    EXPECT_TRUE(isFeasible(placement, problem));
+}
+
+TEST(Placement, EvaluateEmptyPlacementIsZero)
+{
+    const auto problem = hotSpotProblem();
+    EXPECT_DOUBLE_EQ(evaluateCoverage(Placement{}, problem), 0.0);
+}
+
+TEST(Placement, FullScreenTileCapturesEverything)
+{
+    auto problem = hotSpotProblem();
+    Placement placement;
+    placement.tiles.push_back(problem.screen.bounds());
+    EXPECT_NEAR(evaluateCoverage(placement, problem), 1.0, 1e-6);
+}
+
+TEST(Placement, InfeasibleDetected)
+{
+    const auto problem = hotSpotProblem();
+    Placement overlapping;
+    overlapping.tiles.push_back(
+        trust::core::Rect::fromOriginSize(10, 10, 8, 8));
+    overlapping.tiles.push_back(
+        trust::core::Rect::fromOriginSize(12, 12, 8, 8));
+    EXPECT_FALSE(isFeasible(overlapping, problem));
+
+    Placement off_screen;
+    off_screen.tiles.push_back(
+        trust::core::Rect::fromOriginSize(-1, 0, 8, 8));
+    EXPECT_FALSE(isFeasible(off_screen, problem));
+}
+
+TEST(Placement, ToPlacedSensorsMatchesTiles)
+{
+    const auto problem = behaviorProblem(13);
+    const Placement placement = placeGreedy(problem);
+    const auto sensors =
+        trust::placement::toPlacedSensors(placement);
+    ASSERT_EQ(sensors.size(), placement.tiles.size());
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+        EXPECT_EQ(sensors[i].region, placement.tiles[i]);
+        EXPECT_NEAR(sensors[i].spec.widthMm(),
+                    placement.tiles[i].width(), 0.1);
+    }
+}
+
+} // namespace

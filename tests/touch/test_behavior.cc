@@ -1,0 +1,175 @@
+/** @file Tests for per-user touch behaviour (Fig. 7 substrate). */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "touch/behavior.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::touch::browserLayout;
+using trust::touch::densityOverlap;
+using trust::touch::GestureType;
+using trust::touch::homeScreenLayout;
+using trust::touch::keyboardLayout;
+using trust::touch::UserBehavior;
+
+std::vector<trust::touch::UiLayout>
+standardLayouts()
+{
+    return {homeScreenLayout(), keyboardLayout(), browserLayout()};
+}
+
+TEST(UserBehavior, DeterministicPerSeed)
+{
+    const auto a = UserBehavior::forUser(5, standardLayouts());
+    const auto b = UserBehavior::forUser(5, standardLayouts());
+    ASSERT_EQ(a.hotSpots().size(), b.hotSpots().size());
+    EXPECT_EQ(a.hotSpots()[0].weight, b.hotSpots()[0].weight);
+
+    Rng r1(9), r2(9);
+    const auto t1 = a.sampleTouch(r1, 0);
+    const auto t2 = b.sampleTouch(r2, 0);
+    EXPECT_EQ(t1.position, t2.position);
+}
+
+TEST(UserBehavior, DifferentUsersDiffer)
+{
+    const auto a = UserBehavior::forUser(5, standardLayouts());
+    const auto b = UserBehavior::forUser(6, standardLayouts());
+    bool weights_differ = false;
+    for (std::size_t i = 0;
+         i < std::min(a.hotSpots().size(), b.hotSpots().size()); ++i)
+        if (a.hotSpots()[i].weight != b.hotSpots()[i].weight)
+            weights_differ = true;
+    EXPECT_TRUE(weights_differ);
+}
+
+TEST(UserBehavior, TouchesStayOnScreen)
+{
+    const auto behavior = UserBehavior::forUser(1, standardLayouts());
+    Rng rng(2);
+    const auto bounds = behavior.screen().bounds();
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_TRUE(bounds.contains(
+            behavior.sampleTouch(rng, 0).position));
+}
+
+TEST(UserBehavior, GestureMixMatchesConfiguration)
+{
+    const auto behavior = UserBehavior::forUser(3, standardLayouts());
+    Rng rng(4);
+    int taps = 0, swipes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto e = behavior.sampleTouch(rng, 0);
+        if (e.gesture == GestureType::Tap)
+            ++taps;
+        if (e.gesture == GestureType::Swipe)
+            ++swipes;
+    }
+    EXPECT_NEAR(static_cast<double>(taps) / n,
+                behavior.gestures().tap, 0.02);
+    EXPECT_NEAR(static_cast<double>(swipes) / n,
+                behavior.gestures().swipe, 0.02);
+}
+
+TEST(UserBehavior, SwipesFasterThanTaps)
+{
+    const auto behavior = UserBehavior::forUser(7, standardLayouts());
+    Rng rng(8);
+    double tap_speed = 0.0, swipe_speed = 0.0;
+    int taps = 0, swipes = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const auto e = behavior.sampleTouch(rng, 0);
+        if (e.gesture == GestureType::Tap) {
+            tap_speed += e.speed;
+            ++taps;
+        } else if (e.gesture == GestureType::Swipe) {
+            swipe_speed += e.speed;
+            ++swipes;
+        }
+    }
+    ASSERT_GT(taps, 100);
+    ASSERT_GT(swipes, 100);
+    EXPECT_GT(swipe_speed / swipes, 3.0 * (tap_speed / taps));
+}
+
+TEST(UserBehavior, FingerIndexWithinEnrolled)
+{
+    const auto behavior = UserBehavior::forUser(11, standardLayouts());
+    Rng rng(12);
+    for (int i = 0; i < 1000; ++i) {
+        const auto e = behavior.sampleTouch(rng, 0);
+        EXPECT_GE(e.fingerIndex, 0);
+        EXPECT_LT(e.fingerIndex, behavior.enrolledFingers());
+    }
+}
+
+TEST(UserBehavior, DensityMapSumsToOne)
+{
+    const auto behavior = UserBehavior::forUser(13, standardLayouts());
+    Rng rng(14);
+    const auto density = behavior.densityMap(40, 24, 5000, rng);
+    double sum = 0.0;
+    for (double v : density.data())
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(UserBehavior, DensityIsConcentrated)
+{
+    // Hot spots mean the top 20% of cells hold well over 20% of mass.
+    const auto behavior = UserBehavior::forUser(15, standardLayouts());
+    Rng rng(16);
+    const auto density = behavior.densityMap(40, 24, 20000, rng);
+    auto cells = density.data();
+    std::sort(cells.begin(), cells.end(), std::greater<>());
+    double top_mass = 0.0;
+    const std::size_t top_n = cells.size() / 5;
+    for (std::size_t i = 0; i < top_n; ++i)
+        top_mass += cells[i];
+    EXPECT_GT(top_mass, 0.55);
+}
+
+TEST(UserBehavior, UsersShareHotSpots)
+{
+    // Fig. 7's qualitative claim: different users overlap
+    // substantially but not fully.
+    Rng rng(17);
+    const auto a = UserBehavior::forUser(100, standardLayouts());
+    const auto b = UserBehavior::forUser(200, standardLayouts());
+    const auto da = a.densityMap(40, 24, 20000, rng);
+    const auto db = b.densityMap(40, 24, 20000, rng);
+    const double overlap = densityOverlap(da, db);
+    EXPECT_GT(overlap, 0.3);
+    EXPECT_LT(overlap, 0.95);
+}
+
+TEST(DensityOverlap, IdenticalMapsOverlapFully)
+{
+    Rng rng(18);
+    const auto behavior = UserBehavior::forUser(19, standardLayouts());
+    const auto d = behavior.densityMap(20, 12, 5000, rng);
+    EXPECT_NEAR(densityOverlap(d, d), 1.0, 1e-9);
+}
+
+TEST(RenderDensityAscii, ShapeAndContent)
+{
+    trust::core::Grid<double> density(3, 4, 0.0);
+    density(1, 2) = 1.0;
+    const std::string art =
+        trust::touch::renderDensityAscii(density);
+    // 3 lines of 4 chars plus newlines.
+    EXPECT_EQ(art.size(), 3u * 5u);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+    // Exactly one non-space heat character.
+    int hot = 0;
+    for (char c : art)
+        if (c != ' ' && c != '\n')
+            ++hot;
+    EXPECT_EQ(hot, 1);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+/** @file Tests for the behavioural continuous-auth baseline. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "touch/behavioral_auth.hh"
+#include "touch/session.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::touch::BehavioralAuthenticator;
+using trust::touch::BehaviorProfile;
+using trust::touch::extractFeatures;
+using trust::touch::generateSession;
+using trust::touch::TouchEvent;
+using trust::touch::UserBehavior;
+
+UserBehavior
+user(std::uint64_t seed)
+{
+    return UserBehavior::forUser(
+        seed, {trust::touch::homeScreenLayout(),
+               trust::touch::keyboardLayout(),
+               trust::touch::browserLayout()});
+}
+
+TEST(Features, DeterministicAndFinite)
+{
+    TouchEvent event;
+    event.position = {10.0, 20.0};
+    event.speed = 0.5;
+    event.duration = trust::core::milliseconds(120);
+    event.gesture = trust::touch::GestureType::Swipe;
+    const auto f1 = extractFeatures(event);
+    const auto f2 = extractFeatures(event);
+    EXPECT_EQ(f1.values, f2.values);
+    for (double v : f1.values)
+        EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(f1.values[0], 10.0);
+    EXPECT_DOUBLE_EQ(f1.values[2], 0.5);
+}
+
+TEST(Profile, SelfLikelihoodBeatsImpostorOnAverage)
+{
+    Rng rng(1);
+    const auto owner = user(100);
+    const auto impostor = user(200);
+
+    const auto train = generateSession(owner, rng, 0, 400);
+    const auto profile = BehaviorProfile::train(train);
+    EXPECT_EQ(profile.trainedOn(), 400u);
+
+    const auto own_test = generateSession(owner, rng, 0, 300);
+    const auto imp_test = generateSession(impostor, rng, 0, 300);
+    double own_ll = 0.0, imp_ll = 0.0;
+    for (const auto &e : own_test)
+        own_ll += profile.logLikelihood(e);
+    for (const auto &e : imp_test)
+        imp_ll += profile.logLikelihood(e);
+    EXPECT_GT(own_ll / 300.0, imp_ll / 300.0);
+}
+
+TEST(ProfileDeathTest, TooFewEventsRejected)
+{
+    std::vector<TouchEvent> tiny(5);
+    EXPECT_DEATH((void)BehaviorProfile::train(tiny), "at least 10");
+}
+
+TEST(Authenticator, WindowFillsBeforeFlagging)
+{
+    Rng rng(2);
+    const auto owner = user(101);
+    const auto profile = BehaviorProfile::train(
+        generateSession(owner, rng, 0, 200));
+    BehavioralAuthenticator auth(profile, 8, 1e9); // absurd threshold
+    // Even with an impossible threshold, no flag before the window
+    // fills.
+    const auto events = generateSession(owner, rng, 0, 7);
+    for (const auto &e : events)
+        auth.record(e);
+    EXPECT_FALSE(auth.flagged());
+}
+
+TEST(Authenticator, CalibratedThresholdSeparatesUsers)
+{
+    Rng rng(3);
+    const auto owner = user(102);
+    const auto impostor = user(507);
+
+    const auto train = generateSession(owner, rng, 0, 500);
+    const auto holdout = generateSession(owner, rng, 0, 500);
+    const auto profile = BehaviorProfile::train(train);
+    const double threshold = BehavioralAuthenticator::calibrate(
+        profile, holdout, 8, 0.05);
+
+    // Genuine continuation rarely flags.
+    BehavioralAuthenticator genuine_auth(profile, 8, threshold);
+    int genuine_flags = 0;
+    for (const auto &e : generateSession(owner, rng, 0, 400)) {
+        genuine_auth.record(e);
+        if (genuine_auth.flagged())
+            ++genuine_flags;
+    }
+
+    // Impostor flags more often than genuine.
+    BehavioralAuthenticator impostor_auth(profile, 8, threshold);
+    int impostor_flags = 0;
+    for (const auto &e : generateSession(impostor, rng, 0, 400)) {
+        impostor_auth.record(e);
+        if (impostor_auth.flagged())
+            ++impostor_flags;
+    }
+    EXPECT_GT(impostor_flags, genuine_flags);
+}
+
+TEST(Authenticator, ResetClearsWindow)
+{
+    Rng rng(4);
+    const auto owner = user(103);
+    const auto profile = BehaviorProfile::train(
+        generateSession(owner, rng, 0, 100));
+    BehavioralAuthenticator auth(profile, 4, 1e9);
+    for (const auto &e : generateSession(owner, rng, 0, 10))
+        auth.record(e);
+    auth.reset();
+    EXPECT_FALSE(auth.flagged()); // window empty again
+}
+
+TEST(Authenticator, RecordReturnsWindowedMean)
+{
+    Rng rng(5);
+    const auto owner = user(104);
+    const auto profile = BehaviorProfile::train(
+        generateSession(owner, rng, 0, 100));
+    BehavioralAuthenticator auth(profile, 4, -100.0);
+    const auto events = generateSession(owner, rng, 0, 4);
+    double last = 0.0;
+    double sum = 0.0;
+    for (const auto &e : events) {
+        last = auth.record(e);
+        sum += profile.logLikelihood(e);
+    }
+    EXPECT_NEAR(last, sum / 4.0, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+/** @file Tests for session workload generation. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "touch/session.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::touch::generateSession;
+using trust::touch::SessionParams;
+using trust::touch::UserBehavior;
+
+UserBehavior
+behavior()
+{
+    return UserBehavior::forUser(
+        3, {trust::touch::homeScreenLayout(),
+            trust::touch::keyboardLayout()});
+}
+
+TEST(Session, RequestedTouchCount)
+{
+    Rng rng(1);
+    const auto events = generateSession(behavior(), rng, 0, 250);
+    EXPECT_EQ(events.size(), 250u);
+}
+
+TEST(Session, EmptySession)
+{
+    Rng rng(2);
+    EXPECT_TRUE(generateSession(behavior(), rng, 0, 0).empty());
+}
+
+TEST(Session, StrictlyTimeOrdered)
+{
+    Rng rng(3);
+    const auto events = generateSession(behavior(), rng, 1000, 300);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GT(events[i].time, events[i - 1].time);
+    EXPECT_GT(events.front().time, 1000u);
+}
+
+TEST(Session, MeanGapRoughlyMatchesParams)
+{
+    Rng rng(4);
+    SessionParams params;
+    params.meanGapMs = 1000.0;
+    params.burstProbability = 0.0; // pure exponential
+    const int n = 2000;
+    const auto events = generateSession(behavior(), rng, 0, n, params);
+    const double span_ms = trust::core::toMilliseconds(
+        events.back().time - events.front().time);
+    const double mean_gap = span_ms / (n - 1);
+    // Touch durations add on top of the inter-arrival gap.
+    EXPECT_GT(mean_gap, 900.0);
+    EXPECT_LT(mean_gap, 1700.0);
+}
+
+TEST(Session, BurstsCompressGaps)
+{
+    Rng rng1(5), rng2(5);
+    SessionParams bursty;
+    bursty.burstProbability = 0.9;
+    bursty.meanBurstLength = 10.0;
+    bursty.burstGapMs = 100.0;
+    SessionParams calm;
+    calm.burstProbability = 0.0;
+
+    const auto fast = generateSession(behavior(), rng1, 0, 500, bursty);
+    const auto slow = generateSession(behavior(), rng2, 0, 500, calm);
+    EXPECT_LT(fast.back().time, slow.back().time);
+}
+
+TEST(Session, EventsCarryBehaviorStructure)
+{
+    Rng rng(6);
+    const auto events = generateSession(behavior(), rng, 0, 200);
+    int with_target = 0;
+    for (const auto &e : events) {
+        EXPECT_TRUE(
+            behavior().screen().bounds().contains(e.position));
+        if (!e.target.empty())
+            ++with_target;
+    }
+    EXPECT_GT(with_target, 100); // most touches hit UI elements
+}
+
+} // namespace

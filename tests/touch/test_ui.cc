@@ -1,0 +1,114 @@
+/** @file Tests for screen/UI layout models. */
+
+#include <gtest/gtest.h>
+
+#include "touch/ui.hh"
+
+namespace {
+
+using trust::core::Vec2;
+using trust::touch::browserLayout;
+using trust::touch::homeScreenLayout;
+using trust::touch::keyboardLayout;
+using trust::touch::lockScreenLayout;
+using trust::touch::ScreenSpec;
+using trust::touch::UiLayout;
+
+TEST(ScreenSpecTest, DefaultPhoneGeometry)
+{
+    ScreenSpec screen;
+    EXPECT_GT(screen.heightMm, screen.widthMm); // portrait phone
+    EXPECT_TRUE(screen.bounds().contains(Vec2(1.0, 1.0)));
+    EXPECT_FALSE(screen.bounds().contains(Vec2(-1.0, 1.0)));
+}
+
+TEST(UiLayouts, AllElementsOnScreen)
+{
+    for (const UiLayout &layout :
+         {homeScreenLayout(), keyboardLayout(), browserLayout(),
+          lockScreenLayout()}) {
+        const auto bounds = layout.screen.bounds();
+        for (const auto &element : layout.elements) {
+            EXPECT_GE(element.rect.x0, bounds.x0) << layout.name;
+            EXPECT_GE(element.rect.y0, bounds.y0) << layout.name;
+            EXPECT_LE(element.rect.x1, bounds.x1) << layout.name;
+            EXPECT_LE(element.rect.y1, bounds.y1) << layout.name;
+            EXPECT_GT(element.rect.area(), 0.0) << layout.name;
+            EXPECT_GT(element.attraction, 0.0) << layout.name;
+        }
+    }
+}
+
+TEST(UiLayouts, UniqueElementIds)
+{
+    for (const UiLayout &layout :
+         {homeScreenLayout(), keyboardLayout(), browserLayout()}) {
+        std::set<std::string> ids;
+        for (const auto &element : layout.elements)
+            EXPECT_TRUE(ids.insert(element.id).second)
+                << layout.name << ": duplicate " << element.id;
+    }
+}
+
+TEST(UiLayouts, KeyboardHasThreeRowsPlusSpace)
+{
+    const UiLayout layout = keyboardLayout();
+    int keys = 0;
+    for (const auto &element : layout.elements)
+        if (element.id.rfind("key_", 0) == 0)
+            ++keys;
+    EXPECT_EQ(keys, 10 + 9 + 7);
+    EXPECT_NE(layout.find("space"), nullptr);
+    EXPECT_NE(layout.find("send"), nullptr);
+}
+
+TEST(UiLayouts, KeyboardKeysInLowerHalf)
+{
+    const UiLayout layout = keyboardLayout();
+    for (const auto &element : layout.elements) {
+        if (element.id.rfind("key_", 0) == 0) {
+            EXPECT_GT(element.rect.y0,
+                      layout.screen.heightMm * 0.5);
+        }
+    }
+}
+
+TEST(UiLayouts, CriticalFlags)
+{
+    EXPECT_TRUE(lockScreenLayout().find("unlock")->critical);
+    EXPECT_TRUE(browserLayout().find("login_button")->critical);
+    EXPECT_FALSE(browserLayout().find("content")->critical);
+}
+
+TEST(UiLayouts, HitTestFindsElement)
+{
+    const UiLayout layout = lockScreenLayout();
+    const auto *unlock = layout.find("unlock");
+    ASSERT_NE(unlock, nullptr);
+    EXPECT_EQ(layout.hitTest(unlock->rect.center()), unlock);
+    EXPECT_EQ(layout.hitTest(Vec2(0.5, 0.5)), nullptr);
+}
+
+TEST(UiLayouts, FindUnknownReturnsNull)
+{
+    EXPECT_EQ(homeScreenLayout().find("no-such-element"), nullptr);
+}
+
+TEST(UiLayouts, HomeScreenHasGridAndDock)
+{
+    const UiLayout layout = homeScreenLayout();
+    int apps = 0, dock = 0;
+    for (const auto &element : layout.elements) {
+        if (element.id.rfind("app_", 0) == 0)
+            ++apps;
+        if (element.id.rfind("dock_", 0) == 0)
+            ++dock;
+    }
+    EXPECT_EQ(apps, 20);
+    EXPECT_EQ(dock, 4);
+    // Dock icons attract more touches than grid icons.
+    EXPECT_GT(layout.find("dock_0")->attraction,
+              layout.find("app_0_0")->attraction);
+}
+
+} // namespace

@@ -1,0 +1,229 @@
+/** @file Unit tests for the FLock module logic. */
+
+#include <gtest/gtest.h>
+
+#include "tests/trust/fixtures.hh"
+#include "trust/server.hh"
+
+namespace {
+
+using trust::crypto::CertRole;
+using trust::testing::goodCapture;
+using trust::testing::lowQualityCapture;
+using trust::testing::makeFlock;
+using trust::testing::trustCa;
+using trust::testing::trustFingers;
+using trust::testing::uncoveredCapture;
+using trust::trust::CaptureSample;
+using trust::trust::FlockModule;
+using trust::trust::TouchOutcome;
+using trust::trust::WebServer;
+
+TEST(Flock, DeviceKeyAndCertificate)
+{
+    auto flock = makeFlock("dev-1", 1, trustFingers()[0]);
+    ASSERT_TRUE(flock.deviceCertificate().has_value());
+    EXPECT_EQ(flock.deviceCertificate()->subjectKey,
+              flock.devicePublicKey());
+    EXPECT_TRUE(trust::crypto::verifyCertificate(
+        *flock.deviceCertificate(), trustCa().rootKey(), 0,
+        CertRole::FlockDevice));
+}
+
+TEST(Flock, VerifyCaptureAcceptsOwner)
+{
+    auto flock = makeFlock("dev-2", 2, trustFingers()[0]);
+    EXPECT_TRUE(flock.verifyCapture(goodCapture(trustFingers()[0], 3)));
+}
+
+TEST(Flock, VerifyCaptureRejectsImpostor)
+{
+    auto flock = makeFlock("dev-3", 4, trustFingers()[0]);
+    EXPECT_FALSE(
+        flock.verifyCapture(goodCapture(trustFingers()[1], 5)));
+}
+
+TEST(Flock, VerifyCaptureRejectsLowQualityAndUncovered)
+{
+    auto flock = makeFlock("dev-4", 6, trustFingers()[0]);
+    EXPECT_FALSE(flock.verifyCapture(lowQualityCapture()));
+    EXPECT_FALSE(flock.verifyCapture(uncoveredCapture()));
+}
+
+TEST(Flock, ProcessTouchOutcomes)
+{
+    auto flock = makeFlock("dev-5", 7, trustFingers()[0]);
+    EXPECT_EQ(flock.processTouch(uncoveredCapture()),
+              TouchOutcome::NotCovered);
+    EXPECT_EQ(flock.processTouch(lowQualityCapture()),
+              TouchOutcome::LowQuality);
+    EXPECT_EQ(flock.processTouch(goodCapture(trustFingers()[0], 8)),
+              TouchOutcome::Matched);
+    EXPECT_EQ(flock.processTouch(goodCapture(trustFingers()[1], 9)),
+              TouchOutcome::Rejected);
+    EXPECT_EQ(flock.risk().matched, 1);
+    EXPECT_EQ(flock.risk().rejected, 1);
+    EXPECT_EQ(flock.risk().lowQuality, 1);
+}
+
+TEST(Flock, MultiFingerEnrollment)
+{
+    auto flock = makeFlock("dev-6", 10, trustFingers()[0]);
+    // Enroll a second finger.
+    const auto view = goodCapture(trustFingers()[1], 11).minutiae;
+    flock.enrollFinger({view});
+    EXPECT_EQ(flock.enrolledFingerCount(), 2);
+    EXPECT_TRUE(
+        flock.verifyCapture(goodCapture(trustFingers()[1], 12)));
+    EXPECT_FALSE(
+        flock.verifyCapture(goodCapture(trustFingers()[2], 13)));
+}
+
+TEST(Flock, RegistrationRejectsUncertifiedServerPage)
+{
+    auto flock = makeFlock("dev-7", 14, trustFingers()[0]);
+    WebServer server("www.x.com", trustCa(), 15);
+    auto page = server.handleRegistrationRequest(
+        {"www.x.com", "alice"});
+
+    // Tamper with the page content: signature check must fail.
+    page.pageContent.push_back(0);
+    EXPECT_FALSE(flock
+                     .handleRegistrationPage(
+                         page, "alice", trust::core::Bytes(64, 1),
+                         goodCapture(trustFingers()[0], 16))
+                     .has_value());
+}
+
+TEST(Flock, RegistrationRejectsWrongCa)
+{
+    // A server certified by a rogue CA is refused.
+    trust::crypto::Csprng rogue_rng(std::uint64_t{999});
+    trust::crypto::CertificateAuthority rogue("RogueCA", 512,
+                                              rogue_rng);
+    auto flock = makeFlock("dev-8", 17, trustFingers()[0]);
+    WebServer evil("www.x.com", rogue, 18);
+    const auto page =
+        evil.handleRegistrationRequest({"www.x.com", "alice"});
+    EXPECT_FALSE(flock
+                     .handleRegistrationPage(
+                         page, "alice", trust::core::Bytes(64, 1),
+                         goodCapture(trustFingers()[0], 19))
+                     .has_value());
+}
+
+TEST(Flock, RegistrationRejectsBadCapture)
+{
+    auto flock = makeFlock("dev-9", 20, trustFingers()[0]);
+    WebServer server("www.x.com", trustCa(), 21);
+    const auto page =
+        server.handleRegistrationRequest({"www.x.com", "alice"});
+    EXPECT_FALSE(flock
+                     .handleRegistrationPage(
+                         page, "alice", trust::core::Bytes(64, 1),
+                         lowQualityCapture())
+                     .has_value());
+    EXPECT_FALSE(flock.hasBinding("www.x.com"));
+}
+
+TEST(Flock, RegistrationCreatesBinding)
+{
+    auto flock = makeFlock("dev-10", 22, trustFingers()[0]);
+    WebServer server("www.x.com", trustCa(), 23);
+    const auto page =
+        server.handleRegistrationRequest({"www.x.com", "alice"});
+    const auto submit = flock.handleRegistrationPage(
+        page, "alice", trust::core::Bytes(64, 1),
+        goodCapture(trustFingers()[0], 24));
+    ASSERT_TRUE(submit.has_value());
+    EXPECT_TRUE(flock.hasBinding("www.x.com"));
+    EXPECT_EQ(submit->account, "alice");
+    EXPECT_EQ(submit->nonce, page.nonce);
+    EXPECT_EQ(submit->frameHash.size(), 32u);
+
+    // The server accepts the submission.
+    const auto result = server.handleRegistrationSubmit(*submit);
+    EXPECT_TRUE(result.ok) << result.reason;
+    EXPECT_TRUE(server.accountRegistered("alice"));
+}
+
+TEST(Flock, LoginRequiresBoundFinger)
+{
+    auto flock = makeFlock("dev-11", 25, trustFingers()[0]);
+    WebServer server("www.x.com", trustCa(), 26);
+    const auto reg_page =
+        server.handleRegistrationRequest({"www.x.com", "alice"});
+    const auto submit = flock.handleRegistrationPage(
+        reg_page, "alice", trust::core::Bytes(64, 1),
+        goodCapture(trustFingers()[0], 27));
+    ASSERT_TRUE(submit.has_value());
+    ASSERT_TRUE(server.handleRegistrationSubmit(*submit).ok);
+
+    const auto login_page =
+        server.handleLoginRequest({"www.x.com", "alice"});
+    ASSERT_TRUE(login_page.has_value());
+
+    // Impostor finger at the login button: FLock refuses locally.
+    EXPECT_FALSE(flock
+                     .handleLoginPage(*login_page,
+                                      trust::core::Bytes(64, 2),
+                                      goodCapture(trustFingers()[1], 28))
+                     .has_value());
+
+    // Owner finger: login submission produced and accepted.
+    const auto login = flock.handleLoginPage(
+        *login_page, trust::core::Bytes(64, 2),
+        goodCapture(trustFingers()[0], 29));
+    ASSERT_TRUE(login.has_value());
+    const auto content = server.handleLoginSubmit(*login);
+    ASSERT_TRUE(content.has_value());
+
+    EXPECT_TRUE(flock.acceptContentPage(*content));
+    EXPECT_TRUE(flock.sessionActive("www.x.com"));
+}
+
+TEST(Flock, ContentPageMacRejected)
+{
+    auto flock = makeFlock("dev-12", 30, trustFingers()[0]);
+    trust::trust::ContentPage bogus;
+    bogus.domain = "www.x.com";
+    bogus.mac = trust::core::Bytes(32, 0);
+    EXPECT_FALSE(flock.acceptContentPage(bogus));
+}
+
+TEST(Flock, PageRequestRequiresSession)
+{
+    auto flock = makeFlock("dev-13", 31, trustFingers()[0]);
+    EXPECT_FALSE(flock
+                     .makePageRequest("www.x.com", "inbox",
+                                      trust::core::Bytes(64, 1),
+                                      uncoveredCapture())
+                     .has_value());
+}
+
+TEST(Flock, FactoryResetWipesEverything)
+{
+    auto flock = makeFlock("dev-14", 32, trustFingers()[0]);
+    WebServer server("www.x.com", trustCa(), 33);
+    const auto page =
+        server.handleRegistrationRequest({"www.x.com", "alice"});
+    ASSERT_TRUE(flock
+                    .handleRegistrationPage(
+                        page, "alice", trust::core::Bytes(64, 1),
+                        goodCapture(trustFingers()[0], 34))
+                    .has_value());
+    flock.factoryReset();
+    EXPECT_EQ(flock.bindingCount(), 0u);
+    EXPECT_EQ(flock.enrolledFingerCount(), 0);
+    EXPECT_FALSE(flock.hasBinding("www.x.com"));
+}
+
+TEST(Flock, BusyTimeAccumulates)
+{
+    auto flock = makeFlock("dev-15", 35, trustFingers()[0]);
+    const auto before = flock.busyTime();
+    (void)flock.processTouch(goodCapture(trustFingers()[0], 36));
+    EXPECT_GT(flock.busyTime(), before);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/** @file Tests for the k-of-n identity-risk window (Sec. IV-A). */
+
+#include <gtest/gtest.h>
+
+#include "trust/identity_risk.hh"
+
+namespace {
+
+using trust::trust::IdentityRisk;
+using trust::trust::TouchOutcome;
+
+TEST(IdentityRisk, FreshWindowNotViolated)
+{
+    IdentityRisk risk(8, 2);
+    EXPECT_FALSE(risk.violated());
+    EXPECT_DOUBLE_EQ(risk.report().risk, 0.0);
+}
+
+TEST(IdentityRisk, MatchedTouchesKeepRiskLow)
+{
+    IdentityRisk risk(8, 2);
+    for (int i = 0; i < 20; ++i)
+        risk.record(TouchOutcome::Matched);
+    EXPECT_FALSE(risk.violated());
+    const auto r = risk.report();
+    EXPECT_EQ(r.matched, 8); // window bounded
+    EXPECT_DOUBLE_EQ(r.risk, 0.0);
+}
+
+TEST(IdentityRisk, RejectionsTripPolicy)
+{
+    IdentityRisk risk(8, 2);
+    for (int i = 0; i < 8; ++i)
+        risk.record(TouchOutcome::Rejected);
+    EXPECT_TRUE(risk.violated());
+    EXPECT_GT(risk.report().risk, 0.9);
+}
+
+TEST(IdentityRisk, LowQualityEvasionTripsPolicy)
+{
+    // The paper's low-quality-evasion attack: an impostor feeding
+    // only smudged touches must still trip the k-of-n policy.
+    IdentityRisk risk(8, 2);
+    for (int i = 0; i < 8; ++i)
+        risk.record(TouchOutcome::LowQuality);
+    EXPECT_TRUE(risk.violated());
+}
+
+TEST(IdentityRisk, OffSensorTouchesAreNeutral)
+{
+    IdentityRisk risk(4, 1);
+    for (int i = 0; i < 100; ++i)
+        risk.record(TouchOutcome::NotCovered);
+    EXPECT_FALSE(risk.violated());
+    EXPECT_EQ(risk.report().windowTouches, 0);
+    EXPECT_EQ(risk.report().notCovered, 100u);
+}
+
+TEST(IdentityRisk, KOfNBoundary)
+{
+    // Exactly k matches in a full window: not violated; k-1: violated.
+    IdentityRisk risk(5, 2);
+    risk.record(TouchOutcome::Matched);
+    risk.record(TouchOutcome::Matched);
+    risk.record(TouchOutcome::LowQuality);
+    risk.record(TouchOutcome::LowQuality);
+    risk.record(TouchOutcome::LowQuality);
+    EXPECT_FALSE(risk.violated());
+    // Slide one match out of the window.
+    risk.record(TouchOutcome::LowQuality);
+    EXPECT_TRUE(risk.violated());
+}
+
+TEST(IdentityRisk, WindowSlides)
+{
+    IdentityRisk risk(4, 1);
+    for (int i = 0; i < 4; ++i)
+        risk.record(TouchOutcome::Matched);
+    // Impostor takes over: after 4 covered non-matching touches the
+    // matches age out and the policy fires.
+    for (int i = 0; i < 3; ++i) {
+        risk.record(TouchOutcome::Rejected);
+        EXPECT_FALSE(risk.violated()) << i;
+    }
+    risk.record(TouchOutcome::Rejected);
+    EXPECT_TRUE(risk.violated());
+}
+
+TEST(IdentityRisk, ResetClearsWindow)
+{
+    IdentityRisk risk(4, 1);
+    for (int i = 0; i < 4; ++i)
+        risk.record(TouchOutcome::Rejected);
+    EXPECT_TRUE(risk.violated());
+    risk.reset();
+    EXPECT_FALSE(risk.violated());
+    EXPECT_EQ(risk.report().windowTouches, 0);
+}
+
+TEST(IdentityRisk, HardFailureOnRepeatedRejects)
+{
+    // Pure rejections (impostor) fire quickly.
+    IdentityRisk impostor(8, 2);
+    impostor.record(TouchOutcome::Rejected);
+    EXPECT_FALSE(impostor.hardFailure(2));
+    impostor.record(TouchOutcome::Rejected);
+    EXPECT_TRUE(impostor.hardFailure(2));
+}
+
+TEST(IdentityRisk, HardFailureToleratesGenuineFrr)
+{
+    // A genuine mix (matches present) does not fire: rejections
+    // must outnumber matches two-to-one.
+    IdentityRisk genuine(8, 2);
+    genuine.record(TouchOutcome::Matched);
+    genuine.record(TouchOutcome::Rejected);
+    genuine.record(TouchOutcome::Rejected);
+    EXPECT_FALSE(genuine.hardFailure(2)); // 2 rejects !> 2*1 match
+    genuine.record(TouchOutcome::Rejected);
+    EXPECT_TRUE(genuine.hardFailure(2)); // 3 > 2
+}
+
+TEST(IdentityRisk, RiskScoreOrdering)
+{
+    IdentityRisk good(8, 2), mixed(8, 2), bad(8, 2);
+    for (int i = 0; i < 8; ++i) {
+        good.record(TouchOutcome::Matched);
+        mixed.record(i % 2 ? TouchOutcome::Matched
+                           : TouchOutcome::LowQuality);
+        bad.record(TouchOutcome::Rejected);
+    }
+    EXPECT_LT(good.report().risk, mixed.report().risk);
+    EXPECT_LT(mixed.report().risk, bad.report().risk);
+}
+
+TEST(IdentityRisk, TotalTouchesCountsEverything)
+{
+    IdentityRisk risk(4, 1);
+    risk.record(TouchOutcome::NotCovered);
+    risk.record(TouchOutcome::Matched);
+    risk.record(TouchOutcome::LowQuality);
+    EXPECT_EQ(risk.totalTouches(), 3u);
+}
+
+TEST(IdentityRiskDeathTest, BadParametersRejected)
+{
+    EXPECT_DEATH(IdentityRisk(0, 1), "window");
+    EXPECT_DEATH(IdentityRisk(4, 5), "k <= n");
+    EXPECT_DEATH(IdentityRisk(4, 0), "k <= n");
+}
+
+} // namespace

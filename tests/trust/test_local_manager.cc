@@ -1,0 +1,177 @@
+/** @file Tests for the local identity manager (Fig. 6 state machine). */
+
+#include <gtest/gtest.h>
+
+#include "hw/sensor_spec.hh"
+#include "tests/trust/fixtures.hh"
+#include "trust/local_manager.hh"
+
+namespace {
+
+using trust::core::Rect;
+using trust::core::Rng;
+using trust::core::Vec2;
+using trust::hw::BiometricTouchscreen;
+using trust::hw::PlacedSensor;
+using trust::testing::makeFlock;
+using trust::testing::trustFingers;
+using trust::touch::TouchEvent;
+using trust::trust::LocalIdentityManager;
+using trust::trust::LockState;
+using trust::trust::TouchOutcome;
+
+/** Screen with one large central tile (easy to hit). */
+BiometricTouchscreen
+screenWithTile()
+{
+    trust::hw::TouchPanelSpec panel;
+    std::vector<PlacedSensor> sensors;
+    sensors.push_back({Rect::fromOriginSize(20.0, 40.0, 8.0, 8.0),
+                       trust::hw::specFlockTile(8.0)});
+    return BiometricTouchscreen(panel, std::move(sensors));
+}
+
+TouchEvent
+touchAt(const Vec2 &pos, double speed = 0.05)
+{
+    TouchEvent event;
+    event.position = pos;
+    event.speed = speed;
+    return event;
+}
+
+struct LocalFixture : ::testing::Test
+{
+    LocalFixture()
+        : screen(screenWithTile()),
+          flock(makeFlock("local-dev", 500, trustFingers()[0])),
+          manager(screen, flock), rng(501)
+    {
+    }
+
+    Vec2 onTile() const { return {24.0, 44.0}; }
+    Vec2 offTile() const { return {5.0, 5.0}; }
+
+    BiometricTouchscreen screen;
+    trust::trust::FlockModule flock;
+    LocalIdentityManager manager;
+    Rng rng;
+};
+
+TEST_F(LocalFixture, StartsLocked)
+{
+    EXPECT_EQ(manager.state(), LockState::Locked);
+}
+
+TEST_F(LocalFixture, OwnerUnlocks)
+{
+    // A deliberate touch on the unlock button; retries model the
+    // per-touch FRR of partial prints.
+    bool unlocked = false;
+    for (int i = 0; i < 6 && !unlocked; ++i)
+        unlocked = manager.attemptUnlock(touchAt(onTile()),
+                                         &trustFingers()[0], rng);
+    EXPECT_TRUE(unlocked);
+    EXPECT_EQ(manager.state(), LockState::Unlocked);
+    EXPECT_GE(manager.counters().get("unlock-accepted"), 1u);
+}
+
+TEST_F(LocalFixture, ImpostorCannotUnlock)
+{
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FALSE(manager.attemptUnlock(touchAt(onTile()),
+                                           &trustFingers()[1], rng));
+    }
+    EXPECT_EQ(manager.state(), LockState::Locked);
+    EXPECT_EQ(manager.counters().get("unlock-accepted"), 0u);
+}
+
+TEST_F(LocalFixture, UnlockTouchMustHitSensor)
+{
+    EXPECT_FALSE(manager.attemptUnlock(touchAt(offTile()),
+                                       &trustFingers()[0], rng));
+    EXPECT_GE(manager.counters().get("unlock-miss-sensor"), 1u);
+}
+
+TEST_F(LocalFixture, NonBiometricContactCannotUnlock)
+{
+    EXPECT_FALSE(
+        manager.attemptUnlock(touchAt(onTile()), nullptr, rng));
+}
+
+TEST_F(LocalFixture, OwnerKeepsSessionAlive)
+{
+    while (!manager.attemptUnlock(touchAt(onTile()),
+                                  &trustFingers()[0], rng)) {
+    }
+    for (int i = 0; i < 60; ++i) {
+        manager.processTouch(touchAt(onTile()), &trustFingers()[0],
+                             rng);
+        ASSERT_EQ(manager.state(), LockState::Unlocked)
+            << "locked out after touch " << i;
+    }
+    EXPECT_GT(manager.counters().get("touch-matched"), 20u);
+}
+
+TEST_F(LocalFixture, ImpostorTakeoverLocksDevice)
+{
+    while (!manager.attemptUnlock(touchAt(onTile()),
+                                  &trustFingers()[0], rng)) {
+    }
+    // Thief grabs the unlocked phone and touches on-sensor.
+    int touches = 0;
+    while (manager.state() == LockState::Unlocked && touches < 100) {
+        manager.processTouch(touchAt(onTile()), &trustFingers()[1],
+                             rng);
+        ++touches;
+    }
+    EXPECT_EQ(manager.state(), LockState::Locked);
+    EXPECT_LT(touches, 30); // hard-failure fires quickly
+}
+
+TEST_F(LocalFixture, OffSensorTouchesDoNotLock)
+{
+    while (!manager.attemptUnlock(touchAt(onTile()),
+                                  &trustFingers()[0], rng)) {
+    }
+    for (int i = 0; i < 50; ++i) {
+        manager.processTouch(touchAt(offTile()), &trustFingers()[0],
+                             rng);
+        ASSERT_EQ(manager.state(), LockState::Unlocked);
+    }
+    EXPECT_EQ(manager.counters().get("touch-not-covered"), 50u);
+}
+
+TEST_F(LocalFixture, LowQualityEvasionEventuallyLocks)
+{
+    while (!manager.attemptUnlock(touchAt(onTile()),
+                                  &trustFingers()[0], rng)) {
+    }
+    // Impostor evades matching with high-speed smudged touches that
+    // still land on-sensor; the k-of-n window must catch it.
+    int touches = 0;
+    while (manager.state() == LockState::Unlocked && touches < 400) {
+        manager.processTouch(touchAt(onTile(), 1.0), nullptr, rng);
+        ++touches;
+    }
+    EXPECT_EQ(manager.state(), LockState::Locked);
+}
+
+TEST_F(LocalFixture, RelockedDeviceRequiresNewUnlock)
+{
+    while (!manager.attemptUnlock(touchAt(onTile()),
+                                  &trustFingers()[0], rng)) {
+    }
+    while (manager.state() == LockState::Unlocked) {
+        manager.processTouch(touchAt(onTile()), &trustFingers()[1],
+                             rng);
+    }
+    // Owner can unlock again after the lockout.
+    bool unlocked = false;
+    for (int i = 0; i < 6 && !unlocked; ++i)
+        unlocked = manager.attemptUnlock(touchAt(onTile()),
+                                         &trustFingers()[0], rng);
+    EXPECT_TRUE(unlocked);
+}
+
+} // namespace

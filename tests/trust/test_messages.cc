@@ -1,0 +1,182 @@
+/** @file Round-trip and robustness tests for TRUST wire messages. */
+
+#include <gtest/gtest.h>
+
+#include "trust/messages.hh"
+
+namespace {
+
+using namespace trust::trust; // test-local: exercise the whole module
+using trust::core::Bytes;
+
+TEST(Messages, PeekKind)
+{
+    RegistrationRequest request{"www.x.com", "alice"};
+    EXPECT_EQ(peekKind(request.serialize()),
+              MsgKind::RegistrationRequest);
+    EXPECT_FALSE(peekKind({}).has_value());
+    EXPECT_FALSE(peekKind({0}).has_value());
+    EXPECT_FALSE(peekKind({99}).has_value());
+}
+
+TEST(Messages, RegistrationRequestRoundTrip)
+{
+    RegistrationRequest in{"www.x.com", "alice"};
+    const auto out = RegistrationRequest::deserialize(in.serialize());
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->domain, "www.x.com");
+    EXPECT_EQ(out->account, "alice");
+}
+
+TEST(Messages, RegistrationPageRoundTrip)
+{
+    RegistrationPage in;
+    in.domain = "www.x.com";
+    in.nonce = Bytes(16, 7);
+    in.pageContent = Bytes{1, 2, 3};
+    in.serverCert = Bytes{4, 5};
+    in.signature = Bytes(64, 9);
+    const auto out = RegistrationPage::deserialize(in.serialize());
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->nonce, in.nonce);
+    EXPECT_EQ(out->signedBody(), in.signedBody());
+    EXPECT_EQ(out->signature, in.signature);
+}
+
+TEST(Messages, SignedBodyExcludesSignature)
+{
+    RegistrationPage a;
+    a.domain = "www.x.com";
+    a.nonce = Bytes(16, 7);
+    RegistrationPage b = a;
+    b.signature = Bytes(64, 1);
+    EXPECT_EQ(a.signedBody(), b.signedBody());
+    EXPECT_NE(a.serialize(), b.serialize());
+}
+
+TEST(Messages, RegistrationSubmitRoundTrip)
+{
+    RegistrationSubmit in;
+    in.domain = "www.x.com";
+    in.account = "alice";
+    in.nonce = Bytes(16, 1);
+    in.deviceCert = Bytes{1};
+    in.userPublicKey = Bytes{2, 3};
+    in.frameHash = Bytes(32, 4);
+    in.signature = Bytes(64, 5);
+    const auto out = RegistrationSubmit::deserialize(in.serialize());
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->frameHash, in.frameHash);
+    EXPECT_EQ(out->signedBody(), in.signedBody());
+}
+
+TEST(Messages, LoginFlowRoundTrips)
+{
+    LoginRequest lr{"www.x.com", "alice"};
+    EXPECT_TRUE(LoginRequest::deserialize(lr.serialize()).has_value());
+
+    LoginPage lp;
+    lp.domain = "www.x.com";
+    lp.nonce = Bytes(16, 2);
+    lp.pageContent = Bytes(100, 3);
+    lp.signature = Bytes(64, 4);
+    const auto lp2 = LoginPage::deserialize(lp.serialize());
+    ASSERT_TRUE(lp2.has_value());
+    EXPECT_EQ(lp2->pageContent, lp.pageContent);
+
+    LoginSubmit ls;
+    ls.domain = "www.x.com";
+    ls.account = "alice";
+    ls.nonce = Bytes(16, 2);
+    ls.encSessionKey = Bytes(64, 5);
+    ls.frameHash = Bytes(32, 6);
+    ls.riskMatched = 3;
+    ls.riskWindow = 8;
+    ls.mac = Bytes(32, 7);
+    const auto ls2 = LoginSubmit::deserialize(ls.serialize());
+    ASSERT_TRUE(ls2.has_value());
+    EXPECT_EQ(ls2->riskMatched, 3u);
+    EXPECT_EQ(ls2->riskWindow, 8u);
+    EXPECT_EQ(ls2->macBody(), ls.macBody());
+}
+
+TEST(Messages, ContentAndPageRequestRoundTrips)
+{
+    ContentPage cp;
+    cp.domain = "www.x.com";
+    cp.sessionId = 42;
+    cp.nonce = Bytes(16, 1);
+    cp.pageContent = Bytes(200, 2);
+    cp.mac = Bytes(32, 3);
+    const auto cp2 = ContentPage::deserialize(cp.serialize());
+    ASSERT_TRUE(cp2.has_value());
+    EXPECT_EQ(cp2->sessionId, 42u);
+
+    PageRequest pr;
+    pr.domain = "www.x.com";
+    pr.account = "alice";
+    pr.sessionId = 42;
+    pr.nonce = Bytes(16, 1);
+    pr.action = "inbox";
+    pr.frameHash = Bytes(32, 4);
+    pr.riskMatched = 2;
+    pr.riskWindow = 8;
+    pr.mac = Bytes(32, 5);
+    const auto pr2 = PageRequest::deserialize(pr.serialize());
+    ASSERT_TRUE(pr2.has_value());
+    EXPECT_EQ(pr2->action, "inbox");
+    EXPECT_EQ(pr2->macBody(), pr.macBody());
+}
+
+TEST(Messages, ErrorReplyRoundTrip)
+{
+    ErrorReply in{"www.x.com", "stale-nonce"};
+    const auto out = ErrorReply::deserialize(in.serialize());
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->reason, "stale-nonce");
+}
+
+TEST(Messages, WrongKindRejected)
+{
+    RegistrationRequest request{"www.x.com", "alice"};
+    EXPECT_FALSE(
+        LoginRequest::deserialize(request.serialize()).has_value());
+}
+
+TEST(Messages, TruncationRejected)
+{
+    PageRequest pr;
+    pr.domain = "www.x.com";
+    pr.nonce = Bytes(16, 1);
+    pr.mac = Bytes(32, 5);
+    Bytes wire = pr.serialize();
+    for (std::size_t cut :
+         {wire.size() - 1, wire.size() / 2, std::size_t{1}}) {
+        Bytes truncated(wire.begin(),
+                        wire.begin() + static_cast<long>(cut));
+        EXPECT_FALSE(PageRequest::deserialize(truncated).has_value())
+            << "cut=" << cut;
+    }
+}
+
+TEST(Messages, TrailingJunkRejected)
+{
+    ContentPage cp;
+    cp.domain = "www.x.com";
+    cp.nonce = Bytes(16, 1);
+    cp.mac = Bytes(32, 3);
+    Bytes wire = cp.serialize();
+    wire.push_back(0);
+    EXPECT_FALSE(ContentPage::deserialize(wire).has_value());
+}
+
+TEST(Messages, MacBodyCoversRiskFields)
+{
+    PageRequest a, b;
+    a.domain = b.domain = "www.x.com";
+    a.riskMatched = 0;
+    b.riskMatched = 8; // malware inflating its risk claim
+    EXPECT_NE(a.macBody(), b.macBody());
+}
+
+} // namespace

@@ -1,0 +1,359 @@
+/** @file Integration tests: the full Fig. 8 ecosystem under genuine
+ *  use and under every attack class of the paper's threat model. */
+
+#include <gtest/gtest.h>
+
+#include "net/adversary.hh"
+#include "tests/trust/fixtures.hh"
+#include "touch/behavior.hh"
+#include "trust/scenario.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::testing::trustFingers;
+using trust::touch::TouchEvent;
+using trust::touch::UserBehavior;
+using trust::trust::Ecosystem;
+using trust::trust::EcosystemConfig;
+using trust::trust::MalwareProfile;
+using trust::trust::runBrowsingSession;
+
+UserBehavior
+standardBehavior(std::uint64_t user)
+{
+    return UserBehavior::forUser(
+        user, {trust::touch::homeScreenLayout(),
+               trust::touch::keyboardLayout(),
+               trust::touch::browserLayout()});
+}
+
+TEST(ProtocolE2E, GenuineSessionCompletes)
+{
+    EcosystemConfig config;
+    config.seed = 9001;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(1);
+    auto &device =
+        eco.addDevice("phone-a", behavior, trustFingers()[0]);
+
+    Rng rng(9002);
+    const auto outcome =
+        runBrowsingSession(eco, device, server, behavior,
+                           trustFingers()[0], rng, 25, "alice");
+    EXPECT_TRUE(outcome.registered);
+    EXPECT_TRUE(outcome.loggedIn);
+    EXPECT_EQ(outcome.pagesReceived, 25);
+    EXPECT_EQ(outcome.requestsRejected, 0);
+    EXPECT_EQ(server.auditFrameHashes(), 0u);
+}
+
+TEST(ProtocolE2E, MultipleDevicesAndServers)
+{
+    EcosystemConfig config;
+    config.seed = 9100;
+    Ecosystem eco(config);
+    auto &bank = eco.addServer("www.bank.com");
+    auto &mail = eco.addServer("mail.example.com");
+    const auto b1 = standardBehavior(11);
+    const auto b2 = standardBehavior(12);
+    auto &phone1 = eco.addDevice("phone-1", b1, trustFingers()[0]);
+    auto &phone2 = eco.addDevice("phone-2", b2, trustFingers()[1]);
+
+    Rng rng(9101);
+    EXPECT_TRUE(runBrowsingSession(eco, phone1, bank, b1,
+                                   trustFingers()[0], rng, 5, "u1")
+                    .loggedIn);
+    EXPECT_TRUE(runBrowsingSession(eco, phone2, mail, b2,
+                                   trustFingers()[1], rng, 5, "u2")
+                    .loggedIn);
+    EXPECT_TRUE(bank.accountRegistered("u1"));
+    EXPECT_FALSE(bank.accountRegistered("u2"));
+    EXPECT_TRUE(mail.accountRegistered("u2"));
+}
+
+TEST(ProtocolE2E, ImpostorCannotLogin)
+{
+    EcosystemConfig config;
+    config.seed = 9200;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(2);
+    auto &device =
+        eco.addDevice("phone-b", behavior, trustFingers()[0]);
+
+    Rng rng(9201);
+    // Owner registers (and logs in once as part of the fixture).
+    const auto reg = runBrowsingSession(eco, device, server, behavior,
+                                        trustFingers()[0], rng, 0,
+                                        "alice");
+    ASSERT_TRUE(reg.registered);
+    device.flock().endSession("www.bank.com");
+    const std::uint64_t owner_logins =
+        server.counters().get("login-accepted");
+
+    // Thief attempts login with their own finger (each attempt needs
+    // a fresh login page since a rejected touch clears the pending
+    // operation).
+    TouchEvent touch;
+    touch.position = device.screen().sensors()[0].region.center();
+    touch.speed = 0.05;
+    for (int i = 0; i < 8; ++i) {
+        device.startLogin("www.bank.com");
+        eco.settle();
+        device.onTouch(touch, &trustFingers()[1]);
+        eco.settle();
+    }
+    EXPECT_FALSE(device.sessionActive("www.bank.com"));
+    EXPECT_GE(device.counters().get("login-touch-rejected"), 8u);
+    EXPECT_EQ(server.counters().get("login-accepted"), owner_logins);
+}
+
+TEST(ProtocolE2E, StolenUnlockedPhoneSessionDies)
+{
+    EcosystemConfig config;
+    config.seed = 9300;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(3);
+    auto &device =
+        eco.addDevice("phone-c", behavior, trustFingers()[0]);
+
+    Rng rng(9301);
+    const auto outcome =
+        runBrowsingSession(eco, device, server, behavior,
+                           trustFingers()[0], rng, 10, "alice");
+    ASSERT_TRUE(outcome.loggedIn);
+
+    // Thief browses on the still-open session.
+    const std::uint64_t accepted_before =
+        server.counters().get("request-accepted");
+    const auto touches = trust::touch::generateSession(
+        behavior, rng, eco.queue().now() + trust::core::seconds(2),
+        150);
+    for (const auto &event : touches) {
+        device.onTouch(event, &trustFingers()[1]);
+        eco.settle();
+    }
+    const std::uint64_t thief_accepted =
+        server.counters().get("request-accepted") - accepted_before;
+    const std::uint64_t risk_rejected =
+        server.counters().get("request-rejected:risk");
+
+    // The thief leaks some pages while the risk window fills (the
+    // coverage/responsiveness trade-off of Sec. IV-A), but once it
+    // does, the server overwhelmingly rejects, and the device-side
+    // risk state flags the takeover.
+    EXPECT_GT(risk_rejected, 20u);
+    EXPECT_LT(thief_accepted, 100u); // most requests blocked
+    EXPECT_TRUE(device.flock().riskHardFailure() ||
+                device.flock().riskViolated());
+}
+
+TEST(ProtocolE2E, ReplayAttackNeutralized)
+{
+    EcosystemConfig config;
+    config.seed = 9400;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(4);
+    auto &device =
+        eco.addDevice("phone-d", behavior, trustFingers()[0]);
+
+    auto replayer = std::make_shared<trust::net::ReplayAttacker>(
+        eco.network(), "www.bank.com");
+    eco.network().setAdversary(replayer);
+
+    Rng rng(9401);
+    const auto outcome =
+        runBrowsingSession(eco, device, server, behavior,
+                           trustFingers()[0], rng, 10, "alice");
+    eco.settle();
+
+    // The genuine session is unaffected...
+    EXPECT_TRUE(outcome.loggedIn);
+    EXPECT_EQ(outcome.pagesReceived, 10);
+    // ...and every replayed authenticated message bounced off the
+    // nonce check (replays of requests for fresh pages are harmless
+    // state-free reads).
+    EXPECT_GT(replayer->replaysInjected(), 0u);
+    EXPECT_GE(server.counters().get("request-rejected:stale-nonce") +
+                  server.counters().get("registration-rejected") +
+                  server.counters().get("login-rejected:stale-nonce"),
+              1u);
+    // No replay produced an accepted state-changing request beyond
+    // the genuine ones.
+    EXPECT_EQ(server.counters().get("request-accepted"),
+              static_cast<std::uint64_t>(outcome.pagesReceived));
+}
+
+TEST(ProtocolE2E, MitmSubstitutionRejected)
+{
+    EcosystemConfig config;
+    config.seed = 9500;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(5);
+    auto &device =
+        eco.addDevice("phone-e", behavior, trustFingers()[0]);
+
+    // Full MITM: every message to the server is replaced wholesale.
+    trust::trust::PageRequest forged;
+    forged.domain = "www.bank.com";
+    forged.account = "alice";
+    forged.sessionId = 1;
+    forged.nonce = trust::core::Bytes(16, 0);
+    forged.mac = trust::core::Bytes(32, 0);
+    eco.network().setAdversary(
+        std::make_shared<trust::net::MitmSubstitutor>(
+            "www.bank.com", forged.serialize()));
+
+    Rng rng(9501);
+    const auto outcome =
+        runBrowsingSession(eco, device, server, behavior,
+                           trustFingers()[0], rng, 5, "alice");
+    // Nothing gets through: the forged payloads fail every check.
+    EXPECT_FALSE(outcome.registered);
+    EXPECT_EQ(server.counters().get("request-accepted"), 0u);
+    EXPECT_EQ(server.counters().get("registration-accepted"), 0u);
+}
+
+TEST(ProtocolE2E, MalwareForgedRequestsAllRejected)
+{
+    EcosystemConfig config;
+    config.seed = 9600;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(6);
+    auto &device =
+        eco.addDevice("phone-f", behavior, trustFingers()[0]);
+    MalwareProfile malware;
+    malware.forgeRequests = true;
+    device.setMalware(malware);
+
+    Rng rng(9601);
+    const auto outcome =
+        runBrowsingSession(eco, device, server, behavior,
+                           trustFingers()[0], rng, 10, "alice");
+    EXPECT_TRUE(outcome.loggedIn);
+    const std::uint64_t forged =
+        device.counters().get("malware:request-forged");
+    EXPECT_GT(forged, 0u);
+    // Every forged request bounced on the MAC (the session key never
+    // leaves FLock).
+    EXPECT_EQ(server.counters().get("request-rejected:bad-mac"),
+              forged);
+    // Genuine traffic unaffected.
+    EXPECT_EQ(outcome.pagesReceived, 10);
+}
+
+TEST(ProtocolE2E, MalwareFrameTamperingCaughtByAudit)
+{
+    EcosystemConfig config;
+    config.seed = 9700;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(7);
+    auto &device =
+        eco.addDevice("phone-g", behavior, trustFingers()[0]);
+    MalwareProfile malware;
+    malware.tamperFrames = true;
+    device.setMalware(malware);
+
+    Rng rng(9701);
+    const auto outcome =
+        runBrowsingSession(eco, device, server, behavior,
+                           trustFingers()[0], rng, 8, "alice");
+    EXPECT_TRUE(outcome.loggedIn);
+    // The offline audit flags every tampered frame.
+    EXPECT_EQ(server.auditFrameHashes(), server.auditLogSize());
+    EXPECT_GT(server.auditLogSize(), 0u);
+}
+
+TEST(ProtocolE2E, CleanDeviceAuditIsClean)
+{
+    EcosystemConfig config;
+    config.seed = 9800;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(8);
+    auto &device =
+        eco.addDevice("phone-h", behavior, trustFingers()[0]);
+
+    Rng rng(9801);
+    (void)runBrowsingSession(eco, device, server, behavior,
+                             trustFingers()[0], rng, 8, "alice");
+    EXPECT_EQ(server.auditFrameHashes(), 0u);
+    EXPECT_GT(server.auditLogSize(), 0u);
+}
+
+TEST(ProtocolE2E, IdentityResetThenRebind)
+{
+    EcosystemConfig config;
+    config.seed = 9900;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(9);
+    auto &old_phone =
+        eco.addDevice("old-phone", behavior, trustFingers()[0]);
+
+    Rng rng(9901);
+    ASSERT_TRUE(runBrowsingSession(eco, old_phone, server, behavior,
+                                   trustFingers()[0], rng, 2, "alice")
+                    .loggedIn);
+
+    // Phone lost: reset the binding; then bind a new phone.
+    ASSERT_TRUE(server.resetIdentity("alice"));
+    auto &new_phone =
+        eco.addDevice("new-phone", behavior, trustFingers()[0]);
+    const auto outcome =
+        runBrowsingSession(eco, new_phone, server, behavior,
+                           trustFingers()[0], rng, 3, "alice");
+    EXPECT_TRUE(outcome.registered);
+    EXPECT_TRUE(outcome.loggedIn);
+    EXPECT_EQ(outcome.pagesReceived, 3);
+}
+
+TEST(ProtocolE2E, IdentityTransferBetweenDevices)
+{
+    EcosystemConfig config;
+    config.seed = 10000;
+    Ecosystem eco(config);
+    auto &server = eco.addServer("www.bank.com");
+    const auto behavior = standardBehavior(10);
+    auto &old_phone =
+        eco.addDevice("old-ph", behavior, trustFingers()[0]);
+    auto &new_phone =
+        eco.addDevice("new-ph", behavior, trustFingers()[0]);
+
+    Rng rng(10001);
+    ASSERT_TRUE(runBrowsingSession(eco, old_phone, server, behavior,
+                                   trustFingers()[0], rng, 2, "alice")
+                    .registered);
+
+    // Transfer: authorized by the owner's fingerprint, encrypted to
+    // the new device key (Sec. IV-B).
+    const auto bundle = old_phone.flock().exportIdentity(
+        new_phone.flock().devicePublicKey(),
+        trust::testing::goodCapture(trustFingers()[0], 10002));
+    ASSERT_TRUE(bundle.has_value());
+
+    // A thief's fingerprint cannot authorize the export.
+    EXPECT_FALSE(old_phone.flock()
+                     .exportIdentity(
+                         new_phone.flock().devicePublicKey(),
+                         trust::testing::goodCapture(
+                             trustFingers()[1], 10003))
+                     .has_value());
+
+    ASSERT_TRUE(new_phone.flock().importIdentity(*bundle));
+    EXPECT_TRUE(new_phone.flock().hasBinding("www.bank.com"));
+
+    // A third device cannot decrypt the bundle.
+    auto &other =
+        eco.addDevice("other-ph", behavior, trustFingers()[2]);
+    EXPECT_FALSE(other.flock().importIdentity(*bundle));
+}
+
+} // namespace

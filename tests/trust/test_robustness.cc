@@ -1,0 +1,138 @@
+/** @file Robustness: hostile/garbage input must never crash parsers,
+ *  the server, or the FLock module — only produce clean rejections. */
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hh"
+#include "tests/trust/fixtures.hh"
+#include "trust/server.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::Rng;
+using trust::testing::goodCapture;
+using trust::testing::makeFlock;
+using trust::testing::trustCa;
+using trust::testing::trustFingers;
+using trust::trust::ErrorReply;
+using trust::trust::MsgKind;
+using trust::trust::peekKind;
+using trust::trust::WebServer;
+
+Bytes
+randomBytes(Rng &rng, std::size_t max_len)
+{
+    Bytes out(static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(max_len))));
+    for (auto &b : out)
+        b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    return out;
+}
+
+TEST(Robustness, ServerSurvivesRandomPayloads)
+{
+    WebServer server("www.x.com", trustCa(), 901);
+    Rng rng(902);
+    for (int i = 0; i < 300; ++i) {
+        const Bytes reply = server.handle(randomBytes(rng, 256));
+        // Every reply parses as a known message.
+        EXPECT_TRUE(peekKind(reply).has_value());
+    }
+    EXPECT_EQ(server.registeredAccounts(), 0u);
+    EXPECT_EQ(server.activeSessions(), 0u);
+}
+
+TEST(Robustness, ServerSurvivesKindPrefixedGarbage)
+{
+    WebServer server("www.x.com", trustCa(), 903);
+    Rng rng(904);
+    for (std::uint8_t kind = 1; kind <= 10; ++kind) {
+        for (int i = 0; i < 30; ++i) {
+            Bytes payload = randomBytes(rng, 128);
+            payload.insert(payload.begin(), kind);
+            const Bytes reply = server.handle(payload);
+            EXPECT_TRUE(peekKind(reply).has_value());
+        }
+    }
+    EXPECT_EQ(server.registeredAccounts(), 0u);
+}
+
+TEST(Robustness, ServerSurvivesTruncatedRealMessages)
+{
+    WebServer server("www.x.com", trustCa(), 905);
+    auto flock = makeFlock("robust-dev", 906, trustFingers()[0]);
+
+    const auto page =
+        server.handleRegistrationRequest({"www.x.com", "alice"});
+    const auto submit = flock.handleRegistrationPage(
+        page, "alice", Bytes(64, 1),
+        goodCapture(trustFingers()[0], 907));
+    ASSERT_TRUE(submit.has_value());
+    const Bytes wire = submit->serialize();
+
+    // Every truncation of a real message is handled cleanly and
+    // never creates an account.
+    for (std::size_t cut = 0; cut < wire.size();
+         cut += std::max<std::size_t>(1, wire.size() / 64)) {
+        Bytes truncated(wire.begin(),
+                        wire.begin() + static_cast<long>(cut));
+        (void)server.handle(truncated);
+    }
+    EXPECT_FALSE(server.accountRegistered("alice"));
+
+    // The intact message still works afterwards.
+    EXPECT_TRUE(server.handleRegistrationSubmit(*submit).ok);
+}
+
+TEST(Robustness, FlockSurvivesGarbageContentPages)
+{
+    auto flock = makeFlock("robust-dev2", 910, trustFingers()[0]);
+    Rng rng(911);
+    for (int i = 0; i < 200; ++i) {
+        trust::trust::ContentPage page;
+        page.domain = i % 2 ? "www.x.com" : "";
+        page.sessionId = rng.next();
+        page.nonce = randomBytes(rng, 32);
+        page.pageContent = randomBytes(rng, 64);
+        page.mac = randomBytes(rng, 32);
+        EXPECT_FALSE(flock.acceptContentPage(page));
+    }
+}
+
+TEST(Robustness, FlockImportRejectsGarbageBundles)
+{
+    auto flock = makeFlock("robust-dev3", 912, trustFingers()[0]);
+    Rng rng(913);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(flock.importIdentity(randomBytes(rng, 512)));
+    // State untouched.
+    EXPECT_EQ(flock.enrolledFingerCount(), 1);
+}
+
+TEST(Robustness, CertificateParserSurvivesGarbage)
+{
+    Rng rng(914);
+    for (int i = 0; i < 300; ++i) {
+        const auto cert = trust::crypto::Certificate::deserialize(
+            randomBytes(rng, 256));
+        if (cert) {
+            // Parsing alone never authenticates anything.
+            EXPECT_FALSE(trust::crypto::verifyCertificate(
+                *cert, trustCa().rootKey(), 0,
+                trust::crypto::CertRole::WebServer));
+        }
+    }
+}
+
+TEST(Robustness, ErrorRepliesRoundTrip)
+{
+    WebServer server("www.x.com", trustCa(), 915);
+    const Bytes reply = server.handle({42});
+    const auto error = ErrorReply::deserialize(reply);
+    ASSERT_TRUE(error.has_value());
+    EXPECT_EQ(error->domain, "www.x.com");
+    EXPECT_FALSE(error->reason.empty());
+}
+
+} // namespace
