@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_placement.dir/bench_a1_placement.cc.o"
+  "CMakeFiles/bench_a1_placement.dir/bench_a1_placement.cc.o.d"
+  "bench_a1_placement"
+  "bench_a1_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_kofn_window.dir/bench_a2_kofn_window.cc.o"
+  "CMakeFiles/bench_a2_kofn_window.dir/bench_a2_kofn_window.cc.o.d"
+  "bench_a2_kofn_window"
+  "bench_a2_kofn_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_kofn_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

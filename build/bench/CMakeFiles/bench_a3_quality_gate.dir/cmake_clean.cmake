@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_quality_gate.dir/bench_a3_quality_gate.cc.o"
+  "CMakeFiles/bench_a3_quality_gate.dir/bench_a3_quality_gate.cc.o.d"
+  "bench_a3_quality_gate"
+  "bench_a3_quality_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_quality_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

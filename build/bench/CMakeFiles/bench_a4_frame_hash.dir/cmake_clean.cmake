@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_frame_hash.dir/bench_a4_frame_hash.cc.o"
+  "CMakeFiles/bench_a4_frame_hash.dir/bench_a4_frame_hash.cc.o.d"
+  "bench_a4_frame_hash"
+  "bench_a4_frame_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_frame_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_a5_crypto.cc" "bench/CMakeFiles/bench_a5_crypto.dir/bench_a5_crypto.cc.o" "gcc" "bench/CMakeFiles/bench_a5_crypto.dir/bench_a5_crypto.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trust/CMakeFiles/trust_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/trust_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/trust_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/trust_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/trust_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/touch/CMakeFiles/trust_touch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_crypto.dir/bench_a5_crypto.cc.o"
+  "CMakeFiles/bench_a5_crypto.dir/bench_a5_crypto.cc.o.d"
+  "bench_a5_crypto"
+  "bench_a5_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_enrollment.dir/bench_a7_enrollment.cc.o"
+  "CMakeFiles/bench_a7_enrollment.dir/bench_a7_enrollment.cc.o.d"
+  "bench_a7_enrollment"
+  "bench_a7_enrollment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_enrollment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_image_pipeline.dir/bench_a8_image_pipeline.cc.o"
+  "CMakeFiles/bench_a8_image_pipeline.dir/bench_a8_image_pipeline.cc.o.d"
+  "bench_a8_image_pipeline"
+  "bench_a8_image_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_image_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

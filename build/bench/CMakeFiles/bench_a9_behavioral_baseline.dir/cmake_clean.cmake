@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a9_behavioral_baseline.dir/bench_a9_behavioral_baseline.cc.o"
+  "CMakeFiles/bench_a9_behavioral_baseline.dir/bench_a9_behavioral_baseline.cc.o.d"
+  "bench_a9_behavioral_baseline"
+  "bench_a9_behavioral_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_behavioral_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

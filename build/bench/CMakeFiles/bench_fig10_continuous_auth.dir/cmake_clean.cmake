@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_continuous_auth.dir/bench_fig10_continuous_auth.cc.o"
+  "CMakeFiles/bench_fig10_continuous_auth.dir/bench_fig10_continuous_auth.cc.o.d"
+  "bench_fig10_continuous_auth"
+  "bench_fig10_continuous_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_continuous_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

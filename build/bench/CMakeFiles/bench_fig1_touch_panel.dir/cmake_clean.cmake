@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_touch_panel.dir/bench_fig1_touch_panel.cc.o"
+  "CMakeFiles/bench_fig1_touch_panel.dir/bench_fig1_touch_panel.cc.o.d"
+  "bench_fig1_touch_panel"
+  "bench_fig1_touch_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_touch_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_local_auth.dir/bench_fig6_local_auth.cc.o"
+  "CMakeFiles/bench_fig6_local_auth.dir/bench_fig6_local_auth.cc.o.d"
+  "bench_fig6_local_auth"
+  "bench_fig6_local_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_local_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

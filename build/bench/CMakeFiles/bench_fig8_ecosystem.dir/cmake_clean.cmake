@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ecosystem.dir/bench_fig8_ecosystem.cc.o"
+  "CMakeFiles/bench_fig8_ecosystem.dir/bench_fig8_ecosystem.cc.o.d"
+  "bench_fig8_ecosystem"
+  "bench_fig8_ecosystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

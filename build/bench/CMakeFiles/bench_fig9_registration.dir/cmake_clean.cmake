@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_registration.dir/bench_fig9_registration.cc.o"
+  "CMakeFiles/bench_fig9_registration.dir/bench_fig9_registration.cc.o.d"
+  "bench_fig9_registration"
+  "bench_fig9_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

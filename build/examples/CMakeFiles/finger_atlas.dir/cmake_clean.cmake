@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finger_atlas.dir/finger_atlas.cpp.o"
+  "CMakeFiles/finger_atlas.dir/finger_atlas.cpp.o.d"
+  "finger_atlas"
+  "finger_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finger_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

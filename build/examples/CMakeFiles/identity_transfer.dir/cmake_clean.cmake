@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/identity_transfer.dir/identity_transfer.cpp.o"
+  "CMakeFiles/identity_transfer.dir/identity_transfer.cpp.o.d"
+  "identity_transfer"
+  "identity_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/identity_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_guardian.dir/local_guardian.cpp.o"
+  "CMakeFiles/local_guardian.dir/local_guardian.cpp.o.d"
+  "local_guardian"
+  "local_guardian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_guardian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

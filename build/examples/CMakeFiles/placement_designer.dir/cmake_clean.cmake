@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_designer.dir/placement_designer.cpp.o"
+  "CMakeFiles/placement_designer.dir/placement_designer.cpp.o.d"
+  "placement_designer"
+  "placement_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

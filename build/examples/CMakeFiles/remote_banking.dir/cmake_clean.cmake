@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_banking.dir/remote_banking.cpp.o"
+  "CMakeFiles/remote_banking.dir/remote_banking.cpp.o.d"
+  "remote_banking"
+  "remote_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

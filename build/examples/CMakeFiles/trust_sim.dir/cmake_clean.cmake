@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_sim.dir/trust_sim.cpp.o"
+  "CMakeFiles/trust_sim.dir/trust_sim.cpp.o.d"
+  "trust_sim"
+  "trust_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

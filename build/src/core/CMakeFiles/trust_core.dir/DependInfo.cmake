@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bytes.cc" "src/core/CMakeFiles/trust_core.dir/bytes.cc.o" "gcc" "src/core/CMakeFiles/trust_core.dir/bytes.cc.o.d"
+  "/root/repo/src/core/csv.cc" "src/core/CMakeFiles/trust_core.dir/csv.cc.o" "gcc" "src/core/CMakeFiles/trust_core.dir/csv.cc.o.d"
+  "/root/repo/src/core/hex.cc" "src/core/CMakeFiles/trust_core.dir/hex.cc.o" "gcc" "src/core/CMakeFiles/trust_core.dir/hex.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/core/CMakeFiles/trust_core.dir/logging.cc.o" "gcc" "src/core/CMakeFiles/trust_core.dir/logging.cc.o.d"
+  "/root/repo/src/core/pgm.cc" "src/core/CMakeFiles/trust_core.dir/pgm.cc.o" "gcc" "src/core/CMakeFiles/trust_core.dir/pgm.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/trust_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/trust_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/sim_clock.cc" "src/core/CMakeFiles/trust_core.dir/sim_clock.cc.o" "gcc" "src/core/CMakeFiles/trust_core.dir/sim_clock.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/trust_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/trust_core.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

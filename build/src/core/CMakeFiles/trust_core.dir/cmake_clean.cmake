@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_core.dir/bytes.cc.o"
+  "CMakeFiles/trust_core.dir/bytes.cc.o.d"
+  "CMakeFiles/trust_core.dir/csv.cc.o"
+  "CMakeFiles/trust_core.dir/csv.cc.o.d"
+  "CMakeFiles/trust_core.dir/hex.cc.o"
+  "CMakeFiles/trust_core.dir/hex.cc.o.d"
+  "CMakeFiles/trust_core.dir/logging.cc.o"
+  "CMakeFiles/trust_core.dir/logging.cc.o.d"
+  "CMakeFiles/trust_core.dir/pgm.cc.o"
+  "CMakeFiles/trust_core.dir/pgm.cc.o.d"
+  "CMakeFiles/trust_core.dir/rng.cc.o"
+  "CMakeFiles/trust_core.dir/rng.cc.o.d"
+  "CMakeFiles/trust_core.dir/sim_clock.cc.o"
+  "CMakeFiles/trust_core.dir/sim_clock.cc.o.d"
+  "CMakeFiles/trust_core.dir/stats.cc.o"
+  "CMakeFiles/trust_core.dir/stats.cc.o.d"
+  "libtrust_core.a"
+  "libtrust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

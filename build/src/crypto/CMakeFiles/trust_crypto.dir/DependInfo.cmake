@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cc" "src/crypto/CMakeFiles/trust_crypto.dir/aes128.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/aes128.cc.o.d"
+  "/root/repo/src/crypto/bignum.cc" "src/crypto/CMakeFiles/trust_crypto.dir/bignum.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/bignum.cc.o.d"
+  "/root/repo/src/crypto/cert.cc" "src/crypto/CMakeFiles/trust_crypto.dir/cert.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/cert.cc.o.d"
+  "/root/repo/src/crypto/chacha20.cc" "src/crypto/CMakeFiles/trust_crypto.dir/chacha20.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/chacha20.cc.o.d"
+  "/root/repo/src/crypto/csprng.cc" "src/crypto/CMakeFiles/trust_crypto.dir/csprng.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/csprng.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/crypto/CMakeFiles/trust_crypto.dir/hmac.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/hmac.cc.o.d"
+  "/root/repo/src/crypto/md5.cc" "src/crypto/CMakeFiles/trust_crypto.dir/md5.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/md5.cc.o.d"
+  "/root/repo/src/crypto/primes.cc" "src/crypto/CMakeFiles/trust_crypto.dir/primes.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/primes.cc.o.d"
+  "/root/repo/src/crypto/rsa.cc" "src/crypto/CMakeFiles/trust_crypto.dir/rsa.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/rsa.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/crypto/CMakeFiles/trust_crypto.dir/sha256.cc.o" "gcc" "src/crypto/CMakeFiles/trust_crypto.dir/sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

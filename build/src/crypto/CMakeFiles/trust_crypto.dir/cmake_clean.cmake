@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_crypto.dir/aes128.cc.o"
+  "CMakeFiles/trust_crypto.dir/aes128.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/bignum.cc.o"
+  "CMakeFiles/trust_crypto.dir/bignum.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/cert.cc.o"
+  "CMakeFiles/trust_crypto.dir/cert.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/trust_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/csprng.cc.o"
+  "CMakeFiles/trust_crypto.dir/csprng.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/hmac.cc.o"
+  "CMakeFiles/trust_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/md5.cc.o"
+  "CMakeFiles/trust_crypto.dir/md5.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/primes.cc.o"
+  "CMakeFiles/trust_crypto.dir/primes.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/rsa.cc.o"
+  "CMakeFiles/trust_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/trust_crypto.dir/sha256.cc.o"
+  "CMakeFiles/trust_crypto.dir/sha256.cc.o.d"
+  "libtrust_crypto.a"
+  "libtrust_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

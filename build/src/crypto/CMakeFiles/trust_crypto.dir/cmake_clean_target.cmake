@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrust_crypto.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/capture.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/capture.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/capture.cc.o.d"
+  "/root/repo/src/fingerprint/enhance.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/enhance.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/enhance.cc.o.d"
+  "/root/repo/src/fingerprint/image.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/image.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/image.cc.o.d"
+  "/root/repo/src/fingerprint/matcher.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/matcher.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/matcher.cc.o.d"
+  "/root/repo/src/fingerprint/minutiae.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/minutiae.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/minutiae.cc.o.d"
+  "/root/repo/src/fingerprint/pipeline.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/pipeline.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/pipeline.cc.o.d"
+  "/root/repo/src/fingerprint/quality.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/quality.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/quality.cc.o.d"
+  "/root/repo/src/fingerprint/skeleton.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/skeleton.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/skeleton.cc.o.d"
+  "/root/repo/src/fingerprint/synthesis.cc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/synthesis.cc.o" "gcc" "src/fingerprint/CMakeFiles/trust_fingerprint.dir/synthesis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_fingerprint.dir/capture.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/capture.cc.o.d"
+  "CMakeFiles/trust_fingerprint.dir/enhance.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/enhance.cc.o.d"
+  "CMakeFiles/trust_fingerprint.dir/image.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/image.cc.o.d"
+  "CMakeFiles/trust_fingerprint.dir/matcher.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/matcher.cc.o.d"
+  "CMakeFiles/trust_fingerprint.dir/minutiae.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/minutiae.cc.o.d"
+  "CMakeFiles/trust_fingerprint.dir/pipeline.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/pipeline.cc.o.d"
+  "CMakeFiles/trust_fingerprint.dir/quality.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/quality.cc.o.d"
+  "CMakeFiles/trust_fingerprint.dir/skeleton.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/skeleton.cc.o.d"
+  "CMakeFiles/trust_fingerprint.dir/synthesis.cc.o"
+  "CMakeFiles/trust_fingerprint.dir/synthesis.cc.o.d"
+  "libtrust_fingerprint.a"
+  "libtrust_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

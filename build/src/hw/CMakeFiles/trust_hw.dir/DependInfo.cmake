@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/biometric_screen.cc" "src/hw/CMakeFiles/trust_hw.dir/biometric_screen.cc.o" "gcc" "src/hw/CMakeFiles/trust_hw.dir/biometric_screen.cc.o.d"
+  "/root/repo/src/hw/flock_hw.cc" "src/hw/CMakeFiles/trust_hw.dir/flock_hw.cc.o" "gcc" "src/hw/CMakeFiles/trust_hw.dir/flock_hw.cc.o.d"
+  "/root/repo/src/hw/sensor_spec.cc" "src/hw/CMakeFiles/trust_hw.dir/sensor_spec.cc.o" "gcc" "src/hw/CMakeFiles/trust_hw.dir/sensor_spec.cc.o.d"
+  "/root/repo/src/hw/tft_sensor.cc" "src/hw/CMakeFiles/trust_hw.dir/tft_sensor.cc.o" "gcc" "src/hw/CMakeFiles/trust_hw.dir/tft_sensor.cc.o.d"
+  "/root/repo/src/hw/touch_panel.cc" "src/hw/CMakeFiles/trust_hw.dir/touch_panel.cc.o" "gcc" "src/hw/CMakeFiles/trust_hw.dir/touch_panel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/touch/CMakeFiles/trust_touch.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/trust_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_hw.dir/biometric_screen.cc.o"
+  "CMakeFiles/trust_hw.dir/biometric_screen.cc.o.d"
+  "CMakeFiles/trust_hw.dir/flock_hw.cc.o"
+  "CMakeFiles/trust_hw.dir/flock_hw.cc.o.d"
+  "CMakeFiles/trust_hw.dir/sensor_spec.cc.o"
+  "CMakeFiles/trust_hw.dir/sensor_spec.cc.o.d"
+  "CMakeFiles/trust_hw.dir/tft_sensor.cc.o"
+  "CMakeFiles/trust_hw.dir/tft_sensor.cc.o.d"
+  "CMakeFiles/trust_hw.dir/touch_panel.cc.o"
+  "CMakeFiles/trust_hw.dir/touch_panel.cc.o.d"
+  "libtrust_hw.a"
+  "libtrust_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_net.dir/adversary.cc.o"
+  "CMakeFiles/trust_net.dir/adversary.cc.o.d"
+  "CMakeFiles/trust_net.dir/network.cc.o"
+  "CMakeFiles/trust_net.dir/network.cc.o.d"
+  "libtrust_net.a"
+  "libtrust_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

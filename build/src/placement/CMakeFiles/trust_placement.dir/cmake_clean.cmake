@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_placement.dir/placement.cc.o"
+  "CMakeFiles/trust_placement.dir/placement.cc.o.d"
+  "libtrust_placement.a"
+  "libtrust_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/touch/behavior.cc" "src/touch/CMakeFiles/trust_touch.dir/behavior.cc.o" "gcc" "src/touch/CMakeFiles/trust_touch.dir/behavior.cc.o.d"
+  "/root/repo/src/touch/behavioral_auth.cc" "src/touch/CMakeFiles/trust_touch.dir/behavioral_auth.cc.o" "gcc" "src/touch/CMakeFiles/trust_touch.dir/behavioral_auth.cc.o.d"
+  "/root/repo/src/touch/session.cc" "src/touch/CMakeFiles/trust_touch.dir/session.cc.o" "gcc" "src/touch/CMakeFiles/trust_touch.dir/session.cc.o.d"
+  "/root/repo/src/touch/ui.cc" "src/touch/CMakeFiles/trust_touch.dir/ui.cc.o" "gcc" "src/touch/CMakeFiles/trust_touch.dir/ui.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

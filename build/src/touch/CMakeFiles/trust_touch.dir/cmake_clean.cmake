@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_touch.dir/behavior.cc.o"
+  "CMakeFiles/trust_touch.dir/behavior.cc.o.d"
+  "CMakeFiles/trust_touch.dir/behavioral_auth.cc.o"
+  "CMakeFiles/trust_touch.dir/behavioral_auth.cc.o.d"
+  "CMakeFiles/trust_touch.dir/session.cc.o"
+  "CMakeFiles/trust_touch.dir/session.cc.o.d"
+  "CMakeFiles/trust_touch.dir/ui.cc.o"
+  "CMakeFiles/trust_touch.dir/ui.cc.o.d"
+  "libtrust_touch.a"
+  "libtrust_touch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_touch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

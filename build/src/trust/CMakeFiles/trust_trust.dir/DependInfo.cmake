@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trust/capture_glue.cc" "src/trust/CMakeFiles/trust_trust.dir/capture_glue.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/capture_glue.cc.o.d"
+  "/root/repo/src/trust/device.cc" "src/trust/CMakeFiles/trust_trust.dir/device.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/device.cc.o.d"
+  "/root/repo/src/trust/flock.cc" "src/trust/CMakeFiles/trust_trust.dir/flock.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/flock.cc.o.d"
+  "/root/repo/src/trust/frames.cc" "src/trust/CMakeFiles/trust_trust.dir/frames.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/frames.cc.o.d"
+  "/root/repo/src/trust/identity_risk.cc" "src/trust/CMakeFiles/trust_trust.dir/identity_risk.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/identity_risk.cc.o.d"
+  "/root/repo/src/trust/local_manager.cc" "src/trust/CMakeFiles/trust_trust.dir/local_manager.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/local_manager.cc.o.d"
+  "/root/repo/src/trust/messages.cc" "src/trust/CMakeFiles/trust_trust.dir/messages.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/messages.cc.o.d"
+  "/root/repo/src/trust/scenario.cc" "src/trust/CMakeFiles/trust_trust.dir/scenario.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/scenario.cc.o.d"
+  "/root/repo/src/trust/server.cc" "src/trust/CMakeFiles/trust_trust.dir/server.cc.o" "gcc" "src/trust/CMakeFiles/trust_trust.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/trust_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/trust_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/trust_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/touch/CMakeFiles/trust_touch.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/trust_placement.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

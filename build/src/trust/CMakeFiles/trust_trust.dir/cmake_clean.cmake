@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_trust.dir/capture_glue.cc.o"
+  "CMakeFiles/trust_trust.dir/capture_glue.cc.o.d"
+  "CMakeFiles/trust_trust.dir/device.cc.o"
+  "CMakeFiles/trust_trust.dir/device.cc.o.d"
+  "CMakeFiles/trust_trust.dir/flock.cc.o"
+  "CMakeFiles/trust_trust.dir/flock.cc.o.d"
+  "CMakeFiles/trust_trust.dir/frames.cc.o"
+  "CMakeFiles/trust_trust.dir/frames.cc.o.d"
+  "CMakeFiles/trust_trust.dir/identity_risk.cc.o"
+  "CMakeFiles/trust_trust.dir/identity_risk.cc.o.d"
+  "CMakeFiles/trust_trust.dir/local_manager.cc.o"
+  "CMakeFiles/trust_trust.dir/local_manager.cc.o.d"
+  "CMakeFiles/trust_trust.dir/messages.cc.o"
+  "CMakeFiles/trust_trust.dir/messages.cc.o.d"
+  "CMakeFiles/trust_trust.dir/scenario.cc.o"
+  "CMakeFiles/trust_trust.dir/scenario.cc.o.d"
+  "CMakeFiles/trust_trust.dir/server.cc.o"
+  "CMakeFiles/trust_trust.dir/server.cc.o.d"
+  "libtrust_trust.a"
+  "libtrust_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

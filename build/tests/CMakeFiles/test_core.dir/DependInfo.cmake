@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_bytes.cc" "tests/CMakeFiles/test_core.dir/core/test_bytes.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_bytes.cc.o.d"
+  "/root/repo/tests/core/test_csv.cc" "tests/CMakeFiles/test_core.dir/core/test_csv.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_csv.cc.o.d"
+  "/root/repo/tests/core/test_geometry.cc" "tests/CMakeFiles/test_core.dir/core/test_geometry.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_geometry.cc.o.d"
+  "/root/repo/tests/core/test_grid.cc" "tests/CMakeFiles/test_core.dir/core/test_grid.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_grid.cc.o.d"
+  "/root/repo/tests/core/test_hex.cc" "tests/CMakeFiles/test_core.dir/core/test_hex.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_hex.cc.o.d"
+  "/root/repo/tests/core/test_pgm.cc" "tests/CMakeFiles/test_core.dir/core/test_pgm.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pgm.cc.o.d"
+  "/root/repo/tests/core/test_rng.cc" "tests/CMakeFiles/test_core.dir/core/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rng.cc.o.d"
+  "/root/repo/tests/core/test_sim_clock.cc" "tests/CMakeFiles/test_core.dir/core/test_sim_clock.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sim_clock.cc.o.d"
+  "/root/repo/tests/core/test_stats.cc" "tests/CMakeFiles/test_core.dir/core/test_stats.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

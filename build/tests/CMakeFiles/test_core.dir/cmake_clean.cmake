@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_bytes.cc.o"
+  "CMakeFiles/test_core.dir/core/test_bytes.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_csv.cc.o"
+  "CMakeFiles/test_core.dir/core/test_csv.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_geometry.cc.o"
+  "CMakeFiles/test_core.dir/core/test_geometry.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_grid.cc.o"
+  "CMakeFiles/test_core.dir/core/test_grid.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_hex.cc.o"
+  "CMakeFiles/test_core.dir/core/test_hex.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_pgm.cc.o"
+  "CMakeFiles/test_core.dir/core/test_pgm.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_rng.cc.o"
+  "CMakeFiles/test_core.dir/core/test_rng.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_sim_clock.cc.o"
+  "CMakeFiles/test_core.dir/core/test_sim_clock.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_stats.cc.o"
+  "CMakeFiles/test_core.dir/core/test_stats.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/test_aes128.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o.d"
+  "/root/repo/tests/crypto/test_bignum.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_bignum.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_bignum.cc.o.d"
+  "/root/repo/tests/crypto/test_bignum_property.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_bignum_property.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_bignum_property.cc.o.d"
+  "/root/repo/tests/crypto/test_cert.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_cert.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_cert.cc.o.d"
+  "/root/repo/tests/crypto/test_chacha20.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_chacha20.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_chacha20.cc.o.d"
+  "/root/repo/tests/crypto/test_csprng.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_csprng.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_csprng.cc.o.d"
+  "/root/repo/tests/crypto/test_hmac.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_hmac.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_hmac.cc.o.d"
+  "/root/repo/tests/crypto/test_md5.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_md5.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_md5.cc.o.d"
+  "/root/repo/tests/crypto/test_primes.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_primes.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_primes.cc.o.d"
+  "/root/repo/tests/crypto/test_rsa.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_rsa.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_rsa.cc.o.d"
+  "/root/repo/tests/crypto/test_sha256.cc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha256.cc.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/test_sha256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/trust_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

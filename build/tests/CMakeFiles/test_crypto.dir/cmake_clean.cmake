@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_bignum.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_bignum.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_bignum_property.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_bignum_property.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_cert.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_cert.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_chacha20.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_chacha20.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_csprng.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_csprng.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_md5.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_md5.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_primes.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_primes.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_rsa.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_rsa.cc.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha256.cc.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha256.cc.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fingerprint/test_capture.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_capture.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_capture.cc.o.d"
+  "/root/repo/tests/fingerprint/test_enhance.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_enhance.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_enhance.cc.o.d"
+  "/root/repo/tests/fingerprint/test_image.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_image.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_image.cc.o.d"
+  "/root/repo/tests/fingerprint/test_matcher.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_matcher.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_matcher.cc.o.d"
+  "/root/repo/tests/fingerprint/test_matcher_property.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_matcher_property.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_matcher_property.cc.o.d"
+  "/root/repo/tests/fingerprint/test_minutiae.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_minutiae.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_minutiae.cc.o.d"
+  "/root/repo/tests/fingerprint/test_mosaic.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_mosaic.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_mosaic.cc.o.d"
+  "/root/repo/tests/fingerprint/test_pipeline.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_pipeline.cc.o.d"
+  "/root/repo/tests/fingerprint/test_quality.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_quality.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_quality.cc.o.d"
+  "/root/repo/tests/fingerprint/test_skeleton.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_skeleton.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_skeleton.cc.o.d"
+  "/root/repo/tests/fingerprint/test_synthesis.cc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_synthesis.cc.o" "gcc" "tests/CMakeFiles/test_fingerprint.dir/fingerprint/test_synthesis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fingerprint/CMakeFiles/trust_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

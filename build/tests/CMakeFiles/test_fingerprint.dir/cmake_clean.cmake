@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_capture.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_capture.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_enhance.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_enhance.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_image.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_image.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_matcher.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_matcher.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_matcher_property.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_matcher_property.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_minutiae.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_minutiae.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_mosaic.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_mosaic.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_pipeline.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_pipeline.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_quality.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_quality.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_skeleton.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_skeleton.cc.o.d"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_synthesis.cc.o"
+  "CMakeFiles/test_fingerprint.dir/fingerprint/test_synthesis.cc.o.d"
+  "test_fingerprint"
+  "test_fingerprint.pdb"
+  "test_fingerprint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_biometric_screen.cc" "tests/CMakeFiles/test_hw.dir/hw/test_biometric_screen.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_biometric_screen.cc.o.d"
+  "/root/repo/tests/hw/test_flock_hw.cc" "tests/CMakeFiles/test_hw.dir/hw/test_flock_hw.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_flock_hw.cc.o.d"
+  "/root/repo/tests/hw/test_sensor_property.cc" "tests/CMakeFiles/test_hw.dir/hw/test_sensor_property.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_sensor_property.cc.o.d"
+  "/root/repo/tests/hw/test_tft_sensor.cc" "tests/CMakeFiles/test_hw.dir/hw/test_tft_sensor.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_tft_sensor.cc.o.d"
+  "/root/repo/tests/hw/test_touch_panel.cc" "tests/CMakeFiles/test_hw.dir/hw/test_touch_panel.cc.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_touch_panel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/trust_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/trust_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/touch/CMakeFiles/trust_touch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

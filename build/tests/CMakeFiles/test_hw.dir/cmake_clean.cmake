@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_biometric_screen.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_biometric_screen.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_flock_hw.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_flock_hw.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_sensor_property.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_sensor_property.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_tft_sensor.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_tft_sensor.cc.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_touch_panel.cc.o"
+  "CMakeFiles/test_hw.dir/hw/test_touch_panel.cc.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

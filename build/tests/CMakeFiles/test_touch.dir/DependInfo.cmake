@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/touch/test_behavior.cc" "tests/CMakeFiles/test_touch.dir/touch/test_behavior.cc.o" "gcc" "tests/CMakeFiles/test_touch.dir/touch/test_behavior.cc.o.d"
+  "/root/repo/tests/touch/test_behavioral_auth.cc" "tests/CMakeFiles/test_touch.dir/touch/test_behavioral_auth.cc.o" "gcc" "tests/CMakeFiles/test_touch.dir/touch/test_behavioral_auth.cc.o.d"
+  "/root/repo/tests/touch/test_session.cc" "tests/CMakeFiles/test_touch.dir/touch/test_session.cc.o" "gcc" "tests/CMakeFiles/test_touch.dir/touch/test_session.cc.o.d"
+  "/root/repo/tests/touch/test_ui.cc" "tests/CMakeFiles/test_touch.dir/touch/test_ui.cc.o" "gcc" "tests/CMakeFiles/test_touch.dir/touch/test_ui.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/touch/CMakeFiles/trust_touch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

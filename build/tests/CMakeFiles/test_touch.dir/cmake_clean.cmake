@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_touch.dir/touch/test_behavior.cc.o"
+  "CMakeFiles/test_touch.dir/touch/test_behavior.cc.o.d"
+  "CMakeFiles/test_touch.dir/touch/test_behavioral_auth.cc.o"
+  "CMakeFiles/test_touch.dir/touch/test_behavioral_auth.cc.o.d"
+  "CMakeFiles/test_touch.dir/touch/test_session.cc.o"
+  "CMakeFiles/test_touch.dir/touch/test_session.cc.o.d"
+  "CMakeFiles/test_touch.dir/touch/test_ui.cc.o"
+  "CMakeFiles/test_touch.dir/touch/test_ui.cc.o.d"
+  "test_touch"
+  "test_touch.pdb"
+  "test_touch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_touch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

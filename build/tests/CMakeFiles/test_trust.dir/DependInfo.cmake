@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trust/test_flock.cc" "tests/CMakeFiles/test_trust.dir/trust/test_flock.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_flock.cc.o.d"
+  "/root/repo/tests/trust/test_frames.cc" "tests/CMakeFiles/test_trust.dir/trust/test_frames.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_frames.cc.o.d"
+  "/root/repo/tests/trust/test_identity_risk.cc" "tests/CMakeFiles/test_trust.dir/trust/test_identity_risk.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_identity_risk.cc.o.d"
+  "/root/repo/tests/trust/test_local_manager.cc" "tests/CMakeFiles/test_trust.dir/trust/test_local_manager.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_local_manager.cc.o.d"
+  "/root/repo/tests/trust/test_messages.cc" "tests/CMakeFiles/test_trust.dir/trust/test_messages.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_messages.cc.o.d"
+  "/root/repo/tests/trust/test_protocol_e2e.cc" "tests/CMakeFiles/test_trust.dir/trust/test_protocol_e2e.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_protocol_e2e.cc.o.d"
+  "/root/repo/tests/trust/test_robustness.cc" "tests/CMakeFiles/test_trust.dir/trust/test_robustness.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_robustness.cc.o.d"
+  "/root/repo/tests/trust/test_scenario.cc" "tests/CMakeFiles/test_trust.dir/trust/test_scenario.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_scenario.cc.o.d"
+  "/root/repo/tests/trust/test_server.cc" "tests/CMakeFiles/test_trust.dir/trust/test_server.cc.o" "gcc" "tests/CMakeFiles/test_trust.dir/trust/test_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trust/CMakeFiles/trust_trust.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/trust_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trust_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/trust_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/trust_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/trust_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/touch/CMakeFiles/trust_touch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/trust_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

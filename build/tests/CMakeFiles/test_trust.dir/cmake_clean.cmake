@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trust.dir/trust/test_flock.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_flock.cc.o.d"
+  "CMakeFiles/test_trust.dir/trust/test_frames.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_frames.cc.o.d"
+  "CMakeFiles/test_trust.dir/trust/test_identity_risk.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_identity_risk.cc.o.d"
+  "CMakeFiles/test_trust.dir/trust/test_local_manager.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_local_manager.cc.o.d"
+  "CMakeFiles/test_trust.dir/trust/test_messages.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_messages.cc.o.d"
+  "CMakeFiles/test_trust.dir/trust/test_protocol_e2e.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_protocol_e2e.cc.o.d"
+  "CMakeFiles/test_trust.dir/trust/test_robustness.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_robustness.cc.o.d"
+  "CMakeFiles/test_trust.dir/trust/test_scenario.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_scenario.cc.o.d"
+  "CMakeFiles/test_trust.dir/trust/test_server.cc.o"
+  "CMakeFiles/test_trust.dir/trust/test_server.cc.o.d"
+  "test_trust"
+  "test_trust.pdb"
+  "test_trust[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
