@@ -1,16 +1,172 @@
 #include "fingerprint/enhance.hh"
 
 #include <cmath>
+#include <cstring>
+#include <memory>
+#include <mutex>
 #include <numbers>
+#include <unordered_map>
 #include <vector>
 
 #include "core/geometry.hh"
+#include "core/parallel.hh"
 
 namespace trust::fingerprint {
 
 namespace {
+
 constexpr double kPi = std::numbers::pi;
+
+/** Row-band size for the parallel convolution/orientation loops. */
+constexpr int kRowGrain = 8;
+
+/** A bank of quantized Gabor kernels (orientation x frequency). */
+using GaborBank = std::vector<std::vector<float>>;
+
+/** Exact-value cache key; doubles compared by bit pattern. */
+struct GaborBankKey
+{
+    int radius = 0;
+    int orientBins = 0;
+    int freqBins = 0;
+    std::uint64_t sigmaBits = 0;
+    std::uint64_t fminBits = 0;
+    std::uint64_t fmaxBits = 0;
+
+    bool operator==(const GaborBankKey &o) const = default;
+};
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+struct GaborBankKeyHash
+{
+    std::size_t
+    operator()(const GaborBankKey &k) const
+    {
+        std::uint64_t h = 1469598103934665603ull; // FNV-1a
+        const auto mix = [&h](std::uint64_t v) {
+            h = (h ^ v) * 1099511628211ull;
+        };
+        mix(static_cast<std::uint64_t>(k.radius));
+        mix(static_cast<std::uint64_t>(k.orientBins));
+        mix(static_cast<std::uint64_t>(k.freqBins));
+        mix(k.sigmaBits);
+        mix(k.fminBits);
+        mix(k.fmaxBits);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+std::mutex g_bank_mutex;
+std::unordered_map<GaborBankKey, std::shared_ptr<const GaborBank>,
+                   GaborBankKeyHash>
+    g_bank_cache;
+
+/** Bound on cached banks; the cache is cleared when exceeded. */
+constexpr std::size_t kBankCacheCap = 64;
+
+/**
+ * Build one Gabor kernel bank: orient_bins orientations times
+ * freq_bins frequencies linearly spaced over [fmin, fmax], each
+ * kernel normalized so a perfect ridge response is ~1.
+ */
+GaborBank
+buildGaborBank(int radius, double sigma, int orient_bins, int freq_bins,
+               double fmin, double fmax)
+{
+    const int size = 2 * radius + 1;
+    const double fstep =
+        freq_bins > 1 ? (fmax - fmin) / (freq_bins - 1) : 0.0;
+
+    GaborBank bank(
+        static_cast<std::size_t>(orient_bins * freq_bins),
+        std::vector<float>(static_cast<std::size_t>(size * size)));
+    for (int ob = 0; ob < orient_bins; ++ob) {
+        const double theta = kPi * (ob + 0.5) / orient_bins;
+        const double nx = -std::sin(theta);
+        const double ny = std::cos(theta);
+        for (int fb = 0; fb < freq_bins; ++fb) {
+            const double f = fmin + fstep * fb;
+            auto &kernel = bank[static_cast<std::size_t>(
+                ob * freq_bins + fb)];
+            double sum_pos = 0.0;
+            for (int dr = -radius; dr <= radius; ++dr) {
+                for (int dc = -radius; dc <= radius; ++dc) {
+                    const double along = dc * nx + dr * ny;
+                    const double env = std::exp(
+                        -(dr * dr + dc * dc) / (2.0 * sigma * sigma));
+                    const double v =
+                        env * std::cos(2.0 * kPi * f * along);
+                    kernel[static_cast<std::size_t>(
+                        (dr + radius) * size + (dc + radius))] =
+                        static_cast<float>(v);
+                    if (v > 0)
+                        sum_pos += v;
+                }
+            }
+            if (sum_pos > 0) {
+                for (auto &v : kernel)
+                    v = static_cast<float>(v / sum_pos);
+            }
+        }
+    }
+    return bank;
+}
+
+/**
+ * Fetch a kernel bank from the process-wide cache, building it on
+ * first use. Thread-safe; a duplicate concurrent build of the same
+ * key is harmless (one copy wins, both are identical).
+ */
+std::shared_ptr<const GaborBank>
+gaborKernelBank(int radius, double sigma, int orient_bins,
+                int freq_bins, double fmin, double fmax)
+{
+    const GaborBankKey key{radius,
+                           orient_bins,
+                           freq_bins,
+                           doubleBits(sigma),
+                           doubleBits(fmin),
+                           doubleBits(fmax)};
+    {
+        std::lock_guard<std::mutex> lock(g_bank_mutex);
+        const auto it = g_bank_cache.find(key);
+        if (it != g_bank_cache.end())
+            return it->second;
+    }
+
+    auto bank = std::make_shared<const GaborBank>(buildGaborBank(
+        radius, sigma, orient_bins, freq_bins, fmin, fmax));
+
+    std::lock_guard<std::mutex> lock(g_bank_mutex);
+    if (g_bank_cache.size() >= kBankCacheCap)
+        g_bank_cache.clear();
+    const auto [it, inserted] = g_bank_cache.emplace(key, bank);
+    return it->second;
+}
+
 } // namespace
+
+std::size_t
+gaborKernelCacheSize()
+{
+    std::lock_guard<std::mutex> lock(g_bank_mutex);
+    return g_bank_cache.size();
+}
+
+void
+clearGaborKernelCache()
+{
+    std::lock_guard<std::mutex> lock(g_bank_mutex);
+    g_bank_cache.clear();
+}
 
 void
 normalizeImage(FingerprintImage &image, double target_mean,
@@ -21,16 +177,18 @@ normalizeImage(FingerprintImage &image, double target_mean,
     if (var <= 1e-12)
         return;
     const double scale = std::sqrt(target_var / var);
-    for (int r = 0; r < image.rows(); ++r) {
-        for (int c = 0; c < image.cols(); ++c) {
-            if (!image.valid(r, c))
-                continue;
-            const double v =
-                target_mean + (image.pixel(r, c) - mean) * scale;
-            image.pixel(r, c) =
-                static_cast<float>(std::clamp(v, 0.0, 1.0));
+    core::parallelFor(0, image.rows(), kRowGrain, [&](int r0, int r1) {
+        for (int r = r0; r < r1; ++r) {
+            for (int c = 0; c < image.cols(); ++c) {
+                if (!image.valid(r, c))
+                    continue;
+                const double v =
+                    target_mean + (image.pixel(r, c) - mean) * scale;
+                image.pixel(r, c) =
+                    static_cast<float>(std::clamp(v, 0.0, 1.0));
+            }
         }
-    }
+    });
 }
 
 core::Grid<float>
@@ -40,38 +198,47 @@ estimateOrientation(const FingerprintImage &image, int block)
 
     // Sobel-style central-difference gradients.
     core::Grid<float> gx(rows, cols, 0.0f), gy(rows, cols, 0.0f);
-    for (int r = 1; r < rows - 1; ++r) {
-        for (int c = 1; c < cols - 1; ++c) {
-            gx(r, c) = (image.pixel(r, c + 1) - image.pixel(r, c - 1)) *
-                       0.5f;
-            gy(r, c) = (image.pixel(r + 1, c) - image.pixel(r - 1, c)) *
-                       0.5f;
+    core::parallelFor(1, rows - 1, kRowGrain, [&](int r0, int r1) {
+        for (int r = r0; r < r1; ++r) {
+            for (int c = 1; c < cols - 1; ++c) {
+                gx(r, c) =
+                    (image.pixel(r, c + 1) - image.pixel(r, c - 1)) *
+                    0.5f;
+                gy(r, c) =
+                    (image.pixel(r + 1, c) - image.pixel(r - 1, c)) *
+                    0.5f;
+            }
         }
-    }
+    });
 
     // Block-averaged double-angle representation: the gradient is
     // normal to the ridge, so ridge orientation = gradient angle +
-    // pi/2, averaged via (gxx - gyy, 2 gxy).
+    // pi/2, averaged via (gxx - gyy, 2 gxy). Row bands write
+    // disjoint output rows, so the result is thread-count
+    // independent.
     core::Grid<float> orientation(rows, cols, 0.0f);
-    for (int r = 0; r < rows; ++r) {
-        for (int c = 0; c < cols; ++c) {
-            double vx = 0.0, vy = 0.0;
-            for (int dr = -block; dr <= block; ++dr) {
-                for (int dc = -block; dc <= block; ++dc) {
-                    const int rr = std::clamp(r + dr, 0, rows - 1);
-                    const int cc = std::clamp(c + dc, 0, cols - 1);
-                    const double dx = gx(rr, cc);
-                    const double dy = gy(rr, cc);
-                    vx += dx * dx - dy * dy;
-                    vy += 2.0 * dx * dy;
+    core::parallelFor(0, rows, kRowGrain, [&](int r0, int r1) {
+        for (int r = r0; r < r1; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                double vx = 0.0, vy = 0.0;
+                for (int dr = -block; dr <= block; ++dr) {
+                    for (int dc = -block; dc <= block; ++dc) {
+                        const int rr = std::clamp(r + dr, 0, rows - 1);
+                        const int cc = std::clamp(c + dc, 0, cols - 1);
+                        const double dx = gx(rr, cc);
+                        const double dy = gy(rr, cc);
+                        vx += dx * dx - dy * dy;
+                        vy += 2.0 * dx * dy;
+                    }
                 }
+                // Gradient double-angle; ridge orientation is
+                // orthogonal.
+                const double grad_angle = 0.5 * std::atan2(vy, vx);
+                orientation(r, c) = static_cast<float>(
+                    core::wrapOrientation(grad_angle + kPi / 2.0));
             }
-            // Gradient double-angle; ridge orientation is orthogonal.
-            const double grad_angle = 0.5 * std::atan2(vy, vx);
-            orientation(r, c) = static_cast<float>(
-                core::wrapOrientation(grad_angle + kPi / 2.0));
         }
-    }
+    });
     return orientation;
 }
 
@@ -144,11 +311,19 @@ gaborEnhanceVarFreq(FingerprintImage &image,
 {
     const int rows = image.rows(), cols = image.cols();
 
-    // Find the frequency range present in the map.
+    // Find the frequency range over valid-mask cells only: masked
+    // out cells carry no ridge signal, and one stray zero/outlier
+    // there would skew the kernel-bank frequency binning for the
+    // whole image.
     float fmin = 1e9f, fmax = 0.0f;
-    for (float f : frequency_map.data()) {
-        fmin = std::min(fmin, f);
-        fmax = std::max(fmax, f);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (!image.valid(r, c))
+                continue;
+            const float f = frequency_map(r, c);
+            fmin = std::min(fmin, f);
+            fmax = std::max(fmax, f);
+        }
     }
     if (fmax <= 0.0f) {
         return;
@@ -160,70 +335,47 @@ gaborEnhanceVarFreq(FingerprintImage &image,
     const double fstep =
         kFreqBins > 1 ? (fmax - fmin) / (kFreqBins - 1) : 0.0;
 
-    // Kernel bank over orientation x frequency.
-    std::vector<std::vector<float>> bank(
-        kOrientBins * kFreqBins,
-        std::vector<float>(static_cast<std::size_t>(size * size)));
-    for (int ob = 0; ob < kOrientBins; ++ob) {
-        const double theta = kPi * (ob + 0.5) / kOrientBins;
-        const double nx = -std::sin(theta);
-        const double ny = std::cos(theta);
-        for (int fb = 0; fb < kFreqBins; ++fb) {
-            const double f = fmin + fstep * fb;
-            auto &kernel = bank[static_cast<std::size_t>(
-                ob * kFreqBins + fb)];
-            double sum_pos = 0.0;
-            for (int dr = -radius; dr <= radius; ++dr) {
-                for (int dc = -radius; dc <= radius; ++dc) {
-                    const double along = dc * nx + dr * ny;
-                    const double env = std::exp(
-                        -(dr * dr + dc * dc) / (2.0 * sigma * sigma));
-                    const double v =
-                        env * std::cos(2.0 * kPi * f * along);
-                    kernel[static_cast<std::size_t>(
-                        (dr + radius) * size + (dc + radius))] =
-                        static_cast<float>(v);
-                    if (v > 0)
-                        sum_pos += v;
-                }
-            }
-            if (sum_pos > 0) {
-                for (auto &v : kernel)
-                    v = static_cast<float>(v / sum_pos);
-            }
-        }
-    }
+    // Kernel bank over orientation x frequency, from the
+    // process-wide cache (the synthesizer reuses one bank across
+    // all growth iterations of a finger).
+    const auto bank_ptr = gaborKernelBank(radius, sigma, kOrientBins,
+                                          kFreqBins, fmin, fmax);
+    const GaborBank &bank = *bank_ptr;
 
     const FingerprintImage src = image;
-    for (int r = 0; r < rows; ++r) {
-        for (int c = 0; c < cols; ++c) {
-            if (!image.valid(r, c))
-                continue;
-            int ob = static_cast<int>(orientation(r, c) / kPi *
-                                      kOrientBins);
-            ob = std::clamp(ob, 0, kOrientBins - 1);
-            int fb = fstep > 0.0
-                         ? static_cast<int>(
-                               (frequency_map(r, c) - fmin) / fstep +
-                               0.5)
-                         : 0;
-            fb = std::clamp(fb, 0, kFreqBins - 1);
-            const auto &kernel = bank[static_cast<std::size_t>(
-                ob * kFreqBins + fb)];
-            double acc = 0.0;
-            for (int dr = -radius; dr <= radius; ++dr) {
-                for (int dc = -radius; dc <= radius; ++dc) {
-                    const int rr = std::clamp(r + dr, 0, rows - 1);
-                    const int cc = std::clamp(c + dc, 0, cols - 1);
-                    acc += kernel[static_cast<std::size_t>(
-                               (dr + radius) * size + (dc + radius))] *
-                           (src.pixel(rr, cc) - 0.5);
+    core::parallelFor(0, rows, kRowGrain, [&](int r0, int r1) {
+        for (int r = r0; r < r1; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                if (!image.valid(r, c))
+                    continue;
+                int ob = static_cast<int>(orientation(r, c) / kPi *
+                                          kOrientBins);
+                ob = std::clamp(ob, 0, kOrientBins - 1);
+                int fb =
+                    fstep > 0.0
+                        ? static_cast<int>(
+                              (frequency_map(r, c) - fmin) / fstep +
+                              0.5)
+                        : 0;
+                fb = std::clamp(fb, 0, kFreqBins - 1);
+                const auto &kernel = bank[static_cast<std::size_t>(
+                    ob * kFreqBins + fb)];
+                double acc = 0.0;
+                for (int dr = -radius; dr <= radius; ++dr) {
+                    for (int dc = -radius; dc <= radius; ++dc) {
+                        const int rr = std::clamp(r + dr, 0, rows - 1);
+                        const int cc = std::clamp(c + dc, 0, cols - 1);
+                        acc += kernel[static_cast<std::size_t>(
+                                   (dr + radius) * size +
+                                   (dc + radius))] *
+                               (src.pixel(rr, cc) - 0.5);
+                    }
                 }
+                image.pixel(r, c) = static_cast<float>(
+                    std::clamp(0.5 + acc, 0.0, 1.0));
             }
-            image.pixel(r, c) =
-                static_cast<float>(std::clamp(0.5 + acc, 0.0, 1.0));
         }
-    }
+    });
 }
 
 void
@@ -232,61 +384,44 @@ gaborEnhance(FingerprintImage &image, const core::Grid<float> &orientation,
 {
     const int rows = image.rows(), cols = image.cols();
 
-    // Quantize orientation into a bank of precomputed kernels.
+    // Quantized-orientation bank at one frequency, from the
+    // process-wide cache (rebuilt only on a never-seen parameter
+    // combination instead of on every call).
     constexpr int kBins = 16;
     const int size = 2 * radius + 1;
-    std::vector<std::vector<float>> bank(
-        kBins, std::vector<float>(static_cast<std::size_t>(size * size)));
-    for (int b = 0; b < kBins; ++b) {
-        const double theta = kPi * (b + 0.5) / kBins;
-        const double nx = -std::sin(theta);
-        const double ny = std::cos(theta);
-        double sum_pos = 0.0;
-        for (int dr = -radius; dr <= radius; ++dr) {
-            for (int dc = -radius; dc <= radius; ++dc) {
-                const double along = dc * nx + dr * ny;
-                const double env = std::exp(
-                    -(dr * dr + dc * dc) / (2.0 * sigma * sigma));
-                const double v =
-                    env * std::cos(2.0 * kPi * frequency * along);
-                bank[b][static_cast<std::size_t>(
-                    (dr + radius) * size + (dc + radius))] =
-                    static_cast<float>(v);
-                if (v > 0)
-                    sum_pos += v;
-            }
-        }
-        // Scale so a perfect ridge response is ~1.
-        if (sum_pos > 0) {
-            for (auto &v : bank[b])
-                v = static_cast<float>(v / sum_pos);
-        }
-    }
+    const auto bank_ptr = gaborKernelBank(radius, sigma, kBins, 1,
+                                          frequency, frequency);
+    const GaborBank &bank = *bank_ptr;
 
     const FingerprintImage src = image;
-    for (int r = 0; r < rows; ++r) {
-        for (int c = 0; c < cols; ++c) {
-            if (!image.valid(r, c))
-                continue;
-            const double theta = orientation(r, c);
-            int bin = static_cast<int>(theta / kPi * kBins);
-            bin = std::clamp(bin, 0, kBins - 1);
-            const auto &kernel = bank[static_cast<std::size_t>(bin)];
-            double acc = 0.0;
-            for (int dr = -radius; dr <= radius; ++dr) {
-                for (int dc = -radius; dc <= radius; ++dc) {
-                    const int rr = std::clamp(r + dr, 0, rows - 1);
-                    const int cc = std::clamp(c + dc, 0, cols - 1);
-                    // Center the signal so the DC component cancels.
-                    acc += kernel[static_cast<std::size_t>(
-                               (dr + radius) * size + (dc + radius))] *
-                           (src.pixel(rr, cc) - 0.5);
+    core::parallelFor(0, rows, kRowGrain, [&](int r0, int r1) {
+        for (int r = r0; r < r1; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                if (!image.valid(r, c))
+                    continue;
+                const double theta = orientation(r, c);
+                int bin = static_cast<int>(theta / kPi * kBins);
+                bin = std::clamp(bin, 0, kBins - 1);
+                const auto &kernel =
+                    bank[static_cast<std::size_t>(bin)];
+                double acc = 0.0;
+                for (int dr = -radius; dr <= radius; ++dr) {
+                    for (int dc = -radius; dc <= radius; ++dc) {
+                        const int rr = std::clamp(r + dr, 0, rows - 1);
+                        const int cc = std::clamp(c + dc, 0, cols - 1);
+                        // Center the signal so the DC component
+                        // cancels.
+                        acc += kernel[static_cast<std::size_t>(
+                                   (dr + radius) * size +
+                                   (dc + radius))] *
+                               (src.pixel(rr, cc) - 0.5);
+                    }
                 }
+                image.pixel(r, c) = static_cast<float>(
+                    std::clamp(0.5 + acc, 0.0, 1.0));
             }
-            image.pixel(r, c) =
-                static_cast<float>(std::clamp(0.5 + acc, 0.0, 1.0));
         }
-    }
+    });
 }
 
 } // namespace trust::fingerprint

@@ -63,6 +63,16 @@ void gaborEnhanceVarFreq(FingerprintImage &image,
                          const core::Grid<float> &frequency_map,
                          int radius = 6, double sigma = 3.0);
 
+/**
+ * Number of Gabor kernel banks currently held by the process-wide
+ * cache keyed by (radius, sigma, orientation bins, frequency bins,
+ * frequency range). Both gaborEnhance flavours populate it.
+ */
+std::size_t gaborKernelCacheSize();
+
+/** Drop every cached kernel bank (tests / memory pressure). */
+void clearGaborKernelCache();
+
 } // namespace trust::fingerprint
 
 #endif // TRUST_FINGERPRINT_ENHANCE_HH

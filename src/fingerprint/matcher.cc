@@ -6,12 +6,20 @@
 #include <unordered_map>
 
 #include "core/geometry.hh"
+#include "core/parallel.hh"
 
 namespace trust::fingerprint {
 
 namespace {
 
 constexpr double kPi = std::numbers::pi;
+
+/** Longest anchor-pair segment considered (pixels). */
+constexpr double kMaxPairLength = 90.0;
+
+/** Anchor-pair caps: templates are richer than partial queries. */
+constexpr std::size_t kTemplatePairCap = 6000;
+constexpr std::size_t kQueryPairCap = 2000;
 
 /** A rigid alignment hypothesis: rotate query by rot, then shift. */
 struct Alignment
@@ -21,21 +29,6 @@ struct Alignment
     double sinT;
     double dx;
     double dy;
-};
-
-/**
- * An ordered minutia pair with its rigid-invariant signature:
- * length, and each endpoint orientation measured relative to the
- * segment direction (invariant under rotation+translation, mod pi).
- */
-struct PairFeature
-{
-    int a;
-    int b;
-    double length;
-    double dir; // segment direction, for alignment recovery
-    double psiA;
-    double psiB;
 };
 
 /** Build ordered pair features with lengths in a useful band. */
@@ -111,8 +104,48 @@ countPairs(const std::vector<Minutia> &tmpl,
 
 } // namespace
 
+PairIndex
+buildPairIndex(const std::vector<Minutia> &set,
+               const MatchParams &params)
+{
+    // Pair-anchored alignment: a hypothesis needs TWO minutiae from
+    // each side agreeing on length and on both relative orientations,
+    // which suppresses the chance alignments single-point anchors
+    // admit on small partial prints.
+    PairIndex index;
+    index.minLength = 2.0 * params.distTolerance;
+    index.maxLength = kMaxPairLength;
+    index.bucketWidth = params.pairLengthTolerance;
+    index.pairs = buildPairs(set, index.minLength, index.maxLength,
+                             kTemplatePairCap);
+
+    // Bucket template pairs by quantized length for O(1) lookup.
+    const int n_buckets =
+        static_cast<int>(index.maxLength / index.bucketWidth) + 2;
+    index.buckets.assign(static_cast<std::size_t>(n_buckets), {});
+    for (std::size_t i = 0; i < index.pairs.size(); ++i) {
+        const int b = static_cast<int>(index.pairs[i].length /
+                                       index.bucketWidth);
+        index.buckets[static_cast<std::size_t>(b)].push_back(
+            static_cast<int>(i));
+    }
+    return index;
+}
+
 MatchResult
 matchMinutiae(const std::vector<Minutia> &tmpl,
+              const std::vector<Minutia> &query,
+              const MatchParams &params)
+{
+    if (tmpl.size() < 2 || query.size() < 2)
+        return {};
+    return matchMinutiae(tmpl, buildPairIndex(tmpl, params), query,
+                         params);
+}
+
+MatchResult
+matchMinutiae(const std::vector<Minutia> &tmpl,
+              const PairIndex &tmpl_index,
               const std::vector<Minutia> &query,
               const MatchParams &params)
 {
@@ -120,26 +153,13 @@ matchMinutiae(const std::vector<Minutia> &tmpl,
     if (tmpl.size() < 2 || query.size() < 2)
         return result;
 
-    // Pair-anchored alignment: a hypothesis needs TWO minutiae from
-    // each side agreeing on length and on both relative orientations,
-    // which suppresses the chance alignments single-point anchors
-    // admit on small partial prints.
-    const double min_len = 2.0 * params.distTolerance;
-    const double max_len = 90.0;
-    const auto t_pairs = buildPairs(tmpl, min_len, max_len, 6000);
-    const auto q_pairs = buildPairs(query, min_len, max_len, 2000);
-
-    // Bucket template pairs by quantized length for O(1) lookup.
-    const double bucket_w = params.pairLengthTolerance;
-    const int n_buckets =
-        static_cast<int>(max_len / bucket_w) + 2;
-    std::vector<std::vector<int>> buckets(
-        static_cast<std::size_t>(n_buckets));
-    for (std::size_t i = 0; i < t_pairs.size(); ++i) {
-        const int b = static_cast<int>(t_pairs[i].length / bucket_w);
-        buckets[static_cast<std::size_t>(b)].push_back(
-            static_cast<int>(i));
-    }
+    const auto &t_pairs = tmpl_index.pairs;
+    const auto &buckets = tmpl_index.buckets;
+    const double bucket_w = tmpl_index.bucketWidth;
+    const int n_buckets = static_cast<int>(buckets.size());
+    const auto q_pairs =
+        buildPairs(query, tmpl_index.minLength, tmpl_index.maxLength,
+                   kQueryPairCap);
 
     // Hough-style consensus: every surviving anchor pair votes for
     // its implied rigid transform. The true alignment of a genuine
@@ -280,9 +300,17 @@ matchAgainstViews(const std::vector<std::vector<Minutia>> &views,
                   const std::vector<Minutia> &query,
                   const MatchParams &params)
 {
+    // Score every view concurrently, then fold in view order so the
+    // winner is independent of the thread count.
+    std::vector<MatchResult> results(views.size());
+    core::parallelFor(
+        0, static_cast<int>(views.size()), 1, [&](int b, int e) {
+            for (int i = b; i < e; ++i)
+                results[static_cast<std::size_t>(i)] = matchMinutiae(
+                    views[static_cast<std::size_t>(i)], query, params);
+        });
     MatchResult best;
-    for (const auto &view : views) {
-        const MatchResult r = matchMinutiae(view, query, params);
+    for (const MatchResult &r : results) {
         if (r.score > best.score || (r.accepted && !best.accepted))
             best = r;
     }

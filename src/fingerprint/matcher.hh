@@ -57,11 +57,68 @@ struct MatchResult
 };
 
 /**
+ * An ordered minutia pair with its rigid-invariant signature:
+ * length, and each endpoint orientation measured relative to the
+ * segment direction (invariant under rotation+translation, mod pi).
+ */
+struct PairFeature
+{
+    int a;
+    int b;
+    double length;
+    double dir; ///< Segment direction, for alignment recovery.
+    double psiA;
+    double psiB;
+};
+
+/**
+ * Precomputed template-side pair features with their quantized
+ * length buckets. Building this is the dominant per-template cost
+ * of a match, so enrolled templates build it once and reuse it for
+ * every query (see FingerprintTemplate::pairIndex).
+ */
+struct PairIndex
+{
+    std::vector<PairFeature> pairs;
+    /** Pair ids keyed by quantized length (bucketWidth pixels). */
+    std::vector<std::vector<int>> buckets;
+    double bucketWidth = 0.0;
+    double minLength = 0.0;
+    double maxLength = 0.0;
+
+    /** True if this index was built with the same geometry knobs. */
+    bool
+    compatibleWith(const MatchParams &params) const
+    {
+        return minLength == 2.0 * params.distTolerance &&
+               bucketWidth == params.pairLengthTolerance;
+    }
+};
+
+/**
+ * Build the template-side pair index for a minutiae set. The index
+ * depends only on the geometric tolerances (distTolerance,
+ * pairLengthTolerance) of @p params.
+ */
+PairIndex buildPairIndex(const std::vector<Minutia> &set,
+                         const MatchParams &params = {});
+
+/**
  * Compare a stored template against a query capture.
  * Either side may be a partial print; scores are normalized by the
  * smaller set so a clean partial against a full master scores high.
  */
 MatchResult matchMinutiae(const std::vector<Minutia> &tmpl,
+                          const std::vector<Minutia> &query,
+                          const MatchParams &params = {});
+
+/**
+ * Same comparison with a prebuilt template-side pair index (must
+ * have been built from @p tmpl with compatible geometry). Skips the
+ * per-call index construction on the template side.
+ */
+MatchResult matchMinutiae(const std::vector<Minutia> &tmpl,
+                          const PairIndex &tmpl_index,
                           const std::vector<Minutia> &query,
                           const MatchParams &params = {});
 

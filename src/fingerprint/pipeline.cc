@@ -1,9 +1,123 @@
 #include "fingerprint/pipeline.hh"
 
+#include "core/parallel.hh"
 #include "fingerprint/enhance.hh"
 #include "fingerprint/skeleton.hh"
 
 namespace trust::fingerprint {
+
+FingerprintTemplate::FingerprintTemplate(const FingerprintTemplate &o)
+    : minutiae(o.minutiae), quality(o.quality)
+{
+    std::lock_guard<std::mutex> lock(o.indexMutex_);
+    index_ = o.index_;
+}
+
+FingerprintTemplate::FingerprintTemplate(FingerprintTemplate &&o) noexcept
+    : minutiae(std::move(o.minutiae)), quality(o.quality)
+{
+    std::lock_guard<std::mutex> lock(o.indexMutex_);
+    index_ = std::move(o.index_);
+}
+
+FingerprintTemplate &
+FingerprintTemplate::operator=(const FingerprintTemplate &o)
+{
+    if (this == &o)
+        return *this;
+    minutiae = o.minutiae;
+    quality = o.quality;
+    std::shared_ptr<const PairIndex> index;
+    {
+        std::lock_guard<std::mutex> lock(o.indexMutex_);
+        index = o.index_;
+    }
+    std::lock_guard<std::mutex> lock(indexMutex_);
+    index_ = std::move(index);
+    return *this;
+}
+
+FingerprintTemplate &
+FingerprintTemplate::operator=(FingerprintTemplate &&o) noexcept
+{
+    if (this == &o)
+        return *this;
+    minutiae = std::move(o.minutiae);
+    quality = o.quality;
+    std::shared_ptr<const PairIndex> index;
+    {
+        std::lock_guard<std::mutex> lock(o.indexMutex_);
+        index = std::move(o.index_);
+    }
+    std::lock_guard<std::mutex> lock(indexMutex_);
+    index_ = std::move(index);
+    return *this;
+}
+
+std::shared_ptr<const PairIndex>
+FingerprintTemplate::pairIndex(const MatchParams &params) const
+{
+    {
+        std::lock_guard<std::mutex> lock(indexMutex_);
+        if (index_ && index_->compatibleWith(params))
+            return index_;
+    }
+    auto index = std::make_shared<const PairIndex>(
+        buildPairIndex(minutiae, params));
+    std::lock_guard<std::mutex> lock(indexMutex_);
+    // A concurrent builder may have won; keep whichever is cached
+    // if compatible so every caller shares one snapshot.
+    if (!index_ || !index_->compatibleWith(params))
+        index_ = std::move(index);
+    return index_;
+}
+
+void
+FingerprintTemplate::invalidatePairIndex()
+{
+    std::lock_guard<std::mutex> lock(indexMutex_);
+    index_.reset();
+}
+
+MatchResult
+matchTemplate(const FingerprintTemplate &tmpl,
+              const std::vector<Minutia> &query,
+              const MatchParams &params)
+{
+    if (tmpl.minutiae.size() < 2 || query.size() < 2)
+        return {};
+    return matchMinutiae(tmpl.minutiae, *tmpl.pairIndex(params), query,
+                         params);
+}
+
+std::vector<MatchResult>
+matchTemplatesBatch(const std::vector<FingerprintTemplate> &views,
+                    const std::vector<Minutia> &query,
+                    const MatchParams &params)
+{
+    std::vector<MatchResult> results(views.size());
+    core::parallelFor(
+        0, static_cast<int>(views.size()), 1, [&](int b, int e) {
+            for (int i = b; i < e; ++i)
+                results[static_cast<std::size_t>(i)] = matchTemplate(
+                    views[static_cast<std::size_t>(i)], query, params);
+        });
+    return results;
+}
+
+MatchResult
+matchBestTemplate(const std::vector<FingerprintTemplate> &views,
+                  const std::vector<Minutia> &query,
+                  const MatchParams &params)
+{
+    MatchResult best;
+    for (const MatchResult &r :
+         matchTemplatesBatch(views, query, params)) {
+        if (r.score > best.score || (r.accepted && !best.accepted))
+            best = r;
+    }
+    return best;
+}
 
 core::Bytes
 FingerprintTemplate::serialize() const

@@ -9,6 +9,8 @@
 #ifndef TRUST_FINGERPRINT_PIPELINE_HH
 #define TRUST_FINGERPRINT_PIPELINE_HH
 
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "core/bytes.hh"
@@ -19,11 +21,41 @@
 
 namespace trust::fingerprint {
 
-/** A stored fingerprint template: minutiae plus capture quality. */
+/**
+ * A stored fingerprint template: minutiae plus capture quality, and
+ * a lazily built, memoized pair-feature index so enrollment pays
+ * the template-side indexing cost once instead of on every match.
+ * The index is not serialized; it is rebuilt on first use after
+ * deserialization.
+ */
 struct FingerprintTemplate
 {
     std::vector<Minutia> minutiae;
     double quality = 0.0;
+
+    FingerprintTemplate() = default;
+    FingerprintTemplate(std::vector<Minutia> m, double q = 0.0)
+        : minutiae(std::move(m)), quality(q)
+    {
+    }
+    FingerprintTemplate(const FingerprintTemplate &o);
+    FingerprintTemplate(FingerprintTemplate &&o) noexcept;
+    FingerprintTemplate &operator=(const FingerprintTemplate &o);
+    FingerprintTemplate &operator=(FingerprintTemplate &&o) noexcept;
+
+    /**
+     * The memoized template-side pair index for the given matcher
+     * geometry. Built on first use (thread-safe) and rebuilt only
+     * if @p params carries different geometric tolerances than the
+     * cached index. Returns a shared pointer so concurrent matchers
+     * keep a stable snapshot. Callers that mutate `minutiae` must
+     * call invalidatePairIndex() afterwards.
+     */
+    std::shared_ptr<const PairIndex>
+    pairIndex(const MatchParams &params = {}) const;
+
+    /** Drop the memoized index (after editing `minutiae`). */
+    void invalidatePairIndex();
 
     core::Bytes serialize() const;
     static std::optional<FingerprintTemplate>
@@ -34,7 +66,39 @@ struct FingerprintTemplate
     {
         return minutiae == o.minutiae && quality == o.quality;
     }
+
+  private:
+    mutable std::mutex indexMutex_;
+    mutable std::shared_ptr<const PairIndex> index_;
 };
+
+/**
+ * Match a query against one template through its memoized pair
+ * index (equivalent to matchMinutiae on the raw minutiae, minus the
+ * per-call template indexing cost).
+ */
+MatchResult matchTemplate(const FingerprintTemplate &tmpl,
+                          const std::vector<Minutia> &query,
+                          const MatchParams &params = {});
+
+/**
+ * Score one query against many enrolled templates concurrently on
+ * the global thread pool. Results come back in template order and
+ * are identical at any thread count.
+ */
+std::vector<MatchResult>
+matchTemplatesBatch(const std::vector<FingerprintTemplate> &views,
+                    const std::vector<Minutia> &query,
+                    const MatchParams &params = {});
+
+/**
+ * Best-of batch comparison (the multi-view enrollment decision):
+ * folds matchTemplatesBatch results in view order.
+ */
+MatchResult
+matchBestTemplate(const std::vector<FingerprintTemplate> &views,
+                  const std::vector<Minutia> &query,
+                  const MatchParams &params = {});
 
 /** Pipeline configuration. */
 struct PipelineParams

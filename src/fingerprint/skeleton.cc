@@ -2,16 +2,27 @@
 
 #include <array>
 
+#include "core/parallel.hh"
+
 namespace trust::fingerprint {
+
+namespace {
+
+/** Row-band size for the parallel scan loops. */
+constexpr int kRowGrain = 16;
+
+} // namespace
 
 core::Grid<std::uint8_t>
 binarize(const FingerprintImage &image, float threshold)
 {
     core::Grid<std::uint8_t> out(image.rows(), image.cols(), 0);
-    for (int r = 0; r < image.rows(); ++r)
-        for (int c = 0; c < image.cols(); ++c)
-            if (image.valid(r, c) && image.pixel(r, c) > threshold)
-                out(r, c) = 1;
+    core::parallelFor(0, image.rows(), kRowGrain, [&](int r0, int r1) {
+        for (int r = r0; r < r1; ++r)
+            for (int c = 0; c < image.cols(); ++c)
+                if (image.valid(r, c) && image.pixel(r, c) > threshold)
+                    out(r, c) = 1;
+    });
     return out;
 }
 
@@ -39,46 +50,63 @@ thin(const core::Grid<std::uint8_t> &binary)
 {
     core::Grid<std::uint8_t> img = binary;
     bool changed = true;
-    std::vector<std::pair<int, int>> to_clear;
+
+    // Each sub-iteration scans read-only and defers the deletions,
+    // so the scan parallelizes over row bands: per-band candidate
+    // lists are applied afterwards (the union is order-independent),
+    // giving output identical to the serial scan at any thread
+    // count.
+    const int rows = img.rows();
+    const int bands =
+        rows > 0 ? (rows + kRowGrain - 1) / kRowGrain : 0;
+    std::vector<std::vector<std::pair<int, int>>> band_clear(
+        static_cast<std::size_t>(bands));
 
     while (changed) {
         changed = false;
         for (int phase = 0; phase < 2; ++phase) {
-            to_clear.clear();
-            for (int r = 0; r < img.rows(); ++r) {
-                for (int c = 0; c < img.cols(); ++c) {
-                    if (!img(r, c))
-                        continue;
-                    const auto p = neighbours(img, r, c);
+            core::parallelFor(0, rows, kRowGrain, [&](int r0, int r1) {
+                auto &to_clear =
+                    band_clear[static_cast<std::size_t>(r0 /
+                                                        kRowGrain)];
+                to_clear.clear();
+                for (int r = r0; r < r1; ++r) {
+                    for (int c = 0; c < img.cols(); ++c) {
+                        if (!img(r, c))
+                            continue;
+                        const auto p = neighbours(img, r, c);
 
-                    int b = 0;
-                    for (std::uint8_t v : p)
-                        b += v;
-                    if (b < 2 || b > 6)
-                        continue;
+                        int b = 0;
+                        for (std::uint8_t v : p)
+                            b += v;
+                        if (b < 2 || b > 6)
+                            continue;
 
-                    int a = 0;
-                    for (int i = 0; i < 8; ++i)
-                        if (p[i] == 0 && p[(i + 1) % 8] == 1)
-                            ++a;
-                    if (a != 1)
-                        continue;
+                        int a = 0;
+                        for (int i = 0; i < 8; ++i)
+                            if (p[i] == 0 && p[(i + 1) % 8] == 1)
+                                ++a;
+                        if (a != 1)
+                            continue;
 
-                    // p2*p4*p6 and p4*p6*p8 for phase 0;
-                    // p2*p4*p8 and p2*p6*p8 for phase 1.
-                    const bool cond1 = phase == 0
-                                           ? (p[0] & p[2] & p[4]) == 0
-                                           : (p[0] & p[2] & p[6]) == 0;
-                    const bool cond2 = phase == 0
-                                           ? (p[2] & p[4] & p[6]) == 0
-                                           : (p[0] & p[4] & p[6]) == 0;
-                    if (cond1 && cond2)
-                        to_clear.emplace_back(r, c);
+                        // p2*p4*p6 and p4*p6*p8 for phase 0;
+                        // p2*p4*p8 and p2*p6*p8 for phase 1.
+                        const bool cond1 =
+                            phase == 0 ? (p[0] & p[2] & p[4]) == 0
+                                       : (p[0] & p[2] & p[6]) == 0;
+                        const bool cond2 =
+                            phase == 0 ? (p[2] & p[4] & p[6]) == 0
+                                       : (p[0] & p[4] & p[6]) == 0;
+                        if (cond1 && cond2)
+                            to_clear.emplace_back(r, c);
+                    }
                 }
-            }
-            for (auto [r, c] : to_clear) {
-                img(r, c) = 0;
-                changed = true;
+            });
+            for (auto &to_clear : band_clear) {
+                for (auto [r, c] : to_clear) {
+                    img(r, c) = 0;
+                    changed = true;
+                }
             }
         }
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "core/parallel.hh"
 #include "crypto/aes128.hh"
 #include "crypto/hmac.hh"
 #include "crypto/sha256.hh"
@@ -58,7 +59,16 @@ FlockModule::enrollFinger(
     const std::vector<std::vector<fingerprint::Minutia>> &views)
 {
     TRUST_ASSERT(!views.empty(), "enrollFinger: no views");
-    fingers_.push_back(views);
+    std::vector<fingerprint::FingerprintTemplate> templates;
+    templates.reserve(views.size());
+    for (const auto &view : views) {
+        fingerprint::FingerprintTemplate t(view);
+        // Pay the pair-indexing cost once here so every later match
+        // (continuous auth runs thousands) reuses the memoized index.
+        t.pairIndex(config_.matchParams);
+        templates.push_back(std::move(t));
+    }
+    fingers_.push_back(std::move(templates));
     const int index = static_cast<int>(fingers_.size()) - 1;
     // Persist templates in the protected store.
     core::ByteWriter w;
@@ -75,11 +85,45 @@ FlockModule::matchesFinger(const CaptureSample &capture, int finger,
                            bool strict) const
 {
     const auto &views = fingers_[static_cast<std::size_t>(finger)];
-    return fingerprint::matchAgainstViews(
+    return fingerprint::matchBestTemplate(
                views, capture.minutiae,
                strict ? config_.strictMatchParams
                       : config_.matchParams)
         .accepted;
+}
+
+int
+FlockModule::firstMatchingFinger(const CaptureSample &capture,
+                                 bool strict) const
+{
+    const auto &params =
+        strict ? config_.strictMatchParams : config_.matchParams;
+
+    // Flatten (finger, view) so one batch covers every enrolled
+    // template; all comparisons run concurrently and the winner is
+    // chosen by enrollment order, independent of the thread count.
+    std::vector<std::pair<int, const fingerprint::FingerprintTemplate *>>
+        flat;
+    for (std::size_t f = 0; f < fingers_.size(); ++f)
+        for (const auto &view : fingers_[f])
+            flat.emplace_back(static_cast<int>(f), &view);
+
+    std::vector<char> accepted(flat.size(), 0);
+    core::parallelFor(
+        0, static_cast<int>(flat.size()), 1, [&](int b, int e) {
+            for (int i = b; i < e; ++i) {
+                const auto &[finger, view] =
+                    flat[static_cast<std::size_t>(i)];
+                accepted[static_cast<std::size_t>(i)] =
+                    fingerprint::matchTemplate(*view, capture.minutiae,
+                                               params)
+                        .accepted;
+            }
+        });
+    for (std::size_t i = 0; i < flat.size(); ++i)
+        if (accepted[i])
+            return flat[i].first;
+    return -1;
 }
 
 bool
@@ -87,10 +131,7 @@ FlockModule::verifyCapture(const CaptureSample &capture) const
 {
     if (!capture.covered || capture.quality < config_.minCaptureQuality)
         return false;
-    for (int f = 0; f < enrolledFingerCount(); ++f)
-        if (matchesFinger(capture, f, /*strict=*/true))
-            return true;
-    return false;
+    return firstMatchingFinger(capture, /*strict=*/true) >= 0;
 }
 
 TouchOutcome
@@ -108,9 +149,8 @@ FlockModule::processTouch(const CaptureSample &capture)
         outcome = TouchOutcome::LowQuality;
     } else {
         busyTime_ += kMatchLatency;
-        bool matched = false;
-        for (int f = 0; f < enrolledFingerCount() && !matched; ++f)
-            matched = matchesFinger(capture, f);
+        const bool matched =
+            firstMatchingFinger(capture, /*strict=*/false) >= 0;
         outcome = matched ? TouchOutcome::Matched
                           : TouchOutcome::Rejected;
     }
@@ -158,13 +198,7 @@ FlockModule::handleRegistrationPage(const RegistrationPage &page,
     // owner enrolled during device setup: the binding references
     // that enrolled multi-view template, never a one-off partial
     // capture (which would be too thin to match again later).
-    int finger = -1;
-    for (int f = 0; f < enrolledFingerCount(); ++f) {
-        if (matchesFinger(capture, f, /*strict=*/true)) {
-            finger = f;
-            break;
-        }
-    }
+    const int finger = firstMatchingFinger(capture, /*strict=*/true);
     if (finger < 0)
         return std::nullopt;
 
@@ -351,7 +385,8 @@ FlockModule::exportIdentity(const crypto::RsaPublicKey &new_device_key,
     for (const auto &views : fingers_) {
         bundle.writeU32(static_cast<std::uint32_t>(views.size()));
         for (const auto &view : views)
-            bundle.writeBytes(fingerprint::serializeMinutiae(view));
+            bundle.writeBytes(
+                fingerprint::serializeMinutiae(view.minutiae));
     }
     bundle.writeU32(static_cast<std::uint32_t>(bindings_.size()));
     for (const auto &[domain, binding] : bindings_) {
@@ -396,12 +431,12 @@ FlockModule::importIdentity(const core::Bytes &bundle)
 
     core::ByteReader r(plain);
     const std::uint32_t finger_count = r.readU32();
-    std::vector<std::vector<std::vector<fingerprint::Minutia>>> fingers;
+    std::vector<std::vector<fingerprint::FingerprintTemplate>> fingers;
     for (std::uint32_t f = 0; f < finger_count && r.ok(); ++f) {
         const std::uint32_t view_count = r.readU32();
-        std::vector<std::vector<fingerprint::Minutia>> views;
+        std::vector<fingerprint::FingerprintTemplate> views;
         for (std::uint32_t v = 0; v < view_count && r.ok(); ++v)
-            views.push_back(
+            views.emplace_back(
                 fingerprint::deserializeMinutiae(r.readBytes()));
         fingers.push_back(std::move(views));
     }

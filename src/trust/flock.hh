@@ -18,7 +18,7 @@
 #include "crypto/cert.hh"
 #include "crypto/csprng.hh"
 #include "crypto/rsa.hh"
-#include "fingerprint/matcher.hh"
+#include "fingerprint/pipeline.hh"
 #include "hw/flock_hw.hh"
 #include "trust/identity_risk.hh"
 #include "trust/messages.hh"
@@ -233,6 +233,15 @@ class FlockModule
     bool matchesFinger(const CaptureSample &capture, int finger,
                        bool strict = false) const;
 
+    /**
+     * Score a capture against every view of every enrolled finger
+     * concurrently (batch multi-template matching on the global
+     * thread pool) and return the lowest-index finger with an
+     * accepted view, or -1. Deterministic at any thread count.
+     */
+    int firstMatchingFinger(const CaptureSample &capture,
+                            bool strict) const;
+
     core::Bytes frameHashFor(const core::Bytes &frame);
 
     std::string deviceId_;
@@ -245,8 +254,9 @@ class FlockModule
     hw::CryptoProcessorModel cryptoModel_;
     hw::ProtectedStore store_;
 
-    std::vector<std::vector<std::vector<fingerprint::Minutia>>>
-        fingers_; // finger -> views -> minutiae
+    // finger -> enrolled views, each carrying its memoized pair
+    // index so continuous-auth matches skip template re-indexing.
+    std::vector<std::vector<fingerprint::FingerprintTemplate>> fingers_;
     IdentityRisk risk_;
     std::map<std::string, DomainBinding> bindings_;
     std::map<std::string, Session> sessions_;

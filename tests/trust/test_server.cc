@@ -10,6 +10,7 @@ namespace {
 
 using trust::core::Bytes;
 using trust::testing::goodCapture;
+using trust::testing::lowQualityCapture;
 using trust::testing::makeFlock;
 using trust::testing::trustCa;
 using trust::testing::trustFingers;
@@ -159,13 +160,22 @@ TEST(Server, RiskPolicyRejectsZeroMatchWindow)
     // correctly (simulating an impostor whose touches all failed):
     // drive the flock risk window with impostor captures first.
     LiveSession live(110);
-    for (int i = 0; i < 8; ++i) {
+    // Impostor FAR is low but nonzero; feed touches until the
+    // sliding window holds zero matches so the request is crafted
+    // deterministically.
+    int touches = 0;
+    do {
         (void)live.flock.processTouch(
-            goodCapture(trustFingers()[1], 111 + i));
-    }
+            goodCapture(trustFingers()[1], 111 + touches));
+        ++touches;
+    } while ((live.flock.risk().matched > 0 ||
+              live.flock.risk().windowTouches < 8) &&
+             touches < 64);
+    ASSERT_EQ(live.flock.risk().matched, 0);
+    // The request touch itself is a smudge: recorded in the window
+    // but unable to match, so riskMatched stays zero.
     auto request = live.flock.makePageRequest(
-        "www.x.com", "inbox", Bytes(64, 3),
-        goodCapture(trustFingers()[1], 120));
+        "www.x.com", "inbox", Bytes(64, 3), lowQualityCapture());
     ASSERT_TRUE(request.has_value());
     EXPECT_GE(request->riskWindow, 8u);
     EXPECT_EQ(request->riskMatched, 0u);
