@@ -174,6 +174,9 @@ printSessionStudy()
               case proto::TouchOutcome::NotCovered:
                 outcomes.bump("owner-not-covered");
                 break;
+              case proto::TouchOutcome::SensorDegraded:
+                outcomes.bump("owner-sensor-degraded");
+                break;
             }
             if (manager.state() == proto::LockState::Locked) {
                 ++owner_lockouts;

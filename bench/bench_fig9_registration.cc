@@ -174,7 +174,7 @@ BM_RegistrationCrypto(benchmark::State &state)
 
     for (auto _ : state) {
         const auto page = server.handleRegistrationRequest(
-            {"www.x.com", "alice"});
+            {0, "www.x.com", "alice"});
         const auto submit = flock.handleRegistrationPage(
             page, "alice", core::Bytes(1024, 1), sample);
         if (submit) {

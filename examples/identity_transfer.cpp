@@ -104,7 +104,7 @@ main()
     // The new phone logs into the bank without re-registration:
     // drive the login exchange directly against the server.
     const auto login_page =
-        bank.handleLoginRequest({"www.bank.com", "alice"});
+        bank.handleLoginRequest({0, "www.bank.com", "alice"});
     bool logged_in = false;
     for (int i = 0; i < 10 && login_page && !logged_in; ++i) {
         const auto submit = new_phone.flock().handleLoginPage(

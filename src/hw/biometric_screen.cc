@@ -66,6 +66,33 @@ BiometricTouchscreen::toCellAddress(int sensor_index,
     return cell;
 }
 
+void
+BiometricTouchscreen::injectSensorFaults(
+    int sensor_index, const SensorFaultProfile &profile)
+{
+    TRUST_ASSERT(sensor_index >= 0 &&
+                     sensor_index < static_cast<int>(arrays_.size()),
+                 "injectSensorFaults: bad sensor index");
+    arrays_[static_cast<std::size_t>(sensor_index)].injectFaults(
+        profile);
+}
+
+void
+BiometricTouchscreen::clearSensorFaults()
+{
+    for (auto &array : arrays_)
+        array.clearFaults();
+}
+
+const TftSensorArray &
+BiometricTouchscreen::array(int sensor_index) const
+{
+    TRUST_ASSERT(sensor_index >= 0 &&
+                     sensor_index < static_cast<int>(arrays_.size()),
+                 "array: bad sensor index");
+    return arrays_[static_cast<std::size_t>(sensor_index)];
+}
+
 OpportunisticCapture
 BiometricTouchscreen::captureAtTouch(const core::Vec2 &touch_position,
                                      double window_mm)

@@ -79,6 +79,16 @@ class BiometricTouchscreen
     OpportunisticCapture captureAtTouch(const core::Vec2 &touch_position,
                                         double window_mm = 4.0);
 
+    /** Inject a hardware fault profile into one sensor tile. */
+    void injectSensorFaults(int sensor_index,
+                            const SensorFaultProfile &profile);
+
+    /** Clear injected faults on every tile. */
+    void clearSensorFaults();
+
+    /** The tile array model (for fault/spec inspection). */
+    const TftSensorArray &array(int sensor_index) const;
+
   private:
     TouchPanel panel_;
     std::vector<PlacedSensor> placed_;

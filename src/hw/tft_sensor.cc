@@ -49,6 +49,31 @@ TftSensorArray::clip(const CellWindow &window) const
     return out;
 }
 
+void
+TftSensorArray::injectFaults(const SensorFaultProfile &profile)
+{
+    faults_ = profile;
+    auto in_range = [](int lo, int hi) {
+        return [lo, hi](int v) { return v < lo || v >= hi; };
+    };
+    auto &rows = faults_.deadRows;
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              in_range(0, spec_.rows)),
+               rows.end());
+    auto &cols = faults_.stuckColumns;
+    cols.erase(std::remove_if(cols.begin(), cols.end(),
+                              in_range(0, spec_.cols)),
+               cols.end());
+    faultRng_ = core::Rng(profile.seed);
+}
+
+void
+TftSensorArray::clearFaults()
+{
+    faults_ = SensorFaultProfile{};
+    faultRng_ = core::Rng(faults_.seed);
+}
+
 CaptureTiming
 TftSensorArray::capture(const CellWindow &window) const
 {
@@ -59,6 +84,23 @@ TftSensorArray::capture(const CellWindow &window) const
     CaptureTiming timing;
     if (w.cells() == 0)
         return timing;
+
+    // Hardware faults: a dead row zeroes every cell of the row, a
+    // stuck column every remaining cell of the column; a noise burst
+    // swamps the entire window. The scan itself proceeds normally
+    // (the controller cannot tell until the pixels come back), so
+    // timing and energy are unaffected.
+    timing.scannedCells = w.cells();
+    const auto dead_rows = static_cast<std::int64_t>(std::count_if(
+        faults_.deadRows.begin(), faults_.deadRows.end(),
+        [&w](int r) { return r >= w.rowBegin && r < w.rowEnd; }));
+    const auto stuck_cols = static_cast<std::int64_t>(std::count_if(
+        faults_.stuckColumns.begin(), faults_.stuckColumns.end(),
+        [&w](int c) { return c >= w.colBegin && c < w.colEnd; }));
+    timing.faultyCells =
+        dead_rows * w.cols() + stuck_cols * (w.rows() - dead_rows);
+    timing.noiseBurst = faults_.noiseBurstRate > 0.0 &&
+                        faultRng_.chance(faults_.noiseBurstRate);
 
     const core::Tick period = core::clockPeriod(spec_.clockHz);
 

@@ -16,7 +16,9 @@
 #define TRUST_HW_TFT_SENSOR_HH
 
 #include <cstdint>
+#include <vector>
 
+#include "core/rng.hh"
 #include "core/sim_clock.hh"
 #include "hw/sensor_spec.hh"
 
@@ -55,7 +57,41 @@ struct CaptureTiming
     std::int64_t bytesTransferred = 0;
     double energyMicroJoule = 0.0;
 
+    /** Cells in the scanned window on a dead row / stuck column. */
+    std::int64_t faultyCells = 0;
+    /** Total cells scanned (denominator for faultyFraction). */
+    std::int64_t scannedCells = 0;
+    /** Whole capture swamped by a transient noise burst. */
+    bool noiseBurst = false;
+
     core::Tick total() const { return activation + scan + transfer; }
+
+    /** Fraction of scanned cells that carried no ridge signal. */
+    double
+    faultyFraction() const
+    {
+        if (noiseBurst)
+            return 1.0;
+        return scannedCells > 0 ? static_cast<double>(faultyCells) /
+                                      static_cast<double>(scannedCells)
+                                : 0.0;
+    }
+};
+
+/**
+ * Hardware degradation of one sensor tile: manufacturing or aging
+ * defects (whole rows whose select line is dead, columns whose
+ * comparator is stuck) plus transient noise bursts that swamp an
+ * entire capture. Injected for chaos experiments; captures report
+ * how much of their window was faulty so upper layers can treat
+ * degraded captures as "no evidence" instead of impostor evidence.
+ */
+struct SensorFaultProfile
+{
+    std::vector<int> deadRows;     ///< Row indices reading all-zero.
+    std::vector<int> stuckColumns; ///< Columns stuck at one value.
+    double noiseBurstRate = 0.0;   ///< Per-capture burst probability.
+    std::uint64_t seed = 0x5EED;   ///< Burst RNG seed (reproducible).
 };
 
 /** Configurable energy/activation constants. */
@@ -107,10 +143,21 @@ class TftSensorArray
     /** Convenience: capture of the whole array. */
     CaptureTiming captureFull() const;
 
+    /** Install a fault profile (rows/columns clipped to the array). */
+    void injectFaults(const SensorFaultProfile &profile);
+
+    /** Remove all injected faults. */
+    void clearFaults();
+
+    const SensorFaultProfile &faults() const { return faults_; }
+
   private:
     SensorSpec spec_;
     SensorPowerModel powerModel_;
     SensorPower power_ = SensorPower::Idle;
+    SensorFaultProfile faults_;
+    /** Burst draws happen inside const capture() (mutable state). */
+    mutable core::Rng faultRng_{0x5EED};
 };
 
 } // namespace trust::hw

@@ -97,7 +97,14 @@ class MitmSubstitutor : public Adversary
     std::uint64_t substitutions_ = 0;
 };
 
-/** Drops messages matching a direction with a given probability. */
+/**
+ * Drops messages matching a direction with a given probability.
+ *
+ * Models an *active* attacker suppressing traffic. For benign wire
+ * loss (and duplication/reordering/corruption/partitions) prefer
+ * net::FaultModel, which stacks with any adversary and is seeded
+ * independently.
+ */
 class Dropper : public Adversary
 {
   public:

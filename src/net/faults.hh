@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Composable network fault model for chaos experiments.
+ *
+ * The paper's threat model treats the Internet between FLock
+ * devices and web servers as untrusted; production continuous-auth
+ * additionally has to treat it as *unreliable*. FaultModel injects
+ * the classic loss modes — probabilistic drop, duplication,
+ * reordering, bit corruption, latency spikes and timed partitions —
+ * into Network::send, independently of (and stacking with) the
+ * active Adversary hook. All randomness flows through core::Rng so
+ * a (seed, config) pair reproduces the exact fault trace.
+ */
+
+#ifndef TRUST_NET_FAULTS_HH
+#define TRUST_NET_FAULTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hh"
+#include "core/sim_clock.hh"
+#include "net/network.hh"
+
+namespace trust::net {
+
+/** Probabilities and magnitudes of each fault primitive. */
+struct FaultConfig
+{
+    /** Probability a message is silently lost. */
+    double dropRate = 0.0;
+
+    /** Probability a message is delivered twice. */
+    double duplicateRate = 0.0;
+
+    /** Extra delay of the duplicate copy, uniform in (0, max]. */
+    core::Tick duplicateDelayMax = core::milliseconds(50);
+
+    /**
+     * Probability a message is held back so that later traffic on
+     * the same channel overtakes it. Reordered messages bypass the
+     * network's FIFO tie-break — this is the *only* way send order
+     * and delivery order can differ.
+     */
+    double reorderRate = 0.0;
+
+    /** Hold-back of a reordered message, uniform in (0, max]. */
+    core::Tick reorderDelayMax = core::milliseconds(200);
+
+    /** Probability the payload is bit-corrupted in flight. */
+    double corruptRate = 0.0;
+
+    /** Bit flips per corrupted message, uniform in [1, max]. */
+    int corruptMaxFlips = 3;
+
+    /**
+     * Probability of a latency spike. Spikes delay the message AND
+     * everything behind it on the channel (head-of-line blocking),
+     * so they do not reorder.
+     */
+    double latencySpikeRate = 0.0;
+
+    /** Spike magnitude, uniform in (0, max]. */
+    core::Tick latencySpikeMax = core::milliseconds(500);
+};
+
+/** What the fault model decided for one message. */
+struct FaultDecision
+{
+    bool drop = false;      ///< Lose the message entirely.
+    bool corrupted = false; ///< Payload was mutated in place.
+
+    /** FIFO-preserving extra delay (latency spike / partition tail). */
+    core::Tick spikeDelay = 0;
+
+    /** Order-breaking hold-back (reorder fault); 0 = in order. */
+    core::Tick reorderDelay = 0;
+
+    /** Extra copies to deliver, each after this additional delay. */
+    std::vector<core::Tick> duplicates;
+};
+
+/**
+ * Seeded, composable fault injector. Install on a Network with
+ * setFaultModel(); it is consulted for every send() after the
+ * adversary hook (an adversary-dropped message never reaches the
+ * fault model).
+ */
+class FaultModel
+{
+  public:
+    explicit FaultModel(std::uint64_t seed, FaultConfig config = {});
+
+    const FaultConfig &config() const { return config_; }
+    void setConfig(const FaultConfig &config) { config_ = config; }
+
+    /**
+     * Schedule a network partition: every message sent with
+     * sentAt in [start, start + duration) is dropped. Intervals
+     * may overlap; they are checked independently.
+     */
+    void schedulePartition(core::Tick start, core::Tick duration);
+
+    /** True when @p now falls inside a scheduled partition. */
+    bool partitionedAt(core::Tick now) const;
+
+    /**
+     * Decide the fate of @p message sent at @p now. May mutate the
+     * payload (bit corruption). Partition drops take precedence
+     * over every probabilistic fault.
+     */
+    FaultDecision onSend(Message &message, core::Tick now);
+
+    // --- Fault accounting (for benches and tests) ----------------------
+
+    std::uint64_t messagesDropped() const { return dropped_; }
+    std::uint64_t partitionDrops() const { return partitionDropped_; }
+    std::uint64_t messagesDuplicated() const { return duplicated_; }
+    std::uint64_t messagesReordered() const { return reordered_; }
+    std::uint64_t messagesCorrupted() const { return corrupted_; }
+    std::uint64_t latencySpikes() const { return spiked_; }
+
+  private:
+    struct Partition
+    {
+        core::Tick start = 0;
+        core::Tick end = 0; ///< exclusive
+    };
+
+    core::Rng rng_;
+    FaultConfig config_;
+    std::vector<Partition> partitions_;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t partitionDropped_ = 0;
+    std::uint64_t duplicated_ = 0;
+    std::uint64_t reordered_ = 0;
+    std::uint64_t corrupted_ = 0;
+    std::uint64_t spiked_ = 0;
+};
+
+} // namespace trust::net
+
+#endif // TRUST_NET_FAULTS_HH

@@ -1,5 +1,9 @@
 #include "net/network.hh"
 
+#include <algorithm>
+
+#include "net/faults.hh"
+
 namespace trust::net {
 
 Network::Network(core::EventQueue &queue, LatencyModel latency)
@@ -26,6 +30,25 @@ Network::setAdversary(std::shared_ptr<Adversary> adversary)
 }
 
 void
+Network::setFaultModel(std::shared_ptr<FaultModel> faults)
+{
+    faults_ = std::move(faults);
+}
+
+void
+Network::scheduleDelivery(const Message &message, core::Tick delay,
+                          bool fifo)
+{
+    core::Tick arrival = queue_.now() + delay;
+    if (fifo) {
+        core::Tick &floor = fifoFloor_[{message.from, message.to}];
+        arrival = std::max(arrival, floor);
+        floor = arrival;
+    }
+    queue_.scheduleAt(arrival, [this, message] { deliver(message); });
+}
+
+void
 Network::send(const std::string &from, const std::string &to,
               const core::Bytes &payload)
 {
@@ -37,15 +60,37 @@ Network::send(const std::string &from, const std::string &to,
         adversary_->onMessage(message) == Verdict::Drop)
         return;
 
-    const core::Tick delay = latency_.latencyFor(message.payload.size());
-    queue_.scheduleAfter(delay, [this, message] { deliver(message); });
+    const core::Tick base = latency_.latencyFor(message.payload.size());
+    if (!faults_) {
+        scheduleDelivery(message, base, /*fifo=*/true);
+        return;
+    }
+
+    const FaultDecision decision = faults_->onSend(message, queue_.now());
+    if (decision.drop)
+        return;
+    if (decision.reorderDelay > 0) {
+        // Held back past the FIFO floor: later channel traffic may
+        // overtake. Deliberately neither clamped nor floor-raising.
+        scheduleDelivery(message,
+                         base + decision.spikeDelay +
+                             decision.reorderDelay,
+                         /*fifo=*/false);
+    } else {
+        scheduleDelivery(message, base + decision.spikeDelay,
+                         /*fifo=*/true);
+    }
+    for (const core::Tick extra : decision.duplicates)
+        scheduleDelivery(message, base + decision.spikeDelay + extra,
+                         /*fifo=*/false);
 }
 
 void
 Network::inject(const Message &message)
 {
     const core::Tick delay = latency_.latencyFor(message.payload.size());
-    queue_.scheduleAfter(delay, [this, message] { deliver(message); });
+    // Attacker-injected traffic is outside the modeled FIFO path.
+    scheduleDelivery(message, delay, /*fifo=*/false);
 }
 
 void

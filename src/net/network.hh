@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/bytes.hh"
@@ -75,6 +76,8 @@ struct LatencyModel
     }
 };
 
+class FaultModel; // net/faults.hh
+
 /** The in-process internet. */
 class Network
 {
@@ -91,6 +94,18 @@ class Network
 
     /** Install (or clear, with nullptr) the adversary. */
     void setAdversary(std::shared_ptr<Adversary> adversary);
+
+    /**
+     * Install (or clear, with nullptr) the fault model. Faults are
+     * applied after the adversary hook, so both stack: an adversary
+     * may tamper with a message that the wire then also drops.
+     */
+    void setFaultModel(std::shared_ptr<FaultModel> faults);
+
+    const std::shared_ptr<FaultModel> &faultModel() const
+    {
+        return faults_;
+    }
 
     /**
      * Send @p payload from @p from to @p to; delivery is scheduled
@@ -122,10 +137,25 @@ class Network
   private:
     void deliver(const Message &message);
 
+    /**
+     * Schedule one delivery @p delay ticks from now. When @p fifo is
+     * set the arrival is clamped to the (from, to) channel's FIFO
+     * floor and raises it, so a message sent later on the same
+     * channel never arrives earlier — and same-tick arrivals fire in
+     * sentAt (insertion) order via the event queue's stable
+     * tie-break. Reorder faults and attacker-injected traffic pass
+     * fifo = false and are the only sources of reordering.
+     */
+    void scheduleDelivery(const Message &message, core::Tick delay,
+                          bool fifo);
+
     core::EventQueue &queue_;
     LatencyModel latency_;
     std::map<std::string, Handler> handlers_;
     std::shared_ptr<Adversary> adversary_;
+    std::shared_ptr<FaultModel> faults_;
+    /** Per-(from, to) channel FIFO floor (latest scheduled arrival). */
+    std::map<std::pair<std::string, std::string>, core::Tick> fifoFloor_;
     std::uint64_t sent_ = 0;
     std::uint64_t delivered_ = 0;
     std::uint64_t bytesSent_ = 0;

@@ -41,6 +41,21 @@ captureTouch(hw::BiometricTouchscreen &screen,
         fingerprint::captureTemplateFast(*finger, conditions, rng);
     out.sample.minutiae = capture.minutiae;
     out.sample.quality = capture.quality;
+
+    // Sensor hardware faults reported by the tile: a noise burst or
+    // a mostly-faulty window destroys the image outright; partial
+    // faults scale quality by the surviving cell fraction. Either
+    // way the sample is flagged so FLock can classify a resulting
+    // gate failure as SensorDegraded (no evidence) rather than
+    // LowQuality (window evidence).
+    const double faulty = out.hardware.timing.faultyFraction();
+    if (out.hardware.timing.noiseBurst || faulty > 0.5) {
+        out.sample.quality = 0.0;
+        out.sample.hardwareDegraded = true;
+    } else if (faulty > 0.0) {
+        out.sample.quality *= 1.0 - faulty;
+        out.sample.hardwareDegraded = true;
+    }
     return out;
 }
 

@@ -1,5 +1,7 @@
 #include "trust/device.hh"
 
+#include <algorithm>
+
 #include "core/logging.hh"
 #include "fingerprint/capture.hh"
 
@@ -76,6 +78,76 @@ MobileDevice::displayFrame(const core::Bytes &page_content)
     return frame;
 }
 
+bool
+MobileDevice::awaitingNetwork(Await await)
+{
+    switch (await) {
+      case Await::RegistrationPageMsg:
+      case Await::RegistrationResultMsg:
+      case Await::LoginPageMsg:
+      case Await::LoginReplyMsg:
+      case Await::PageReplyMsg:
+        return true;
+      case Await::Nothing:
+      case Await::RegistrationTouch:
+      case Await::LoginTouch:
+        return false;
+    }
+    return false;
+}
+
+void
+MobileDevice::beginExchange(std::uint64_t request_id,
+                            core::Bytes request)
+{
+    pending_.opId = ++lastOpId_;
+    pending_.requestId = request_id;
+    pending_.request = std::move(request);
+    pending_.attempts = 1;
+    pending_.nextTimeout = retryPolicy_.initialTimeout;
+    network_->send(name_, pending_.domain, pending_.request);
+    armRetryTimer();
+}
+
+void
+MobileDevice::armRetryTimer()
+{
+    const double jitter =
+        1.0 +
+        retryPolicy_.jitterFraction * (2.0 * hostRng_.uniform() - 1.0);
+    const auto wait = static_cast<core::Tick>(
+        static_cast<double>(pending_.nextTimeout) * jitter);
+    const std::uint64_t op_id = pending_.opId;
+    // The event queue has no cancellation: a timer outliving its
+    // exchange fires as a no-op because the opId no longer matches.
+    network_->queue().scheduleAfter(
+        wait, [this, op_id] { onOpTimeout(op_id); });
+}
+
+void
+MobileDevice::onOpTimeout(std::uint64_t op_id)
+{
+    if (op_id != pending_.opId || !awaitingNetwork(pending_.await))
+        return; // stale timer: the exchange already finished
+    if (pending_.attempts >= retryPolicy_.maxAttempts) {
+        counters_.bump("op-retry-exhausted");
+        lastError_ = OpError::RetryExhausted;
+        if (pending_.await == Await::LoginReplyMsg ||
+            pending_.await == Await::PageReplyMsg)
+            needsResume_[pending_.domain] = true;
+        pending_ = PendingOp{};
+        return;
+    }
+    ++pending_.attempts;
+    network_->send(name_, pending_.domain, pending_.request);
+    counters_.bump("op-retransmit");
+    const auto next = static_cast<core::Tick>(
+        static_cast<double>(pending_.nextTimeout) *
+        retryPolicy_.backoffFactor);
+    pending_.nextTimeout = std::min(next, retryPolicy_.maxTimeout);
+    armRetryTimer();
+}
+
 void
 MobileDevice::startRegistration(const std::string &domain,
                                 const std::string &account)
@@ -86,13 +158,17 @@ MobileDevice::startRegistration(const std::string &domain,
     pending_.domain = domain;
     pending_.account = account;
     accounts_[domain] = account;
-    network_->send(name_, domain,
-                   RegistrationRequest{domain, account}.serialize());
+    RegistrationRequest request;
+    request.requestId = nextRequestId();
+    request.domain = domain;
+    request.account = account;
+    beginExchange(request.requestId, request.serialize());
     counters_.bump("registration-started");
 }
 
 void
-MobileDevice::startLogin(const std::string &domain)
+MobileDevice::startLoginInternal(const std::string &domain,
+                                 bool resume)
 {
     TRUST_ASSERT(network_, "device not attached to a network");
     auto it = registered_.find(domain);
@@ -104,29 +180,60 @@ MobileDevice::startLogin(const std::string &domain)
     pending_.await = Await::LoginPageMsg;
     pending_.domain = domain;
     pending_.account = accounts_[domain];
-    network_->send(name_, domain,
-                   LoginRequest{domain, pending_.account}.serialize());
-    counters_.bump("login-started");
+    pending_.resume = resume;
+    LoginRequest request;
+    request.requestId = nextRequestId();
+    request.domain = domain;
+    request.account = pending_.account;
+    beginExchange(request.requestId, request.serialize());
+    counters_.bump(resume ? "session-resume-started"
+                          : "login-started");
+}
+
+void
+MobileDevice::startLogin(const std::string &domain)
+{
+    startLoginInternal(domain, /*resume=*/false);
+}
+
+bool
+MobileDevice::sessionNeedsResume(const std::string &domain) const
+{
+    auto it = needsResume_.find(domain);
+    return it != needsResume_.end() && it->second;
+}
+
+void
+MobileDevice::resumeSession(const std::string &domain)
+{
+    startLoginInternal(domain, /*resume=*/true);
 }
 
 void
 MobileDevice::handleMessage(const net::Message &message)
 {
+    // Decode failures and id mismatches never tear down the pending
+    // exchange: the armed retransmission (and the server's reply
+    // cache) recover from lost, duplicated or corrupted replies.
     const auto kind = peekKind(message.payload);
-    if (!kind) {
+    const auto reply_id = peekRequestId(message.payload);
+    if (!kind || !reply_id) {
         counters_.bump("malformed-reply");
         return;
     }
 
     switch (*kind) {
       case MsgKind::RegistrationPage: {
-        if (pending_.await != Await::RegistrationPageMsg)
+        if (pending_.await != Await::RegistrationPageMsg ||
+            *reply_id != pending_.requestId) {
+            counters_.bump("stale-reply");
             return;
+        }
         const auto page =
             RegistrationPage::deserialize(message.payload);
         if (!page || page->domain != pending_.domain) {
             counters_.bump("bad-registration-page");
-            pending_ = PendingOp{};
+            lastError_ = OpError::BadReply;
             return;
         }
         pending_.regPage = *page;
@@ -135,26 +242,39 @@ MobileDevice::handleMessage(const net::Message &message)
         break;
       }
       case MsgKind::RegistrationResult: {
-        if (pending_.await != Await::RegistrationResultMsg)
+        if (pending_.await != Await::RegistrationResultMsg ||
+            *reply_id != pending_.requestId) {
+            counters_.bump("stale-reply");
             return;
+        }
         const auto result =
             RegistrationResult::deserialize(message.payload);
-        if (result && result->ok) {
+        if (!result) {
+            counters_.bump("bad-registration-result");
+            lastError_ = OpError::BadReply;
+            return;
+        }
+        if (result->ok) {
             registered_[result->domain] = true;
             counters_.bump("registration-complete");
+            lastError_ = OpError::None;
         } else {
             counters_.bump("registration-failed");
+            lastError_ = OpError::ServerError;
         }
         pending_ = PendingOp{};
         break;
       }
       case MsgKind::LoginPage: {
-        if (pending_.await != Await::LoginPageMsg)
+        if (pending_.await != Await::LoginPageMsg ||
+            *reply_id != pending_.requestId) {
+            counters_.bump("stale-reply");
             return;
+        }
         const auto page = LoginPage::deserialize(message.payload);
         if (!page || page->domain != pending_.domain) {
             counters_.bump("bad-login-page");
-            pending_ = PendingOp{};
+            lastError_ = OpError::BadReply;
             return;
         }
         pending_.loginPage = *page;
@@ -163,33 +283,61 @@ MobileDevice::handleMessage(const net::Message &message)
         break;
       }
       case MsgKind::ContentPage: {
+        if ((pending_.await != Await::LoginReplyMsg &&
+             pending_.await != Await::PageReplyMsg) ||
+            *reply_id != pending_.requestId) {
+            // Duplicate delivery of an already-consumed page: FLock
+            // must not re-accept it (its nonce would regress).
+            counters_.bump("stale-reply");
+            return;
+        }
         const auto page = ContentPage::deserialize(message.payload);
         if (!page) {
             counters_.bump("bad-content-page");
+            lastError_ = OpError::BadReply;
             return;
         }
         if (!flock_.acceptContentPage(*page)) {
             counters_.bump("content-page-mac-rejected");
-            pending_ = PendingOp{};
+            lastError_ = OpError::BadReply;
             return;
         }
         const auto plain = flock_.decryptPageContent(
             page->domain, page->pageContent);
         if (!plain) {
             counters_.bump("content-page-decrypt-failed");
-            pending_ = PendingOp{};
+            lastError_ = OpError::BadReply;
             return;
         }
         currentPage_[page->domain] = *plain;
         currentFrame_[page->domain] = displayFrame(*plain);
         sessionIds_[page->domain] = page->sessionId;
         counters_.bump("content-page-accepted");
+        lastError_ = OpError::None;
+        needsResume_[page->domain] = false;
         pending_ = PendingOp{};
         maybeForgeRequest();
         break;
       }
       case MsgKind::ErrorReply: {
+        if (!awaitingNetwork(pending_.await) ||
+            *reply_id != pending_.requestId) {
+            // An error for somebody else's request (e.g. a reply to
+            // malware-forged traffic) must not stomp a genuine
+            // in-flight exchange.
+            counters_.bump("unmatched-error-reply");
+            return;
+        }
+        const auto reply = ErrorReply::deserialize(message.payload);
+        if (reply && reply->reason == "malformed") {
+            // The server could not even parse the request, yet the
+            // id survived: the payload was damaged in transit. The
+            // armed retransmission resends the intact bytes.
+            counters_.bump("corrupted-request-reply");
+            return;
+        }
         counters_.bump("server-error-reply");
+        lastError_ = OpError::ServerError;
         pending_ = PendingOp{};
         break;
       }
@@ -210,14 +358,15 @@ MobileDevice::completeRegistrationTouch(
     const core::Bytes frame =
         displayFrame(pending_.regPage->pageContent);
     const auto submit = flock_.handleRegistrationPage(
-        *pending_.regPage, pending_.account, frame, capture.sample);
+        *pending_.regPage, pending_.account, frame, capture.sample,
+        /*now=*/0, nextRequestId());
     if (!submit) {
         counters_.bump("registration-touch-rejected");
         pending_ = PendingOp{};
         return;
     }
     pending_.await = Await::RegistrationResultMsg;
-    network_->send(name_, pending_.domain, submit->serialize());
+    beginExchange(submit->requestId, submit->serialize());
     counters_.bump("registration-submitted");
 }
 
@@ -229,15 +378,16 @@ MobileDevice::completeLoginTouch(const touch::TouchEvent &event,
         captureTouch(screen_, event, f, hostRng_, 6.0);
     const core::Bytes frame =
         displayFrame(pending_.loginPage->pageContent);
-    const auto submit = flock_.handleLoginPage(*pending_.loginPage,
-                                               frame, capture.sample);
+    const auto submit = flock_.handleLoginPage(
+        *pending_.loginPage, frame, capture.sample, nextRequestId(),
+        pending_.resume);
     if (!submit) {
         counters_.bump("login-touch-rejected");
         pending_ = PendingOp{};
         return;
     }
     pending_.await = Await::LoginReplyMsg;
-    network_->send(name_, pending_.domain, submit->serialize());
+    beginExchange(submit->requestId, submit->serialize());
     counters_.bump("login-submitted");
 }
 
@@ -279,7 +429,7 @@ MobileDevice::onTouch(const touch::TouchEvent &event,
                 event.target.empty() ? "tap" : event.target;
             const auto request = flock_.makePageRequest(
                 domain, action, currentFrame_[domain],
-                capture.sample);
+                capture.sample, nextRequestId());
             applyRiskPolicy();
             if (!request || !flock_.sessionActive(domain)) {
                 counters_.bump("page-request-unavailable");
@@ -287,7 +437,7 @@ MobileDevice::onTouch(const touch::TouchEvent &event,
             }
             pending_.await = Await::PageReplyMsg;
             pending_.domain = domain;
-            network_->send(name_, domain, request->serialize());
+            beginExchange(request->requestId, request->serialize());
             counters_.bump("page-request-sent");
             return;
         }

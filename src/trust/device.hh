@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "core/sim_clock.hh"
 #include "core/stats.hh"
 #include "net/network.hh"
 #include "trust/capture_glue.hh"
@@ -46,6 +47,32 @@ struct MalwareProfile
     bool forgeRequests = false;
 };
 
+/**
+ * Retransmission policy for network exchanges: every request is
+ * resent with exponential backoff and jitter until a reply with the
+ * matching id arrives or the attempt budget is spent. Defaults span
+ * 0.25 s..4 s, so the cumulative schedule (~0.25+0.5+1+2+4 s) rides
+ * out a multi-second partition within the 8-attempt budget.
+ */
+struct RetryPolicy
+{
+    core::Tick initialTimeout = core::milliseconds(250);
+    double backoffFactor = 2.0;
+    core::Tick maxTimeout = core::milliseconds(4000);
+    /** Uniform +/- fraction applied to each timeout (desyncs flows). */
+    double jitterFraction = 0.2;
+    int maxAttempts = 8;
+};
+
+/** Typed outcome of the last finished network exchange. */
+enum class OpError
+{
+    None = 0,       ///< Completed (or nothing attempted yet).
+    RetryExhausted, ///< No matching reply within maxAttempts sends.
+    ServerError,    ///< Server answered with a typed ErrorReply.
+    BadReply,       ///< Reply failed authenticity/decode checks.
+};
+
 /** A mobile device with an integrated FLock module. */
 class MobileDevice
 {
@@ -73,6 +100,16 @@ class MobileDevice
     /** Install the local response policy. */
     void setPolicy(const DevicePolicy &policy) { policy_ = policy; }
 
+    /** Install the retransmission policy. */
+    void setRetryPolicy(const RetryPolicy &policy)
+    {
+        retryPolicy_ = policy;
+    }
+    const RetryPolicy &retryPolicy() const { return retryPolicy_; }
+
+    /** Outcome of the most recently finished exchange. */
+    OpError lastError() const { return lastError_; }
+
     /** Register the device endpoint on the network. */
     void attachToNetwork(net::Network &network);
 
@@ -92,6 +129,21 @@ class MobileDevice
 
     /** Fig. 10 step 1: ask @p domain for its login page. */
     void startLogin(const std::string &domain);
+
+    /**
+     * True when a live session's exchange exhausted its retries (the
+     * outage outlasted the backoff schedule) and the session must be
+     * re-established before further page requests.
+     */
+    bool sessionNeedsResume(const std::string &domain) const;
+
+    /**
+     * Re-handshake after an outage: runs the Fig. 10 login exchange
+     * again but flags it as a resumption, so FLock keeps the
+     * accumulated k-of-n risk window instead of starting a fresh
+     * epoch.
+     */
+    void resumeSession(const std::string &domain);
 
     /**
      * One user touch. Completes any pending protocol step that was
@@ -135,6 +187,18 @@ class MobileDevice
         std::string account;
         std::optional<RegistrationPage> regPage;
         std::optional<LoginPage> loginPage;
+        /**
+         * Retransmission state of the in-flight exchange: opId keys
+         * the armed timeout callbacks (a reset invalidates them),
+         * requestId is the wire id replies must echo, request holds
+         * the exact bytes to resend.
+         */
+        std::uint64_t opId = 0;
+        std::uint64_t requestId = 0;
+        core::Bytes request;
+        int attempts = 0;
+        core::Tick nextTimeout = 0;
+        bool resume = false; ///< Login runs as a session resumption.
     };
 
     /** Render (and possibly tamper) the frame the user looks at. */
@@ -147,6 +211,27 @@ class MobileDevice
                             const fingerprint::MasterFinger *f);
     void maybeForgeRequest();
     void applyRiskPolicy();
+
+    /** True when @p await blocks on a network reply. */
+    static bool awaitingNetwork(Await await);
+
+    /** Allocate the next wire request id (device-monotonic). */
+    std::uint64_t nextRequestId() { return ++lastRequestId_; }
+
+    /**
+     * Send @p request as a fresh retransmittable exchange: record
+     * it in pending_, transmit, and arm the first timeout.
+     */
+    void beginExchange(std::uint64_t request_id,
+                       core::Bytes request);
+
+    /** Arm (or re-arm) the retransmission timer for pending_. */
+    void armRetryTimer();
+
+    /** Timeout fired for exchange @p op_id (may be stale). */
+    void onOpTimeout(std::uint64_t op_id);
+
+    void startLoginInternal(const std::string &domain, bool resume);
 
     std::string name_;
     hw::BiometricTouchscreen screen_;
@@ -164,6 +249,12 @@ class MobileDevice
     /** Frame shown for the current page (repeater sees this). */
     std::map<std::string, core::Bytes> currentFrame_;
     std::map<std::string, std::uint64_t> sessionIds_;
+    RetryPolicy retryPolicy_;
+    OpError lastError_ = OpError::None;
+    std::uint64_t lastRequestId_ = 0;
+    std::uint64_t lastOpId_ = 0;
+    /** Domains whose session lost an exchange to retry exhaustion. */
+    std::map<std::string, bool> needsResume_;
     core::CounterSet counters_;
 };
 

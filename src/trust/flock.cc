@@ -145,8 +145,13 @@ FlockModule::processTouch(const CaptureSample &capture)
                    static_cast<std::size_t>(
                        config_.minMatchableMinutiae)) {
         // Too little ridge evidence to judge either way: treat as a
-        // quality discard, not as contradicting evidence.
-        outcome = TouchOutcome::LowQuality;
+        // quality discard, not as contradicting evidence. When the
+        // loss is attributable to sensor hardware faults the capture
+        // is excluded from the window entirely — a failing tile must
+        // degrade coverage, not manufacture impostor evidence.
+        outcome = capture.hardwareDegraded
+                      ? TouchOutcome::SensorDegraded
+                      : TouchOutcome::LowQuality;
     } else {
         busyTime_ += kMatchLatency;
         const bool matched =
@@ -171,7 +176,8 @@ FlockModule::handleRegistrationPage(const RegistrationPage &page,
                                     const std::string &account,
                                     const core::Bytes &frame,
                                     const CaptureSample &capture,
-                                    std::uint64_t now)
+                                    std::uint64_t now,
+                                    std::uint64_t request_id)
 {
     if (!deviceCert_)
         return std::nullopt;
@@ -210,6 +216,7 @@ FlockModule::handleRegistrationPage(const RegistrationPage &page,
     binding.fingerIndex = finger;
 
     RegistrationSubmit submit;
+    submit.requestId = request_id;
     submit.domain = page.domain;
     submit.account = account;
     submit.nonce = page.nonce;
@@ -244,7 +251,8 @@ FlockModule::hasBinding(const std::string &domain) const
 std::optional<LoginSubmit>
 FlockModule::handleLoginPage(const LoginPage &page,
                              const core::Bytes &frame,
-                             const CaptureSample &capture)
+                             const CaptureSample &capture,
+                             std::uint64_t request_id, bool resume)
 {
     auto it = bindings_.find(page.domain);
     if (it == bindings_.end())
@@ -264,7 +272,11 @@ FlockModule::handleLoginPage(const LoginPage &page,
     if (!matchesFinger(capture, binding.fingerIndex, /*strict=*/true))
         return std::nullopt;
 
-    risk_.reset();
+    // A fresh login starts a new risk epoch; a resume after a
+    // network outage keeps the accumulated window so the k-of-n
+    // history spans the outage.
+    if (!resume)
+        risk_.reset();
     risk_.record(TouchOutcome::Matched);
 
     Session session;
@@ -273,6 +285,7 @@ FlockModule::handleLoginPage(const LoginPage &page,
     session.established = false;
 
     LoginSubmit submit;
+    submit.requestId = request_id;
     submit.domain = page.domain;
     submit.account = binding.account;
     submit.nonce = page.nonce;
@@ -315,7 +328,8 @@ std::optional<PageRequest>
 FlockModule::makePageRequest(const std::string &domain,
                              const std::string &action,
                              const core::Bytes &frame,
-                             const CaptureSample &capture)
+                             const CaptureSample &capture,
+                             std::uint64_t request_id)
 {
     auto it = sessions_.find(domain);
     if (it == sessions_.end() || !it->second.established)
@@ -330,6 +344,7 @@ FlockModule::makePageRequest(const std::string &domain,
     processTouch(capture);
 
     PageRequest request;
+    request.requestId = request_id;
     request.domain = domain;
     request.account = binding_it->second.account;
     request.sessionId = session.sessionId;

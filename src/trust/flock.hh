@@ -57,6 +57,15 @@ struct CaptureSample
     std::vector<fingerprint::Minutia> minutiae;
     double quality = 0.0;
     bool covered = false; ///< False when no sensor saw the touch.
+    /**
+     * True when the capturing tile reported hardware faults (dead
+     * rows, stuck columns, a noise burst) over the scanned window.
+     * Degraded captures that still pass the quality gate are matched
+     * normally; ones that fail it are classified SensorDegraded
+     * rather than LowQuality so the fault carries no impostor
+     * evidence into the risk window.
+     */
+    bool hardwareDegraded = false;
 };
 
 /** The FLock module. */
@@ -133,13 +142,17 @@ class FlockModule
      * Returns nullopt when verification or the capture fails.
      *
      * @param frame the actual displayed frame (repeater tap).
+     * @param request_id id stamped into the submission (0 = none);
+     *        retransmissions reuse the id so the server can reply
+     *        idempotently.
      */
     std::optional<RegistrationSubmit>
     handleRegistrationPage(const RegistrationPage &page,
                            const std::string &account,
                            const core::Bytes &frame,
                            const CaptureSample &capture,
-                           std::uint64_t now = 0);
+                           std::uint64_t now = 0,
+                           std::uint64_t request_id = 0);
 
     /** True if a binding for @p domain exists. */
     bool hasBinding(const std::string &domain) const;
@@ -148,10 +161,17 @@ class FlockModule
      * Process a login page: verify the stored server key's
      * signature, match the capture against the domain's bound
      * template, mint a session key and emit the login submission.
+     *
+     * @param request_id id stamped into the submission (0 = none).
+     * @param resume     true when re-establishing a session after a
+     *        network outage: the risk window is NOT reset, so the
+     *        k-of-n history survives the outage and the re-handshake
+     *        cannot be used to launder a bad window.
      */
     std::optional<LoginSubmit>
     handleLoginPage(const LoginPage &page, const core::Bytes &frame,
-                    const CaptureSample &capture);
+                    const CaptureSample &capture,
+                    std::uint64_t request_id = 0, bool resume = false);
 
     /**
      * Verify and accept a content page for the domain's session:
@@ -168,7 +188,8 @@ class FlockModule
     std::optional<PageRequest>
     makePageRequest(const std::string &domain, const std::string &action,
                     const core::Bytes &frame,
-                    const CaptureSample &capture);
+                    const CaptureSample &capture,
+                    std::uint64_t request_id = 0);
 
     /** Decrypt a session-encrypted page body. */
     std::optional<core::Bytes>

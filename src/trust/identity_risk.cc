@@ -20,6 +20,10 @@ IdentityRisk::record(TouchOutcome outcome)
         ++notCovered_;
         return;
     }
+    if (outcome == TouchOutcome::SensorDegraded) {
+        ++sensorDegraded_;
+        return;
+    }
     window_.push_back(outcome);
     if (static_cast<int>(window_.size()) > windowSize_)
         window_.pop_front();
@@ -37,6 +41,7 @@ IdentityRisk::report() const
     RiskReport r;
     r.windowTouches = static_cast<int>(window_.size());
     r.notCovered = notCovered_;
+    r.sensorDegraded = sensorDegraded_;
     for (TouchOutcome o : window_) {
         switch (o) {
           case TouchOutcome::Matched:
@@ -49,6 +54,7 @@ IdentityRisk::report() const
             ++r.lowQuality;
             break;
           case TouchOutcome::NotCovered:
+          case TouchOutcome::SensorDegraded:
             break; // never stored in the window
         }
     }

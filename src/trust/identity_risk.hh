@@ -27,6 +27,14 @@ enum class TouchOutcome : std::uint8_t
     LowQuality = 1, ///< Captured but discarded by the quality gate.
     Matched = 2,    ///< Captured, extracted and matched.
     Rejected = 3,   ///< Captured with good quality but match failed.
+    /**
+     * Capture lost to sensor hardware faults (dead rows, stuck
+     * columns, noise bursts). Like NotCovered it carries no
+     * biometric evidence either way: it never enters the risk
+     * window, so a failing tile degrades auth *coverage* without
+     * manufacturing impostor evidence against the genuine user.
+     */
+    SensorDegraded = 4,
 };
 
 /** Snapshot of the current risk state. */
@@ -37,6 +45,7 @@ struct RiskReport
     int rejected = 0;        ///< Good-quality non-matches.
     int lowQuality = 0;      ///< Quality-gate discards.
     std::uint64_t notCovered = 0; ///< Off-sensor touches (lifetime).
+    std::uint64_t sensorDegraded = 0; ///< Hardware-fault discards (lifetime).
     double risk = 0.0;       ///< Risk factor in [0, 1] (1 = worst).
 };
 
@@ -92,6 +101,7 @@ class IdentityRisk
     std::deque<TouchOutcome> window_;
     std::uint64_t total_ = 0;
     std::uint64_t notCovered_ = 0;
+    std::uint64_t sensorDegraded_ = 0;
 };
 
 } // namespace trust::trust

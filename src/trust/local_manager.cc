@@ -56,6 +56,9 @@ LocalIdentityManager::processTouch(
       case TouchOutcome::NotCovered:
         counters_.bump("touch-not-covered");
         break;
+      case TouchOutcome::SensorDegraded:
+        counters_.bump("touch-sensor-degraded");
+        break;
     }
 
     applyPolicy();

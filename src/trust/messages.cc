@@ -4,12 +4,13 @@ namespace trust::trust {
 
 namespace {
 
-/** Begin a payload with its kind byte. */
+/** Begin a payload with its kind byte and request id. */
 core::ByteWriter
-beginMessage(MsgKind kind)
+beginMessage(MsgKind kind, std::uint64_t request_id)
 {
     core::ByteWriter w;
     w.writeU8(static_cast<std::uint8_t>(kind));
+    w.writeU64(request_id);
     return w;
 }
 
@@ -36,12 +37,25 @@ peekKind(const core::Bytes &payload)
     return static_cast<MsgKind>(k);
 }
 
+std::optional<std::uint64_t>
+peekRequestId(const core::Bytes &payload)
+{
+    if (!peekKind(payload))
+        return std::nullopt;
+    core::ByteReader r(payload);
+    r.readU8();
+    const std::uint64_t id = r.readU64();
+    if (!r.ok())
+        return std::nullopt;
+    return id;
+}
+
 // --- RegistrationRequest -------------------------------------------------
 
 core::Bytes
 RegistrationRequest::serialize() const
 {
-    auto w = beginMessage(MsgKind::RegistrationRequest);
+    auto w = beginMessage(MsgKind::RegistrationRequest, requestId);
     w.writeString(domain);
     w.writeString(account);
     return w.take();
@@ -54,6 +68,7 @@ RegistrationRequest::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     RegistrationRequest m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.account = r->readString();
     if (!r->ok() || !r->atEnd())
@@ -68,6 +83,7 @@ RegistrationPage::signedBody() const
 {
     core::ByteWriter w;
     w.writeU8(static_cast<std::uint8_t>(MsgKind::RegistrationPage));
+    w.writeU64(requestId);
     w.writeString(domain);
     w.writeBytes(nonce);
     w.writeBytes(pageContent);
@@ -78,7 +94,7 @@ RegistrationPage::signedBody() const
 core::Bytes
 RegistrationPage::serialize() const
 {
-    auto w = beginMessage(MsgKind::RegistrationPage);
+    auto w = beginMessage(MsgKind::RegistrationPage, requestId);
     w.writeString(domain);
     w.writeBytes(nonce);
     w.writeBytes(pageContent);
@@ -94,6 +110,7 @@ RegistrationPage::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     RegistrationPage m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.nonce = r->readBytes();
     m.pageContent = r->readBytes();
@@ -111,6 +128,7 @@ RegistrationSubmit::signedBody() const
 {
     core::ByteWriter w;
     w.writeU8(static_cast<std::uint8_t>(MsgKind::RegistrationSubmit));
+    w.writeU64(requestId);
     w.writeString(domain);
     w.writeString(account);
     w.writeBytes(nonce);
@@ -123,7 +141,7 @@ RegistrationSubmit::signedBody() const
 core::Bytes
 RegistrationSubmit::serialize() const
 {
-    auto w = beginMessage(MsgKind::RegistrationSubmit);
+    auto w = beginMessage(MsgKind::RegistrationSubmit, requestId);
     w.writeString(domain);
     w.writeString(account);
     w.writeBytes(nonce);
@@ -141,6 +159,7 @@ RegistrationSubmit::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     RegistrationSubmit m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.account = r->readString();
     m.nonce = r->readBytes();
@@ -158,7 +177,7 @@ RegistrationSubmit::deserialize(const core::Bytes &payload)
 core::Bytes
 RegistrationResult::serialize() const
 {
-    auto w = beginMessage(MsgKind::RegistrationResult);
+    auto w = beginMessage(MsgKind::RegistrationResult, requestId);
     w.writeString(domain);
     w.writeString(account);
     w.writeBool(ok);
@@ -173,6 +192,7 @@ RegistrationResult::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     RegistrationResult m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.account = r->readString();
     m.ok = r->readBool();
@@ -187,7 +207,7 @@ RegistrationResult::deserialize(const core::Bytes &payload)
 core::Bytes
 LoginRequest::serialize() const
 {
-    auto w = beginMessage(MsgKind::LoginRequest);
+    auto w = beginMessage(MsgKind::LoginRequest, requestId);
     w.writeString(domain);
     w.writeString(account);
     return w.take();
@@ -200,6 +220,7 @@ LoginRequest::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     LoginRequest m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.account = r->readString();
     if (!r->ok() || !r->atEnd())
@@ -214,6 +235,7 @@ LoginPage::signedBody() const
 {
     core::ByteWriter w;
     w.writeU8(static_cast<std::uint8_t>(MsgKind::LoginPage));
+    w.writeU64(requestId);
     w.writeString(domain);
     w.writeBytes(nonce);
     w.writeBytes(pageContent);
@@ -223,7 +245,7 @@ LoginPage::signedBody() const
 core::Bytes
 LoginPage::serialize() const
 {
-    auto w = beginMessage(MsgKind::LoginPage);
+    auto w = beginMessage(MsgKind::LoginPage, requestId);
     w.writeString(domain);
     w.writeBytes(nonce);
     w.writeBytes(pageContent);
@@ -238,6 +260,7 @@ LoginPage::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     LoginPage m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.nonce = r->readBytes();
     m.pageContent = r->readBytes();
@@ -254,6 +277,7 @@ LoginSubmit::macBody() const
 {
     core::ByteWriter w;
     w.writeU8(static_cast<std::uint8_t>(MsgKind::LoginSubmit));
+    w.writeU64(requestId);
     w.writeString(domain);
     w.writeString(account);
     w.writeBytes(nonce);
@@ -267,7 +291,7 @@ LoginSubmit::macBody() const
 core::Bytes
 LoginSubmit::serialize() const
 {
-    auto w = beginMessage(MsgKind::LoginSubmit);
+    auto w = beginMessage(MsgKind::LoginSubmit, requestId);
     w.writeString(domain);
     w.writeString(account);
     w.writeBytes(nonce);
@@ -286,6 +310,7 @@ LoginSubmit::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     LoginSubmit m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.account = r->readString();
     m.nonce = r->readBytes();
@@ -306,6 +331,7 @@ ContentPage::macBody() const
 {
     core::ByteWriter w;
     w.writeU8(static_cast<std::uint8_t>(MsgKind::ContentPage));
+    w.writeU64(requestId);
     w.writeString(domain);
     w.writeU64(sessionId);
     w.writeBytes(nonce);
@@ -316,7 +342,7 @@ ContentPage::macBody() const
 core::Bytes
 ContentPage::serialize() const
 {
-    auto w = beginMessage(MsgKind::ContentPage);
+    auto w = beginMessage(MsgKind::ContentPage, requestId);
     w.writeString(domain);
     w.writeU64(sessionId);
     w.writeBytes(nonce);
@@ -332,6 +358,7 @@ ContentPage::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     ContentPage m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.sessionId = r->readU64();
     m.nonce = r->readBytes();
@@ -349,6 +376,7 @@ PageRequest::macBody() const
 {
     core::ByteWriter w;
     w.writeU8(static_cast<std::uint8_t>(MsgKind::PageRequest));
+    w.writeU64(requestId);
     w.writeString(domain);
     w.writeString(account);
     w.writeU64(sessionId);
@@ -363,7 +391,7 @@ PageRequest::macBody() const
 core::Bytes
 PageRequest::serialize() const
 {
-    auto w = beginMessage(MsgKind::PageRequest);
+    auto w = beginMessage(MsgKind::PageRequest, requestId);
     w.writeString(domain);
     w.writeString(account);
     w.writeU64(sessionId);
@@ -383,6 +411,7 @@ PageRequest::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     PageRequest m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.account = r->readString();
     m.sessionId = r->readU64();
@@ -402,7 +431,7 @@ PageRequest::deserialize(const core::Bytes &payload)
 core::Bytes
 ErrorReply::serialize() const
 {
-    auto w = beginMessage(MsgKind::ErrorReply);
+    auto w = beginMessage(MsgKind::ErrorReply, requestId);
     w.writeString(domain);
     w.writeString(reason);
     return w.take();
@@ -415,6 +444,7 @@ ErrorReply::deserialize(const core::Bytes &payload)
     if (!r)
         return std::nullopt;
     ErrorReply m;
+    m.requestId = r->readU64();
     m.domain = r->readString();
     m.reason = r->readString();
     if (!r->ok() || !r->atEnd())

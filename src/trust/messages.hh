@@ -38,9 +38,19 @@ enum class MsgKind : std::uint8_t
 /** Read the kind byte of a raw payload (nullopt if empty/unknown). */
 std::optional<MsgKind> peekKind(const core::Bytes &payload);
 
+/**
+ * Read the request id (second wire field of every message) without
+ * a full decode; nullopt on truncated payloads. Ids are assigned
+ * monotonically by the sending device, echoed verbatim in replies,
+ * and are the key of the server's duplicate-suppression cache; 0
+ * means "no id" and is never deduplicated.
+ */
+std::optional<std::uint64_t> peekRequestId(const core::Bytes &payload);
+
 /** Device -> server: start account binding. */
 struct RegistrationRequest
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     std::string account;
 
@@ -52,6 +62,7 @@ struct RegistrationRequest
 /** Server -> device: registration page + certificate + nonce. */
 struct RegistrationPage
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     core::Bytes nonce;       ///< Fresh 16-byte server nonce.
     core::Bytes pageContent; ///< Hyper-text page bytes.
@@ -69,6 +80,7 @@ struct RegistrationPage
 /** Device -> server: the Fig. 9 binding submission. */
 struct RegistrationSubmit
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     std::string account;
     core::Bytes nonce;      ///< Echo of the server nonce.
@@ -87,6 +99,7 @@ struct RegistrationSubmit
 /** Server -> device: binding outcome. */
 struct RegistrationResult
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     std::string account;
     bool ok = false;
@@ -100,6 +113,7 @@ struct RegistrationResult
 /** Device -> server: request the login page. */
 struct LoginRequest
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     std::string account;
 
@@ -111,6 +125,7 @@ struct LoginRequest
 /** Server -> device: login page with a fresh nonce. */
 struct LoginPage
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     core::Bytes nonce;
     core::Bytes pageContent;
@@ -126,6 +141,7 @@ struct LoginPage
 /** Device -> server: the Fig. 10 login submission. */
 struct LoginSubmit
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     std::string account;
     core::Bytes nonce;          ///< Echo of the login nonce.
@@ -145,6 +161,7 @@ struct LoginSubmit
 /** Server -> device: content page inside a session. */
 struct ContentPage
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     std::uint64_t sessionId = 0;
     core::Bytes nonce;       ///< Nonce for the *next* request.
@@ -161,6 +178,7 @@ struct ContentPage
 /** Device -> server: one continuous-auth page request (Fig. 10). */
 struct PageRequest
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     std::string account;
     std::uint64_t sessionId = 0;
@@ -181,6 +199,7 @@ struct PageRequest
 /** Server -> device: rejection (bad MAC, stale nonce, risk...). */
 struct ErrorReply
 {
+    std::uint64_t requestId = 0; ///< Sender-monotonic id (0 = none).
     std::string domain;
     std::string reason;
 

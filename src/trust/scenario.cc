@@ -21,7 +21,10 @@ Ecosystem::addServer(const std::string &domain)
         config_.serverPolicy, config_.flockConfig.display);
     WebServer &ref = *server;
     network_.attach(domain, [this, &ref](const net::Message &message) {
-        const core::Bytes reply = ref.handle(message.payload);
+        // The sender address keys the server's duplicate-suppression
+        // cache, making device retransmissions idempotent.
+        const core::Bytes reply =
+            ref.handle(message.payload, message.from);
         network_.send(ref.domain(), message.from, reply);
     });
     servers_.push_back(std::move(server));
@@ -137,6 +140,17 @@ runBrowsingSession(Ecosystem &ecosystem, MobileDevice &device,
         behavior, rng, ecosystem.queue().now() + core::seconds(1),
         clicks);
     for (const auto &event : touches) {
+        // If an outage outlasted the retransmission budget, the
+        // session must be re-established (Fig. 10 re-handshake) with
+        // a deliberate confirmation press before browsing resumes.
+        for (int attempt = 0;
+             attempt < 16 && device.sessionNeedsResume(domain);
+             ++attempt) {
+            device.resumeSession(domain);
+            ecosystem.settle();
+            device.onTouch(critical_touch(), &finger);
+            ecosystem.settle();
+        }
         device.onTouch(event, &finger);
         ecosystem.settle();
     }

@@ -62,61 +62,96 @@ WebServer::freshNonce()
 }
 
 ErrorReply
-WebServer::error(const std::string &reason)
+WebServer::error(const std::string &reason, std::uint64_t request_id)
 {
     counters_.bump("error:" + reason);
-    return ErrorReply{domain_, reason};
+    ErrorReply reply;
+    reply.requestId = request_id;
+    reply.domain = domain_;
+    reply.reason = reason;
+    return reply;
 }
 
 core::Bytes
-WebServer::handle(const core::Bytes &request)
+WebServer::handle(const core::Bytes &request, const std::string &from)
 {
     const auto kind = peekKind(request);
-    if (!kind)
+    const auto id = peekRequestId(request);
+    if (!kind || !id)
         return error("malformed").serialize();
 
-    switch (*kind) {
+    // Duplicate suppression: retransmissions of an already-answered
+    // request get the original reply verbatim, making the handlers
+    // effectively idempotent (their nonces were consumed the first
+    // time). Id 0 is the "no id" sentinel and is never cached.
+    const bool dedupable = !from.empty() && *id != 0;
+    if (dedupable) {
+        for (const auto &entry : dedupCache_) {
+            if (entry.from == from && entry.requestId == *id) {
+                counters_.bump("dedup-hit");
+                return entry.reply;
+            }
+        }
+    }
+
+    core::Bytes reply = dispatch(*kind, request, *id);
+    // Error replies are never cached: one may be the product of a
+    // transport-corrupted request, and the clean retransmission of
+    // the same id must reach the real handler, not a stale error.
+    if (dedupable && peekKind(reply) != MsgKind::ErrorReply) {
+        dedupCache_.push_back({from, *id, reply});
+        if (dedupCache_.size() > 128) // bound memory
+            dedupCache_.pop_front();
+    }
+    return reply;
+}
+
+core::Bytes
+WebServer::dispatch(MsgKind kind, const core::Bytes &request,
+                    std::uint64_t request_id)
+{
+    switch (kind) {
       case MsgKind::RegistrationRequest: {
         const auto m = RegistrationRequest::deserialize(request);
         if (!m)
-            return error("malformed").serialize();
+            return error("malformed", request_id).serialize();
         return handleRegistrationRequest(*m).serialize();
       }
       case MsgKind::RegistrationSubmit: {
         const auto m = RegistrationSubmit::deserialize(request);
         if (!m)
-            return error("malformed").serialize();
+            return error("malformed", request_id).serialize();
         return handleRegistrationSubmit(*m).serialize();
       }
       case MsgKind::LoginRequest: {
         const auto m = LoginRequest::deserialize(request);
         if (!m)
-            return error("malformed").serialize();
+            return error("malformed", request_id).serialize();
         const auto page = handleLoginRequest(*m);
         if (!page)
-            return error("unknown-account").serialize();
+            return error("unknown-account", request_id).serialize();
         return page->serialize();
       }
       case MsgKind::LoginSubmit: {
         const auto m = LoginSubmit::deserialize(request);
         if (!m)
-            return error("malformed").serialize();
+            return error("malformed", request_id).serialize();
         const auto page = handleLoginSubmit(*m);
         if (!page)
-            return error("login-rejected").serialize();
+            return error("login-rejected", request_id).serialize();
         return page->serialize();
       }
       case MsgKind::PageRequest: {
         const auto m = PageRequest::deserialize(request);
         if (!m)
-            return error("malformed").serialize();
+            return error("malformed", request_id).serialize();
         const auto page = handlePageRequest(*m);
         if (!page)
-            return error("request-rejected").serialize();
+            return error("request-rejected", request_id).serialize();
         return page->serialize();
       }
       default:
-        return error("unexpected-kind").serialize();
+        return error("unexpected-kind", request_id).serialize();
     }
 }
 
@@ -125,6 +160,7 @@ WebServer::handleRegistrationRequest(const RegistrationRequest &request)
 {
     counters_.bump("registration-request");
     RegistrationPage page;
+    page.requestId = request.requestId;
     page.domain = domain_;
     page.nonce = freshNonce();
     page.pageContent = pageFor("register");
@@ -141,6 +177,7 @@ RegistrationResult
 WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
 {
     RegistrationResult result;
+    result.requestId = submit.requestId;
     result.domain = domain_;
     result.account = submit.account;
     result.ok = false;
@@ -213,6 +250,7 @@ WebServer::handleLoginRequest(const LoginRequest &request)
         return std::nullopt;
     counters_.bump("login-request");
     LoginPage page;
+    page.requestId = request.requestId;
     page.domain = domain_;
     page.nonce = freshNonce();
     page.pageContent = pageFor("login");
@@ -226,12 +264,14 @@ WebServer::handleLoginRequest(const LoginRequest &request)
 
 ContentPage
 WebServer::makeContentPage(std::uint64_t session_id,
-                           SessionState &session, const std::string &tag)
+                           SessionState &session, const std::string &tag,
+                           std::uint64_t request_id)
 {
     session.currentPage = pageFor(tag);
     session.expectedNonce = freshNonce();
 
     ContentPage page;
+    page.requestId = request_id;
     page.domain = domain_;
     page.sessionId = session_id;
     page.nonce = session.expectedNonce;
@@ -281,13 +321,15 @@ WebServer::handleLoginSubmit(const LoginSubmit &submit)
     SessionState session;
     session.account = submit.account;
     session.sessionKey = *session_key;
+    session.lastRequestId = submit.requestId;
 
     // Log the login frame hash.
     auditLog_.push_back(
         {submit.account, session_id, submit.frameHash,
          expectedFrameHashes(pageFor("login"), display_, frameHash_)});
 
-    ContentPage page = makeContentPage(session_id, session, "home");
+    ContentPage page =
+        makeContentPage(session_id, session, "home", submit.requestId);
     sessions_[session_id] = std::move(session);
     counters_.bump("login-accepted");
     return page;
@@ -314,6 +356,15 @@ WebServer::handlePageRequest(const PageRequest &request)
     if (!crypto::hmacSha256Verify(session.sessionKey,
                                   request.macBody(), request.mac)) {
         counters_.bump("request-rejected:bad-mac");
+        return std::nullopt;
+    }
+
+    // Ids are device-monotonic within a session: after the MAC has
+    // proven provenance, an id at or below the last accepted one is
+    // a late retransmission that slipped past the reply cache.
+    if (request.requestId != 0 &&
+        request.requestId <= session.lastRequestId) {
+        counters_.bump("request-rejected:duplicate");
         return std::nullopt;
     }
 
@@ -347,8 +398,11 @@ WebServer::handlePageRequest(const PageRequest &request)
                          request.frameHash, expected});
 
     counters_.bump("request-accepted");
+    if (request.requestId != 0)
+        session.lastRequestId = request.requestId;
     return makeContentPage(request.sessionId, session,
-                           "page/" + request.action);
+                           "page/" + request.action,
+                           request.requestId);
 }
 
 bool

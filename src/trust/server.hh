@@ -12,6 +12,7 @@
 #ifndef TRUST_TRUST_SERVER_HH
 #define TRUST_TRUST_SERVER_HH
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -72,8 +73,17 @@ class WebServer
     /**
      * Dispatch one raw request payload and return the raw reply
      * (always produces a reply; errors become ErrorReply).
+     *
+     * @param from sender address for duplicate suppression. When
+     *        non-empty and the request carries a non-zero id, a
+     *        repeat of an already-answered (from, id) pair returns
+     *        the cached original reply ("dedup-hit") instead of
+     *        re-executing the handler — this is what makes device
+     *        retransmissions idempotent even though nonces are
+     *        consumed on first use.
      */
-    core::Bytes handle(const core::Bytes &request);
+    core::Bytes handle(const core::Bytes &request,
+                       const std::string &from = "");
 
     // --- Typed handlers (Fig. 9 / Fig. 10 steps) -----------------------
 
@@ -130,7 +140,26 @@ class WebServer
         core::Bytes sessionKey;
         core::Bytes expectedNonce;
         core::Bytes currentPage; ///< Plaintext page last served.
+        /**
+         * Highest request id accepted in this session. Ids are
+         * device-monotonic, so after MAC verification anything at or
+         * below this is a duplicate (late retransmission) and is
+         * rejected rather than re-served with a fresh nonce.
+         */
+        std::uint64_t lastRequestId = 0;
     };
+
+    /** One answered (from, id) pair with its original reply. */
+    struct DedupEntry
+    {
+        std::string from;
+        std::uint64_t requestId = 0;
+        core::Bytes reply;
+    };
+
+    /** Route one decoded-kind payload to its typed handler. */
+    core::Bytes dispatch(MsgKind kind, const core::Bytes &request,
+                         std::uint64_t request_id);
 
     /** Page content generator (deterministic per action). */
     core::Bytes pageFor(const std::string &tag) const;
@@ -140,9 +169,11 @@ class WebServer
     /** Build, MAC and log a content page for a session. */
     ContentPage makeContentPage(std::uint64_t session_id,
                                 SessionState &session,
-                                const std::string &tag);
+                                const std::string &tag,
+                                std::uint64_t request_id = 0);
 
-    ErrorReply error(const std::string &reason);
+    ErrorReply error(const std::string &reason,
+                     std::uint64_t request_id = 0);
 
     std::string domain_;
     crypto::RsaPublicKey caKey_;
@@ -164,6 +195,7 @@ class WebServer
     std::map<std::string, std::vector<core::Bytes>> pendingLoginNonce_;
     std::map<std::uint64_t, SessionState> sessions_;
     std::uint64_t nextSessionId_ = 1;
+    std::deque<DedupEntry> dedupCache_; ///< Bounded reply LRU.
     std::vector<AuditEntry> auditLog_;
     std::vector<std::uint64_t> revokedSerials_;
     core::CounterSet counters_;

@@ -146,6 +146,104 @@ TEST(TftSensor, EnergyGrowsWithWindow)
     EXPECT_GT(t_small.energyMicroJoule, 0.0);
 }
 
+TEST(SensorFaults, DeadRowsRaiseFaultyFraction)
+{
+    TftSensorArray array(specFlockTile(4.0));
+    array.activate();
+    trust::hw::SensorFaultProfile profile;
+    profile.deadRows = {0, 1, 2, 3};
+    array.injectFaults(profile);
+
+    const auto timing = array.captureFull();
+    EXPECT_EQ(timing.faultyCells, 4 * array.spec().cols);
+    EXPECT_NEAR(timing.faultyFraction(),
+                4.0 / array.spec().rows, 1e-12);
+    EXPECT_FALSE(timing.noiseBurst);
+    // Faults do not change the timing model: the controller cannot
+    // tell until the pixels come back.
+    TftSensorArray clean(specFlockTile(4.0));
+    clean.activate();
+    EXPECT_EQ(timing.total(), clean.captureFull().total());
+}
+
+TEST(SensorFaults, StuckColumnsCountRemainingCellsOnly)
+{
+    TftSensorArray array(specFlockTile(4.0));
+    array.activate();
+    trust::hw::SensorFaultProfile profile;
+    profile.deadRows = {0};
+    profile.stuckColumns = {5};
+    array.injectFaults(profile);
+
+    const auto timing = array.captureFull();
+    // One full dead row plus one stuck column minus the overlap.
+    EXPECT_EQ(timing.faultyCells,
+              array.spec().cols + (array.spec().rows - 1));
+}
+
+TEST(SensorFaults, WindowOutsideFaultsIsClean)
+{
+    TftSensorArray array(specFlockTile(6.0));
+    array.activate();
+    trust::hw::SensorFaultProfile profile;
+    profile.deadRows = {0, 1};
+    array.injectFaults(profile);
+
+    const auto timing = array.capture(array.clip({10, 20, 0, 20}));
+    EXPECT_EQ(timing.faultyCells, 0);
+    EXPECT_DOUBLE_EQ(timing.faultyFraction(), 0.0);
+}
+
+TEST(SensorFaults, NoiseBurstSwampsWholeCapture)
+{
+    TftSensorArray array(specFlockTile(4.0));
+    array.activate();
+    trust::hw::SensorFaultProfile profile;
+    profile.noiseBurstRate = 1.0;
+    array.injectFaults(profile);
+
+    const auto timing = array.captureFull();
+    EXPECT_TRUE(timing.noiseBurst);
+    EXPECT_DOUBLE_EQ(timing.faultyFraction(), 1.0);
+}
+
+TEST(SensorFaults, BurstSequenceReproducibleBySeed)
+{
+    auto burst_trace = [](std::uint64_t seed) {
+        TftSensorArray array(specFlockTile(4.0));
+        array.activate();
+        trust::hw::SensorFaultProfile profile;
+        profile.noiseBurstRate = 0.5;
+        profile.seed = seed;
+        array.injectFaults(profile);
+        std::vector<bool> trace;
+        for (int i = 0; i < 64; ++i)
+            trace.push_back(array.captureFull().noiseBurst);
+        return trace;
+    };
+    EXPECT_EQ(burst_trace(7), burst_trace(7));
+    EXPECT_NE(burst_trace(7), burst_trace(8));
+}
+
+TEST(SensorFaults, OutOfRangeIndicesDiscardedAndClearRestores)
+{
+    TftSensorArray array(specFlockTile(4.0));
+    array.activate();
+    trust::hw::SensorFaultProfile profile;
+    profile.deadRows = {-3, 0, 100000};
+    profile.stuckColumns = {-1, 2, 99999};
+    profile.noiseBurstRate = 1.0;
+    array.injectFaults(profile);
+    EXPECT_EQ(array.faults().deadRows, (std::vector<int>{0}));
+    EXPECT_EQ(array.faults().stuckColumns, (std::vector<int>{2}));
+
+    array.clearFaults();
+    const auto timing = array.captureFull();
+    EXPECT_EQ(timing.faultyCells, 0);
+    EXPECT_FALSE(timing.noiseBurst);
+    EXPECT_TRUE(array.faults().deadRows.empty());
+}
+
 TEST(TftSensor, BytesMatchWindowBits)
 {
     TftSensorArray array(specFlockTile(4.0));

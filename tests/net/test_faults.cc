@@ -1,0 +1,238 @@
+/** @file Tests for the composable network fault model. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "net/faults.hh"
+#include "net/network.hh"
+
+namespace {
+
+using trust::core::Bytes;
+using trust::core::EventQueue;
+using trust::core::milliseconds;
+using trust::core::Tick;
+using trust::net::FaultConfig;
+using trust::net::FaultModel;
+using trust::net::Message;
+using trust::net::Network;
+
+/** Network + sink that records payload-first-byte arrival order. */
+struct Harness
+{
+    EventQueue queue;
+    Network net{queue};
+    std::vector<Bytes> received;
+    std::vector<Tick> arrivals;
+
+    Harness()
+    {
+        net.attach("sink", [this](const Message &m) {
+            received.push_back(m.payload);
+            arrivals.push_back(queue.now());
+        });
+    }
+
+    std::shared_ptr<FaultModel>
+    install(std::uint64_t seed, FaultConfig config)
+    {
+        auto faults = std::make_shared<FaultModel>(seed, config);
+        net.setFaultModel(faults);
+        return faults;
+    }
+
+    void
+    sendIndexed(int count)
+    {
+        for (int i = 0; i < count; ++i)
+            net.send("src", "sink",
+                     Bytes{static_cast<std::uint8_t>(i)});
+    }
+};
+
+TEST(Faults, CertainDropLosesEverything)
+{
+    Harness h;
+    FaultConfig config;
+    config.dropRate = 1.0;
+    auto faults = h.install(1, config);
+    h.sendIndexed(10);
+    h.queue.run();
+    EXPECT_TRUE(h.received.empty());
+    EXPECT_EQ(faults->messagesDropped(), 10u);
+}
+
+TEST(Faults, PartialDropRoughlyMatchesRate)
+{
+    Harness h;
+    FaultConfig config;
+    config.dropRate = 0.3;
+    auto faults = h.install(2, config);
+    h.sendIndexed(200);
+    h.queue.run();
+    EXPECT_GT(h.received.size(), 100u);
+    EXPECT_LT(h.received.size(), 180u);
+    EXPECT_EQ(h.received.size() + faults->messagesDropped(), 200u);
+}
+
+TEST(Faults, PartitionDropsOnlyInsideWindow)
+{
+    Harness h;
+    auto faults = h.install(3, {});
+    faults->schedulePartition(milliseconds(100), milliseconds(200));
+
+    // One message before, two inside, one after the partition.
+    h.queue.scheduleAt(milliseconds(50), [&] {
+        h.net.send("src", "sink", Bytes{0});
+    });
+    h.queue.scheduleAt(milliseconds(150), [&] {
+        h.net.send("src", "sink", Bytes{1});
+    });
+    h.queue.scheduleAt(milliseconds(299), [&] {
+        h.net.send("src", "sink", Bytes{2});
+    });
+    h.queue.scheduleAt(milliseconds(300), [&] {
+        h.net.send("src", "sink", Bytes{3});
+    });
+    h.queue.run();
+
+    ASSERT_EQ(h.received.size(), 2u);
+    EXPECT_EQ(h.received[0], Bytes{0});
+    EXPECT_EQ(h.received[1], Bytes{3});
+    EXPECT_EQ(faults->partitionDrops(), 2u);
+    EXPECT_TRUE(faults->partitionedAt(milliseconds(100)));
+    EXPECT_TRUE(faults->partitionedAt(milliseconds(299)));
+    EXPECT_FALSE(faults->partitionedAt(milliseconds(300)));
+}
+
+TEST(Faults, CertainDuplicationDeliversTwice)
+{
+    Harness h;
+    FaultConfig config;
+    config.duplicateRate = 1.0;
+    auto faults = h.install(4, config);
+    h.sendIndexed(5);
+    h.queue.run();
+    EXPECT_EQ(h.received.size(), 10u);
+    EXPECT_EQ(faults->messagesDuplicated(), 5u);
+    // Both copies carry identical payloads.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(std::count(h.received.begin(), h.received.end(),
+                             Bytes{static_cast<std::uint8_t>(i)}),
+                  2);
+}
+
+TEST(Faults, CorruptionMutatesPayloadInFlight)
+{
+    Harness h;
+    FaultConfig config;
+    config.corruptRate = 1.0;
+    auto faults = h.install(5, config);
+    const Bytes original(32, 0xAA);
+    h.net.send("src", "sink", original);
+    h.queue.run();
+    ASSERT_EQ(h.received.size(), 1u);
+    EXPECT_NE(h.received[0], original);
+    EXPECT_EQ(h.received[0].size(), original.size());
+    EXPECT_EQ(faults->messagesCorrupted(), 1u);
+}
+
+TEST(Faults, LatencySpikesDelayButPreserveOrder)
+{
+    Harness h;
+    FaultConfig config;
+    config.latencySpikeRate = 1.0;
+    config.latencySpikeMax = milliseconds(500);
+    auto faults = h.install(6, config);
+    h.sendIndexed(32);
+    h.queue.run();
+    ASSERT_EQ(h.received.size(), 32u);
+    EXPECT_EQ(faults->latencySpikes(), 32u);
+    // Head-of-line blocking: spikes never reorder the channel.
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(h.received[static_cast<std::size_t>(i)],
+                  Bytes{static_cast<std::uint8_t>(i)});
+    EXPECT_GT(h.arrivals.back(), milliseconds(20));
+}
+
+TEST(Faults, ReorderFaultBreaksArrivalOrder)
+{
+    Harness h;
+    FaultConfig config;
+    config.reorderRate = 0.5;
+    config.reorderDelayMax = milliseconds(200);
+    h.install(7, config);
+    h.sendIndexed(64);
+    h.queue.run();
+    ASSERT_EQ(h.received.size(), 64u);
+    EXPECT_FALSE(std::is_sorted(h.received.begin(), h.received.end()));
+}
+
+TEST(Faults, SameSeedSameTrace)
+{
+    auto run = [](std::uint64_t seed) {
+        Harness h;
+        FaultConfig config;
+        config.dropRate = 0.2;
+        config.duplicateRate = 0.2;
+        config.reorderRate = 0.2;
+        config.corruptRate = 0.2;
+        config.latencySpikeRate = 0.2;
+        h.install(seed, config);
+        h.sendIndexed(100);
+        h.queue.run();
+        return std::make_pair(h.received, h.arrivals);
+    };
+    const auto a = run(42);
+    const auto b = run(42);
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+    const auto c = run(43);
+    EXPECT_NE(a.first, c.first);
+}
+
+TEST(Faults, FaultsStackWithAdversary)
+{
+    Harness h;
+    // Adversary flips the first byte; faults duplicate: the sink
+    // must see two copies of the adversary-modified payload.
+    struct FlipFirst : trust::net::Adversary
+    {
+        trust::net::Verdict
+        onMessage(Message &m) override
+        {
+            m.payload[0] ^= 0xff;
+            return trust::net::Verdict::Deliver;
+        }
+    };
+    h.net.setAdversary(std::make_shared<FlipFirst>());
+    FaultConfig config;
+    config.duplicateRate = 1.0;
+    h.install(8, config);
+    h.net.send("src", "sink", Bytes{0x01});
+    h.queue.run();
+    ASSERT_EQ(h.received.size(), 2u);
+    EXPECT_EQ(h.received[0], Bytes{0xfe});
+    EXPECT_EQ(h.received[1], Bytes{0xfe});
+}
+
+TEST(Faults, ZeroConfigIsTransparent)
+{
+    Harness h;
+    auto faults = h.install(9, {});
+    h.sendIndexed(16);
+    h.queue.run();
+    ASSERT_EQ(h.received.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(h.received[static_cast<std::size_t>(i)],
+                  Bytes{static_cast<std::uint8_t>(i)});
+    EXPECT_EQ(faults->messagesDropped() + faults->messagesCorrupted() +
+                  faults->messagesDuplicated() +
+                  faults->messagesReordered() + faults->latencySpikes(),
+              0u);
+}
+
+} // namespace

@@ -129,6 +129,45 @@ TEST(Network, AdversaryCanModify)
     EXPECT_EQ(seen, (Bytes{0xfe, 0x02}));
 }
 
+TEST(Network, SameTickSendsArriveInSendOrder)
+{
+    // With no fault model installed the network is strictly FIFO:
+    // messages queued on the same tick with identical latency must
+    // arrive in exactly the order they were sent.
+    EventQueue queue;
+    Network net(queue);
+    std::vector<std::uint8_t> order;
+    net.attach("server", [&](const Message &m) {
+        order.push_back(m.payload[0]);
+    });
+    for (std::uint8_t i = 0; i < 50; ++i)
+        net.send("client", "server", Bytes{i});
+    queue.run();
+    ASSERT_EQ(order.size(), 50u);
+    for (std::uint8_t i = 0; i < 50; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Network, MixedSizeSendsStayFifoPerChannel)
+{
+    // A large message takes longer on the wire; a small message sent
+    // right after must NOT overtake it (per-channel FIFO floor).
+    EventQueue queue;
+    Network net(queue);
+    std::vector<std::uint8_t> order;
+    net.attach("server", [&](const Message &m) {
+        order.push_back(m.payload[0]);
+    });
+    Bytes big(8192, 0);
+    big[0] = 1;
+    net.send("client", "server", big);
+    net.send("client", "server", Bytes{2});
+    queue.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+}
+
 TEST(Network, ClearingAdversaryRestoresPassthrough)
 {
     EventQueue queue;

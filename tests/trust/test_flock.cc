@@ -84,7 +84,7 @@ TEST(Flock, RegistrationRejectsUncertifiedServerPage)
     auto flock = makeFlock("dev-7", 14, trustFingers()[0]);
     WebServer server("www.x.com", trustCa(), 15);
     auto page = server.handleRegistrationRequest(
-        {"www.x.com", "alice"});
+        {0, "www.x.com", "alice"});
 
     // Tamper with the page content: signature check must fail.
     page.pageContent.push_back(0);
@@ -104,7 +104,7 @@ TEST(Flock, RegistrationRejectsWrongCa)
     auto flock = makeFlock("dev-8", 17, trustFingers()[0]);
     WebServer evil("www.x.com", rogue, 18);
     const auto page =
-        evil.handleRegistrationRequest({"www.x.com", "alice"});
+        evil.handleRegistrationRequest({0, "www.x.com", "alice"});
     EXPECT_FALSE(flock
                      .handleRegistrationPage(
                          page, "alice", trust::core::Bytes(64, 1),
@@ -117,7 +117,7 @@ TEST(Flock, RegistrationRejectsBadCapture)
     auto flock = makeFlock("dev-9", 20, trustFingers()[0]);
     WebServer server("www.x.com", trustCa(), 21);
     const auto page =
-        server.handleRegistrationRequest({"www.x.com", "alice"});
+        server.handleRegistrationRequest({0, "www.x.com", "alice"});
     EXPECT_FALSE(flock
                      .handleRegistrationPage(
                          page, "alice", trust::core::Bytes(64, 1),
@@ -131,7 +131,7 @@ TEST(Flock, RegistrationCreatesBinding)
     auto flock = makeFlock("dev-10", 22, trustFingers()[0]);
     WebServer server("www.x.com", trustCa(), 23);
     const auto page =
-        server.handleRegistrationRequest({"www.x.com", "alice"});
+        server.handleRegistrationRequest({0, "www.x.com", "alice"});
     const auto submit = flock.handleRegistrationPage(
         page, "alice", trust::core::Bytes(64, 1),
         goodCapture(trustFingers()[0], 24));
@@ -152,7 +152,7 @@ TEST(Flock, LoginRequiresBoundFinger)
     auto flock = makeFlock("dev-11", 25, trustFingers()[0]);
     WebServer server("www.x.com", trustCa(), 26);
     const auto reg_page =
-        server.handleRegistrationRequest({"www.x.com", "alice"});
+        server.handleRegistrationRequest({0, "www.x.com", "alice"});
     const auto submit = flock.handleRegistrationPage(
         reg_page, "alice", trust::core::Bytes(64, 1),
         goodCapture(trustFingers()[0], 27));
@@ -160,7 +160,7 @@ TEST(Flock, LoginRequiresBoundFinger)
     ASSERT_TRUE(server.handleRegistrationSubmit(*submit).ok);
 
     const auto login_page =
-        server.handleLoginRequest({"www.x.com", "alice"});
+        server.handleLoginRequest({0, "www.x.com", "alice"});
     ASSERT_TRUE(login_page.has_value());
 
     // Impostor finger at the login button: FLock refuses locally.
@@ -206,7 +206,7 @@ TEST(Flock, FactoryResetWipesEverything)
     auto flock = makeFlock("dev-14", 32, trustFingers()[0]);
     WebServer server("www.x.com", trustCa(), 33);
     const auto page =
-        server.handleRegistrationRequest({"www.x.com", "alice"});
+        server.handleRegistrationRequest({0, "www.x.com", "alice"});
     ASSERT_TRUE(flock
                     .handleRegistrationPage(
                         page, "alice", trust::core::Bytes(64, 1),

@@ -11,7 +11,7 @@ using trust::core::Bytes;
 
 TEST(Messages, PeekKind)
 {
-    RegistrationRequest request{"www.x.com", "alice"};
+    RegistrationRequest request{0, "www.x.com", "alice"};
     EXPECT_EQ(peekKind(request.serialize()),
               MsgKind::RegistrationRequest);
     EXPECT_FALSE(peekKind({}).has_value());
@@ -21,7 +21,7 @@ TEST(Messages, PeekKind)
 
 TEST(Messages, RegistrationRequestRoundTrip)
 {
-    RegistrationRequest in{"www.x.com", "alice"};
+    RegistrationRequest in{7, "www.x.com", "alice"};
     const auto out = RegistrationRequest::deserialize(in.serialize());
     ASSERT_TRUE(out.has_value());
     EXPECT_EQ(out->domain, "www.x.com");
@@ -72,7 +72,7 @@ TEST(Messages, RegistrationSubmitRoundTrip)
 
 TEST(Messages, LoginFlowRoundTrips)
 {
-    LoginRequest lr{"www.x.com", "alice"};
+    LoginRequest lr{0, "www.x.com", "alice"};
     EXPECT_TRUE(LoginRequest::deserialize(lr.serialize()).has_value());
 
     LoginPage lp;
@@ -130,7 +130,7 @@ TEST(Messages, ContentAndPageRequestRoundTrips)
 
 TEST(Messages, ErrorReplyRoundTrip)
 {
-    ErrorReply in{"www.x.com", "stale-nonce"};
+    ErrorReply in{0, "www.x.com", "stale-nonce"};
     const auto out = ErrorReply::deserialize(in.serialize());
     ASSERT_TRUE(out.has_value());
     EXPECT_EQ(out->reason, "stale-nonce");
@@ -138,7 +138,7 @@ TEST(Messages, ErrorReplyRoundTrip)
 
 TEST(Messages, WrongKindRejected)
 {
-    RegistrationRequest request{"www.x.com", "alice"};
+    RegistrationRequest request{0, "www.x.com", "alice"};
     EXPECT_FALSE(
         LoginRequest::deserialize(request.serialize()).has_value());
 }
@@ -177,6 +177,193 @@ TEST(Messages, MacBodyCoversRiskFields)
     a.riskMatched = 0;
     b.riskMatched = 8; // malware inflating its risk claim
     EXPECT_NE(a.macBody(), b.macBody());
+}
+
+TEST(Messages, RequestIdRoundTripsAndPeeks)
+{
+    RegistrationRequest rr{77, "www.x.com", "alice"};
+    const Bytes wire = rr.serialize();
+    EXPECT_EQ(peekRequestId(wire), 77u);
+    const auto out = RegistrationRequest::deserialize(wire);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->requestId, 77u);
+
+    PageRequest pr;
+    pr.requestId = 0xDEADBEEFCAFEULL;
+    pr.domain = "www.x.com";
+    pr.nonce = Bytes(16, 1);
+    pr.mac = Bytes(32, 2);
+    EXPECT_EQ(peekRequestId(pr.serialize()), 0xDEADBEEFCAFEULL);
+
+    // Truncated before the id completes: no value, no crash.
+    EXPECT_FALSE(peekRequestId({}).has_value());
+    EXPECT_FALSE(
+        peekRequestId({static_cast<std::uint8_t>(1), 1, 2}).has_value());
+}
+
+TEST(Messages, RequestIdCoveredByAuthenticatedBodies)
+{
+    LoginSubmit a, b;
+    a.domain = b.domain = "www.x.com";
+    a.requestId = 1;
+    b.requestId = 2; // an attacker re-labelling a captured submit
+    EXPECT_NE(a.macBody(), b.macBody());
+
+    RegistrationPage pa, pb;
+    pa.domain = pb.domain = "www.x.com";
+    pa.requestId = 1;
+    pb.requestId = 2;
+    EXPECT_NE(pa.signedBody(), pb.signedBody());
+}
+
+/**
+ * Build one representative, fully-populated instance of every
+ * message type, so sweeps cover each field's decoder.
+ */
+std::vector<Bytes>
+allMessageWires()
+{
+    std::vector<Bytes> wires;
+
+    RegistrationRequest rr{1, "www.x.com", "alice"};
+    wires.push_back(rr.serialize());
+
+    RegistrationPage rp;
+    rp.requestId = 2;
+    rp.domain = "www.x.com";
+    rp.nonce = Bytes(16, 7);
+    rp.pageContent = Bytes(64, 1);
+    rp.serverCert = Bytes(48, 2);
+    rp.signature = Bytes(64, 3);
+    wires.push_back(rp.serialize());
+
+    RegistrationSubmit rs;
+    rs.requestId = 3;
+    rs.domain = "www.x.com";
+    rs.account = "alice";
+    rs.nonce = Bytes(16, 4);
+    rs.deviceCert = Bytes(48, 5);
+    rs.userPublicKey = Bytes(32, 6);
+    rs.frameHash = Bytes(32, 7);
+    rs.signature = Bytes(64, 8);
+    wires.push_back(rs.serialize());
+
+    RegistrationResult result;
+    result.requestId = 4;
+    result.domain = "www.x.com";
+    result.account = "alice";
+    result.ok = true;
+    result.reason = "ok";
+    wires.push_back(result.serialize());
+
+    LoginRequest lr{5, "www.x.com", "alice"};
+    wires.push_back(lr.serialize());
+
+    LoginPage lp;
+    lp.requestId = 6;
+    lp.domain = "www.x.com";
+    lp.nonce = Bytes(16, 9);
+    lp.pageContent = Bytes(64, 10);
+    lp.signature = Bytes(64, 11);
+    wires.push_back(lp.serialize());
+
+    LoginSubmit ls;
+    ls.requestId = 7;
+    ls.domain = "www.x.com";
+    ls.account = "alice";
+    ls.nonce = Bytes(16, 12);
+    ls.encSessionKey = Bytes(64, 13);
+    ls.frameHash = Bytes(32, 14);
+    ls.riskMatched = 2;
+    ls.riskWindow = 8;
+    ls.mac = Bytes(32, 15);
+    wires.push_back(ls.serialize());
+
+    ContentPage cp;
+    cp.requestId = 8;
+    cp.domain = "www.x.com";
+    cp.sessionId = 42;
+    cp.nonce = Bytes(16, 16);
+    cp.pageContent = Bytes(128, 17);
+    cp.mac = Bytes(32, 18);
+    wires.push_back(cp.serialize());
+
+    PageRequest pr;
+    pr.requestId = 9;
+    pr.domain = "www.x.com";
+    pr.account = "alice";
+    pr.sessionId = 42;
+    pr.nonce = Bytes(16, 19);
+    pr.action = "inbox";
+    pr.frameHash = Bytes(32, 20);
+    pr.riskMatched = 2;
+    pr.riskWindow = 8;
+    pr.mac = Bytes(32, 21);
+    wires.push_back(pr.serialize());
+
+    ErrorReply er{10, "www.x.com", "stale-nonce"};
+    wires.push_back(er.serialize());
+
+    return wires;
+}
+
+/** Try every typed decoder; none may crash. */
+void
+decodeAll(const Bytes &wire)
+{
+    (void)RegistrationRequest::deserialize(wire);
+    (void)RegistrationPage::deserialize(wire);
+    (void)RegistrationSubmit::deserialize(wire);
+    (void)RegistrationResult::deserialize(wire);
+    (void)LoginRequest::deserialize(wire);
+    (void)LoginPage::deserialize(wire);
+    (void)LoginSubmit::deserialize(wire);
+    (void)ContentPage::deserialize(wire);
+    (void)PageRequest::deserialize(wire);
+    (void)ErrorReply::deserialize(wire);
+}
+
+TEST(MessagesHardening, EveryTypeSurvivesEveryTruncation)
+{
+    for (const Bytes &wire : allMessageWires()) {
+        // Each message round-trips whole...
+        decodeAll(wire);
+        // ...and every strict prefix is rejected without a panic.
+        for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+            const Bytes truncated(
+                wire.begin(),
+                wire.begin() + static_cast<long>(cut));
+            decodeAll(truncated);
+            const auto kind = peekKind(wire);
+            ASSERT_TRUE(kind.has_value());
+            switch (*kind) {
+              case MsgKind::PageRequest:
+                EXPECT_FALSE(
+                    PageRequest::deserialize(truncated).has_value());
+                break;
+              case MsgKind::ContentPage:
+                EXPECT_FALSE(
+                    ContentPage::deserialize(truncated).has_value());
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+TEST(MessagesHardening, EveryTypeSurvivesSingleBitFlips)
+{
+    for (const Bytes &wire : allMessageWires()) {
+        for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+            for (int bit = 0; bit < 8; ++bit) {
+                Bytes flipped = wire;
+                flipped[byte] ^=
+                    static_cast<std::uint8_t>(1u << bit);
+                decodeAll(flipped); // must not crash or throw
+            }
+        }
+    }
 }
 
 } // namespace

@@ -174,11 +174,14 @@ TEST(ProtocolE2E, ReplayAttackNeutralized)
     // The genuine session is unaffected...
     EXPECT_TRUE(outcome.loggedIn);
     EXPECT_EQ(outcome.pagesReceived, 10);
-    // ...and every replayed authenticated message bounced off the
-    // nonce check (replays of requests for fresh pages are harmless
-    // state-free reads).
+    // ...and every replayed authenticated message was neutralized:
+    // absorbed by the idempotent reply cache (which re-serves the
+    // original reply without re-executing the handler) or bounced
+    // off the duplicate-id/nonce checks.
     EXPECT_GT(replayer->replaysInjected(), 0u);
-    EXPECT_GE(server.counters().get("request-rejected:stale-nonce") +
+    EXPECT_GE(server.counters().get("dedup-hit") +
+                  server.counters().get("request-rejected:duplicate") +
+                  server.counters().get("request-rejected:stale-nonce") +
                   server.counters().get("registration-rejected") +
                   server.counters().get("login-rejected:stale-nonce"),
               1u);

@@ -135,7 +135,7 @@ TEST(Ecosystem, ServerRepliesThroughNetwork)
                          });
     eco.network().send(
         "probe", "www.a.com",
-        trust::trust::RegistrationRequest{"www.a.com", "u"}
+        trust::trust::RegistrationRequest{0, "www.a.com", "u"}
             .serialize());
     eco.settle();
     EXPECT_EQ(trust::trust::peekKind(reply),
@@ -155,7 +155,7 @@ TEST(Revocation, RevokedDeviceCertCannotRegister)
     server.installRevocationList({serial});
 
     const auto page =
-        server.handleRegistrationRequest({"www.x.com", "alice"});
+        server.handleRegistrationRequest({0, "www.x.com", "alice"});
     const auto submit = flock.handleRegistrationPage(
         page, "alice", trust::core::Bytes(64, 1),
         goodCapture(trustFingers()[0], 603));
@@ -178,7 +178,7 @@ TEST(Revocation, OtherDevicesUnaffected)
         {revoked.deviceCertificate()->serial});
 
     const auto page =
-        server.handleRegistrationRequest({"www.x.com", "bob"});
+        server.handleRegistrationRequest({0, "www.x.com", "bob"});
     const auto submit = healthy.handleRegistrationPage(
         page, "bob", trust::core::Bytes(64, 1),
         goodCapture(trustFingers()[1], 614));

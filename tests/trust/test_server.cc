@@ -34,7 +34,7 @@ struct LiveSession
                           trustFingers()[0]))
     {
         const auto reg_page = server.handleRegistrationRequest(
-            {"www.x.com", "alice"});
+            {0, "www.x.com", "alice"});
         const auto submit = flock.handleRegistrationPage(
             reg_page, "alice", Bytes(64, 1),
             goodCapture(trustFingers()[0], seed + 2));
@@ -43,7 +43,7 @@ struct LiveSession
                      "fixture registration accept");
 
         const auto login_page =
-            server.handleLoginRequest({"www.x.com", "alice"});
+            server.handleLoginRequest({0, "www.x.com", "alice"});
         const auto login = flock.handleLoginPage(
             *login_page, Bytes(64, 2),
             goodCapture(trustFingers()[0], seed + 3));
@@ -78,7 +78,7 @@ TEST(Server, RegistrationPageWellFormed)
 {
     WebServer server("www.x.com", trustCa(), 51);
     const auto page =
-        server.handleRegistrationRequest({"www.x.com", "bob"});
+        server.handleRegistrationRequest({0, "www.x.com", "bob"});
     EXPECT_EQ(page.domain, "www.x.com");
     EXPECT_EQ(page.nonce.size(), 16u);
     EXPECT_FALSE(page.pageContent.empty());
@@ -90,7 +90,7 @@ TEST(Server, LoginForUnknownAccountRefused)
 {
     WebServer server("www.x.com", trustCa(), 52);
     EXPECT_FALSE(
-        server.handleLoginRequest({"www.x.com", "nobody"}).has_value());
+        server.handleLoginRequest({0, "www.x.com", "nobody"}).has_value());
 }
 
 TEST(Server, ValidSessionFlow)
@@ -189,7 +189,7 @@ TEST(Server, StaleLoginNonceRejected)
     LiveSession live(130);
     // Re-login with a forged nonce.
     const auto login_page =
-        live.server.handleLoginRequest({"www.x.com", "alice"});
+        live.server.handleLoginRequest({0, "www.x.com", "alice"});
     ASSERT_TRUE(login_page.has_value());
     auto tampered = *login_page;
     tampered.nonce = Bytes(16, 0xee);
