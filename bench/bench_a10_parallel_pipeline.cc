@@ -20,6 +20,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -189,33 +191,29 @@ void
 writeJson(const std::vector<ConfigStats> &sweep, bool identical,
           double speedup4)
 {
-    std::FILE *f = std::fopen("BENCH_parallel.json", "w");
-    if (!f) {
-        std::printf("warning: could not open BENCH_parallel.json\n");
-        return;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"a10_parallel_pipeline\",\n");
-    std::fprintf(f, "  \"hardware_threads\": %u,\n",
-                 std::thread::hardware_concurrency());
-    std::fprintf(f, "  \"ops_per_config\": %d,\n", kOpsPerConfig);
-    std::fprintf(f, "  \"enrolled_views\": %d,\n",
-                 kEnrollFingers * kViewsPerFinger);
-    std::fprintf(f, "  \"identical_decisions\": %s,\n",
-                 identical ? "true" : "false");
-    std::fprintf(f, "  \"speedup_4t_vs_1t\": %.3f,\n", speedup4);
-    std::fprintf(f, "  \"results\": [\n");
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-        const auto &s = sweep[i];
-        std::fprintf(f,
-                     "    {\"threads\": %d, \"ops_per_sec\": %.3f, "
-                     "\"p50_ms\": %.3f, \"p95_ms\": %.3f, "
-                     "\"mean_ms\": %.3f}%s\n",
-                     s.threads, s.opsPerSec, s.p50Ms, s.p95Ms, s.meanMs,
-                     i + 1 < sweep.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote BENCH_parallel.json\n");
+    trust::benchutil::writeBenchJson(
+        "BENCH_parallel.json", "a10_parallel_pipeline",
+        [&](core::obs::JsonWriter &w) {
+            w.kv("hardware_threads",
+                 static_cast<std::uint64_t>(
+                     std::thread::hardware_concurrency()));
+            w.kv("ops_per_config", kOpsPerConfig);
+            w.kv("enrolled_views", kEnrollFingers * kViewsPerFinger);
+            w.kv("identical_decisions", identical);
+            w.kv("speedup_4t_vs_1t", speedup4);
+            w.key("results");
+            w.beginArray();
+            for (const auto &s : sweep) {
+                w.beginObject();
+                w.kv("threads", s.threads);
+                w.kv("ops_per_sec", s.opsPerSec);
+                w.kv("p50_ms", s.p50Ms);
+                w.kv("p95_ms", s.p95Ms);
+                w.kv("mean_ms", s.meanMs);
+                w.endObject();
+            }
+            w.endArray();
+        });
 }
 
 void
@@ -297,9 +295,11 @@ BENCHMARK(BM_PipelineOp)->Arg(1)->Arg(2)->Arg(4)->Unit(
 int
 main(int argc, char **argv)
 {
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
     runSweep();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

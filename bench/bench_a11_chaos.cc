@@ -22,6 +22,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -182,37 +184,29 @@ runSession(std::uint64_t seed, double loss, core::Tick partition,
 void
 writeJson(const std::vector<ChaosStats> &sweep)
 {
-    std::FILE *f = std::fopen("BENCH_chaos.json", "w");
-    if (!f) {
-        std::printf("warning: could not open BENCH_chaos.json\n");
-        return;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"a11_chaos\",\n");
-    std::fprintf(f, "  \"sessions_per_config\": %d,\n",
-                 kSessionsPerConfig);
-    std::fprintf(f, "  \"browsing_touches\": %d,\n",
-                 kBrowsingTouches);
-    std::fprintf(f, "  \"results\": [\n");
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-        const auto &s = sweep[i];
-        std::fprintf(
-            f,
-            "    {\"loss\": %.2f, \"partition_s\": %.1f, "
-            "\"completion_rate\": %.3f, \"auth_coverage\": %.3f, "
-            "\"retransmission_overhead\": %.4f, "
-            "\"retransmits\": %llu, \"dedup_hits\": %llu, "
-            "\"messages_dropped\": %llu, \"resumes\": %llu}%s\n",
-            s.lossRate, core::toMilliseconds(s.partition) / 1000.0,
-            s.completionRate(), s.authCoverage, s.retransOverhead,
-            static_cast<unsigned long long>(s.retransmits),
-            static_cast<unsigned long long>(s.dedupHits),
-            static_cast<unsigned long long>(s.messagesDropped),
-            static_cast<unsigned long long>(s.resumes),
-            i + 1 < sweep.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("\nwrote BENCH_chaos.json\n");
+    trust::benchutil::writeBenchJson(
+        "BENCH_chaos.json", "a11_chaos",
+        [&](core::obs::JsonWriter &w) {
+            w.kv("sessions_per_config", kSessionsPerConfig);
+            w.kv("browsing_touches", kBrowsingTouches);
+            w.key("results");
+            w.beginArray();
+            for (const auto &s : sweep) {
+                w.beginObject();
+                w.kv("loss", s.lossRate, 2);
+                w.kv("partition_s",
+                     core::toMilliseconds(s.partition) / 1000.0, 1);
+                w.kv("completion_rate", s.completionRate());
+                w.kv("auth_coverage", s.authCoverage);
+                w.kv("retransmission_overhead", s.retransOverhead, 4);
+                w.kv("retransmits", s.retransmits);
+                w.kv("dedup_hits", s.dedupHits);
+                w.kv("messages_dropped", s.messagesDropped);
+                w.kv("resumes", s.resumes);
+                w.endObject();
+            }
+            w.endArray();
+        });
 }
 
 void
@@ -280,9 +274,11 @@ BENCHMARK(BM_ChaosSession)->Arg(0)->Arg(10)->Arg(30)->Unit(
 int
 main(int argc, char **argv)
 {
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
     runSweep();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <chrono>
 #include <cstdio>
 
@@ -147,9 +149,11 @@ BENCHMARK(BM_FrameHashAlgorithms)->Arg(0)->Arg(1);
 int
 main(int argc, char **argv)
 {
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
     printFrameHashStudy();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

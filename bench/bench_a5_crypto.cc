@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include "crypto/aes128.hh"
 #include "crypto/cert.hh"
 #include "crypto/hmac.hh"
@@ -155,4 +157,14 @@ BENCHMARK(BM_CertificateIssueVerify)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
+    return 0;
+}

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <cstdio>
 
 #include "core/csv.hh"
@@ -169,9 +171,11 @@ BENCHMARK(BM_EnergyModel);
 int
 main(int argc, char **argv)
 {
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
     printEnergyStudy();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <cstdio>
 
 #include "core/csv.hh"
@@ -206,9 +208,19 @@ BENCHMARK(BM_PageRequestRoundTrip)->Unit(benchmark::kMicrosecond);
 int
 main(int argc, char **argv)
 {
+    auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
+    // This bench is the canonical observability demo: it always
+    // records, and defaults the trace/audit destinations so a bare
+    // run leaves an inspectable session behind.
+    if (obs_opts.traceOut.empty())
+        obs_opts.traceOut = "TRACE_continuous_auth.json";
+    if (obs_opts.auditOut.empty())
+        obs_opts.auditOut = "AUDIT_continuous_auth.log";
+    trust::core::obs::setEnabled(true);
     printContinuousAuthStudy();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <cstdio>
 
 #include "core/csv.hh"
@@ -95,9 +97,11 @@ BENCHMARK(BM_TimingModelParallel);
 int
 main(int argc, char **argv)
 {
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
     printAddressingAblation();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <cstdio>
 
 #include "core/csv.hh"
@@ -190,9 +192,11 @@ BENCHMARK(BM_RegistrationCrypto)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
     printRegistrationStudy();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

@@ -18,6 +18,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <cstdio>
 
 #include "core/csv.hh"
@@ -166,9 +168,11 @@ BENCHMARK(BM_IntegratedLoginPath);
 int
 main(int argc, char **argv)
 {
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
     printTableOne();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs_util.hh"
+
 #include <cstdio>
 
 #include "core/csv.hh"
@@ -99,9 +101,11 @@ BENCHMARK(BM_CaptureTimingModel)->DenseRange(0, 4);
 int
 main(int argc, char **argv)
 {
+    const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
     printTableTwo();
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
+    trust::benchutil::writeObsOutputs(obs_opts);
     return 0;
 }

@@ -1,0 +1,210 @@
+#include "core/obs/audit.hh"
+
+#include <charconv>
+
+#include "core/obs/obs.hh"
+
+namespace trust::core::obs {
+
+namespace {
+
+bool
+safeChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+           c == '.' || c == ':' || c == '/' || c == '+';
+}
+
+std::optional<std::uint64_t>
+parseU64(std::string_view s)
+{
+    if (s.empty())
+        return std::nullopt;
+    std::uint64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), v);
+    if (ec != std::errc() || ptr != s.data() + s.size())
+        return std::nullopt;
+    return v;
+}
+
+/** Split "key=value"; nullopt when '=' is missing or key empty. */
+std::optional<std::pair<std::string_view, std::string_view>>
+splitKv(std::string_view token)
+{
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+        return std::nullopt;
+    return std::pair{token.substr(0, eq), token.substr(eq + 1)};
+}
+
+} // namespace
+
+std::string
+AuditLog::sanitize(std::string_view raw)
+{
+    if (raw.empty())
+        return "_";
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw)
+        out.push_back(safeChar(c) ? c : '_');
+    return out;
+}
+
+void
+AuditLog::record(std::string_view actor, std::string_view kind,
+                 std::initializer_list<Field> fields)
+{
+    AuditRecord r;
+    r.tick = simNow();
+    r.actor = sanitize(actor);
+    r.kind = sanitize(kind);
+    r.fields.reserve(fields.size());
+    for (const auto &[k, v] : fields)
+        r.fields.emplace_back(sanitize(k), sanitize(v));
+    std::lock_guard<std::mutex> lock(mutex_);
+    r.seq = nextSeq_++;
+    records_.push_back(std::move(r));
+}
+
+std::vector<AuditRecord>
+AuditLog::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_;
+}
+
+std::size_t
+AuditLog::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return records_.size();
+}
+
+void
+AuditLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.clear();
+    nextSeq_ = 0;
+}
+
+std::string
+AuditLog::serializeRecord(const AuditRecord &record)
+{
+    std::string line;
+    line += "seq=";
+    line += std::to_string(record.seq);
+    line += " t=";
+    line += std::to_string(record.tick);
+    line += " actor=";
+    line += record.actor;
+    line += " kind=";
+    line += record.kind;
+    for (const auto &[k, v] : record.fields) {
+        line += ' ';
+        line += k;
+        line += '=';
+        line += v;
+    }
+    return line;
+}
+
+std::string
+AuditLog::serialize() const
+{
+    const std::vector<AuditRecord> records = snapshot();
+    std::string out;
+    for (const AuditRecord &r : records) {
+        out += serializeRecord(r);
+        out += '\n';
+    }
+    return out;
+}
+
+std::optional<AuditRecord>
+AuditLog::parseLine(std::string_view line)
+{
+    AuditRecord r;
+    std::size_t index = 0;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        // Tokenise on single spaces; empty tokens (doubled or
+        // leading spaces) are malformed rather than skipped, so a
+        // flipped byte cannot silently merge or drop fields.
+        std::size_t end = line.find(' ', pos);
+        if (end == std::string_view::npos)
+            end = line.size();
+        const std::string_view token = line.substr(pos, end - pos);
+        pos = end + 1;
+        if (token.empty())
+            return std::nullopt;
+        const auto kv = splitKv(token);
+        if (!kv)
+            return std::nullopt;
+        const auto &[key, value] = *kv;
+        switch (index) {
+          case 0: {
+            if (key != "seq")
+                return std::nullopt;
+            const auto seq = parseU64(value);
+            if (!seq)
+                return std::nullopt;
+            r.seq = *seq;
+            break;
+          }
+          case 1: {
+            if (key != "t")
+                return std::nullopt;
+            const auto tick = parseU64(value);
+            if (!tick)
+                return std::nullopt;
+            r.tick = tick.value();
+            break;
+          }
+          case 2:
+            if (key != "actor" || value.empty())
+                return std::nullopt;
+            r.actor = std::string(value);
+            break;
+          case 3:
+            if (key != "kind" || value.empty())
+                return std::nullopt;
+            r.kind = std::string(value);
+            break;
+          default:
+            r.fields.emplace_back(std::string(key),
+                                  std::string(value));
+            break;
+        }
+        ++index;
+    }
+    if (index < 4) // the fixed prefix is mandatory
+        return std::nullopt;
+    return r;
+}
+
+std::optional<std::vector<AuditRecord>>
+AuditLog::parse(std::string_view text)
+{
+    std::vector<AuditRecord> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string_view::npos)
+            end = text.size();
+        const std::string_view line = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        auto record = parseLine(line);
+        if (!record)
+            return std::nullopt;
+        out.push_back(std::move(*record));
+    }
+    return out;
+}
+
+} // namespace trust::core::obs

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Decision audit log: an append-only, structured record of every
+ * decision the trust stack makes — touch outcomes, risk-window
+ * transitions, retry/backoff events, server verdicts — sufficient
+ * to replay *why* a session locked after the fact.
+ *
+ * Records carry raw simulated-clock ticks only (never wall time),
+ * so a seeded run serialises to the exact same bytes regardless of
+ * host speed or worker-thread count; the golden replay test pins
+ * this down. The canonical line format is
+ *
+ *     seq=12 t=2150000000 actor=device kind=touch outcome=match ...
+ *
+ * i.e. space-separated `key=value` tokens with a fixed
+ * seq/t/actor/kind prefix. Keys and values are sanitised to a
+ * conservative charset at record time, so the format never needs
+ * quoting and the parser below can stay tiny and total.
+ */
+
+#ifndef TRUST_CORE_OBS_AUDIT_HH
+#define TRUST_CORE_OBS_AUDIT_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/sim_clock.hh"
+
+namespace trust::core::obs {
+
+/** One audit entry (decoded form). */
+struct AuditRecord
+{
+    std::uint64_t seq = 0; ///< Monotonic per-log sequence number.
+    Tick tick = 0;         ///< Simulated time (0 when no sim clock).
+    std::string actor;     ///< Who decided ("device", "bank.example").
+    std::string kind;      ///< What kind of decision ("touch", ...).
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/** The process-wide audit log (access through obs::audit()). */
+class AuditLog
+{
+  public:
+    using Field = std::pair<std::string_view, std::string_view>;
+
+    /**
+     * Append a record stamped with the current simulated time.
+     * Keys and values are sanitised (whitespace / '=' replaced)
+     * so serialisation is always loss-free to parse back.
+     */
+    void record(std::string_view actor, std::string_view kind,
+                std::initializer_list<Field> fields = {});
+
+    std::vector<AuditRecord> snapshot() const;
+    std::size_t size() const;
+    void clear();
+
+    /** Render the whole log in the canonical line format. */
+    std::string serialize() const;
+
+    /** Canonical single-line form (no trailing newline). */
+    static std::string serializeRecord(const AuditRecord &record);
+
+    /**
+     * @{ @name Hardened readers
+     * Return nullopt on any malformed input (truncated lines,
+     * bit-flipped bytes, missing prefix keys); never crash. Swept
+     * with the shared fuzz helpers in tests.
+     */
+    static std::optional<AuditRecord> parseLine(std::string_view line);
+    static std::optional<std::vector<AuditRecord>>
+    parse(std::string_view text);
+    /** @} */
+
+    /** Conservative charset mapping used at record time. */
+    static std::string sanitize(std::string_view raw);
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<AuditRecord> records_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace trust::core::obs
+
+#endif // TRUST_CORE_OBS_AUDIT_HH

@@ -1,0 +1,517 @@
+#include "core/obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/logging.hh"
+
+namespace trust::core::obs {
+
+namespace {
+
+/** Cursor over the input with bounds-checked access. */
+struct Cursor
+{
+    std::string_view text;
+    std::size_t pos = 0;
+
+    bool done() const { return pos >= text.size(); }
+    char peek() const { return done() ? '\0' : text[pos]; }
+    char
+    take()
+    {
+        return done() ? '\0' : text[pos++];
+    }
+
+    void
+    skipSpace()
+    {
+        while (!done()) {
+            const char c = text[pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos;
+        }
+    }
+
+    bool
+    consume(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return false;
+        pos += word.size();
+        return true;
+    }
+};
+
+bool parseValue(Cursor &c, JsonValue &out, int depth);
+
+bool
+parseHex4(Cursor &c, unsigned &out)
+{
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+        const char ch = c.take();
+        unsigned digit = 0;
+        if (ch >= '0' && ch <= '9')
+            digit = static_cast<unsigned>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f')
+            digit = static_cast<unsigned>(ch - 'a' + 10);
+        else if (ch >= 'A' && ch <= 'F')
+            digit = static_cast<unsigned>(ch - 'A' + 10);
+        else
+            return false;
+        out = out * 16 + digit;
+    }
+    return true;
+}
+
+bool
+parseString(Cursor &c, std::string &out)
+{
+    if (c.take() != '"')
+        return false;
+    out.clear();
+    while (true) {
+        if (c.done())
+            return false;
+        const char ch = c.take();
+        if (ch == '"')
+            return true;
+        if (static_cast<unsigned char>(ch) < 0x20)
+            return false; // raw control character
+        if (ch != '\\') {
+            out.push_back(ch);
+            continue;
+        }
+        const char esc = c.take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            if (!parseHex4(c, code))
+                return false;
+            // Encode as UTF-8 (surrogates passed through unpaired
+            // are encoded individually; enough for our artifacts).
+            if (code < 0x80) {
+                out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+                out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                out.push_back(
+                    static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+                out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                out.push_back(static_cast<char>(
+                    0x80 | ((code >> 6) & 0x3F)));
+                out.push_back(
+                    static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+    }
+}
+
+bool
+parseNumber(Cursor &c, double &out)
+{
+    const std::size_t start = c.pos;
+    if (c.peek() == '-')
+        c.take();
+    if (!std::isdigit(static_cast<unsigned char>(c.peek())))
+        return false;
+    while (std::isdigit(static_cast<unsigned char>(c.peek())))
+        c.take();
+    if (c.peek() == '.') {
+        c.take();
+        if (!std::isdigit(static_cast<unsigned char>(c.peek())))
+            return false;
+        while (std::isdigit(static_cast<unsigned char>(c.peek())))
+            c.take();
+    }
+    if (c.peek() == 'e' || c.peek() == 'E') {
+        c.take();
+        if (c.peek() == '+' || c.peek() == '-')
+            c.take();
+        if (!std::isdigit(static_cast<unsigned char>(c.peek())))
+            return false;
+        while (std::isdigit(static_cast<unsigned char>(c.peek())))
+            c.take();
+    }
+    const std::string token(c.text.substr(start, c.pos - start));
+    char *end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(out))
+        return false;
+    return true;
+}
+
+bool
+parseArray(Cursor &c, int depth, std::vector<JsonValue> &items)
+{
+    c.take(); // '['
+    c.skipSpace();
+    if (c.peek() == ']') {
+        c.take();
+        return true;
+    }
+    while (true) {
+        JsonValue item;
+        if (!parseValue(c, item, depth))
+            return false;
+        items.push_back(std::move(item));
+        c.skipSpace();
+        const char ch = c.take();
+        if (ch == ']')
+            return true;
+        if (ch != ',')
+            return false;
+        c.skipSpace();
+    }
+}
+
+bool
+parseObject(Cursor &c, int depth,
+            std::vector<std::pair<std::string, JsonValue>> &members)
+{
+    c.take(); // '{'
+    c.skipSpace();
+    if (c.peek() == '}') {
+        c.take();
+        return true;
+    }
+    while (true) {
+        std::string key;
+        if (c.peek() != '"' || !parseString(c, key))
+            return false;
+        c.skipSpace();
+        if (c.take() != ':')
+            return false;
+        c.skipSpace();
+        JsonValue value;
+        if (!parseValue(c, value, depth))
+            return false;
+        members.emplace_back(std::move(key), std::move(value));
+        c.skipSpace();
+        const char ch = c.take();
+        if (ch == '}')
+            return true;
+        if (ch != ',')
+            return false;
+        c.skipSpace();
+    }
+}
+
+bool
+parseValue(Cursor &c, JsonValue &out, int depth)
+{
+    if (depth <= 0)
+        return false;
+    c.skipSpace();
+    const char ch = c.peek();
+    if (ch == '{') {
+        std::vector<std::pair<std::string, JsonValue>> members;
+        if (!parseObject(c, depth - 1, members))
+            return false;
+        out = JsonValue::makeObject(std::move(members));
+        return true;
+    }
+    if (ch == '[') {
+        std::vector<JsonValue> items;
+        if (!parseArray(c, depth - 1, items))
+            return false;
+        out = JsonValue::makeArray(std::move(items));
+        return true;
+    }
+    if (ch == '"') {
+        std::string s;
+        if (!parseString(c, s))
+            return false;
+        out = JsonValue::makeString(std::move(s));
+        return true;
+    }
+    if (ch == 't') {
+        if (!c.consume("true"))
+            return false;
+        out = JsonValue::makeBool(true);
+        return true;
+    }
+    if (ch == 'f') {
+        if (!c.consume("false"))
+            return false;
+        out = JsonValue::makeBool(false);
+        return true;
+    }
+    if (ch == 'n') {
+        if (!c.consume("null"))
+            return false;
+        out = JsonValue();
+        return true;
+    }
+    double number = 0.0;
+    if (!parseNumber(c, number))
+        return false;
+    out = JsonValue::makeNumber(number);
+    return true;
+}
+
+} // namespace
+
+std::optional<JsonValue>
+JsonValue::parse(std::string_view text, int max_depth)
+{
+    Cursor c{text, 0};
+    JsonValue out;
+    if (!parseValue(c, out, max_depth))
+        return std::nullopt;
+    c.skipSpace();
+    if (!c.done())
+        return std::nullopt; // trailing garbage
+    return out;
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Bool;
+    out.boolean_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Number;
+    out.number_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue out;
+    out.kind_ = Kind::String;
+    out.string_ = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue out;
+    out.kind_ = Kind::Array;
+    out.items_ = std::move(items);
+    return out;
+}
+
+JsonValue
+JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue out;
+    out.kind_ = Kind::Object;
+    out.members_ = std::move(members);
+    return out;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &[k, v] : members_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+// --- JsonWriter -----------------------------------------------------------
+
+void
+JsonWriter::indent()
+{
+    out_.push_back('\n');
+    out_.append(stack_.size() * 2, ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty())
+        return;
+    if (stack_.back() == Scope::Object) {
+        TRUST_ASSERT(keyPending_, "JsonWriter: value without key");
+        keyPending_ = false;
+        return;
+    }
+    if (hasItems_.back())
+        out_.push_back(',');
+    hasItems_.back() = true;
+    indent();
+}
+
+void
+JsonWriter::key(std::string_view k)
+{
+    TRUST_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                 "JsonWriter: key outside object");
+    TRUST_ASSERT(!keyPending_, "JsonWriter: consecutive keys");
+    if (hasItems_.back())
+        out_.push_back(',');
+    hasItems_.back() = true;
+    indent();
+    out_.push_back('"');
+    writeEscaped(k);
+    out_.append("\": ");
+    keyPending_ = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_.push_back('{');
+    stack_.push_back(Scope::Object);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    TRUST_ASSERT(!stack_.empty() && stack_.back() == Scope::Object,
+                 "JsonWriter: endObject outside object");
+    const bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had) {
+        out_.push_back('\n');
+        out_.append(stack_.size() * 2, ' ');
+    }
+    out_.push_back('}');
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_.push_back('[');
+    stack_.push_back(Scope::Array);
+    hasItems_.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    TRUST_ASSERT(!stack_.empty() && stack_.back() == Scope::Array,
+                 "JsonWriter: endArray outside array");
+    const bool had = hasItems_.back();
+    stack_.pop_back();
+    hasItems_.pop_back();
+    if (had) {
+        out_.push_back('\n');
+        out_.append(stack_.size() * 2, ' ');
+    }
+    out_.push_back(']');
+}
+
+void
+JsonWriter::writeEscaped(std::string_view s)
+{
+    for (const char ch : s) {
+        switch (ch) {
+          case '"': out_.append("\\\""); break;
+          case '\\': out_.append("\\\\"); break;
+          case '\b': out_.append("\\b"); break;
+          case '\f': out_.append("\\f"); break;
+          case '\n': out_.append("\\n"); break;
+          case '\r': out_.append("\\r"); break;
+          case '\t': out_.append("\\t"); break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out_.append(buf);
+            } else {
+                out_.push_back(ch);
+            }
+        }
+    }
+}
+
+void
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    out_.push_back('"');
+    writeEscaped(v);
+    out_.push_back('"');
+}
+
+void
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_.append(v ? "true" : "false");
+}
+
+void
+JsonWriter::value(double v, int precision)
+{
+    beforeValue();
+    if (!std::isfinite(v)) {
+        out_.append("null"); // JSON has no inf/nan
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    out_.append(buf);
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_.append(std::to_string(v));
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_.append(std::to_string(v));
+}
+
+void
+JsonWriter::valueNull()
+{
+    beforeValue();
+    out_.append("null");
+}
+
+std::string
+JsonWriter::take()
+{
+    TRUST_ASSERT(stack_.empty(),
+                 "JsonWriter: take() with open scopes");
+    std::string result = std::move(out_);
+    out_.clear();
+    keyPending_ = false;
+    result.push_back('\n');
+    return result;
+}
+
+} // namespace trust::core::obs

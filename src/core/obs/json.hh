@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Minimal JSON reading/writing for the observability layer.
+ *
+ * JsonWriter is the single emission path for every machine-readable
+ * artifact the repo produces (BENCH_*.json envelopes, Chrome trace
+ * files, metrics snapshots), so formatting cannot drift between
+ * benches. JsonValue is a strict, bounded recursive-descent parser
+ * used by the schema-shape tests and the observability-file readers;
+ * it must survive arbitrary malformed input (truncations, bit
+ * flips) without crashing or recursing unboundedly.
+ */
+
+#ifndef TRUST_CORE_OBS_JSON_HH
+#define TRUST_CORE_OBS_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace trust::core::obs {
+
+/** A parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    /**
+     * Parse a complete JSON document. Returns nullopt on any syntax
+     * error, trailing garbage, or nesting deeper than @p max_depth.
+     * Never throws and never reads out of bounds.
+     */
+    static std::optional<JsonValue> parse(std::string_view text,
+                                          int max_depth = 64);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors (defaults returned on kind mismatch). */
+    bool asBool() const { return boolean_; }
+    double asNumber() const { return number_; }
+    const std::string &asString() const { return string_; }
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<JsonValue> &items() const { return items_; }
+
+    /** Object members in document order (empty unless isObject()). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return members_;
+    }
+
+    /** First member with @p key, or nullptr. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** @{ @name Construction helpers (used by the parser and tests). */
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+    /** @} */
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Streaming JSON writer with 2-space pretty-printing and full string
+ * escaping. Misuse (e.g. a value with no pending key inside an
+ * object) is a programming error and asserts.
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Set the key for the next value (objects only). */
+    void key(std::string_view k);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(bool v);
+    void value(double v, int precision = 3);
+    void value(std::int64_t v);
+    void value(std::uint64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void valueNull();
+
+    /** Convenience: key(k) followed by value(v). */
+    template <typename T>
+    void
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    void
+    kv(std::string_view k, double v, int precision)
+    {
+        key(k);
+        value(v, precision);
+    }
+
+    /** Finish and return the document (writer is reset). */
+    std::string take();
+
+  private:
+    enum class Scope { Object, Array };
+
+    void beforeValue();
+    void indent();
+    void writeEscaped(std::string_view s);
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    std::vector<bool> hasItems_;
+    bool keyPending_ = false;
+};
+
+} // namespace trust::core::obs
+
+#endif // TRUST_CORE_OBS_JSON_HH

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and histograms with an
+ * atomic (lock-free) fast path.
+ *
+ * Design contract with the PR 1 thread pool: instrument handles are
+ * resolved once (a mutex-protected name lookup) and then updated
+ * with plain atomic operations, so workers on the fingerprint hot
+ * path never serialize on a registry lock. Handles stay valid for
+ * the life of the process — reset() zeroes values but never
+ * deallocates an instrument, precisely so call sites may cache
+ * references in function-local statics.
+ *
+ * Snapshots export to JSON (via JsonWriter) and to the existing
+ * core::Table/CSV helpers for bench output.
+ */
+
+#ifndef TRUST_CORE_OBS_METRICS_HH
+#define TRUST_CORE_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/csv.hh"
+#include "core/stats.hh"
+
+namespace trust::core::obs {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-range histogram with atomic bins (uniform buckets plus
+ * under/overflow, running sum for the mean). snapshot() converts to
+ * the non-atomic core::Histogram so quantiles and merging reuse the
+ * existing stats machinery.
+ */
+class HistogramMetric
+{
+  public:
+    HistogramMetric(double lo, double hi, int bins);
+
+    void observe(double x);
+
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    int bins() const { return static_cast<int>(counts_.size()); }
+    std::uint64_t
+    count() const
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    /** Consistent-enough copy for reporting (relaxed reads). */
+    Histogram snapshot() const;
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double binWidth_;
+    std::vector<std::atomic<std::uint64_t>> counts_;
+    std::atomic<std::uint64_t> underflow_{0};
+    std::atomic<std::uint64_t> overflow_{0};
+    std::atomic<std::uint64_t> total_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/** One (key, value) label pair; rendered as name{k=v,k2=v2}. */
+using Label = std::pair<std::string_view, std::string_view>;
+
+/** Registry of named instruments. */
+class MetricsRegistry
+{
+  public:
+    /** Resolve (creating on first use). References never dangle. */
+    Counter &counter(std::string_view name);
+    Counter &counter(std::string_view name,
+                     std::initializer_list<Label> labels);
+    Gauge &gauge(std::string_view name);
+    Gauge &gauge(std::string_view name,
+                 std::initializer_list<Label> labels);
+
+    /**
+     * Resolve a histogram; the (lo, hi, bins) shape is fixed by the
+     * first caller and later mismatched shapes panic (two call sites
+     * disagreeing about one metric is a bug, not a runtime
+     * condition).
+     */
+    HistogramMetric &histogram(std::string_view name, double lo,
+                               double hi, int bins);
+    HistogramMetric &histogram(std::string_view name,
+                               std::initializer_list<Label> labels,
+                               double lo, double hi, int bins);
+
+    /** Zero every instrument (handles stay valid). */
+    void reset();
+
+    /** Export everything as a JSON document. */
+    std::string toJson() const;
+
+    /** Export scalar instruments as a (metric, value) table. */
+    Table toTable() const;
+
+    /** Canonical flattened key, e.g. "net/sent{dir=up}". */
+    static std::string flatten(std::string_view name,
+                               std::initializer_list<Label> labels);
+
+  private:
+    mutable std::mutex mutex_;
+    // Node-based maps: insertion never moves existing instruments.
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<HistogramMetric>,
+             std::less<>>
+        histograms_;
+};
+
+} // namespace trust::core::obs
+
+#endif // TRUST_CORE_OBS_METRICS_HH

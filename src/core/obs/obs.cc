@@ -1,0 +1,121 @@
+#include "core/obs/obs.hh"
+
+#include <chrono>
+#include <mutex>
+
+namespace trust::core::obs {
+
+namespace detail {
+std::atomic<bool> g_runtimeEnabled{false};
+} // namespace detail
+
+namespace {
+
+std::atomic<const EventQueue *> g_clock{nullptr};
+
+// Hybrid-clock anchor: the last sim tick we saw, and the steady
+// clock reading when we first saw it. Guarded by a mutex; now() is
+// only reached when observability is runtime-enabled.
+std::mutex g_anchorMutex;
+Tick g_lastSim = 0;
+std::chrono::steady_clock::time_point g_lastWall{};
+bool g_anchored = false;
+
+Tick
+steadyNs()
+{
+    return static_cast<Tick>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry *instance = new MetricsRegistry();
+    return *instance;
+}
+
+SpanTracer &
+tracer()
+{
+    static SpanTracer *instance = new SpanTracer();
+    return *instance;
+}
+
+AuditLog &
+audit()
+{
+    static AuditLog *instance = new AuditLog();
+    return *instance;
+}
+
+void
+setEnabled(bool on)
+{
+#if TRUST_OBS_ENABLED
+    detail::g_runtimeEnabled.store(on, std::memory_order_relaxed);
+#else
+    (void)on;
+#endif
+}
+
+bool
+enabled()
+{
+    return enabledFast();
+}
+
+void
+setClockSource(const EventQueue *clock)
+{
+    g_clock.store(clock, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(g_anchorMutex);
+    g_anchored = false;
+    g_lastSim = 0;
+}
+
+Tick
+simNow()
+{
+    const EventQueue *clock = g_clock.load(std::memory_order_acquire);
+    return clock ? clock->now() : 0;
+}
+
+Tick
+now()
+{
+    const EventQueue *clock = g_clock.load(std::memory_order_acquire);
+    const auto wall = std::chrono::steady_clock::now();
+    if (!clock) {
+        // No simulation live (unit tests, micro-benchmarks): fall
+        // back to the raw steady clock so spans still have widths.
+        return steadyNs();
+    }
+    const Tick sim = clock->now();
+    std::lock_guard<std::mutex> lock(g_anchorMutex);
+    if (!g_anchored || sim != g_lastSim) {
+        g_anchored = true;
+        g_lastSim = sim;
+        g_lastWall = wall;
+        return sim;
+    }
+    const auto delta =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            wall - g_lastWall)
+            .count();
+    return sim + static_cast<Tick>(delta > 0 ? delta : 0);
+}
+
+void
+resetAll()
+{
+    metrics().reset();
+    tracer().clear();
+    audit().clear();
+}
+
+} // namespace trust::core::obs

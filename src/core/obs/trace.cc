@@ -1,0 +1,253 @@
+#include "core/obs/trace.hh"
+
+#include <atomic>
+#include <unordered_map>
+
+#include "core/obs/json.hh"
+#include "core/obs/obs.hh"
+
+namespace trust::core::obs {
+
+namespace {
+
+/** Microseconds (Chrome's unit) from obs-clock ticks (ns). */
+double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+const char *
+phaseCode(TracePhase phase)
+{
+    switch (phase) {
+      case TracePhase::Complete: return "X";
+      case TracePhase::Instant: return "i";
+      case TracePhase::AsyncBegin: return "b";
+      case TracePhase::AsyncEnd: return "e";
+    }
+    return "X";
+}
+
+} // namespace
+
+std::uint32_t
+SpanTracer::threadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t id = next.fetch_add(1);
+    return id;
+}
+
+std::vector<SpanTracer::OpenSpan> &
+SpanTracer::threadStack() const
+{
+    // Per (tracer, thread) open-span stacks: keyed by instance so
+    // tests may run private tracers without cross-talk.
+    thread_local std::unordered_map<const SpanTracer *,
+                                    std::vector<OpenSpan>>
+        stacks;
+    return stacks[this];
+}
+
+void
+SpanTracer::append(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+void
+SpanTracer::beginSpan(std::string_view name)
+{
+    threadStack().push_back({std::string(name), now()});
+}
+
+void
+SpanTracer::endSpan()
+{
+    endSpan({});
+}
+
+void
+SpanTracer::endSpan(
+    std::vector<std::pair<std::string, std::string>> args)
+{
+    auto &stack = threadStack();
+    if (stack.empty()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++unbalanced_;
+        return;
+    }
+    OpenSpan open = std::move(stack.back());
+    stack.pop_back();
+    const Tick end = now();
+    TraceEvent event;
+    event.name = std::move(open.name);
+    event.phase = TracePhase::Complete;
+    event.ts = open.start;
+    event.dur = end > open.start ? end - open.start : 0;
+    event.tid = threadId();
+    event.args = std::move(args);
+    append(std::move(event));
+}
+
+void
+SpanTracer::instant(
+    std::string_view name,
+    std::vector<std::pair<std::string, std::string>> args)
+{
+    TraceEvent event;
+    event.name = std::string(name);
+    event.phase = TracePhase::Instant;
+    event.ts = now();
+    event.tid = threadId();
+    event.args = std::move(args);
+    append(std::move(event));
+}
+
+void
+SpanTracer::asyncBegin(
+    std::string_view name, std::uint64_t id,
+    std::vector<std::pair<std::string, std::string>> args)
+{
+    TraceEvent event;
+    event.name = std::string(name);
+    event.phase = TracePhase::AsyncBegin;
+    event.ts = now();
+    event.tid = threadId();
+    event.id = id;
+    event.args = std::move(args);
+    append(std::move(event));
+}
+
+void
+SpanTracer::asyncEnd(
+    std::string_view name, std::uint64_t id,
+    std::vector<std::pair<std::string, std::string>> args)
+{
+    TraceEvent event;
+    event.name = std::string(name);
+    event.phase = TracePhase::AsyncEnd;
+    event.ts = now();
+    event.tid = threadId();
+    event.id = id;
+    event.args = std::move(args);
+    append(std::move(event));
+}
+
+std::vector<TraceEvent>
+SpanTracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+std::size_t
+SpanTracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::uint64_t
+SpanTracer::unbalancedEnds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return unbalanced_;
+}
+
+std::size_t
+SpanTracer::openDepth() const
+{
+    return threadStack().size();
+}
+
+std::string
+SpanTracer::toChromeJson() const
+{
+    const std::vector<TraceEvent> events = snapshot();
+    JsonWriter w;
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents");
+    w.beginArray();
+    for (const TraceEvent &e : events) {
+        w.beginObject();
+        w.kv("name", e.name);
+        w.kv("cat", "trust");
+        w.kv("ph", phaseCode(e.phase));
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<std::uint64_t>(e.tid));
+        w.key("ts");
+        w.value(toUs(e.ts), 3);
+        if (e.phase == TracePhase::Complete) {
+            w.key("dur");
+            w.value(toUs(e.dur), 3);
+        }
+        if (e.phase == TracePhase::AsyncBegin ||
+            e.phase == TracePhase::AsyncEnd) {
+            char idbuf[32];
+            std::snprintf(idbuf, sizeof idbuf, "0x%llx",
+                          static_cast<unsigned long long>(e.id));
+            w.kv("id", idbuf);
+        }
+        if (e.phase == TracePhase::Instant)
+            w.kv("s", "t");
+        if (!e.args.empty()) {
+            w.key("args");
+            w.beginObject();
+            for (const auto &[k, v] : e.args)
+                w.kv(k, v);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
+}
+
+void
+SpanTracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    unbalanced_ = 0;
+}
+
+std::optional<std::vector<TraceEventLite>>
+parseChromeTrace(std::string_view text)
+{
+    const auto doc = JsonValue::parse(text);
+    if (!doc || !doc->isObject())
+        return std::nullopt;
+    const JsonValue *events = doc->find("traceEvents");
+    if (!events || !events->isArray())
+        return std::nullopt;
+    std::vector<TraceEventLite> out;
+    out.reserve(events->items().size());
+    for (const JsonValue &e : events->items()) {
+        if (!e.isObject())
+            return std::nullopt;
+        const JsonValue *name = e.find("name");
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *ts = e.find("ts");
+        if (!name || !name->isString() || !ph || !ph->isString() ||
+            !ts || !ts->isNumber())
+            return std::nullopt;
+        TraceEventLite lite;
+        lite.name = name->asString();
+        lite.phase = ph->asString();
+        lite.ts = ts->asNumber();
+        if (const JsonValue *dur = e.find("dur")) {
+            if (!dur->isNumber())
+                return std::nullopt;
+            lite.dur = dur->asNumber();
+        }
+        out.push_back(std::move(lite));
+    }
+    return out;
+}
+
+} // namespace trust::core::obs

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Span tracer driven by the simulated clock, exported as Chrome
+ * `trace_event` JSON (loadable in chrome://tracing or Perfetto).
+ *
+ * Three event shapes cover the pipeline and the protocol:
+ *
+ *  - **Complete spans** (`ph: "X"`): RAII scopes opened with
+ *    TRUST_SPAN; nested per thread through a thread-local stack, so
+ *    capture -> enhance -> minutiae -> match shows up as a slice
+ *    stack.
+ *  - **Async spans** (`ph: "b"/"e"`): begin/end matched by id, for
+ *    protocol request/retry lifetimes that cross multiple event-
+ *    queue callbacks and cannot be a C++ scope.
+ *  - **Instants** (`ph: "i"`): point events (retransmissions,
+ *    faults, verdicts).
+ *
+ * Timestamps come from the obs clock (sim ticks when an Ecosystem
+ * is live, a wall-clock hybrid otherwise; see obs.hh). The tracer
+ * never panics on misuse: an endSpan with no open span is counted
+ * and ignored, so randomized open/close orders still produce a
+ * well-formed trace.
+ */
+
+#ifndef TRUST_CORE_OBS_TRACE_HH
+#define TRUST_CORE_OBS_TRACE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/sim_clock.hh"
+
+namespace trust::core::obs {
+
+/** Chrome trace_event phase. */
+enum class TracePhase : std::uint8_t
+{
+    Complete,   ///< "X": a closed span with a duration.
+    Instant,    ///< "i": a point event.
+    AsyncBegin, ///< "b": start of an id-matched async span.
+    AsyncEnd,   ///< "e": end of an id-matched async span.
+};
+
+/** One recorded event. */
+struct TraceEvent
+{
+    std::string name;
+    TracePhase phase = TracePhase::Complete;
+    Tick ts = 0;  ///< Start timestamp (obs-clock ticks = ns).
+    Tick dur = 0; ///< Duration (Complete spans only).
+    std::uint32_t tid = 0;
+    std::uint64_t id = 0; ///< Async correlation id.
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** The process-wide tracer (access through obs::tracer()). */
+class SpanTracer
+{
+  public:
+    /** Open a span on the calling thread's stack. */
+    void beginSpan(std::string_view name);
+
+    /** Close the innermost open span (no-op if none is open). */
+    void endSpan();
+    void endSpan(
+        std::vector<std::pair<std::string, std::string>> args);
+
+    /** Point event. */
+    void instant(
+        std::string_view name,
+        std::vector<std::pair<std::string, std::string>> args = {});
+
+    /** @{ @name Async (id-correlated) spans. */
+    void asyncBegin(
+        std::string_view name, std::uint64_t id,
+        std::vector<std::pair<std::string, std::string>> args = {});
+    void asyncEnd(
+        std::string_view name, std::uint64_t id,
+        std::vector<std::pair<std::string, std::string>> args = {});
+    /** @} */
+
+    /** Recorded events (completed spans only; copies). */
+    std::vector<TraceEvent> snapshot() const;
+
+    std::size_t eventCount() const;
+
+    /** endSpan() calls that found no open span. */
+    std::uint64_t unbalancedEnds() const;
+
+    /** Depth of the calling thread's open-span stack. */
+    std::size_t openDepth() const;
+
+    /** Render the Chrome trace_event JSON document. */
+    std::string toChromeJson() const;
+
+    /** Drop every recorded event (open spans survive). */
+    void clear();
+
+  private:
+    struct OpenSpan
+    {
+        std::string name;
+        Tick start = 0;
+    };
+
+    void append(TraceEvent event);
+    std::vector<OpenSpan> &threadStack() const;
+    static std::uint32_t threadId();
+
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+    std::uint64_t unbalanced_ = 0;
+};
+
+/**
+ * Parsed-down view of one Chrome trace event, produced by the
+ * hardened reader below (consumers only need these fields).
+ */
+struct TraceEventLite
+{
+    std::string name;
+    std::string phase;
+    double ts = 0.0;
+    double dur = 0.0;
+};
+
+/**
+ * Hardened reader for Chrome trace JSON: returns the events under
+ * "traceEvents", or nullopt when the document is malformed. Never
+ * crashes on truncated or bit-flipped input (fuzz-swept in tests).
+ */
+std::optional<std::vector<TraceEventLite>>
+parseChromeTrace(std::string_view text);
+
+} // namespace trust::core::obs
+
+#endif // TRUST_CORE_OBS_TRACE_HH

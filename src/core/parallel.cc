@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "core/obs/obs.hh"
+
 namespace trust::core {
 
 namespace {
@@ -104,6 +106,13 @@ ThreadPool::parallelFor(int begin, int end, int grain,
         for (int b = begin; b < end; b += grain)
             fn(b, std::min(b + grain, end));
         return;
+    }
+
+    if (obs::enabledFast()) {
+        obs::metrics().counter("parallel/jobs").add();
+        obs::metrics()
+            .counter("parallel/chunks")
+            .add(static_cast<std::uint64_t>(chunks));
     }
 
     auto job = std::make_shared<ForJob>();

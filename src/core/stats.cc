@@ -85,6 +85,41 @@ Histogram::add(double x)
     ++counts_[bin];
 }
 
+bool
+Histogram::sameLayout(const Histogram &o) const
+{
+    return lo_ == o.lo_ && hi_ == o.hi_ &&
+           counts_.size() == o.counts_.size();
+}
+
+void
+Histogram::merge(const Histogram &o)
+{
+    TRUST_ASSERT(sameLayout(o),
+                 "Histogram::merge: incompatible bin layouts");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += o.counts_[i];
+    underflow_ += o.underflow_;
+    overflow_ += o.overflow_;
+    total_ += o.total_;
+}
+
+Histogram
+Histogram::fromCounts(double lo, double hi,
+                      std::vector<std::uint64_t> counts,
+                      std::uint64_t underflow, std::uint64_t overflow)
+{
+    TRUST_ASSERT(!counts.empty(), "Histogram::fromCounts: no bins");
+    Histogram h(lo, hi, static_cast<int>(counts.size()));
+    h.underflow_ = underflow;
+    h.overflow_ = overflow;
+    h.total_ = underflow + overflow;
+    for (const std::uint64_t c : counts)
+        h.total_ += c;
+    h.counts_ = std::move(counts);
+    return h;
+}
+
 double
 Histogram::binLo(int bin) const
 {

@@ -60,6 +60,26 @@ class Histogram
     /** Add an observation (routed to under/overflow if outside). */
     void add(double x);
 
+    /**
+     * Merge another histogram into this one. Requires an identical
+     * bin layout (same lo, hi and bin count); panics otherwise.
+     * Merging is associative and commutative: any grouping of
+     * per-thread partials yields the same totals.
+     */
+    void merge(const Histogram &o);
+
+    /** True when @p o has the same (lo, hi, bins) layout. */
+    bool sameLayout(const Histogram &o) const;
+
+    /**
+     * Rebuild a histogram from previously captured raw bin counts
+     * (used by atomic metric snapshots).
+     */
+    static Histogram fromCounts(double lo, double hi,
+                                std::vector<std::uint64_t> counts,
+                                std::uint64_t underflow,
+                                std::uint64_t overflow);
+
     int bins() const { return static_cast<int>(counts_.size()); }
     double lo() const { return lo_; }
     double hi() const { return hi_; }

@@ -1,5 +1,6 @@
 #include "fingerprint/pipeline.hh"
 
+#include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "fingerprint/enhance.hh"
 #include "fingerprint/skeleton.hh"
@@ -95,6 +96,7 @@ matchTemplatesBatch(const std::vector<FingerprintTemplate> &views,
                     const std::vector<Minutia> &query,
                     const MatchParams &params)
 {
+    TRUST_SPAN("fp/match-batch");
     std::vector<MatchResult> results(views.size());
     core::parallelFor(
         0, static_cast<int>(views.size()), 1, [&](int b, int e) {
@@ -102,6 +104,10 @@ matchTemplatesBatch(const std::vector<FingerprintTemplate> &views,
                 results[static_cast<std::size_t>(i)] = matchTemplate(
                     views[static_cast<std::size_t>(i)], query, params);
         });
+    if (core::obs::enabledFast())
+        core::obs::metrics()
+            .counter("fp/templates-matched")
+            .add(views.size());
     return results;
 }
 
@@ -154,26 +160,53 @@ std::optional<FingerprintTemplate>
 extractTemplate(const FingerprintImage &capture,
                 const PipelineParams &params)
 {
-    const QualityReport quality = assessQuality(capture, params.quality);
-    if (quality.score < params.minAcceptQuality)
+    TRUST_SPAN("fp/extract");
+    QualityReport quality;
+    {
+        TRUST_SPAN("fp/quality");
+        quality = assessQuality(capture, params.quality);
+    }
+    if (quality.score < params.minAcceptQuality) {
+        if (core::obs::enabledFast())
+            core::obs::metrics()
+                .counter("fp/extract-rejected",
+                         {{"reason", "quality"}})
+                .add();
         return std::nullopt;
+    }
 
     FingerprintImage work = capture;
-    normalizeImage(work);
-    const auto orientation = estimateOrientation(work);
-    double period = estimateRidgePeriod(work, orientation);
-    if (period < 3.0 || period > 25.0)
-        period = 9.0; // fall back to the nominal 500 dpi ridge pitch
-    gaborEnhance(work, orientation, 1.0 / period, params.gaborRadius,
-                 params.gaborSigma);
+    core::Grid<float> orientation;
+    double period = 9.0;
+    {
+        TRUST_SPAN("fp/enhance");
+        normalizeImage(work);
+        orientation = estimateOrientation(work);
+        period = estimateRidgePeriod(work, orientation);
+        if (period < 3.0 || period > 25.0)
+            period = 9.0; // nominal 500 dpi ridge pitch fallback
+        gaborEnhance(work, orientation, 1.0 / period,
+                     params.gaborRadius, params.gaborSigma);
+    }
 
-    const auto skeleton = thin(binarize(work));
     FingerprintTemplate out;
     out.quality = quality.score;
-    out.minutiae = extractMinutiae(skeleton, work.mask(), orientation,
-                                   params.extraction);
-    if (out.minutiae.empty())
+    {
+        TRUST_SPAN("fp/minutiae");
+        const auto skeleton = thin(binarize(work));
+        out.minutiae = extractMinutiae(skeleton, work.mask(),
+                                       orientation, params.extraction);
+    }
+    if (out.minutiae.empty()) {
+        if (core::obs::enabledFast())
+            core::obs::metrics()
+                .counter("fp/extract-rejected",
+                         {{"reason", "no-minutiae"}})
+                .add();
         return std::nullopt;
+    }
+    if (core::obs::enabledFast())
+        core::obs::metrics().counter("fp/extract-ok").add();
     return out;
 }
 

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "core/obs/obs.hh"
+
 namespace trust::net {
+
+namespace {
+
+/** Metrics + audit + trace-instant for one injected fault. */
+void
+noteFault(const char *kind, const Message &message)
+{
+    if (!core::obs::enabledFast())
+        return;
+    core::obs::metrics()
+        .counter("net/fault", {{"kind", kind}})
+        .add();
+    core::obs::audit().record("net", "fault",
+                              {{"fault", kind},
+                               {"from", message.from},
+                               {"to", message.to}});
+    core::obs::tracer().instant("net/fault", {{"kind", kind}});
+}
+
+} // namespace
 
 FaultModel::FaultModel(std::uint64_t seed, FaultConfig config)
     : rng_(seed), config_(config)
@@ -31,11 +53,13 @@ FaultModel::onSend(Message &message, core::Tick now)
 
     if (partitionedAt(now)) {
         ++partitionDropped_;
+        noteFault("partition-drop", message);
         decision.drop = true;
         return decision;
     }
     if (rng_.chance(config_.dropRate)) {
         ++dropped_;
+        noteFault("drop", message);
         decision.drop = true;
         return decision;
     }
@@ -52,6 +76,7 @@ FaultModel::onSend(Message &message, core::Tick now)
                 1u << rng_.uniformInt(0, 7));
         }
         ++corrupted_;
+        noteFault("corrupt", message);
         decision.corrupted = true;
     }
 
@@ -62,6 +87,7 @@ FaultModel::onSend(Message &message, core::Tick now)
             static_cast<std::int64_t>(
                 std::max<core::Tick>(1, config_.latencySpikeMax) - 1)));
         ++spiked_;
+        noteFault("latency-spike", message);
     }
 
     if (config_.reorderRate > 0.0 && rng_.chance(config_.reorderRate)) {
@@ -70,6 +96,7 @@ FaultModel::onSend(Message &message, core::Tick now)
             static_cast<std::int64_t>(
                 std::max<core::Tick>(1, config_.reorderDelayMax) - 1)));
         ++reordered_;
+        noteFault("reorder", message);
     }
 
     if (config_.duplicateRate > 0.0 &&
@@ -81,6 +108,7 @@ FaultModel::onSend(Message &message, core::Tick now)
                     std::max<core::Tick>(1, config_.duplicateDelayMax) -
                     1))));
         ++duplicated_;
+        noteFault("duplicate", message);
     }
     return decision;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/obs/obs.hh"
 #include "net/faults.hh"
 
 namespace trust::net {
@@ -54,11 +55,22 @@ Network::send(const std::string &from, const std::string &to,
 {
     ++sent_;
     bytesSent_ += payload.size();
+    if (core::obs::enabledFast()) {
+        core::obs::metrics().counter("net/sent").add();
+        core::obs::metrics()
+            .counter("net/bytes-sent")
+            .add(payload.size());
+    }
 
     Message message{from, to, payload, queue_.now()};
     if (adversary_ &&
-        adversary_->onMessage(message) == Verdict::Drop)
+        adversary_->onMessage(message) == Verdict::Drop) {
+        if (core::obs::enabledFast())
+            core::obs::metrics()
+                .counter("net/dropped", {{"by", "adversary"}})
+                .add();
         return;
+    }
 
     const core::Tick base = latency_.latencyFor(message.payload.size());
     if (!faults_) {
@@ -100,6 +112,8 @@ Network::deliver(const Message &message)
     if (it == handlers_.end())
         return;
     ++delivered_;
+    if (core::obs::enabledFast())
+        core::obs::metrics().counter("net/delivered").add();
     it->second(message);
 }
 

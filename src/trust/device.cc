@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "core/obs/obs.hh"
 #include "fingerprint/capture.hh"
 
 namespace trust::trust {
@@ -105,8 +106,32 @@ MobileDevice::beginExchange(std::uint64_t request_id,
     pending_.request = std::move(request);
     pending_.attempts = 1;
     pending_.nextTimeout = retryPolicy_.initialTimeout;
+    if (core::obs::enabledFast()) {
+        core::obs::metrics().counter("device/exchanges").add();
+        core::obs::tracer().asyncBegin(
+            "device/exchange", pending_.opId,
+            {{"domain", pending_.domain}});
+        core::obs::audit().record(
+            name_, "exchange-begin",
+            {{"op", std::to_string(pending_.opId)},
+             {"domain", pending_.domain}});
+    }
     network_->send(name_, pending_.domain, pending_.request);
     armRetryTimer();
+}
+
+void
+MobileDevice::noteExchangeEnd(const char *result)
+{
+    if (!core::obs::enabledFast() || pending_.opId == 0)
+        return;
+    core::obs::tracer().asyncEnd("device/exchange", pending_.opId,
+                                 {{"result", result}});
+    core::obs::audit().record(
+        name_, "exchange-end",
+        {{"op", std::to_string(pending_.opId)},
+         {"result", result},
+         {"attempts", std::to_string(pending_.attempts)}});
 }
 
 void
@@ -131,6 +156,11 @@ MobileDevice::onOpTimeout(std::uint64_t op_id)
         return; // stale timer: the exchange already finished
     if (pending_.attempts >= retryPolicy_.maxAttempts) {
         counters_.bump("op-retry-exhausted");
+        if (core::obs::enabledFast())
+            core::obs::metrics()
+                .counter("device/retry-exhausted")
+                .add();
+        noteExchangeEnd("retry-exhausted");
         lastError_ = OpError::RetryExhausted;
         if (pending_.await == Await::LoginReplyMsg ||
             pending_.await == Await::PageReplyMsg)
@@ -141,6 +171,18 @@ MobileDevice::onOpTimeout(std::uint64_t op_id)
     ++pending_.attempts;
     network_->send(name_, pending_.domain, pending_.request);
     counters_.bump("op-retransmit");
+    if (core::obs::enabledFast()) {
+        core::obs::metrics().counter("device/retransmit").add();
+        core::obs::tracer().instant(
+            "device/retransmit",
+            {{"op", std::to_string(pending_.opId)},
+             {"attempt", std::to_string(pending_.attempts)}});
+        core::obs::audit().record(
+            name_, "retransmit",
+            {{"op", std::to_string(pending_.opId)},
+             {"attempt", std::to_string(pending_.attempts)},
+             {"timeout", std::to_string(pending_.nextTimeout)}});
+    }
     const auto next = static_cast<core::Tick>(
         static_cast<double>(pending_.nextTimeout) *
         retryPolicy_.backoffFactor);
@@ -236,6 +278,7 @@ MobileDevice::handleMessage(const net::Message &message)
             lastError_ = OpError::BadReply;
             return;
         }
+        noteExchangeEnd("registration-page");
         pending_.regPage = *page;
         pending_.await = Await::RegistrationTouch;
         counters_.bump("registration-page-shown");
@@ -254,6 +297,8 @@ MobileDevice::handleMessage(const net::Message &message)
             lastError_ = OpError::BadReply;
             return;
         }
+        noteExchangeEnd(result->ok ? "registration-ok"
+                                   : "registration-failed");
         if (result->ok) {
             registered_[result->domain] = true;
             counters_.bump("registration-complete");
@@ -277,6 +322,7 @@ MobileDevice::handleMessage(const net::Message &message)
             lastError_ = OpError::BadReply;
             return;
         }
+        noteExchangeEnd("login-page");
         pending_.loginPage = *page;
         pending_.await = Await::LoginTouch;
         counters_.bump("login-page-shown");
@@ -309,6 +355,7 @@ MobileDevice::handleMessage(const net::Message &message)
             lastError_ = OpError::BadReply;
             return;
         }
+        noteExchangeEnd("content-page");
         currentPage_[page->domain] = *plain;
         currentFrame_[page->domain] = displayFrame(*plain);
         sessionIds_[page->domain] = page->sessionId;
@@ -336,6 +383,7 @@ MobileDevice::handleMessage(const net::Message &message)
             counters_.bump("corrupted-request-reply");
             return;
         }
+        noteExchangeEnd("server-error");
         counters_.bump("server-error-reply");
         lastError_ = OpError::ServerError;
         pending_ = PendingOp{};

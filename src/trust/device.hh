@@ -231,6 +231,12 @@ class MobileDevice
     /** Timeout fired for exchange @p op_id (may be stale). */
     void onOpTimeout(std::uint64_t op_id);
 
+    /**
+     * Close the async trace span / audit trail of the in-flight
+     * exchange with the given result tag (obs-gated no-op).
+     */
+    void noteExchangeEnd(const char *result);
+
     void startLoginInternal(const std::string &domain, bool resume);
 
     std::string name_;

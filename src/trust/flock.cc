@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "core/obs/obs.hh"
 #include "core/parallel.hh"
 #include "crypto/aes128.hh"
 #include "crypto/hmac.hh"
@@ -96,6 +97,7 @@ int
 FlockModule::firstMatchingFinger(const CaptureSample &capture,
                                  bool strict) const
 {
+    TRUST_SPAN("flock/match");
     const auto &params =
         strict ? config_.strictMatchParams : config_.matchParams;
 
@@ -137,6 +139,7 @@ FlockModule::verifyCapture(const CaptureSample &capture) const
 TouchOutcome
 FlockModule::processTouch(const CaptureSample &capture)
 {
+    TRUST_SPAN("flock/process-touch");
     TouchOutcome outcome;
     if (!capture.covered) {
         outcome = TouchOutcome::NotCovered;
@@ -160,7 +163,40 @@ FlockModule::processTouch(const CaptureSample &capture)
                           : TouchOutcome::Rejected;
     }
     risk_.record(outcome);
+    noteTouch(outcome);
     return outcome;
+}
+
+void
+FlockModule::noteTouch(TouchOutcome outcome)
+{
+    if (!core::obs::enabledFast())
+        return;
+    namespace obs = core::obs;
+    obs::metrics()
+        .counter("flock/touch", {{"outcome", toString(outcome)}})
+        .add();
+    const RiskReport rr = risk_.report();
+    const bool violated = risk_.violated();
+    obs::audit().record(
+        deviceId_, "touch",
+        {{"outcome", toString(outcome)},
+         {"matched", std::to_string(rr.matched)},
+         {"window", std::to_string(rr.windowTouches)},
+         {"violated", violated ? "1" : "0"},
+         {"hard", risk_.hardFailure() ? "1" : "0"}});
+    if (violated != lastViolated_) {
+        // Edge-record every k-of-n transition: these are the events
+        // a lock post-mortem replays first.
+        lastViolated_ = violated;
+        obs::audit().record(
+            deviceId_, "risk-transition",
+            {{"violated", violated ? "1" : "0"},
+             {"matched", std::to_string(rr.matched)},
+             {"window", std::to_string(rr.windowTouches)}});
+        obs::tracer().instant("flock/risk-transition",
+                              {{"violated", violated ? "1" : "0"}});
+    }
 }
 
 core::Bytes
@@ -239,6 +275,12 @@ FlockModule::handleRegistrationPage(const RegistrationPage &page,
     }
     busyTime_ += store_.writeLatency();
     bindings_[page.domain] = std::move(binding);
+    if (core::obs::enabledFast())
+        core::obs::audit().record(
+            deviceId_, "registration-submit",
+            {{"domain", page.domain},
+             {"account", account},
+             {"finger", std::to_string(finger)}});
     return submit;
 }
 
@@ -278,6 +320,15 @@ FlockModule::handleLoginPage(const LoginPage &page,
     if (!resume)
         risk_.reset();
     risk_.record(TouchOutcome::Matched);
+    if (core::obs::enabledFast()) {
+        const RiskReport rr = risk_.report();
+        core::obs::audit().record(
+            deviceId_, resume ? "risk-epoch-resume" : "risk-epoch-new",
+            {{"domain", page.domain},
+             {"matched", std::to_string(rr.matched)},
+             {"window", std::to_string(rr.windowTouches)}});
+        lastViolated_ = risk_.violated();
+    }
 
     Session session;
     session.sessionKey = rng_.randomBytes(32);
@@ -301,6 +352,12 @@ FlockModule::handleLoginPage(const LoginPage &page,
         crypto::hmacSha256(session.sessionKey, submit.macBody());
 
     sessions_[page.domain] = std::move(session);
+    if (core::obs::enabledFast())
+        core::obs::audit().record(
+            deviceId_, "login-submit",
+            {{"domain", page.domain},
+             {"matched", std::to_string(submit.riskMatched)},
+             {"window", std::to_string(submit.riskWindow)}});
     return submit;
 }
 

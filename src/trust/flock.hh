@@ -265,6 +265,9 @@ class FlockModule
 
     core::Bytes frameHashFor(const core::Bytes &frame);
 
+    /** Audit/metrics for one continuous-auth outcome (obs-gated). */
+    void noteTouch(TouchOutcome outcome);
+
     std::string deviceId_;
     crypto::RsaPublicKey caKey_;
     FlockConfig config_;
@@ -279,6 +282,7 @@ class FlockModule
     // index so continuous-auth matches skip template re-indexing.
     std::vector<std::vector<fingerprint::FingerprintTemplate>> fingers_;
     IdentityRisk risk_;
+    bool lastViolated_ = false; ///< Audit: edge-detects k-of-n trips.
     std::map<std::string, DomainBinding> bindings_;
     std::map<std::string, Session> sessions_;
     core::Tick busyTime_ = 0;

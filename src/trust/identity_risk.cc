@@ -4,6 +4,19 @@
 
 namespace trust::trust {
 
+const char *
+toString(TouchOutcome outcome)
+{
+    switch (outcome) {
+      case TouchOutcome::NotCovered: return "not-covered";
+      case TouchOutcome::LowQuality: return "low-quality";
+      case TouchOutcome::Matched: return "matched";
+      case TouchOutcome::Rejected: return "rejected";
+      case TouchOutcome::SensorDegraded: return "sensor-degraded";
+    }
+    return "unknown";
+}
+
 IdentityRisk::IdentityRisk(int window_size, int required_matches)
     : windowSize_(window_size), requiredMatches_(required_matches)
 {

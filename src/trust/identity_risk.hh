@@ -37,6 +37,9 @@ enum class TouchOutcome : std::uint8_t
     SensorDegraded = 4,
 };
 
+/** Stable lowercase name (metrics labels, audit records, tables). */
+const char *toString(TouchOutcome outcome);
+
 /** Snapshot of the current risk state. */
 struct RiskReport
 {

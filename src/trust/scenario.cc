@@ -1,6 +1,7 @@
 #include "trust/scenario.hh"
 
 #include "core/logging.hh"
+#include "core/obs/obs.hh"
 
 namespace trust::trust {
 
@@ -11,6 +12,15 @@ Ecosystem::Ecosystem(const EcosystemConfig &config)
           "TrustRootCA", config.rsaBits, caRng_)),
       nextSeed_(config.seed * 7919 + 17)
 {
+    // The live ecosystem's queue becomes the observability time
+    // source: audit records get raw sim ticks, trace spans anchor
+    // to them.
+    core::obs::setClockSource(&queue_);
+}
+
+Ecosystem::~Ecosystem()
+{
+    core::obs::setClockSource(nullptr);
 }
 
 WebServer &

@@ -39,6 +39,7 @@ class Ecosystem
 {
   public:
     explicit Ecosystem(const EcosystemConfig &config);
+    ~Ecosystem();
 
     Ecosystem(const Ecosystem &) = delete;
     Ecosystem &operator=(const Ecosystem &) = delete;

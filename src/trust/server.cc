@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/logging.hh"
+#include "core/obs/obs.hh"
 #include "crypto/aes128.hh"
 #include "crypto/hmac.hh"
 #include "crypto/sha256.hh"
@@ -64,7 +65,7 @@ WebServer::freshNonce()
 ErrorReply
 WebServer::error(const std::string &reason, std::uint64_t request_id)
 {
-    counters_.bump("error:" + reason);
+    note("error:" + reason);
     ErrorReply reply;
     reply.requestId = request_id;
     reply.domain = domain_;
@@ -72,9 +73,29 @@ WebServer::error(const std::string &reason, std::uint64_t request_id)
     return reply;
 }
 
+void
+WebServer::note(const std::string &event, const std::string &account,
+                const std::string &detail)
+{
+    counters_.bump(event);
+    if (!core::obs::enabledFast())
+        return;
+    core::obs::metrics()
+        .counter("server/verdict", {{"event", event}})
+        .add();
+    // Fixed field set (absent values as "-") keeps the canonical
+    // line shape identical across verdict kinds.
+    core::obs::audit().record(
+        domain_, "verdict",
+        {{"event", event},
+         {"account", account.empty() ? "-" : account},
+         {"detail", detail.empty() ? "-" : detail}});
+}
+
 core::Bytes
 WebServer::handle(const core::Bytes &request, const std::string &from)
 {
+    TRUST_SPAN("server/handle");
     const auto kind = peekKind(request);
     const auto id = peekRequestId(request);
     if (!kind || !id)
@@ -88,7 +109,7 @@ WebServer::handle(const core::Bytes &request, const std::string &from)
     if (dedupable) {
         for (const auto &entry : dedupCache_) {
             if (entry.from == from && entry.requestId == *id) {
-                counters_.bump("dedup-hit");
+                note("dedup-hit", from);
                 return entry.reply;
             }
         }
@@ -158,7 +179,7 @@ WebServer::dispatch(MsgKind kind, const core::Bytes &request,
 RegistrationPage
 WebServer::handleRegistrationRequest(const RegistrationRequest &request)
 {
-    counters_.bump("registration-request");
+    note("registration-request", request.account);
     RegistrationPage page;
     page.requestId = request.requestId;
     page.domain = domain_;
@@ -184,7 +205,7 @@ WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
 
     if (submit.domain != domain_) {
         result.reason = "wrong-domain";
-        counters_.bump("registration-rejected");
+        note("registration-rejected", submit.account, result.reason);
         return result;
     }
 
@@ -196,7 +217,7 @@ WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
     if (pending == pendingRegNonce_.end() ||
         nonce_it == pending->second.end()) {
         result.reason = "stale-nonce";
-        counters_.bump("registration-rejected");
+        note("registration-rejected", submit.account, result.reason);
         return result;
     }
 
@@ -207,26 +228,26 @@ WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
         !crypto::verifyCertificate(*device_cert, caKey_, 0,
                                    crypto::CertRole::FlockDevice)) {
         result.reason = "bad-device-cert";
-        counters_.bump("registration-rejected");
+        note("registration-rejected", submit.account, result.reason);
         return result;
     }
     if (std::find(revokedSerials_.begin(), revokedSerials_.end(),
                   device_cert->serial) != revokedSerials_.end()) {
         result.reason = "revoked-device-cert";
-        counters_.bump("registration-rejected");
+        note("registration-rejected", submit.account, result.reason);
         return result;
     }
     if (!crypto::rsaVerify(device_cert->subjectKey,
                            submit.signedBody(), submit.signature)) {
         result.reason = "bad-signature";
-        counters_.bump("registration-rejected");
+        note("registration-rejected", submit.account, result.reason);
         return result;
     }
     const auto user_key =
         crypto::RsaPublicKey::deserialize(submit.userPublicKey);
     if (!user_key) {
         result.reason = "bad-user-key";
-        counters_.bump("registration-rejected");
+        note("registration-rejected", submit.account, result.reason);
         return result;
     }
 
@@ -239,7 +260,7 @@ WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
     database_[submit.account] = *user_key;
     pending->second.erase(nonce_it);
     result.ok = true;
-    counters_.bump("registration-accepted");
+    note("registration-accepted", submit.account);
     return result;
 }
 
@@ -248,7 +269,7 @@ WebServer::handleLoginRequest(const LoginRequest &request)
 {
     if (!database_.count(request.account))
         return std::nullopt;
-    counters_.bump("login-request");
+    note("login-request", request.account);
     LoginPage page;
     page.requestId = request.requestId;
     page.domain = domain_;
@@ -288,7 +309,7 @@ WebServer::handleLoginSubmit(const LoginSubmit &submit)
         return std::nullopt;
     auto db = database_.find(submit.account);
     if (db == database_.end()) {
-        counters_.bump("login-rejected:unknown-account");
+        note("login-rejected:unknown-account", submit.account);
         return std::nullopt;
     }
     auto pending = pendingLoginNonce_.find(submit.account);
@@ -298,7 +319,7 @@ WebServer::handleLoginSubmit(const LoginSubmit &submit)
                                     pending->second.end(), submit.nonce);
     if (pending == pendingLoginNonce_.end() ||
         nonce_it == pending->second.end()) {
-        counters_.bump("login-rejected:stale-nonce");
+        note("login-rejected:stale-nonce", submit.account);
         return std::nullopt;
     }
 
@@ -306,12 +327,12 @@ WebServer::handleLoginSubmit(const LoginSubmit &submit)
     const auto session_key =
         crypto::rsaDecrypt(keys_.priv, submit.encSessionKey);
     if (!session_key || session_key->size() != 32) {
-        counters_.bump("login-rejected:bad-session-key");
+        note("login-rejected:bad-session-key", submit.account);
         return std::nullopt;
     }
     if (!crypto::hmacSha256Verify(*session_key, submit.macBody(),
                                   submit.mac)) {
-        counters_.bump("login-rejected:bad-mac");
+        note("login-rejected:bad-mac", submit.account);
         return std::nullopt;
     }
 
@@ -331,7 +352,7 @@ WebServer::handleLoginSubmit(const LoginSubmit &submit)
     ContentPage page =
         makeContentPage(session_id, session, "home", submit.requestId);
     sessions_[session_id] = std::move(session);
-    counters_.bump("login-accepted");
+    note("login-accepted", submit.account);
     return page;
 }
 
@@ -342,12 +363,12 @@ WebServer::handlePageRequest(const PageRequest &request)
         return std::nullopt;
     auto it = sessions_.find(request.sessionId);
     if (it == sessions_.end()) {
-        counters_.bump("request-rejected:no-session");
+        note("request-rejected:no-session", request.account);
         return std::nullopt;
     }
     SessionState &session = it->second;
     if (session.account != request.account) {
-        counters_.bump("request-rejected:account-mismatch");
+        note("request-rejected:account-mismatch", request.account);
         return std::nullopt;
     }
 
@@ -355,7 +376,7 @@ WebServer::handlePageRequest(const PageRequest &request)
     // valid MAC proves the request left the trusted module.
     if (!crypto::hmacSha256Verify(session.sessionKey,
                                   request.macBody(), request.mac)) {
-        counters_.bump("request-rejected:bad-mac");
+        note("request-rejected:bad-mac", request.account);
         return std::nullopt;
     }
 
@@ -364,21 +385,21 @@ WebServer::handlePageRequest(const PageRequest &request)
     // a late retransmission that slipped past the reply cache.
     if (request.requestId != 0 &&
         request.requestId <= session.lastRequestId) {
-        counters_.bump("request-rejected:duplicate");
+        note("request-rejected:duplicate", request.account);
         return std::nullopt;
     }
 
     // Nonce freshness: must echo exactly the nonce issued with the
     // previous page (replay defence).
     if (request.nonce != session.expectedNonce) {
-        counters_.bump("request-rejected:stale-nonce");
+        note("request-rejected:stale-nonce", request.account);
         return std::nullopt;
     }
 
     // Risk policy: the continuous-auth signal from FLock.
     if (request.riskWindow >= policy_.riskEnforceWindow &&
         request.riskMatched < policy_.minRiskMatched) {
-        counters_.bump("request-rejected:risk");
+        note("request-rejected:risk", request.account);
         return std::nullopt;
     }
 
@@ -390,14 +411,14 @@ WebServer::handlePageRequest(const PageRequest &request)
             std::find(expected.begin(), expected.end(),
                       request.frameHash) != expected.end();
         if (!known) {
-            counters_.bump("request-rejected:frame-hash");
+            note("request-rejected:frame-hash", request.account);
             return std::nullopt;
         }
     }
     auditLog_.push_back({request.account, request.sessionId,
                          request.frameHash, expected});
 
-    counters_.bump("request-accepted");
+    note("request-accepted", request.account);
     if (request.requestId != 0)
         session.lastRequestId = request.requestId;
     return makeContentPage(request.sessionId, session,
@@ -424,7 +445,7 @@ WebServer::resetIdentity(const std::string &account)
             ++it;
     }
     if (existed)
-        counters_.bump("identity-reset");
+        note("identity-reset", account);
     return existed;
 }
 

@@ -175,6 +175,15 @@ class WebServer
     ErrorReply error(const std::string &reason,
                      std::uint64_t request_id = 0);
 
+    /**
+     * Record one verdict: bump the named counter (unchanged
+     * behaviour) and, when observability is on, mirror it into the
+     * metrics registry and the decision audit log.
+     */
+    void note(const std::string &event,
+              const std::string &account = std::string(),
+              const std::string &detail = std::string());
+
     std::string domain_;
     crypto::RsaPublicKey caKey_;
     crypto::Csprng rng_;

@@ -1,0 +1,109 @@
+/** @file Schema-shape test for the BENCH_*.json emission path: the
+ *  writeBenchJson envelope is pinned here, and any BENCH_*.json
+ *  committed at the repo root must conform. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_obs_util.hh"
+#include "core/obs/json.hh"
+
+namespace {
+
+namespace fs = std::filesystem;
+using trust::core::obs::JsonValue;
+
+/** The envelope contract every BENCH_*.json must satisfy. */
+void
+expectBenchEnvelope(const std::string &text, const std::string &what)
+{
+    const auto doc = JsonValue::parse(text);
+    ASSERT_TRUE(doc.has_value()) << what << ": not valid JSON";
+    ASSERT_TRUE(doc->isObject()) << what;
+
+    const JsonValue *schema = doc->find("schema");
+    ASSERT_NE(schema, nullptr) << what << ": missing \"schema\"";
+    EXPECT_TRUE(schema->isNumber()) << what;
+    EXPECT_EQ(schema->asNumber(), 1.0) << what;
+
+    const JsonValue *bench = doc->find("bench");
+    ASSERT_NE(bench, nullptr) << what << ": missing \"bench\"";
+    ASSERT_TRUE(bench->isString()) << what;
+    EXPECT_FALSE(bench->asString().empty()) << what;
+
+    // When a results array is present it must hold objects.
+    if (const JsonValue *results = doc->find("results")) {
+        ASSERT_TRUE(results->isArray()) << what;
+        for (const auto &row : results->items())
+            EXPECT_TRUE(row.isObject()) << what;
+    }
+}
+
+TEST(BenchSchema, WriterEmitsTheEnvelope)
+{
+    const std::string path = "BENCH_schema_selftest.json";
+    trust::benchutil::writeBenchJson(
+        path, "schema_selftest",
+        [](trust::core::obs::JsonWriter &w) {
+            w.kv("ops_per_config", 8);
+            w.key("results");
+            w.beginArray();
+            w.beginObject();
+            w.kv("threads", 1);
+            w.kv("ops_per_sec", 123.456);
+            w.endObject();
+            w.endArray();
+        });
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    in.close();
+    std::remove(path.c_str());
+
+    const std::string text = buf.str();
+    expectBenchEnvelope(text, path);
+
+    const auto doc = JsonValue::parse(text);
+    ASSERT_TRUE(doc.has_value());
+    // The envelope keys come first, in a fixed order.
+    ASSERT_GE(doc->members().size(), 2u);
+    EXPECT_EQ(doc->members()[0].first, "schema");
+    EXPECT_EQ(doc->members()[1].first, "bench");
+    EXPECT_EQ(doc->find("bench")->asString(), "schema_selftest");
+}
+
+TEST(BenchSchema, CommittedBenchFilesConform)
+{
+    // Benches drop BENCH_*.json wherever they run; anything that
+    // lands at the repo root (and gets committed) must conform.
+    const fs::path roots[] = {fs::path(TRUST_SOURCE_DIR),
+                              fs::current_path()};
+    int checked = 0;
+    for (const auto &root : roots) {
+        std::error_code ec;
+        for (const auto &entry : fs::directory_iterator(root, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind("BENCH_", 0) != 0 ||
+                entry.path().extension() != ".json")
+                continue;
+            std::ifstream in(entry.path(), std::ios::binary);
+            ASSERT_TRUE(in.good()) << entry.path();
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            expectBenchEnvelope(buf.str(), entry.path().string());
+            ++checked;
+        }
+    }
+    // Nothing committed today is also a pass; the contract simply
+    // holds for whatever shows up.
+    SUCCEED() << checked << " BENCH_*.json files checked";
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+/** @file JsonWriter/JsonValue: emission shape, round trips, and
+ *  hardened parsing of malformed documents. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/obs/json.hh"
+#include "core/rng.hh"
+#include "tests/support/fuzz.hh"
+
+namespace {
+
+using trust::core::Rng;
+using trust::core::obs::JsonValue;
+using trust::core::obs::JsonWriter;
+
+std::string
+sampleDocument()
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", 1);
+    w.kv("name", "trust \"quoted\" \\ path\n");
+    w.kv("ratio", 0.12345, 5);
+    w.kv("big", std::uint64_t{18446744073709551615ull});
+    w.kv("neg", std::int64_t{-42});
+    w.kv("flag", true);
+    w.key("null_field");
+    w.valueNull();
+    w.key("items");
+    w.beginArray();
+    for (int i = 0; i < 3; ++i) {
+        w.beginObject();
+        w.kv("i", i);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.take();
+}
+
+TEST(ObsJson, WriterRoundTripsThroughParser)
+{
+    const std::string doc = sampleDocument();
+    const auto parsed = JsonValue::parse(doc);
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->isObject());
+
+    const JsonValue *schema = parsed->find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_TRUE(schema->isNumber());
+    EXPECT_EQ(schema->asNumber(), 1.0);
+
+    const JsonValue *name = parsed->find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->asString(), "trust \"quoted\" \\ path\n");
+
+    const JsonValue *ratio = parsed->find("ratio");
+    ASSERT_NE(ratio, nullptr);
+    EXPECT_NEAR(ratio->asNumber(), 0.12345, 1e-9);
+
+    const JsonValue *flag = parsed->find("flag");
+    ASSERT_NE(flag, nullptr);
+    EXPECT_TRUE(flag->isBool());
+    EXPECT_TRUE(flag->asBool());
+
+    const JsonValue *nul = parsed->find("null_field");
+    ASSERT_NE(nul, nullptr);
+    EXPECT_TRUE(nul->isNull());
+
+    const JsonValue *items = parsed->find("items");
+    ASSERT_NE(items, nullptr);
+    ASSERT_TRUE(items->isArray());
+    ASSERT_EQ(items->items().size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        const JsonValue *n = items->items()[size_t(i)].find("i");
+        ASSERT_NE(n, nullptr);
+        EXPECT_EQ(n->asNumber(), double(i));
+    }
+
+    EXPECT_EQ(parsed->find("no_such_key"), nullptr);
+}
+
+TEST(ObsJson, ParserAcceptsScalarDocuments)
+{
+    EXPECT_TRUE(JsonValue::parse("null")->isNull());
+    EXPECT_TRUE(JsonValue::parse("true")->isBool());
+    EXPECT_TRUE(JsonValue::parse("false")->isBool());
+    EXPECT_EQ(JsonValue::parse("-12.5e1")->asNumber(), -125.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\\u0041\"")->asString().substr(0, 2),
+              "hi");
+    EXPECT_TRUE(JsonValue::parse(" [ ] ")->isArray());
+    EXPECT_TRUE(JsonValue::parse("{}")->isObject());
+}
+
+TEST(ObsJson, ParserRejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",          "{",         "}",           "[1,]",
+        "{\"a\":}",  "{\"a\" 1}", "tru",         "\"unterminated",
+        "{} extra",  "[1 2]",     "{\"a\":1,}",  "nan",
+        "+1",        "01x",       "[\"\\q\"]",
+    };
+    for (const char *doc : bad)
+        EXPECT_FALSE(JsonValue::parse(doc).has_value()) << doc;
+}
+
+TEST(ObsJson, ParserBoundsNestingDepth)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += '[';
+    for (int i = 0; i < 100; ++i)
+        deep += ']';
+    EXPECT_FALSE(JsonValue::parse(deep, 64).has_value());
+    EXPECT_TRUE(JsonValue::parse(deep, 128).has_value());
+}
+
+TEST(ObsJson, ParserSurvivesFuzzSweeps)
+{
+    const std::string doc = sampleDocument();
+    // Truncations and single-bit corruptions must never crash or
+    // hang; whether they parse is input-dependent.
+    trust::testing::truncationSweep(doc, [](const std::string &cut) {
+        (void)JsonValue::parse(cut);
+    });
+    Rng rng(5151);
+    trust::testing::bitFlipSweep(
+        doc, rng,
+        [](const std::string &flipped) {
+            (void)JsonValue::parse(flipped);
+        },
+        256);
+    // The pristine document still parses afterwards.
+    EXPECT_TRUE(JsonValue::parse(doc).has_value());
+}
+
+} // namespace

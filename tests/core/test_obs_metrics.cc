@@ -1,0 +1,160 @@
+/** @file Metrics registry: instrument identity, labels, histogram
+ *  shape pinning, reset semantics and the JSON/table exports. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/obs/json.hh"
+#include "core/obs/metrics.hh"
+
+namespace {
+
+using trust::core::obs::Counter;
+using trust::core::obs::Gauge;
+using trust::core::obs::HistogramMetric;
+using trust::core::obs::JsonValue;
+using trust::core::obs::MetricsRegistry;
+
+TEST(ObsMetrics, CounterResolvesToStableInstrument)
+{
+    MetricsRegistry reg;
+    Counter &a = reg.counter("net/sent");
+    Counter &b = reg.counter("net/sent");
+    EXPECT_EQ(&a, &b); // handles may be cached by call sites
+
+    a.add();
+    a.add(41);
+    EXPECT_EQ(b.value(), 42u);
+}
+
+TEST(ObsMetrics, LabelsAreDistinctInstruments)
+{
+    MetricsRegistry reg;
+    Counter &up = reg.counter("net/bytes", {{"dir", "up"}});
+    Counter &down = reg.counter("net/bytes", {{"dir", "down"}});
+    Counter &bare = reg.counter("net/bytes");
+    EXPECT_NE(&up, &down);
+    EXPECT_NE(&up, &bare);
+
+    EXPECT_EQ(MetricsRegistry::flatten("net/bytes",
+                                       {{"dir", "up"}, {"k", "v"}}),
+              "net/bytes{dir=up,k=v}");
+    EXPECT_EQ(MetricsRegistry::flatten("net/bytes", {}), "net/bytes");
+}
+
+TEST(ObsMetrics, GaugeLastWriteWins)
+{
+    MetricsRegistry reg;
+    Gauge &g = reg.gauge("queue/depth");
+    g.set(3.0);
+    g.set(7.5);
+    EXPECT_EQ(reg.gauge("queue/depth").value(), 7.5);
+}
+
+TEST(ObsMetrics, HistogramObserveAndSnapshot)
+{
+    MetricsRegistry reg;
+    HistogramMetric &h = reg.histogram("lat_ms", 0.0, 10.0, 10);
+    h.observe(-1.0); // underflow
+    h.observe(0.5);
+    h.observe(5.5);
+    h.observe(5.6);
+    h.observe(99.0); // overflow
+
+    EXPECT_EQ(h.count(), 5u);
+    const auto snap = h.snapshot();
+    EXPECT_EQ(snap.total(), 5u);
+    EXPECT_EQ(snap.underflow(), 1u);
+    EXPECT_EQ(snap.overflow(), 1u);
+    EXPECT_EQ(snap.count(0), 1u);
+    EXPECT_EQ(snap.count(5), 2u);
+    // The in-range median lands in the [5,6) bucket.
+    const double p50 = snap.quantile(0.50);
+    EXPECT_GE(p50, 0.5);
+    EXPECT_LE(p50, 6.0);
+}
+
+TEST(ObsMetrics, ResetZeroesButKeepsHandles)
+{
+    MetricsRegistry reg;
+    Counter &c = reg.counter("ops");
+    HistogramMetric &h = reg.histogram("ms", 0.0, 1.0, 4);
+    c.add(9);
+    h.observe(0.5);
+
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+
+    // Cached references stay live and usable after reset.
+    c.add(2);
+    h.observe(0.25);
+    EXPECT_EQ(reg.counter("ops").value(), 2u);
+    EXPECT_EQ(reg.histogram("ms", 0.0, 1.0, 4).count(), 1u);
+}
+
+TEST(ObsMetrics, ToJsonIsParseableAndComplete)
+{
+    MetricsRegistry reg;
+    reg.counter("fp/extract-ok").add(3);
+    reg.counter("net/sent", {{"dir", "up"}}).add(7);
+    reg.gauge("pool/threads").set(4.0);
+    auto &h = reg.histogram("span/match_ms", 0.0, 100.0, 200);
+    h.observe(1.0);
+    h.observe(2.0);
+
+    const auto doc = JsonValue::parse(reg.toJson());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isObject());
+
+    const JsonValue *counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue *ok = counters->find("fp/extract-ok");
+    ASSERT_NE(ok, nullptr);
+    EXPECT_EQ(ok->asNumber(), 3.0);
+    const JsonValue *labeled = counters->find("net/sent{dir=up}");
+    ASSERT_NE(labeled, nullptr);
+    EXPECT_EQ(labeled->asNumber(), 7.0);
+
+    const JsonValue *gauges = doc->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    ASSERT_NE(gauges->find("pool/threads"), nullptr);
+    EXPECT_EQ(gauges->find("pool/threads")->asNumber(), 4.0);
+
+    const JsonValue *hists = doc->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *span = hists->find("span/match_ms");
+    ASSERT_NE(span, nullptr);
+    ASSERT_NE(span->find("count"), nullptr);
+    EXPECT_EQ(span->find("count")->asNumber(), 2.0);
+    ASSERT_NE(span->find("mean"), nullptr);
+    EXPECT_NEAR(span->find("mean")->asNumber(), 1.5, 1e-6);
+    for (const char *key : {"lo", "hi", "p50", "p95", "p99"})
+        EXPECT_NE(span->find(key), nullptr) << key;
+}
+
+TEST(ObsMetrics, ToTableListsScalarInstruments)
+{
+    MetricsRegistry reg;
+    reg.counter("a").add(1);
+    reg.counter("b").add(2);
+    reg.gauge("g").set(0.5);
+    const auto table = reg.toTable();
+    EXPECT_EQ(table.rows(), 3u);
+    const std::string csv = table.toCsv();
+    EXPECT_NE(csv.find("a"), std::string::npos);
+    EXPECT_NE(csv.find("g"), std::string::npos);
+}
+
+TEST(ObsMetrics, HistogramShapeIsPinnedByFirstCaller)
+{
+    MetricsRegistry reg;
+    (void)reg.histogram("ms", 0.0, 1.0, 4);
+    // Same shape resolves fine; a mismatched shape is a programming
+    // error (panics) and is not exercised here.
+    EXPECT_EQ(&reg.histogram("ms", 0.0, 1.0, 4),
+              &reg.histogram("ms", 0.0, 1.0, 4));
+}
+
+} // namespace

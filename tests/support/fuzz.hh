@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared structured-fuzz sweeps for parser robustness tests.
+ *
+ * Two mutation families every reader in the tree must survive:
+ * truncation (a prefix of a real artifact) and single-bit flips
+ * (one corrupted byte in an otherwise valid artifact). The sweeps
+ * are deterministic — truncation cuts are evenly spaced, bit flips
+ * are drawn from a caller-seeded Rng — so failures replay exactly.
+ *
+ * Works over any contiguous byte-like sequence (core::Bytes,
+ * std::string) whose value type is one byte wide.
+ */
+
+#ifndef TRUST_TESTS_SUPPORT_FUZZ_HH
+#define TRUST_TESTS_SUPPORT_FUZZ_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/rng.hh"
+
+namespace trust::testing {
+
+/**
+ * Call fn(prefix) for ~steps evenly spaced truncation lengths in
+ * [0, data.size()), always including the empty prefix. The intact
+ * input is deliberately excluded — it is the caller's happy path.
+ */
+template <typename Seq, typename Fn>
+void
+truncationSweep(const Seq &data, Fn &&fn, std::size_t steps = 64)
+{
+    static_assert(sizeof(typename Seq::value_type) == 1,
+                  "truncationSweep expects a byte-like sequence");
+    const std::size_t stride =
+        std::max<std::size_t>(1, data.size() / std::max<std::size_t>(
+                                                   steps, 1));
+    for (std::size_t cut = 0; cut < data.size(); cut += stride) {
+        Seq prefix(data.begin(),
+                   data.begin() + static_cast<std::ptrdiff_t>(cut));
+        fn(static_cast<const Seq &>(prefix));
+    }
+}
+
+/**
+ * Call fn(mutated) `flips` times, each with exactly one bit flipped
+ * at an rng-chosen (position, bit). The original is untouched.
+ */
+template <typename Seq, typename Fn>
+void
+bitFlipSweep(const Seq &data, core::Rng &rng, Fn &&fn,
+             std::size_t flips = 64)
+{
+    static_assert(sizeof(typename Seq::value_type) == 1,
+                  "bitFlipSweep expects a byte-like sequence");
+    if (data.empty())
+        return;
+    for (std::size_t i = 0; i < flips; ++i) {
+        Seq mutated = data;
+        const auto pos = static_cast<std::size_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(data.size()) - 1));
+        const auto bit =
+            static_cast<unsigned>(rng.uniformInt(0, 7));
+        mutated[pos] = static_cast<typename Seq::value_type>(
+            static_cast<std::uint8_t>(mutated[pos]) ^
+            (std::uint8_t{1} << bit));
+        fn(static_cast<const Seq &>(mutated));
+    }
+}
+
+} // namespace trust::testing
+
+#endif // TRUST_TESTS_SUPPORT_FUZZ_HH

@@ -7,6 +7,7 @@
 
 #include "core/rng.hh"
 #include "net/faults.hh"
+#include "tests/support/fuzz.hh"
 #include "tests/trust/fixtures.hh"
 #include "touch/behavior.hh"
 #include "trust/scenario.hh"
@@ -77,13 +78,15 @@ TEST(Robustness, ServerSurvivesTruncatedRealMessages)
     const Bytes wire = submit->serialize();
 
     // Every truncation of a real message is handled cleanly and
-    // never creates an account.
-    for (std::size_t cut = 0; cut < wire.size();
-         cut += std::max<std::size_t>(1, wire.size() / 64)) {
-        Bytes truncated(wire.begin(),
-                        wire.begin() + static_cast<long>(cut));
-        (void)server.handle(truncated);
-    }
+    // never creates an account; so is every one-bit corruption.
+    trust::testing::truncationSweep(wire, [&](const Bytes &cut) {
+        (void)server.handle(cut);
+    });
+    Rng rng(908);
+    trust::testing::bitFlipSweep(
+        wire, rng,
+        [&](const Bytes &flipped) { (void)server.handle(flipped); },
+        128);
     EXPECT_FALSE(server.accountRegistered("alice"));
 
     // The intact message still works afterwards.
