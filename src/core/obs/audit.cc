@@ -186,6 +186,7 @@ AuditLog::parseLine(std::string_view line)
     return r;
 }
 
+// trustlint: untrusted-input
 std::optional<std::vector<AuditRecord>>
 AuditLog::parse(std::string_view text)
 {

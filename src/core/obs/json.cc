@@ -268,6 +268,7 @@ parseValue(Cursor &c, JsonValue &out, int depth)
 
 } // namespace
 
+// trustlint: untrusted-input
 std::optional<JsonValue>
 JsonValue::parse(std::string_view text, int max_depth)
 {

@@ -18,6 +18,7 @@ std::atomic<const EventQueue *> g_clock{nullptr};
 // only reached when observability is runtime-enabled.
 std::mutex g_anchorMutex;
 Tick g_lastSim = 0;
+// trustlint: allow(determinism) -- hybrid-clock anchor; affects span widths only, never auth decisions
 std::chrono::steady_clock::time_point g_lastWall{};
 bool g_anchored = false;
 
@@ -26,6 +27,7 @@ steadyNs()
 {
     return static_cast<Tick>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
+            // trustlint: allow(determinism) -- wall-clock fallback for spans when no simulation is live
             std::chrono::steady_clock::now().time_since_epoch())
             .count());
 }
@@ -89,6 +91,7 @@ Tick
 now()
 {
     const EventQueue *clock = g_clock.load(std::memory_order_acquire);
+    // trustlint: allow(determinism) -- sub-tick span interpolation; trace timing only, never decisions
     const auto wall = std::chrono::steady_clock::now();
     if (!clock) {
         // No simulation live (unit tests, micro-benchmarks): fall

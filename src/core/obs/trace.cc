@@ -216,6 +216,7 @@ SpanTracer::clear()
     unbalanced_ = 0;
 }
 
+// trustlint: untrusted-input
 std::optional<std::vector<TraceEventLite>>
 parseChromeTrace(std::string_view text)
 {

@@ -160,6 +160,7 @@ resolveThreadCount()
 {
     if (g_thread_override > 0)
         return g_thread_override;
+    // trustlint: allow(determinism) -- sizes the pool only; outputs are byte-identical across thread counts (golden replay test)
     if (const char *env = std::getenv("TRUST_THREADS")) {
         const int n = std::atoi(env);
         if (n > 0)

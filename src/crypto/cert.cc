@@ -29,6 +29,7 @@ Certificate::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<Certificate>
 Certificate::deserialize(const core::Bytes &data)
 {

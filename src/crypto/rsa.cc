@@ -44,6 +44,7 @@ RsaPublicKey::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<RsaPublicKey>
 RsaPublicKey::deserialize(const core::Bytes &data)
 {
@@ -71,6 +72,7 @@ RsaPrivateKey::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<RsaPrivateKey>
 RsaPrivateKey::deserialize(const core::Bytes &data)
 {

@@ -242,21 +242,27 @@ matchMinutiae(const std::vector<Minutia> &tmpl,
     }
 
     // Evaluate the most-supported transform cells with full greedy
-    // pairing; keep the best.
-    std::vector<const Cell *> top;
+    // pairing; keep the best. Equal-vote cells are ordered by bin
+    // key: the top-8 cut must not depend on hash-map layout, or the
+    // match score would vary across stdlib implementations.
+    std::vector<std::pair<std::uint64_t, const Cell *>> top;
     top.reserve(hough.size());
+    // trustlint: allow(unordered-iter) -- order-insensitive harvest; the sort below imposes a total order
     for (const auto &[key, cell] : hough)
-        top.push_back(&cell);
+        top.emplace_back(key, &cell);
     std::sort(top.begin(), top.end(),
-              [](const Cell *a, const Cell *b) {
-                  return a->votes > b->votes;
+              [](const auto &a, const auto &b) {
+                  if (a.second->votes != b.second->votes)
+                      return a.second->votes > b.second->votes;
+                  return a.first < b.first;
               });
     if (top.size() > 8)
         top.resize(8);
 
     int best_paired = 0;
     int best_votes = 0;
-    for (const Cell *cell : top) {
+    for (const auto &entry : top) {
+        const Cell *cell = entry.second;
         Alignment a;
         a.rot = std::atan2(cell->rotSumSin, cell->rotSumCos);
         a.cosT = std::cos(a.rot);

@@ -15,6 +15,7 @@ beginMessage(MsgKind kind, std::uint64_t request_id)
 }
 
 /** Open a reader and verify the kind byte. */
+// trustlint: untrusted-input
 std::optional<core::ByteReader>
 openMessage(const core::Bytes &payload, MsgKind expected)
 {
@@ -26,6 +27,7 @@ openMessage(const core::Bytes &payload, MsgKind expected)
 
 } // namespace
 
+// trustlint: untrusted-input
 std::optional<MsgKind>
 peekKind(const core::Bytes &payload)
 {
@@ -37,6 +39,7 @@ peekKind(const core::Bytes &payload)
     return static_cast<MsgKind>(k);
 }
 
+// trustlint: untrusted-input
 std::optional<std::uint64_t>
 peekRequestId(const core::Bytes &payload)
 {
@@ -61,6 +64,7 @@ RegistrationRequest::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<RegistrationRequest>
 RegistrationRequest::deserialize(const core::Bytes &payload)
 {
@@ -103,6 +107,7 @@ RegistrationPage::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<RegistrationPage>
 RegistrationPage::deserialize(const core::Bytes &payload)
 {
@@ -152,6 +157,7 @@ RegistrationSubmit::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<RegistrationSubmit>
 RegistrationSubmit::deserialize(const core::Bytes &payload)
 {
@@ -185,6 +191,7 @@ RegistrationResult::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<RegistrationResult>
 RegistrationResult::deserialize(const core::Bytes &payload)
 {
@@ -213,6 +220,7 @@ LoginRequest::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<LoginRequest>
 LoginRequest::deserialize(const core::Bytes &payload)
 {
@@ -253,6 +261,7 @@ LoginPage::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<LoginPage>
 LoginPage::deserialize(const core::Bytes &payload)
 {
@@ -303,6 +312,7 @@ LoginSubmit::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<LoginSubmit>
 LoginSubmit::deserialize(const core::Bytes &payload)
 {
@@ -351,6 +361,7 @@ ContentPage::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<ContentPage>
 ContentPage::deserialize(const core::Bytes &payload)
 {
@@ -404,6 +415,7 @@ PageRequest::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<PageRequest>
 PageRequest::deserialize(const core::Bytes &payload)
 {
@@ -437,6 +449,7 @@ ErrorReply::serialize() const
     return w.take();
 }
 
+// trustlint: untrusted-input
 std::optional<ErrorReply>
 ErrorReply::deserialize(const core::Bytes &payload)
 {

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * trustlint self-tests: lexer behavior, each invariant rule against
+ * in-memory sources, the fixture tree against its golden report,
+ * and — the check that gives every other test here teeth — the real
+ * src/ tree staying at zero findings.
+ *
+ * Regenerate the fixture golden after an intentional change with
+ *     TRUST_UPDATE_GOLDEN=1 ctest -R Trustlint
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "trustlint/report.hh"
+#include "trustlint/rules.hh"
+
+namespace {
+
+using trust::lint::checkFile;
+using trust::lint::Config;
+using trust::lint::defaultConfig;
+using trust::lint::Finding;
+using trust::lint::lexSource;
+using trust::lint::scanPath;
+using trust::lint::TokKind;
+
+std::vector<Finding>
+check(const std::string &relPath, const std::string &src)
+{
+    return checkFile(lexSource(relPath, src), relPath,
+                     defaultConfig());
+}
+
+std::set<std::string>
+rulesOf(const std::vector<Finding> &findings)
+{
+    std::set<std::string> rules;
+    for (const Finding &f : findings)
+        rules.insert(f.rule);
+    return rules;
+}
+
+// ---------------------------------------------------------------- //
+// Lexer                                                             //
+// ---------------------------------------------------------------- //
+
+TEST(TrustlintLexer, CommentsAndStringsAreOpaque)
+{
+    const auto lexed = lexSource("core/x.cc", R"src(
+// rand() in a line comment
+/* system_clock in a block comment */
+const char *s = "getenv(\"HOME\")";
+int live;
+)src");
+    ASSERT_FALSE(lexed.tokens.empty());
+    for (const auto &tok : lexed.tokens) {
+        if (tok.kind == TokKind::Identifier) {
+            EXPECT_NE(tok.text, "rand");
+            EXPECT_NE(tok.text, "system_clock");
+            EXPECT_NE(tok.text, "getenv");
+        }
+    }
+}
+
+TEST(TrustlintLexer, RawStringsAreSwallowedWhole)
+{
+    const auto lexed = lexSource(
+        "core/x.cc",
+        "auto j = R\"x({\"rand\": \"time(0)\"})x\"; int k;");
+    bool sawK = false;
+    for (const auto &tok : lexed.tokens) {
+        EXPECT_NE(tok.text, "rand");
+        EXPECT_NE(tok.text, "time");
+        sawK = sawK || tok.text == "k";
+    }
+    EXPECT_TRUE(sawK);
+}
+
+TEST(TrustlintLexer, IncludesAndAnnotationsAreExtracted)
+{
+    const auto lexed = lexSource("core/x.cc", R"src(
+#include <vector>
+#include "core/bytes.hh"
+// trustlint: untrusted-input
+int parseIt();
+)src");
+    ASSERT_EQ(lexed.includes.size(), 2u);
+    EXPECT_TRUE(lexed.includes[0].angled);
+    EXPECT_EQ(lexed.includes[1].path, "core/bytes.hh");
+    EXPECT_FALSE(lexed.includes[1].angled);
+    ASSERT_EQ(lexed.annotations.size(), 1u);
+    EXPECT_EQ(lexed.annotations[0].body, "untrusted-input");
+    EXPECT_EQ(lexed.annotations[0].line, 4);
+}
+
+// ---------------------------------------------------------------- //
+// Determinism                                                       //
+// ---------------------------------------------------------------- //
+
+TEST(TrustlintDeterminism, FlagsBannedCallsButNotMembers)
+{
+    const auto findings = check("core/x.cc", R"src(
+long a = time(nullptr);
+long b = obj.time(nullptr);
+long c = obj->clock();
+)src");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "determinism");
+    EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(TrustlintDeterminism, AllowlistedFilesAreExempt)
+{
+    const std::string src = "auto r = std::random_device{}();";
+    EXPECT_TRUE(check("core/rng.cc", src).empty());
+    EXPECT_EQ(check("core/stats.cc", src).size(), 1u);
+}
+
+TEST(TrustlintDeterminism, AllowWithReasonSuppresses)
+{
+    const auto findings = check("core/x.cc", R"src(
+// trustlint: allow(determinism) -- test justification
+long a = time(nullptr);
+long b = rand();
+)src");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 4);
+}
+
+// ---------------------------------------------------------------- //
+// Trust boundary                                                    //
+// ---------------------------------------------------------------- //
+
+TEST(TrustlintBoundary, TotalParserIsClean)
+{
+    const auto findings = check("trust/messages.cc", R"src(
+// trustlint: untrusted-input
+std::optional<int>
+parseByte(const Bytes &b)
+{
+    if (b.empty())
+        return std::nullopt;
+    return static_cast<int>(b[0]);
+}
+)src");
+    EXPECT_TRUE(findings.empty()) << trust::lint::formatText(
+        findings, 1);
+}
+
+TEST(TrustlintBoundary, CoverageDemandsAnnotationOnlyInBoundaryFiles)
+{
+    const std::string src = R"src(
+std::optional<int>
+parseByte(const Bytes &b)
+{
+    return std::nullopt;
+}
+)src";
+    EXPECT_EQ(check("trust/messages.cc", src).size(), 1u);
+    EXPECT_EQ(check("trust/server.cc", src).size(), 1u);
+    EXPECT_TRUE(check("trust/device.cc", src).empty());
+}
+
+TEST(TrustlintBoundary, ThrowingParserIsFlagged)
+{
+    const auto findings = check("core/x.cc", R"src(
+// trustlint: untrusted-input
+std::optional<int>
+parseByte(const Bytes &b)
+{
+    if (b.empty())
+        throw 1;
+    return b.at(0);
+}
+)src");
+    const auto rules = rulesOf(findings);
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_TRUE(rules.count("trust-boundary"));
+}
+
+// ---------------------------------------------------------------- //
+// Layering                                                          //
+// ---------------------------------------------------------------- //
+
+TEST(TrustlintLayering, EnforcesModuleDag)
+{
+    EXPECT_TRUE(
+        check("hw/x.cc", "#include \"touch/event.hh\"\n").empty());
+    EXPECT_TRUE(
+        check("trust/x.cc", "#include \"net/network.hh\"\n").empty());
+
+    const auto up =
+        check("touch/x.cc", "#include \"hw/touch_panel.hh\"\n");
+    ASSERT_EQ(up.size(), 1u);
+    EXPECT_EQ(up[0].rule, "layering");
+
+    const auto cyc = check("core/x.cc", "#include \"trust/flock.hh\"\n");
+    ASSERT_EQ(cyc.size(), 1u);
+    EXPECT_EQ(cyc[0].rule, "layering");
+}
+
+TEST(TrustlintLayering, IgnoresSystemAndForeignIncludes)
+{
+    EXPECT_TRUE(check("core/x.cc", R"src(
+#include <trust/fake.hh>
+#include "thirdparty/lib.hh"
+)src")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
+// Concurrency                                                       //
+// ---------------------------------------------------------------- //
+
+TEST(TrustlintConcurrency, ScopeSeparatedLocksAreClean)
+{
+    const auto findings = check("core/x.cc", R"src(
+void f()
+{
+    {
+        std::lock_guard<std::mutex> a(m1);
+    }
+    std::lock_guard<std::mutex> b(m2);
+}
+)src");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(TrustlintConcurrency, RegisteredOrderSuppressesNesting)
+{
+    const std::string nested = R"src(
+void f()
+{
+    std::lock_guard<std::mutex> a(m1);
+    std::lock_guard<std::mutex> b(m2);
+}
+)src";
+    EXPECT_EQ(check("core/x.cc", nested).size(), 1u);
+    EXPECT_TRUE(
+        check("core/x.cc",
+              "// trustlint: lock-order(m1 -> m2)\n" + nested)
+            .empty());
+}
+
+TEST(TrustlintConcurrency, ReacquiringSameMutexExprIsNotOrdering)
+{
+    // Same expression twice is a recursion bug, not an ordering
+    // bug; trustlint stays quiet (TSan owns that detection).
+    const auto findings = check("core/x.cc", R"src(
+void f()
+{
+    std::lock_guard<std::mutex> a(m1);
+    std::lock_guard<std::mutex> b(m1);
+}
+)src");
+    EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------- //
+// Fixtures vs. golden                                               //
+// ---------------------------------------------------------------- //
+
+std::string
+fixturesDir()
+{
+    return std::string(TRUST_SOURCE_DIR) + "/tools/trustlint/fixtures";
+}
+
+std::string
+goldenPath()
+{
+    return fixturesDir() + "/expected.txt";
+}
+
+TEST(TrustlintFixtures, EachFixtureTripsExactlyItsRule)
+{
+    const auto findings =
+        scanPath(fixturesDir(), defaultConfig(), nullptr);
+
+    std::map<std::string, std::set<std::string>> byFile;
+    for (const Finding &f : findings)
+        byFile[f.file].insert(f.rule);
+
+    const std::map<std::string, std::set<std::string>> expected = {
+        {"core/annotation.cc", {"annotation"}},
+        {"core/concurrency.cc", {"lock-order", "blocking-under-lock"}},
+        {"core/determinism.cc", {"determinism"}},
+        {"core/unordered_iter.cc", {"unordered-iter"}},
+        {"net/layering.cc", {"layering"}},
+        {"trust/messages.cc", {"trust-boundary"}},
+    };
+    EXPECT_EQ(byFile, expected); // clean.cc must be absent
+}
+
+TEST(TrustlintFixtures, MatchesGoldenReport)
+{
+    std::size_t filesScanned = 0;
+    const auto findings =
+        scanPath(fixturesDir(), defaultConfig(), &filesScanned);
+    const std::string report =
+        trust::lint::formatText(findings, filesScanned);
+
+    if (std::getenv("TRUST_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(out.good()) << goldenPath();
+        out << report;
+        GTEST_SKIP() << "golden regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden; run with TRUST_UPDATE_GOLDEN=1";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(report, buf.str())
+        << "fixture findings drifted from the committed golden; if "
+           "the change is intentional regenerate with "
+           "TRUST_UPDATE_GOLDEN=1";
+}
+
+TEST(TrustlintFixtures, JsonReportIsWellFormedAndCounted)
+{
+    std::size_t filesScanned = 0;
+    const auto findings =
+        scanPath(fixturesDir(), defaultConfig(), &filesScanned);
+    const std::string json =
+        trust::lint::formatJson(findings, filesScanned);
+    EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"counts\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"layering\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"determinism\":4"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+// The point of the whole exercise                                   //
+// ---------------------------------------------------------------- //
+
+TEST(TrustlintRepo, SrcTreeIsClean)
+{
+    std::size_t filesScanned = 0;
+    const auto findings = scanPath(std::string(TRUST_SOURCE_DIR) +
+                                       "/src",
+                                   defaultConfig(), &filesScanned);
+    EXPECT_GE(filesScanned, 100u); // the scan actually ran
+    EXPECT_TRUE(findings.empty())
+        << trust::lint::formatText(findings, filesScanned);
+}
+
+} // namespace

@@ -1,0 +1,15 @@
+/**
+ * trustlint fixture — must trip exactly the `annotation` rule: the
+ * grammar polices itself (two findings: a misspelled directive and
+ * an allow() with no reason).
+ */
+
+namespace fixture {
+
+// trustlint: alow(determinism) -- typo in the directive name
+int stub();
+
+// trustlint: allow(determinism)
+int stubTwo();
+
+} // namespace fixture

@@ -1,0 +1,27 @@
+/**
+ * trustlint fixture — must produce zero findings: a justified,
+ * documented allow() exemption and a well-formed total parser.
+ */
+
+#include <cstdlib>
+#include <optional>
+
+namespace fixture {
+
+inline long
+bootId()
+{
+    // trustlint: allow(determinism) -- fixture: demonstrates a justified, documented exemption
+    return static_cast<long>(time(nullptr));
+}
+
+// trustlint: untrusted-input
+inline std::optional<int>
+parseDigit(unsigned char c)
+{
+    if (c < '0' || c > '9')
+        return std::nullopt;
+    return c - '0';
+}
+
+} // namespace fixture

@@ -1,0 +1,42 @@
+/**
+ * trustlint fixture — must trip exactly the concurrency family:
+ * an unregistered nested lock acquisition (`lock-order`, one
+ * finding) and console I/O inside a critical section
+ * (`blocking-under-lock`, one finding).
+ */
+
+#include <iostream>
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_a;
+std::mutex g_b;
+
+void
+nestedLocks()
+{
+    std::lock_guard<std::mutex> first(g_a);
+    std::lock_guard<std::mutex> second(g_b);
+}
+
+void
+ioUnderLock()
+{
+    std::lock_guard<std::mutex> lock(g_a);
+    std::cout << "held" << std::endl;
+}
+
+/** Registered nesting and scope-separated locks stay clean. */
+void
+registeredNesting()
+{
+    // trustlint: lock-order(g_b -> g_a)
+    {
+        std::lock_guard<std::mutex> first(g_b);
+        std::lock_guard<std::mutex> second(g_a);
+    }
+    std::lock_guard<std::mutex> after(g_b);
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+/**
+ * trustlint fixture — must trip exactly the `determinism` rule,
+ * once per banned construct below (four findings).
+ */
+
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long
+wallSeed()
+{
+    long t = static_cast<long>(time(nullptr));
+    t ^= rand();
+    if (getenv("FIXTURE_MODE") != nullptr)
+        t = 0;
+    const auto wall = std::chrono::system_clock::now();
+    return t + wall.time_since_epoch().count();
+}
+
+} // namespace fixture

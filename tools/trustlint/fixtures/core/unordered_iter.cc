@@ -1,0 +1,20 @@
+/**
+ * trustlint fixture — must trip exactly the `unordered-iter` rule:
+ * serialization that walks a hash map in table order (one finding).
+ */
+
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::string
+serializeCounts(const std::unordered_map<std::string, int> &counts)
+{
+    std::string out;
+    for (const auto &kv : counts)
+        out += kv.first + "=" + std::to_string(kv.second) + "\n";
+    return out;
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+/**
+ * trustlint fixture — must trip exactly the `layering` rule: a
+ * `net` translation unit reaching up into `trust` (one finding).
+ * The downward includes are permitted by the module DAG.
+ */
+
+#include "core/bytes.hh"
+#include "net/network.hh"
+#include "trust/server.hh"
+
+namespace fixture {
+
+int placeholder();
+
+} // namespace fixture

@@ -1,0 +1,39 @@
+/**
+ * trustlint fixture — must trip exactly the `trust-boundary` rule:
+ * an unannotated parser in a registered boundary file (coverage,
+ * one finding) and an annotated parser that is not total (five
+ * findings: return type, assert, .at(), throw, stoi).
+ */
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+struct Frame
+{
+    int kind = 0;
+};
+
+std::optional<Frame>
+deserializeFrame(const std::vector<unsigned char> &payload)
+{
+    if (payload.empty())
+        return std::nullopt;
+    return Frame{payload[0]};
+}
+
+// trustlint: untrusted-input
+Frame
+parseFrame(const std::vector<unsigned char> &payload)
+{
+    assert(!payload.empty());
+    if (payload.at(0) > 9)
+        throw payload.size();
+    const int v = std::stoi(std::string(payload.begin(), payload.end()));
+    return Frame{v};
+}
+
+} // namespace fixture

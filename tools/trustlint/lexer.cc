@@ -1,0 +1,307 @@
+#include "trustlint/lexer.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace trust::lint {
+
+namespace {
+
+constexpr std::string_view kAnnotationTag = "trustlint:";
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view
+trimmed(std::string_view s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+/** Cursor over the raw source with line tracking. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::string_view src)
+        : src_(src)
+    {
+    }
+
+    bool done() const { return pos_ >= src_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    int line() const { return line_; }
+
+    char
+    advance()
+    {
+        const char c = src_[pos_++];
+        if (c == '\n')
+            ++line_;
+        return c;
+    }
+
+    /** Consume `text` if it is next; returns whether it was. */
+    bool
+    consume(std::string_view text)
+    {
+        if (src_.substr(pos_, text.size()) != text)
+            return false;
+        for (std::size_t i = 0; i < text.size(); ++i)
+            advance();
+        return true;
+    }
+
+    /** Consume to end of line; returns the consumed text. */
+    std::string_view
+    restOfLine()
+    {
+        const std::size_t start = pos_;
+        while (!done() && peek() != '\n')
+            advance();
+        return src_.substr(start, pos_ - start);
+    }
+
+  private:
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+/** Record an annotation if a comment body carries the tag. */
+void
+collectAnnotation(LexedFile &out, int line, std::string_view comment)
+{
+    const std::string_view body = trimmed(comment);
+    const std::size_t at = body.find(kAnnotationTag);
+    if (at == std::string_view::npos)
+        return;
+    out.annotations.push_back(Annotation{
+        line,
+        std::string(trimmed(body.substr(at + kAnnotationTag.size())))});
+}
+
+void
+lexString(Cursor &cur, LexedFile &out)
+{
+    const int line = cur.line();
+    cur.advance(); // opening quote
+    while (!cur.done()) {
+        const char c = cur.advance();
+        if (c == '\\' && !cur.done()) {
+            cur.advance();
+            continue;
+        }
+        if (c == '"')
+            break;
+    }
+    out.tokens.push_back(Token{TokKind::String, "\"\"", line});
+}
+
+void
+lexRawString(Cursor &cur, LexedFile &out)
+{
+    const int line = cur.line();
+    cur.advance(); // R
+    cur.advance(); // "
+    std::string delim;
+    while (!cur.done() && cur.peek() != '(')
+        delim.push_back(cur.advance());
+    if (!cur.done())
+        cur.advance(); // (
+    const std::string closer = ")" + delim + "\"";
+    std::string tail;
+    while (!cur.done()) {
+        tail.push_back(cur.advance());
+        if (tail.size() > closer.size())
+            tail.erase(tail.begin());
+        if (tail == closer)
+            break;
+    }
+    out.tokens.push_back(Token{TokKind::String, "\"\"", line});
+}
+
+void
+lexChar(Cursor &cur, LexedFile &out)
+{
+    const int line = cur.line();
+    cur.advance(); // opening quote
+    while (!cur.done()) {
+        const char c = cur.advance();
+        if (c == '\\' && !cur.done()) {
+            cur.advance();
+            continue;
+        }
+        if (c == '\'')
+            break;
+    }
+    out.tokens.push_back(Token{TokKind::Char, "''", line});
+}
+
+/** Handle a preprocessor line; records #include directives. */
+void
+lexPreprocessor(Cursor &cur, LexedFile &out)
+{
+    const int line = cur.line();
+    cur.advance(); // '#'
+    std::string text;
+    // Honor line continuations so a wrapped directive stays one line.
+    while (!cur.done() && cur.peek() != '\n') {
+        if (cur.peek() == '\\' && cur.peek(1) == '\n') {
+            cur.advance();
+            cur.advance();
+            continue;
+        }
+        text.push_back(cur.advance());
+    }
+    std::string_view body = trimmed(text);
+    if (body.substr(0, 7) != "include")
+        return;
+    body = trimmed(body.substr(7));
+    if (body.size() < 2)
+        return;
+    const char open = body.front();
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"')
+        return;
+    const std::size_t end = body.find(close, 1);
+    if (end == std::string_view::npos)
+        return;
+    out.includes.push_back(IncludeDirective{
+        line, std::string(body.substr(1, end - 1)), open == '<'});
+}
+
+} // namespace
+
+LexedFile
+lexSource(std::string path, std::string_view src)
+{
+    LexedFile out;
+    out.path = std::move(path);
+    Cursor cur(src);
+
+    while (!cur.done()) {
+        const char c = cur.peek();
+
+        if (c == '\n' || std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '/') {
+            const int line = cur.line();
+            cur.advance();
+            cur.advance();
+            collectAnnotation(out, line, cur.restOfLine());
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            const int line = cur.line();
+            cur.advance();
+            cur.advance();
+            std::string comment;
+            while (!cur.done()) {
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    cur.advance();
+                    cur.advance();
+                    break;
+                }
+                comment.push_back(cur.advance());
+            }
+            collectAnnotation(out, line, comment);
+            continue;
+        }
+        if (c == '#') {
+            lexPreprocessor(cur, out);
+            continue;
+        }
+        if (c == 'R' && cur.peek(1) == '"') {
+            lexRawString(cur, out);
+            continue;
+        }
+        if (c == '"') {
+            lexString(cur, out);
+            continue;
+        }
+        if (c == '\'') {
+            lexChar(cur, out);
+            continue;
+        }
+        if (isIdentStart(c)) {
+            const int line = cur.line();
+            std::string text;
+            while (!cur.done() && isIdentChar(cur.peek()))
+                text.push_back(cur.advance());
+            out.tokens.push_back(
+                Token{TokKind::Identifier, std::move(text), line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            const int line = cur.line();
+            std::string text;
+            // Numeric literals are opaque; '+'/'-' only follow an
+            // exponent marker, and digit separators are kept.
+            while (!cur.done()) {
+                const char n = cur.peek();
+                if (isIdentChar(n) || n == '.' || n == '\'') {
+                    text.push_back(cur.advance());
+                    continue;
+                }
+                if ((n == '+' || n == '-') && !text.empty() &&
+                    (text.back() == 'e' || text.back() == 'E' ||
+                     text.back() == 'p' || text.back() == 'P')) {
+                    text.push_back(cur.advance());
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push_back(
+                Token{TokKind::Number, std::move(text), line});
+            continue;
+        }
+
+        const int line = cur.line();
+        if (cur.consume("::")) {
+            out.tokens.push_back(Token{TokKind::Punct, "::", line});
+            continue;
+        }
+        if (cur.consume("->")) {
+            out.tokens.push_back(Token{TokKind::Punct, "->", line});
+            continue;
+        }
+        out.tokens.push_back(
+            Token{TokKind::Punct, std::string(1, cur.advance()), line});
+    }
+
+    return out;
+}
+
+std::optional<LexedFile>
+lexFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return lexSource(path, buf.str());
+}
+
+} // namespace trust::lint

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal C++ lexer for trustlint.
+ *
+ * Tokenizes a translation unit just far enough for the invariant
+ * rules in rules.hh: identifiers, punctuation, literals, `#include`
+ * directives, and `// trustlint:` annotations. It is not a compiler
+ * front end — no preprocessing, no template instantiation — which is
+ * exactly why it can run over the whole tree in milliseconds with no
+ * libclang dependency.
+ */
+
+#ifndef TRUST_TOOLS_TRUSTLINT_LEXER_HH
+#define TRUST_TOOLS_TRUSTLINT_LEXER_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trust::lint {
+
+enum class TokKind
+{
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    Number,     ///< numeric literal (opaque text)
+    String,     ///< string literal, including raw strings
+    Char,       ///< character literal
+    Punct,      ///< one punctuation char, or the digraphs `::` / `->`
+};
+
+/** One lexical token with its 1-based source line. */
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0;
+};
+
+/** A `// trustlint: ...` comment; `body` is the text after the tag. */
+struct Annotation
+{
+    int line = 0;
+    std::string body;
+};
+
+/** A `#include` directive. */
+struct IncludeDirective
+{
+    int line = 0;
+    std::string path;
+    bool angled = false; ///< true for <...>, false for "..."
+};
+
+/** The lexed view of one file. */
+struct LexedFile
+{
+    std::string path; ///< path as given to the lexer
+    std::vector<Token> tokens;
+    std::vector<Annotation> annotations;
+    std::vector<IncludeDirective> includes;
+};
+
+/** Lex an in-memory buffer (used by unit tests and fixtures). */
+LexedFile lexSource(std::string path, std::string_view src);
+
+/** Lex a file from disk; nullopt if it cannot be read. */
+std::optional<LexedFile> lexFile(const std::string &path);
+
+} // namespace trust::lint
+
+#endif // TRUST_TOOLS_TRUSTLINT_LEXER_HH

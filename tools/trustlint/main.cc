@@ -1,0 +1,79 @@
+/**
+ * @file
+ * trustlint CLI.
+ *
+ *   trustlint [--json <out>] [--quiet] <path>...
+ *
+ * Each <path> is a scan root (directory or single file); module
+ * mapping and allowlists use paths relative to their root, so the
+ * canonical invocation is `trustlint src` from the repo top. Exits
+ * 0 when the tree is clean, 1 on findings, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trustlint/report.hh"
+#include "trustlint/rules.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    bool quiet = false;
+    std::vector<std::string> roots;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << "trustlint: --json needs a path\n";
+                return 2;
+            }
+            jsonPath = argv[++i];
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: trustlint [--json <out>] [--quiet] "
+                         "<path>...\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "trustlint: unknown flag '" << arg << "'\n";
+            return 2;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (roots.empty()) {
+        std::cerr << "usage: trustlint [--json <out>] [--quiet] "
+                     "<path>...\n";
+        return 2;
+    }
+
+    const trust::lint::Config config = trust::lint::defaultConfig();
+    std::vector<trust::lint::Finding> findings;
+    std::size_t filesScanned = 0;
+    for (const std::string &root : roots) {
+        std::size_t n = 0;
+        std::vector<trust::lint::Finding> part =
+            trust::lint::scanPath(root, config, &n);
+        filesScanned += n;
+        findings.insert(findings.end(), part.begin(), part.end());
+    }
+
+    if (!quiet)
+        std::cout << trust::lint::formatText(findings, filesScanned);
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath, std::ios::binary);
+        if (!out) {
+            std::cerr << "trustlint: cannot write " << jsonPath
+                      << "\n";
+            return 2;
+        }
+        out << trust::lint::formatJson(findings, filesScanned);
+    }
+    return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#include "trustlint/report.hh"
+
+#include <map>
+#include <sstream>
+
+namespace trust::lint {
+
+namespace {
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+} // namespace
+
+std::string
+formatText(const std::vector<Finding> &findings,
+           std::size_t filesScanned)
+{
+    std::ostringstream out;
+    for (const Finding &f : findings)
+        out << f.file << ":" << f.line << ": [" << f.rule << "] "
+            << f.message << "\n";
+    out << "trustlint: " << findings.size() << " finding"
+        << (findings.size() == 1 ? "" : "s") << " in " << filesScanned
+        << " files\n";
+    return out.str();
+}
+
+std::string
+formatJson(const std::vector<Finding> &findings,
+           std::size_t filesScanned)
+{
+    std::map<std::string, std::size_t> counts;
+    for (const Finding &f : findings)
+        ++counts[f.rule];
+
+    std::string out = "{\"version\":1,\"files_scanned\":" +
+                      std::to_string(filesScanned) + ",\"counts\":{";
+    bool first = true;
+    for (const auto &[rule, n] : counts) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        appendJsonString(out, rule);
+        out.push_back(':');
+        out += std::to_string(n);
+    }
+    out += "},\"findings\":[";
+    first = true;
+    for (const Finding &f : findings) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        out += "{\"file\":";
+        appendJsonString(out, f.file);
+        out += ",\"line\":" + std::to_string(f.line) + ",\"rule\":";
+        appendJsonString(out, f.rule);
+        out += ",\"message\":";
+        appendJsonString(out, f.message);
+        out.push_back('}');
+    }
+    out += "]}\n";
+    return out;
+}
+
+} // namespace trust::lint

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Finding report formatting: compiler-style text for humans and a
+ * stable JSON document for CI tooling.
+ */
+
+#ifndef TRUST_TOOLS_TRUSTLINT_REPORT_HH
+#define TRUST_TOOLS_TRUSTLINT_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "trustlint/rules.hh"
+
+namespace trust::lint {
+
+/** `file:line: [rule] message` lines plus a summary line. */
+std::string formatText(const std::vector<Finding> &findings,
+                       std::size_t filesScanned);
+
+/**
+ * Machine-readable report:
+ * `{"version":1,"files_scanned":N,"counts":{rule:n,...},
+ *   "findings":[{"file":...,"line":...,"rule":...,"message":...}]}`.
+ */
+std::string formatJson(const std::vector<Finding> &findings,
+                       std::size_t filesScanned);
+
+} // namespace trust::lint
+
+#endif // TRUST_TOOLS_TRUSTLINT_REPORT_HH

@@ -1,0 +1,846 @@
+#include "trustlint/rules.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+
+namespace trust::lint {
+
+namespace {
+
+// ---------------------------------------------------------------- //
+// Annotation grammar                                                //
+// ---------------------------------------------------------------- //
+
+const std::set<std::string> &
+allowableRules()
+{
+    static const std::set<std::string> rules = {
+        "determinism",  "unordered-iter",      "trust-boundary",
+        "lock-order",   "blocking-under-lock",
+    };
+    return rules;
+}
+
+struct ParsedAnnotation
+{
+    enum class Kind
+    {
+        UntrustedInput,
+        Allow,
+        LockOrder,
+        Malformed,
+    };
+    Kind kind = Kind::Malformed;
+    int line = 0;
+    std::set<std::string> allowRules; ///< Allow only
+    std::string lockFirst;            ///< LockOrder only
+    std::string lockSecond;           ///< LockOrder only
+    std::string error;                ///< Malformed only
+};
+
+std::string
+trimCopy(std::string_view s)
+{
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() &&
+           std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return std::string(s);
+}
+
+/** Strip every space character (canonical lock-expression form). */
+std::string
+squeeze(std::string_view s)
+{
+    std::string out;
+    for (const char c : s)
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            out.push_back(c);
+    return out;
+}
+
+ParsedAnnotation
+parseAnnotation(const Annotation &ann)
+{
+    ParsedAnnotation out;
+    out.line = ann.line;
+    const std::string body = trimCopy(ann.body);
+
+    if (body == "untrusted-input") {
+        out.kind = ParsedAnnotation::Kind::UntrustedInput;
+        return out;
+    }
+
+    if (body.rfind("allow(", 0) == 0) {
+        const std::size_t close = body.find(')');
+        if (close == std::string::npos) {
+            out.error = "allow(...) is missing ')'";
+            return out;
+        }
+        std::string list = body.substr(6, close - 6);
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            const std::size_t comma = list.find(',', pos);
+            const std::string rule = trimCopy(
+                list.substr(pos, comma == std::string::npos
+                                     ? std::string::npos
+                                     : comma - pos));
+            if (rule.empty()) {
+                out.error = "allow() has an empty rule name";
+                return out;
+            }
+            if (!allowableRules().count(rule)) {
+                out.error = "allow() names unknown or unsuppressable "
+                            "rule '" +
+                            rule + "'";
+                return out;
+            }
+            out.allowRules.insert(rule);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        const std::string tail = trimCopy(body.substr(close + 1));
+        if (tail.rfind("--", 0) != 0 ||
+            trimCopy(tail.substr(2)).empty()) {
+            out.error = "allow() requires a reason: "
+                        "`allow(rule) -- <why this is sound>`";
+            return out;
+        }
+        out.kind = ParsedAnnotation::Kind::Allow;
+        return out;
+    }
+
+    if (body.rfind("lock-order(", 0) == 0) {
+        const std::size_t close = body.rfind(')');
+        if (close == std::string::npos || close < 11) {
+            out.error = "lock-order(...) is missing ')'";
+            return out;
+        }
+        const std::string inner = body.substr(11, close - 11);
+        const std::size_t arrow = inner.find("->");
+        if (arrow == std::string::npos) {
+            out.error = "lock-order() needs `first -> second`";
+            return out;
+        }
+        out.lockFirst = squeeze(inner.substr(0, arrow));
+        out.lockSecond = squeeze(inner.substr(arrow + 2));
+        if (out.lockFirst.empty() || out.lockSecond.empty()) {
+            out.error = "lock-order() needs `first -> second`";
+            return out;
+        }
+        out.kind = ParsedAnnotation::Kind::LockOrder;
+        return out;
+    }
+
+    out.error = "unknown trustlint directive '" + body + "'";
+    return out;
+}
+
+// ---------------------------------------------------------------- //
+// Token helpers                                                     //
+// ---------------------------------------------------------------- //
+
+bool
+isIdent(const Token &t, std::string_view text)
+{
+    return t.kind == TokKind::Identifier && t.text == text;
+}
+
+bool
+isPunct(const Token &t, std::string_view text)
+{
+    return t.kind == TokKind::Punct && t.text == text;
+}
+
+/** Index just past a balanced `<...>` starting at `i` (or `i`). */
+std::size_t
+skipAngles(const std::vector<Token> &toks, std::size_t i)
+{
+    if (i >= toks.size() || !isPunct(toks[i], "<"))
+        return i;
+    int depth = 0;
+    while (i < toks.size()) {
+        if (isPunct(toks[i], "<"))
+            ++depth;
+        else if (isPunct(toks[i], ">")) {
+            if (--depth == 0)
+                return i + 1;
+        } else if (isPunct(toks[i], ";") || isPunct(toks[i], "{")) {
+            return i; // not template arguments after all
+        }
+        ++i;
+    }
+    return i;
+}
+
+/** Index of the `)` matching the `(` at `i` (or tokens.size()). */
+std::size_t
+matchParen(const std::vector<Token> &toks, std::size_t i)
+{
+    int depth = 0;
+    for (; i < toks.size(); ++i) {
+        if (isPunct(toks[i], "("))
+            ++depth;
+        else if (isPunct(toks[i], ")") && --depth == 0)
+            return i;
+    }
+    return toks.size();
+}
+
+const std::set<std::string> &
+controlKeywords()
+{
+    static const std::set<std::string> kw = {
+        "if",     "for",   "while",  "switch", "catch",
+        "return", "sizeof", "alignof", "decltype", "static_assert",
+    };
+    return kw;
+}
+
+// ---------------------------------------------------------------- //
+// Function extraction                                               //
+// ---------------------------------------------------------------- //
+
+/** A heuristically detected function definition. */
+struct FunctionDef
+{
+    std::string name;     ///< unqualified name
+    std::size_t stmtStart = 0;
+    std::size_t nameIndex = 0;
+    std::size_t parenOpen = 0;
+    std::size_t bodyOpen = 0;
+    std::size_t bodyClose = 0;
+    bool untrustedInput = false;
+};
+
+/**
+ * Walk the token stream and collect function definitions: a
+ * statement-level `name(...)` group followed (modulo qualifiers,
+ * a trailing return type, or a constructor-initializer) by `{`.
+ * Bodies are skipped, so lambdas and local scopes inside a function
+ * are not reported as functions of their own.
+ */
+std::vector<FunctionDef>
+extractFunctions(const LexedFile &file)
+{
+    const std::vector<Token> &toks = file.tokens;
+    std::vector<FunctionDef> out;
+
+    std::size_t stmtStart = 0;
+    std::size_t candName = toks.size(); // index of candidate name
+    std::size_t candClose = toks.size();
+    bool sawEq = false;
+    bool tailOk = true;
+    bool tailFree = false; // after `->` or `:` anything goes
+    int parenDepth = 0;
+
+    auto reset = [&](std::size_t next) {
+        stmtStart = next;
+        candName = toks.size();
+        candClose = toks.size();
+        sawEq = false;
+        tailOk = true;
+        tailFree = false;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (isPunct(t, "(")) {
+            if (parenDepth == 0 && !sawEq) {
+                if (i > stmtStart &&
+                    toks[i - 1].kind == TokKind::Identifier &&
+                    !controlKeywords().count(toks[i - 1].text)) {
+                    candName = i - 1;
+                } else {
+                    candName = toks.size();
+                }
+                candClose = toks.size();
+                tailOk = true;
+                tailFree = false;
+            }
+            ++parenDepth;
+            continue;
+        }
+        if (isPunct(t, ")")) {
+            if (--parenDepth == 0)
+                candClose = i;
+            continue;
+        }
+        if (parenDepth > 0)
+            continue;
+
+        if (isPunct(t, ";") || isPunct(t, "}")) {
+            reset(i + 1);
+            continue;
+        }
+        if (isPunct(t, "{")) {
+            const bool isFunction = candName < toks.size() &&
+                                    candClose < toks.size() && tailOk;
+            if (!isFunction) {
+                reset(i + 1);
+                continue;
+            }
+            FunctionDef fn;
+            fn.name = toks[candName].text;
+            fn.stmtStart = stmtStart;
+            fn.nameIndex = candName;
+            fn.parenOpen = candName + 1;
+            fn.bodyOpen = i;
+            // Skip the body (nested braces included).
+            int depth = 0;
+            std::size_t j = i;
+            for (; j < toks.size(); ++j) {
+                if (isPunct(toks[j], "{"))
+                    ++depth;
+                else if (isPunct(toks[j], "}") && --depth == 0)
+                    break;
+            }
+            fn.bodyClose = j < toks.size() ? j : toks.size() - 1;
+            out.push_back(fn);
+            i = fn.bodyClose;
+            reset(i + 1);
+            continue;
+        }
+
+        if (isPunct(t, "="))
+            sawEq = true;
+        if (candClose < toks.size()) {
+            // Between `)` and a potential `{`.
+            if (isPunct(t, "->") || isPunct(t, ":")) {
+                tailFree = true;
+            } else if (!tailFree) {
+                const bool allowed =
+                    isIdent(t, "const") || isIdent(t, "noexcept") ||
+                    isIdent(t, "override") || isIdent(t, "final") ||
+                    isIdent(t, "mutable");
+                if (!allowed)
+                    tailOk = false;
+            }
+        }
+    }
+
+    // Attach `untrusted-input` annotations: the annotation must sit
+    // directly above the function head (within two lines).
+    for (const Annotation &raw : file.annotations) {
+        const ParsedAnnotation ann = parseAnnotation(raw);
+        if (ann.kind != ParsedAnnotation::Kind::UntrustedInput)
+            continue;
+        for (FunctionDef &fn : out) {
+            const int head = toks[fn.stmtStart].line;
+            const int open = toks[fn.parenOpen].line;
+            if (ann.line >= head - 2 && ann.line <= open) {
+                fn.untrustedInput = true;
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------- //
+// Rule: determinism                                                 //
+// ---------------------------------------------------------------- //
+
+const std::set<std::string> &
+bannedAnywhere()
+{
+    static const std::set<std::string> names = {
+        "system_clock",     "steady_clock", "high_resolution_clock",
+        "random_device",    "getenv",       "secure_getenv",
+        "gettimeofday",     "clock_gettime", "localtime",
+        "gmtime",           "timespec_get", "mt19937",
+        "mt19937_64",       "default_random_engine",
+        "minstd_rand",      "minstd_rand0",
+    };
+    return names;
+}
+
+const std::set<std::string> &
+bannedCalls()
+{
+    static const std::set<std::string> names = {
+        "time",    "clock",   "rand",    "srand",
+        "random",  "drand48", "lrand48", "mrand48",
+        "rand_r",
+    };
+    return names;
+}
+
+bool
+isMemberAccess(const std::vector<Token> &toks, std::size_t i)
+{
+    return i > 0 &&
+           (isPunct(toks[i - 1], ".") || isPunct(toks[i - 1], "->"));
+}
+
+void
+checkDeterminism(const LexedFile &file, const std::string &relPath,
+                 const Config &config, std::vector<Finding> &out)
+{
+    for (const std::string &prefix : config.determinismAllowPrefixes)
+        if (relPath.rfind(prefix, 0) == 0)
+            return;
+
+    const std::vector<Token> &toks = file.tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != TokKind::Identifier)
+            continue;
+        if (bannedAnywhere().count(t.text)) {
+            out.push_back(
+                {"determinism", relPath, t.line,
+                 "'" + t.text +
+                     "' is nondeterministic; route through core/rng "
+                     "or core/sim_clock"});
+            continue;
+        }
+        if (bannedCalls().count(t.text) && i + 1 < toks.size() &&
+            isPunct(toks[i + 1], "(") && !isMemberAccess(toks, i)) {
+            out.push_back(
+                {"determinism", relPath, t.line,
+                 "call to '" + t.text +
+                     "()' is nondeterministic; route through "
+                     "core/rng or core/sim_clock"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Rule: unordered-iter                                              //
+// ---------------------------------------------------------------- //
+
+void
+checkUnorderedIteration(const LexedFile &file,
+                        const std::string &relPath,
+                        std::vector<Finding> &out)
+{
+    const std::vector<Token> &toks = file.tokens;
+    static const std::set<std::string> unorderedTypes = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+
+    std::set<std::string> vars;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != TokKind::Identifier ||
+            !unorderedTypes.count(toks[i].text))
+            continue;
+        std::size_t after = skipAngles(toks, i + 1);
+        // Skip ref/pointer/cv tokens so parameters are collected
+        // too: `const std::unordered_map<K, V> &counts`.
+        while (after < toks.size() &&
+               (isPunct(toks[after], "&") || isPunct(toks[after], "*") ||
+                isIdent(toks[after], "const")))
+            ++after;
+        if (after < toks.size() &&
+            toks[after].kind == TokKind::Identifier)
+            vars.insert(toks[after].text);
+    }
+    if (vars.empty())
+        return;
+
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "for") || !isPunct(toks[i + 1], "("))
+            continue;
+        const std::size_t close = matchParen(toks, i + 1);
+        // Find the range-for `:` at paren depth 1.
+        std::size_t colon = close;
+        int depth = 0;
+        for (std::size_t j = i + 1; j < close; ++j) {
+            if (isPunct(toks[j], "("))
+                ++depth;
+            else if (isPunct(toks[j], ")"))
+                --depth;
+            else if (depth == 1 && isPunct(toks[j], ":")) {
+                colon = j;
+                break;
+            }
+        }
+        for (std::size_t j = colon + 1; j < close; ++j) {
+            if (toks[j].kind == TokKind::Identifier &&
+                vars.count(toks[j].text)) {
+                out.push_back(
+                    {"unordered-iter", relPath, toks[i].line,
+                     "iteration over unordered container '" +
+                         toks[j].text +
+                         "' has unspecified order; sort first, use "
+                         "an ordered container, or justify with "
+                         "allow(unordered-iter)"});
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Rule: trust-boundary                                              //
+// ---------------------------------------------------------------- //
+
+const std::set<std::string> &
+totalReturnMarkers()
+{
+    static const std::set<std::string> names = {"optional", "expected",
+                                                "Result", "bool"};
+    return names;
+}
+
+bool
+looksLikeParser(const std::string &name)
+{
+    return name.rfind("deserialize", 0) == 0 ||
+           name.rfind("parse", 0) == 0 || name.rfind("peek", 0) == 0 ||
+           name.rfind("decode", 0) == 0;
+}
+
+void
+checkTrustBoundary(const LexedFile &file, const std::string &relPath,
+                   const Config &config,
+                   const std::vector<FunctionDef> &functions,
+                   std::vector<Finding> &out)
+{
+    const std::vector<Token> &toks = file.tokens;
+    static const std::set<std::string> throwingConverters = {
+        "stoi", "stol", "stoll", "stoul", "stoull",
+        "stof", "stod", "stold"};
+
+    for (const FunctionDef &fn : functions) {
+        if (!fn.untrustedInput) {
+            if (config.boundaryFiles.count(relPath) &&
+                looksLikeParser(fn.name)) {
+                out.push_back(
+                    {"trust-boundary", relPath,
+                     toks[fn.nameIndex].line,
+                     "'" + fn.name +
+                         "' parses boundary input but lacks the "
+                         "`// trustlint: untrusted-input` annotation"});
+            }
+            continue;
+        }
+
+        bool total = false;
+        for (std::size_t i = fn.stmtStart; i < fn.nameIndex; ++i)
+            if (toks[i].kind == TokKind::Identifier &&
+                totalReturnMarkers().count(toks[i].text))
+                total = true;
+        if (!total) {
+            out.push_back(
+                {"trust-boundary", relPath, toks[fn.nameIndex].line,
+                 "untrusted-input parser '" + fn.name +
+                     "' must return optional/expected/Result/bool"});
+        }
+
+        for (std::size_t i = fn.bodyOpen; i < fn.bodyClose; ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokKind::Identifier)
+                continue;
+            const bool call =
+                i + 1 < toks.size() && isPunct(toks[i + 1], "(");
+            if (t.text == "throw") {
+                out.push_back(
+                    {"trust-boundary", relPath, t.line,
+                     "untrusted-input parser '" + fn.name +
+                         "' must not throw; return nullopt/error"});
+            } else if (t.text == "assert" && call) {
+                out.push_back(
+                    {"trust-boundary", relPath, t.line,
+                     "untrusted-input parser '" + fn.name +
+                         "' must not assert on input-derived values"});
+            } else if (t.text == "at" && call &&
+                       isMemberAccess(toks, i)) {
+                out.push_back(
+                    {"trust-boundary", relPath, t.line,
+                     "untrusted-input parser '" + fn.name +
+                         "' must not use throwing .at(); "
+                         "bounds-check explicitly"});
+            } else if (throwingConverters.count(t.text) && call) {
+                out.push_back(
+                    {"trust-boundary", relPath, t.line,
+                     "untrusted-input parser '" + fn.name +
+                         "' must not use throwing converter '" +
+                         t.text + "'"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Rule: layering                                                    //
+// ---------------------------------------------------------------- //
+
+std::string
+moduleOf(const std::string &relPath, const Config &config)
+{
+    const std::size_t slash = relPath.find('/');
+    if (slash == std::string::npos)
+        return "";
+    const std::string first = relPath.substr(0, slash);
+    return config.allowedIncludes.count(first) ? first : "";
+}
+
+void
+checkLayering(const LexedFile &file, const std::string &relPath,
+              const Config &config, std::vector<Finding> &out)
+{
+    const std::string module = moduleOf(relPath, config);
+    if (module.empty())
+        return;
+    const std::set<std::string> &allowed =
+        config.allowedIncludes.at(module);
+
+    for (const IncludeDirective &inc : file.includes) {
+        if (inc.angled)
+            continue;
+        const std::size_t slash = inc.path.find('/');
+        if (slash == std::string::npos)
+            continue;
+        const std::string target = inc.path.substr(0, slash);
+        if (!config.allowedIncludes.count(target))
+            continue; // not one of our modules (e.g. third-party)
+        if (!allowed.count(target)) {
+            out.push_back(
+                {"layering", relPath, inc.line,
+                 "module '" + module + "' must not include '" +
+                     inc.path + "': '" + target +
+                     "' is not below it in the module DAG"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Rule: concurrency                                                 //
+// ---------------------------------------------------------------- //
+
+const std::set<std::string> &
+blockingTokens()
+{
+    static const std::set<std::string> names = {
+        "ifstream", "ofstream", "fstream",  "fopen",   "freopen",
+        "fread",    "fwrite",   "fprintf",  "fscanf",  "fgets",
+        "fputs",    "getline",  "printf",   "puts",    "scanf",
+        "cout",     "cerr",     "clog",     "cin",     "system",
+        "popen",    "sleep_for", "sleep_until", "usleep",
+        "nanosleep", "recv",    "send",     "accept",  "connect",
+        "select",   "poll",
+    };
+    return names;
+}
+
+void
+checkConcurrency(const LexedFile &file, const std::string &relPath,
+                 const std::vector<FunctionDef> &functions,
+                 std::vector<Finding> &out)
+{
+    static const std::set<std::string> guards = {
+        "lock_guard", "unique_lock", "scoped_lock", "shared_lock"};
+
+    // Registered orderings for this file.
+    std::set<std::pair<std::string, std::string>> registered;
+    for (const Annotation &raw : file.annotations) {
+        const ParsedAnnotation ann = parseAnnotation(raw);
+        if (ann.kind == ParsedAnnotation::Kind::LockOrder)
+            registered.emplace(ann.lockFirst, ann.lockSecond);
+    }
+
+    const std::vector<Token> &toks = file.tokens;
+    for (const FunctionDef &fn : functions) {
+        struct Held
+        {
+            std::string mutexExpr;
+            int depth;
+        };
+        std::vector<Held> held;
+        int depth = 0;
+
+        for (std::size_t i = fn.bodyOpen; i <= fn.bodyClose; ++i) {
+            const Token &t = toks[i];
+            if (isPunct(t, "{")) {
+                ++depth;
+                continue;
+            }
+            if (isPunct(t, "}")) {
+                --depth;
+                while (!held.empty() && held.back().depth > depth)
+                    held.pop_back();
+                continue;
+            }
+            if (t.kind != TokKind::Identifier)
+                continue;
+
+            if (guards.count(t.text)) {
+                std::size_t j = skipAngles(toks, i + 1);
+                if (j < toks.size() &&
+                    toks[j].kind == TokKind::Identifier &&
+                    j + 1 < toks.size() && isPunct(toks[j + 1], "(")) {
+                    const std::size_t close = matchParen(toks, j + 1);
+                    std::string expr;
+                    for (std::size_t k = j + 2; k < close; ++k)
+                        expr += toks[k].text;
+                    if (!held.empty() &&
+                        held.back().mutexExpr != expr &&
+                        !registered.count(
+                            {held.back().mutexExpr, expr})) {
+                        out.push_back(
+                            {"lock-order", relPath, t.line,
+                             "acquires '" + expr +
+                                 "' while holding '" +
+                                 held.back().mutexExpr +
+                                 "'; register `// trustlint: "
+                                 "lock-order(" +
+                                 held.back().mutexExpr + " -> " +
+                                 expr + ")` if this nesting is "
+                                 "globally consistent"});
+                    }
+                    held.push_back(Held{expr, depth});
+                    i = close;
+                }
+                continue;
+            }
+
+            if (!held.empty() && blockingTokens().count(t.text) &&
+                !isMemberAccess(toks, i)) {
+                out.push_back(
+                    {"blocking-under-lock", relPath, t.line,
+                     "'" + t.text + "' under lock '" +
+                         held.back().mutexExpr +
+                         "'; move I/O outside the critical section"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Rule: annotation (the grammar polices itself)                     //
+// ---------------------------------------------------------------- //
+
+void
+checkAnnotations(const LexedFile &file, const std::string &relPath,
+                 std::vector<Finding> &out)
+{
+    for (const Annotation &raw : file.annotations) {
+        const ParsedAnnotation ann = parseAnnotation(raw);
+        if (ann.kind == ParsedAnnotation::Kind::Malformed)
+            out.push_back({"annotation", relPath, ann.line, ann.error});
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Suppression                                                       //
+// ---------------------------------------------------------------- //
+
+void
+applySuppressions(const LexedFile &file, std::vector<Finding> &findings)
+{
+    // rule -> lines covered by a well-formed allow() (the annotation
+    // line itself, for trailing comments, and the line below it).
+    std::map<std::string, std::set<int>> allowed;
+    for (const Annotation &raw : file.annotations) {
+        const ParsedAnnotation ann = parseAnnotation(raw);
+        if (ann.kind != ParsedAnnotation::Kind::Allow)
+            continue;
+        for (const std::string &rule : ann.allowRules) {
+            allowed[rule].insert(ann.line);
+            allowed[rule].insert(ann.line + 1);
+        }
+    }
+    if (allowed.empty())
+        return;
+    std::erase_if(findings, [&](const Finding &f) {
+        const auto it = allowed.find(f.rule);
+        return it != allowed.end() && it->second.count(f.line);
+    });
+}
+
+} // namespace
+
+Config
+defaultConfig()
+{
+    Config c;
+    c.determinismAllowPrefixes = {"core/rng.", "core/sim_clock."};
+    c.boundaryFiles = {"trust/messages.cc", "trust/server.cc"};
+    // The module DAG: core at the bottom; crypto/fingerprint/touch/
+    // net above core; hw may additionally use crypto+touch; placement
+    // sits on hw+touch; trust composes everything. core/obs is part
+    // of core and therefore includable from anywhere.
+    const std::set<std::string> everything = {
+        "core", "crypto", "fingerprint", "hw",
+        "touch", "net",   "placement",   "trust"};
+    c.allowedIncludes["core"] = {"core"};
+    c.allowedIncludes["crypto"] = {"core", "crypto"};
+    c.allowedIncludes["fingerprint"] = {"core", "fingerprint"};
+    c.allowedIncludes["touch"] = {"core", "touch"};
+    c.allowedIncludes["net"] = {"core", "net"};
+    c.allowedIncludes["hw"] = {"core", "crypto", "touch", "hw"};
+    c.allowedIncludes["placement"] = {"core", "hw", "touch",
+                                      "placement"};
+    c.allowedIncludes["trust"] = everything;
+    return c;
+}
+
+std::vector<Finding>
+checkFile(const LexedFile &file, const std::string &relPath,
+          const Config &config)
+{
+    std::vector<Finding> out;
+    const std::vector<FunctionDef> functions = extractFunctions(file);
+
+    checkDeterminism(file, relPath, config, out);
+    checkUnorderedIteration(file, relPath, out);
+    checkTrustBoundary(file, relPath, config, functions, out);
+    checkLayering(file, relPath, config, out);
+    checkConcurrency(file, relPath, functions, out);
+    checkAnnotations(file, relPath, out);
+
+    applySuppressions(file, out);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Finding>
+scanPath(const std::string &root, const Config &config,
+         std::size_t *filesScanned)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::pair<std::string, std::string>> files; // rel, abs
+
+    const fs::path rootPath(root);
+    if (fs::is_regular_file(rootPath)) {
+        files.emplace_back(rootPath.filename().generic_string(),
+                           rootPath.generic_string());
+    } else if (fs::is_directory(rootPath)) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(rootPath)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".cpp" &&
+                ext != ".hpp" && ext != ".h")
+                continue;
+            files.emplace_back(
+                fs::relative(entry.path(), rootPath).generic_string(),
+                entry.path().generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<Finding> out;
+    std::size_t scanned = 0;
+    for (const auto &[rel, abs] : files) {
+        const std::optional<LexedFile> lexed = lexFile(abs);
+        if (!lexed)
+            continue;
+        ++scanned;
+        std::vector<Finding> fileFindings =
+            checkFile(*lexed, rel, config);
+        out.insert(out.end(), fileFindings.begin(), fileFindings.end());
+    }
+    if (filesScanned)
+        *filesScanned = scanned;
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace trust::lint

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The four trustlint invariant families.
+ *
+ * 1. determinism        — no wall clocks, libc randomness, or
+ *    environment-dependent logic outside the explicit allowlist;
+ *    no iteration over unordered containers (rule `unordered-iter`)
+ *    whose order could leak into serialized output or decisions.
+ * 2. trust-boundary     — functions annotated
+ *    `// trustlint: untrusted-input` must be total parsers: a
+ *    totalizing return type (optional/expected/Result/bool) and no
+ *    throw / assert / .at() / throwing converters in the body. In
+ *    the registered boundary files every parser-shaped function
+ *    (named deserialize..., parse..., peek... or decode...) must
+ *    carry the annotation.
+ * 3. layering           — quoted includes must follow the module
+ *    DAG (core at the bottom, trust at the top; see defaultConfig()).
+ * 4. concurrency        — no acquisition of a second, differently
+ *    named lock while one is held (rule `lock-order`) unless the
+ *    pair is registered via `// trustlint: lock-order(a -> b)`, and
+ *    no blocking I/O tokens under any lock (`blocking-under-lock`).
+ *
+ * Suppression: `// trustlint: allow(rule[, rule]) -- reason` on the
+ * offending line or the line directly above. The reason is
+ * mandatory — the allowlist is part of the audit surface.
+ * Malformed or unknown annotations are findings themselves
+ * (rule `annotation`).
+ */
+
+#ifndef TRUST_TOOLS_TRUSTLINT_RULES_HH
+#define TRUST_TOOLS_TRUSTLINT_RULES_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "trustlint/lexer.hh"
+
+namespace trust::lint {
+
+/** One rule violation. */
+struct Finding
+{
+    std::string rule;
+    std::string file; ///< path relative to the scan root
+    int line = 0;
+    std::string message;
+
+    bool
+    operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+};
+
+/** Scan configuration; defaultConfig() encodes this repo's DAG. */
+struct Config
+{
+    /** Relative-path prefixes exempt from the determinism family. */
+    std::vector<std::string> determinismAllowPrefixes;
+
+    /**
+     * Files in which every parser-shaped function must carry the
+     * `untrusted-input` annotation (relative paths).
+     */
+    std::set<std::string> boundaryFiles;
+
+    /** module -> modules it may include (must contain itself). */
+    std::map<std::string, std::set<std::string>> allowedIncludes;
+};
+
+/** The checked-in configuration for this repository. */
+Config defaultConfig();
+
+/**
+ * Run all rules over one lexed file. `relPath` is the path relative
+ * to the scan root (used for module mapping and allowlists); slashes
+ * must be '/'.
+ */
+std::vector<Finding> checkFile(const LexedFile &file,
+                               const std::string &relPath,
+                               const Config &config);
+
+/**
+ * Scan a directory tree (or a single file). Collects *.cc / *.hh /
+ * *.cpp / *.hpp / *.h in deterministic (sorted) order. Returns
+ * findings sorted by (file, line, rule). `filesScanned`, when
+ * non-null, receives the number of files lexed.
+ */
+std::vector<Finding> scanPath(const std::string &root,
+                              const Config &config,
+                              std::size_t *filesScanned = nullptr);
+
+} // namespace trust::lint
+
+#endif // TRUST_TOOLS_TRUSTLINT_RULES_HH
