@@ -4,7 +4,9 @@
  * scale: one CA, several TRUST web servers and a growing fleet of
  * FLock devices all registering, logging in and browsing. Reports
  * protocol success rates, wire traffic, and wall-clock simulation
- * throughput as the fleet grows.
+ * throughput as the fleet grows, emitting the sweep through the
+ * shared BENCH_*.json envelope (writeBenchJson) instead of ad-hoc
+ * printf-only reporting.
  */
 
 #include <benchmark/benchmark.h>
@@ -13,6 +15,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "core/csv.hh"
 #include "core/rng.hh"
@@ -27,14 +30,22 @@ namespace proto = trust::trust;
 
 namespace {
 
-void
-printEcosystemScaling()
+/** One fleet-size data point of the scaling sweep. */
+struct ScalePoint
 {
-    std::printf("=== Fig. 8 ecosystem: scaling the fleet ===\n");
-    core::Table table({"devices", "servers", "sessions ok",
-                       "pages served", "msgs", "wire KB",
-                       "sim wall (s)"});
+    int devices = 0;
+    int servers = 0;
+    int sessionsOk = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t wireBytes = 0;
+    double wallSec = 0.0;
+};
 
+std::vector<ScalePoint>
+runEcosystemScaling()
+{
+    std::vector<ScalePoint> points;
     for (int n_devices : {1, 2, 4, 8}) {
         const auto t0 = std::chrono::steady_clock::now();
 
@@ -52,8 +63,9 @@ printEcosystemScaling()
             touch::homeScreenLayout(), touch::keyboardLayout(),
             touch::browserLayout()};
 
-        int sessions_ok = 0;
-        std::uint64_t pages = 0;
+        ScalePoint point;
+        point.devices = n_devices;
+        point.servers = n_servers;
         for (int d = 0; d < n_devices; ++d) {
             const auto finger = fp::synthesizeFinger(
                 static_cast<std::uint64_t>(d) + 1, finger_rng);
@@ -67,31 +79,65 @@ printEcosystemScaling()
                 eco, device, server, behavior, finger, rng, 10,
                 "user" + std::to_string(d));
             if (outcome.registered && outcome.loggedIn)
-                ++sessions_ok;
-            pages += static_cast<std::uint64_t>(
+                ++point.sessionsOk;
+            point.pages += static_cast<std::uint64_t>(
                 std::max(outcome.pagesReceived, 0));
         }
 
-        const double wall =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
+        point.messages = eco.network().messagesSent();
+        point.wireBytes = eco.network().bytesSent();
+        point.wallSec = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+        points.push_back(point);
+    }
+    return points;
+}
+
+void
+printEcosystemScaling(const std::vector<ScalePoint> &points)
+{
+    std::printf("=== Fig. 8 ecosystem: scaling the fleet ===\n");
+    core::Table table({"devices", "servers", "sessions ok",
+                       "pages served", "msgs", "wire KB",
+                       "sim wall (s)"});
+    for (const auto &p : points) {
         table.addRow(
-            {std::to_string(n_devices), std::to_string(n_servers),
-             std::to_string(sessions_ok) + "/" +
-                 std::to_string(n_devices),
-             std::to_string(pages),
-             std::to_string(eco.network().messagesSent()),
+            {std::to_string(p.devices), std::to_string(p.servers),
+             std::to_string(p.sessionsOk) + "/" +
+                 std::to_string(p.devices),
+             std::to_string(p.pages), std::to_string(p.messages),
              core::Table::num(
-                 static_cast<double>(eco.network().bytesSent()) /
-                     1024.0,
-                 1),
-             core::Table::num(wall, 2)});
+                 static_cast<double>(p.wireBytes) / 1024.0, 1),
+             core::Table::num(p.wallSec, 2)});
     }
     table.print();
     std::printf("\nEvery device independently binds, authenticates "
                 "and browses; wire traffic grows linearly with the "
                 "fleet (no cross-device state).\n");
+}
+
+void
+writeJson(const std::vector<ScalePoint> &points)
+{
+    trust::benchutil::writeBenchJson(
+        "BENCH_fig8.json", "fig8_ecosystem",
+        [&](core::obs::JsonWriter &w) {
+            w.key("results");
+            w.beginArray();
+            for (const auto &p : points) {
+                w.beginObject();
+                w.kv("devices", p.devices);
+                w.kv("servers", p.servers);
+                w.kv("sessions_ok", p.sessionsOk);
+                w.kv("pages_served", p.pages);
+                w.kv("messages", p.messages);
+                w.kv("wire_bytes", p.wireBytes);
+                w.kv("wall_s", p.wallSec);
+                w.endObject();
+            }
+            w.endArray();
+        });
 }
 
 void
@@ -121,7 +167,9 @@ int
 main(int argc, char **argv)
 {
     const auto obs_opts = trust::benchutil::parseObsFlags(argc, argv);
-    printEcosystemScaling();
+    const auto points = runEcosystemScaling();
+    printEcosystemScaling(points);
+    writeJson(points);
     std::printf("\n");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

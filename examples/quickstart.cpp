@@ -73,7 +73,8 @@ main()
                 bank.auditFrameHashes(), bank.auditLogSize());
 
     std::printf("\nServer-side counters:\n");
-    for (const auto &[name, value] : bank.counters().all())
+    const auto bank_counters = bank.counters();
+    for (const auto &[name, value] : bank_counters.all())
         std::printf("  %-28s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
 

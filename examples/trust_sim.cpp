@@ -218,7 +218,8 @@ main(int argc, char **argv)
     std::printf("audit:              %zu mismatches in %zu frames\n",
                 server.auditFrameHashes(), server.auditLogSize());
     std::printf("\nserver counters:\n");
-    for (const auto &[name, value] : server.counters().all())
+    const auto server_counters = server.counters();
+    for (const auto &[name, value] : server_counters.all())
         std::printf("  %-36s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(value));
     return 0;

@@ -69,6 +69,14 @@ AuditLog::record(std::string_view actor, std::string_view kind,
     records_.push_back(std::move(r));
 }
 
+void
+AuditLog::absorb(AuditRecord record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    record.seq = nextSeq_++;
+    records_.push_back(std::move(record));
+}
+
 std::vector<AuditRecord>
 AuditLog::snapshot() const
 {

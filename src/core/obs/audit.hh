@@ -58,6 +58,15 @@ class AuditLog
     void record(std::string_view actor, std::string_view kind,
                 std::initializer_list<Field> fields = {});
 
+    /**
+     * Append an already-built record, keeping its tick and fields
+     * but re-assigning the sequence number to this log's counter.
+     * Used by the fleet runner's deterministic merge: per-channel
+     * buffers are sorted by (tick, channel, seq) and absorbed into
+     * the global log in that order.
+     */
+    void absorb(AuditRecord record);
+
     std::vector<AuditRecord> snapshot() const;
     std::size_t size() const;
     void clear();

@@ -13,6 +13,13 @@ namespace {
 
 std::atomic<const EventQueue *> g_clock{nullptr};
 
+// Per-thread channel overrides (see ScopedChannelObs): a fleet
+// worker thread running one channel's serial sub-simulation reads
+// that channel's event queue and records into that channel's
+// buffer, leaving the global clock/log untouched.
+thread_local const EventQueue *t_channelClock = nullptr;
+thread_local AuditLog *t_channelAudit = nullptr;
+
 // Hybrid-clock anchor: the last sim tick we saw, and the steady
 // clock reading when we first saw it. Guarded by a mutex; now() is
 // only reached when observability is runtime-enabled.
@@ -51,6 +58,8 @@ tracer()
 AuditLog &
 audit()
 {
+    if (t_channelAudit)
+        return *t_channelAudit;
     static AuditLog *instance = new AuditLog();
     return *instance;
 }
@@ -83,6 +92,8 @@ setClockSource(const EventQueue *clock)
 Tick
 simNow()
 {
+    if (t_channelClock)
+        return t_channelClock->now();
     const EventQueue *clock = g_clock.load(std::memory_order_acquire);
     return clock ? clock->now() : 0;
 }
@@ -90,6 +101,12 @@ simNow()
 Tick
 now()
 {
+    // Inside a channel capture, spans anchor to raw channel sim
+    // time with no wall-clock interpolation: the hybrid anchor is
+    // global state and mixing channel clocks through it would
+    // interleave unrelated timelines.
+    if (t_channelClock)
+        return t_channelClock->now();
     const EventQueue *clock = g_clock.load(std::memory_order_acquire);
     // trustlint: allow(determinism) -- sub-tick span interpolation; trace timing only, never decisions
     const auto wall = std::chrono::steady_clock::now();
@@ -111,6 +128,22 @@ now()
             wall - g_lastWall)
             .count();
     return sim + static_cast<Tick>(delta > 0 ? delta : 0);
+}
+
+ScopedChannelObs::ScopedChannelObs(const EventQueue *clock,
+                                   AuditLog *sink)
+    : prevClock_(t_channelClock), prevSink_(t_channelAudit)
+{
+    if (clock)
+        t_channelClock = clock;
+    if (sink)
+        t_channelAudit = sink;
+}
+
+ScopedChannelObs::~ScopedChannelObs()
+{
+    t_channelClock = prevClock_;
+    t_channelAudit = prevSink_;
 }
 
 void

@@ -94,6 +94,36 @@ Tick now();
 void resetAll();
 
 /**
+ * RAII per-channel capture for deterministic parallel simulation.
+ *
+ * While alive, the *calling thread's* obs::simNow() reads @p clock
+ * (instead of the global clock source) and obs::audit() resolves to
+ * @p sink (instead of the process-wide log). The fleet runner
+ * installs one of these around each channel's serial sub-simulation
+ * so that concurrently executing channels stamp records with their
+ * own sim time into their own buffers; a post-run merge sorted by
+ * (tick, channel, per-channel seq) then rebuilds one global log
+ * whose bytes are independent of the worker-thread count.
+ *
+ * Overrides nest per thread (the previous override is restored on
+ * destruction). A null @p sink leaves audit() on the global log; a
+ * null @p clock leaves simNow() on the global clock source.
+ */
+class ScopedChannelObs
+{
+  public:
+    ScopedChannelObs(const EventQueue *clock, AuditLog *sink);
+    ~ScopedChannelObs();
+
+    ScopedChannelObs(const ScopedChannelObs &) = delete;
+    ScopedChannelObs &operator=(const ScopedChannelObs &) = delete;
+
+  private:
+    const EventQueue *prevClock_;
+    AuditLog *prevSink_;
+};
+
+/**
  * RAII span: opens a tracer span on construction, closes it on
  * destruction and feeds the duration into the `span/<name>_ms`
  * histogram metric. Free when observability is disabled.

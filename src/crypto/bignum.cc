@@ -1,8 +1,10 @@
 #include "crypto/bignum.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "core/logging.hh"
+#include "crypto/mont_cache.hh"
 
 namespace trust::crypto {
 
@@ -399,8 +401,10 @@ Bignum::modExp(const Bignum &base, const Bignum &exp, const Bignum &mod)
     if (mod == Bignum(1))
         return Bignum();
     if (mod.isOdd()) {
-        Montgomery mont(mod);
-        return mont.modExp(base, exp);
+        // Contexts are shared through the process-wide cache: RSA
+        // workloads hit the same handful of moduli over and over,
+        // and the R^2-mod-n setup dominates small exponentiations.
+        return montgomeryFor(mod)->modExp(base, exp);
     }
     // Generic square-and-multiply for even moduli (rare path).
     Bignum result(1);
@@ -561,13 +565,52 @@ Montgomery::modExp(const Bignum &base, const Bignum &exp) const
 {
     if (n_ == Bignum(1))
         return Bignum();
-    Bignum result = toMont(Bignum(1));
-    const Bignum b = toMont(base);
     const std::size_t bits = exp.bitLength();
-    for (std::size_t i = bits; i-- > 0;) {
-        result = mul(result, result);
-        if (exp.bit(i))
-            result = mul(result, b);
+    const Bignum b = toMont(base);
+
+    // Small exponents (the RSA public e = 65537 path): the window
+    // precomputation would cost more than it saves, so fall back to
+    // plain left-to-right square-and-multiply.
+    if (bits <= 32) {
+        Bignum result = toMont(Bignum(1));
+        for (std::size_t i = bits; i-- > 0;) {
+            result = mul(result, result);
+            if (exp.bit(i))
+                result = mul(result, b);
+        }
+        return fromMont(result);
+    }
+
+    // Fixed 4-bit windows for private exponents: 14 precomputed
+    // powers buy one multiplication per window instead of an
+    // expected one per two bits (~25% fewer multiplications on a
+    // random exponent). Not constant-time, like the rest of this
+    // simulation-grade library.
+    std::array<Bignum, 16> pow;
+    pow[0] = toMont(Bignum(1));
+    pow[1] = b;
+    for (std::size_t i = 2; i < pow.size(); ++i)
+        pow[i] = mul(pow[i - 1], b);
+
+    const std::size_t windows = (bits + 3) / 4;
+    // The top window contains the most significant set bit, so its
+    // digit is never zero and seeds the accumulator directly.
+    auto digitAt = [&](std::size_t w) {
+        std::size_t digit = 0;
+        for (std::size_t j = 4; j-- > 0;) {
+            digit <<= 1;
+            if (exp.bit(w * 4 + j))
+                digit |= 1;
+        }
+        return digit;
+    };
+    Bignum result = pow[digitAt(windows - 1)];
+    for (std::size_t w = windows - 1; w-- > 0;) {
+        for (int s = 0; s < 4; ++s)
+            result = mul(result, result);
+        const std::size_t digit = digitAt(w);
+        if (digit)
+            result = mul(result, pow[digit]);
     }
     return fromMont(result);
 }

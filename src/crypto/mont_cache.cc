@@ -1,0 +1,115 @@
+#include "crypto/mont_cache.hh"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace trust::crypto {
+
+namespace {
+
+struct CacheEntry
+{
+    std::shared_ptr<const Montgomery> context;
+    std::uint64_t lastUse = 0;
+};
+
+constexpr std::size_t kCapacity = 64;
+
+std::mutex g_montCacheMutex;
+std::map<std::string, CacheEntry> g_cache;
+std::uint64_t g_useClock = 0;
+std::uint64_t g_hits = 0;
+std::uint64_t g_misses = 0;
+
+/** Canonical map key: the minimal big-endian encoding of n. */
+std::string
+keyFor(const Bignum &modulus)
+{
+    const core::Bytes bytes = modulus.toBytes();
+    return std::string(bytes.begin(), bytes.end());
+}
+
+} // namespace
+
+std::shared_ptr<const Montgomery>
+montgomeryFor(const Bignum &modulus)
+{
+    const std::string key = keyFor(modulus);
+    {
+        std::lock_guard<std::mutex> lock(g_montCacheMutex);
+        auto it = g_cache.find(key);
+        if (it != g_cache.end()) {
+            ++g_hits;
+            it->second.lastUse = ++g_useClock;
+            return it->second.context;
+        }
+    }
+
+    // Construct outside the lock: context setup is the expensive
+    // part, and two threads racing on the same new modulus just do
+    // the work twice (both results are identical and immutable).
+    auto context = std::make_shared<const Montgomery>(modulus);
+
+    std::lock_guard<std::mutex> lock(g_montCacheMutex);
+    auto it = g_cache.find(key);
+    if (it != g_cache.end()) {
+        // Lost the construction race; keep the incumbent so every
+        // caller shares one context.
+        ++g_hits;
+        it->second.lastUse = ++g_useClock;
+        return it->second.context;
+    }
+    ++g_misses;
+    if (g_cache.size() >= kCapacity) {
+        auto victim = g_cache.begin();
+        for (auto cand = g_cache.begin(); cand != g_cache.end();
+             ++cand) {
+            if (cand->second.lastUse < victim->second.lastUse)
+                victim = cand;
+        }
+        g_cache.erase(victim);
+    }
+    g_cache.emplace(key, CacheEntry{context, ++g_useClock});
+    return context;
+}
+
+std::size_t
+montgomeryCacheSize()
+{
+    std::lock_guard<std::mutex> lock(g_montCacheMutex);
+    return g_cache.size();
+}
+
+std::size_t
+montgomeryCacheCapacity()
+{
+    return kCapacity;
+}
+
+std::uint64_t
+montgomeryCacheHits()
+{
+    std::lock_guard<std::mutex> lock(g_montCacheMutex);
+    return g_hits;
+}
+
+std::uint64_t
+montgomeryCacheMisses()
+{
+    std::lock_guard<std::mutex> lock(g_montCacheMutex);
+    return g_misses;
+}
+
+void
+clearMontgomeryCache()
+{
+    std::lock_guard<std::mutex> lock(g_montCacheMutex);
+    g_cache.clear();
+    g_useClock = 0;
+    g_hits = 0;
+    g_misses = 0;
+}
+
+} // namespace trust::crypto

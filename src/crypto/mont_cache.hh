@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Process-wide cache of Montgomery multiplication contexts, keyed
+ * by modulus.
+ *
+ * Building a `Montgomery` context costs one big division
+ * (R^2 mod n) plus the Newton inversion of the low limb — work that
+ * the serving hot path used to repeat on every signature, every
+ * verification and every CRT half of every decryption, because
+ * `Bignum::modExp` constructed a fresh context per call. A TRUST
+ * web server exercises a tiny working set of moduli (its own p, q
+ * and n, the CA key, and the fleet's repeatedly-verified client
+ * keys), so a small bounded cache amortizes the setup across a
+ * whole session.
+ *
+ * Thread safety: lookups and insertions are serialized by an
+ * internal mutex; the returned contexts are immutable and safe to
+ * share across threads (every `Montgomery` method is const and
+ * pure). Eviction is LRU with a fixed capacity, so concurrent
+ * fleets cannot grow the cache without bound.
+ */
+
+#ifndef TRUST_CRYPTO_MONT_CACHE_HH
+#define TRUST_CRYPTO_MONT_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "crypto/bignum.hh"
+
+namespace trust::crypto {
+
+/**
+ * The shared Montgomery context for @p modulus, constructing and
+ * caching it on first use. Fatal if @p modulus is even or zero
+ * (same contract as the Montgomery constructor).
+ */
+std::shared_ptr<const Montgomery> montgomeryFor(const Bignum &modulus);
+
+/** Number of contexts currently cached. */
+std::size_t montgomeryCacheSize();
+
+/** Maximum number of contexts kept before LRU eviction. */
+std::size_t montgomeryCacheCapacity();
+
+/** @{ @name Lifetime hit/miss counters (bench + test telemetry). */
+std::uint64_t montgomeryCacheHits();
+std::uint64_t montgomeryCacheMisses();
+/** @} */
+
+/** Drop every cached context (tests; in-flight shared_ptrs survive). */
+void clearMontgomeryCache();
+
+} // namespace trust::crypto
+
+#endif // TRUST_CRYPTO_MONT_CACHE_HH

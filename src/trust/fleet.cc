@@ -1,0 +1,233 @@
+#include "trust/fleet.hh"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "core/logging.hh"
+#include "core/obs/obs.hh"
+#include "core/parallel.hh"
+#include "core/rng.hh"
+#include "fingerprint/synthesis.hh"
+#include "touch/behavior.hh"
+
+namespace trust::trust {
+
+namespace {
+
+/**
+ * Per-channel seed base: a pure function of (fleet seed, channel
+ * index), never of construction or execution order, so channel i is
+ * the same simulation no matter how many threads build or run it.
+ */
+std::uint64_t
+channelSeedBase(std::uint64_t fleet_seed, int index)
+{
+    return fleet_seed * 0x9E3779B97F4A7C15ull +
+           (static_cast<std::uint64_t>(index) + 1) * 0x100000001B3ull;
+}
+
+} // namespace
+
+struct Fleet::Channel
+{
+    int index = 0;
+    std::uint64_t seedBase = 0;
+    std::string name;
+    std::string account;
+    core::EventQueue queue;
+    net::Network network;
+    // Provisioning artifacts staged across the build phases (the
+    // screen and FLock module are consumed by the device ctor).
+    std::optional<touch::UserBehavior> behavior;
+    std::optional<fingerprint::MasterFinger> finger;
+    std::optional<hw::BiometricTouchscreen> screen;
+    std::optional<FlockModule> flock;
+    std::unique_ptr<MobileDevice> device;
+    WebServer *server = nullptr;
+    core::obs::AuditLog buffer; ///< This channel's audit capture.
+    ChannelResult result;
+    std::uint64_t dispatches = 0;
+
+    Channel(int idx, const FleetConfig &config)
+        : index(idx), seedBase(channelSeedBase(config.seed, idx)),
+          name("fleet-phone-" + std::to_string(idx)),
+          account("user" + std::to_string(idx)),
+          network(queue, config.latency)
+    {
+    }
+};
+
+Fleet::Fleet(const FleetConfig &config, FleetHooks hooks)
+    : config_(config), hooks_(std::move(hooks)),
+      caRng_(config.seed ^ 0xF1EE7CA0ull),
+      ca_(std::make_unique<crypto::CertificateAuthority>(
+          "TrustRootCA", config.rsaBits, caRng_))
+{
+    // Shared servers (serial: key generation and certificate issue
+    // draw from the CA's RNG and serial counter in a fixed order).
+    const int n_servers = std::max(config_.servers, 1);
+    servers_.reserve(static_cast<std::size_t>(n_servers));
+    for (int s = 0; s < n_servers; ++s) {
+        servers_.push_back(std::make_unique<WebServer>(
+            "www.fleet" + std::to_string(s) + ".com", *ca_,
+            config_.seed * 2654435761ull +
+                static_cast<std::uint64_t>(s) + 1,
+            config_.rsaBits, config_.serverPolicy,
+            config_.flockConfig.display));
+    }
+
+    const int n = std::max(config_.devices, 0);
+    channels_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        channels_.push_back(std::make_unique<Channel>(i, config_));
+
+    // Provisioning that touches only channel-private state runs in
+    // parallel: behaviour synthesis, sensor placement, FLock key
+    // generation. Observability is captured per channel so any
+    // records land in the channel's buffer, not the global log.
+    core::parallelFor(0, n, 1, [&](int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+            Channel &ch = *channels_[static_cast<std::size_t>(i)];
+            core::obs::ScopedChannelObs capture(&ch.queue,
+                                                &ch.buffer);
+            const std::uint64_t uid =
+                static_cast<std::uint64_t>(ch.index) + 1;
+            ch.behavior.emplace(touch::UserBehavior::forUser(
+                uid, {touch::homeScreenLayout(),
+                      touch::keyboardLayout(),
+                      touch::browserLayout()}));
+            core::Rng finger_rng(ch.seedBase + 1);
+            ch.finger.emplace(
+                fingerprint::synthesizeFinger(uid, finger_rng));
+            ch.screen.emplace(makeOptimizedScreen(
+                *ch.behavior, config_.sensorTiles,
+                config_.tileSideMm, ch.seedBase + 2));
+            FlockConfig flock_config = config_.flockConfig;
+            flock_config.rsaBits = config_.rsaBits;
+            ch.flock.emplace(ch.name + "-flock", ca_->rootKey(),
+                             ch.seedBase + 3, flock_config);
+        }
+    });
+
+    // Certificate issue is the one provisioning step with shared
+    // mutable state (the CA's serial counter and RNG): strictly in
+    // channel order so every certificate is deterministic. Device
+    // assembly and network wiring ride along (both cheap).
+    for (int i = 0; i < n; ++i) {
+        Channel &ch = *channels_[static_cast<std::size_t>(i)];
+        ch.flock->installDeviceCertificate(
+            ca_->issue(ch.name + "-flock",
+                       crypto::CertRole::FlockDevice,
+                       ch.flock->devicePublicKey()));
+        ch.device = std::make_unique<MobileDevice>(
+            ch.name, std::move(*ch.screen), std::move(*ch.flock),
+            ch.seedBase + 4);
+        ch.screen.reset();
+        ch.flock.reset();
+        ch.device->attachToNetwork(ch.network);
+        ch.server =
+            servers_[static_cast<std::size_t>(i) %
+                     servers_.size()]
+                .get();
+        WebServer *srv = ch.server;
+        Channel *chp = &ch;
+        ch.network.attach(
+            srv->domain(), [this, chp, srv](const net::Message &m) {
+                if (hooks_.beforeDispatch)
+                    hooks_.beforeDispatch(chp->index);
+                const core::Bytes reply = srv->handle(
+                    m.payload, m.from, chp->queue.now());
+                if (hooks_.afterDispatch)
+                    hooks_.afterDispatch(chp->index);
+                ++chp->dispatches;
+                chp->network.send(srv->domain(), m.from, reply);
+            });
+    }
+
+    // Owner enrollment is channel-private again — and the heaviest
+    // provisioning step (full fingerprint pipeline per view).
+    core::parallelFor(0, n, 1, [&](int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+            Channel &ch = *channels_[static_cast<std::size_t>(i)];
+            core::obs::ScopedChannelObs capture(&ch.queue,
+                                                &ch.buffer);
+            if (!ch.device->enrollOwner(*ch.finger))
+                core::warn("fleet: owner enrollment produced no "
+                           "usable view");
+        }
+    });
+}
+
+Fleet::~Fleet() = default;
+
+void
+Fleet::runChannel(Channel &channel)
+{
+    // While this capture is alive, the executing thread's
+    // obs::audit()/simNow() resolve to this channel's buffer and
+    // clock — concurrently running channels never interleave
+    // records in the global log.
+    core::obs::ScopedChannelObs capture(&channel.queue,
+                                        &channel.buffer);
+    core::Rng rng(channel.seedBase + 5);
+    channel.result.outcome = runBrowsingSession(
+        channel.queue, *channel.device, *channel.server,
+        *channel.behavior, *channel.finger, rng, config_.clicks,
+        channel.account);
+    channel.result.messages = channel.network.messagesSent();
+    channel.result.wireBytes = channel.network.bytesSent();
+    channel.result.simEnd = channel.queue.now();
+}
+
+void
+Fleet::mergeAuditBuffers()
+{
+    // Total order from simulation data only: records sort by their
+    // own sim tick, ties broken by channel index then the channel-
+    // local sequence number. (channel, seq) is unique, so the order
+    // — and with it the merged log's bytes — is independent of the
+    // worker-thread count.
+    std::vector<std::pair<int, core::obs::AuditRecord>> tagged;
+    for (const auto &channel : channels_) {
+        for (auto &record : channel->buffer.snapshot())
+            tagged.emplace_back(channel->index, std::move(record));
+        channel->buffer.clear();
+    }
+    std::sort(tagged.begin(), tagged.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.tick != b.second.tick)
+                      return a.second.tick < b.second.tick;
+                  if (a.first != b.first)
+                      return a.first < b.first;
+                  return a.second.seq < b.second.seq;
+              });
+    for (auto &[channel, record] : tagged)
+        core::obs::audit().absorb(std::move(record));
+}
+
+FleetResult
+Fleet::run()
+{
+    const int n = static_cast<int>(channels_.size());
+    core::parallelFor(0, n, 1, [&](int begin, int end) {
+        for (int i = begin; i < end; ++i)
+            runChannel(*channels_[static_cast<std::size_t>(i)]);
+    });
+    mergeAuditBuffers();
+
+    FleetResult out;
+    out.channels.reserve(channels_.size());
+    for (const auto &channel : channels_) {
+        out.channels.push_back(channel->result);
+        if (channel->result.outcome.registered &&
+            channel->result.outcome.loggedIn)
+            ++out.sessionsOk;
+        out.pagesServed += static_cast<std::uint64_t>(
+            std::max(channel->result.outcome.pagesReceived, 0));
+        out.dispatches += channel->dispatches;
+    }
+    return out;
+}
+
+} // namespace trust::trust

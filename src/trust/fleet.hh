@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Fleet-scale serving: many independent device↔server channels
+ * executed concurrently against shared, thread-safe WebServers.
+ *
+ * Each channel is a self-contained serial sub-simulation — its own
+ * event queue, network and device — touching no other channel's
+ * state; the only shared mutable objects are the sharded WebServers
+ * (safe by design, see server.hh) and the observability singletons
+ * (thread-safe). Channels are executed with core::parallelFor, so
+ * the set of channels run and everything each one computes is
+ * independent of the worker-thread count.
+ *
+ * **Deterministic audit merge.** While a channel runs, a
+ * ScopedChannelObs capture redirects the executing thread's
+ * obs::audit() and obs::simNow() to the channel's private buffer and
+ * clock. After the run, the per-channel buffers are merged into the
+ * global audit log ordered by (tick, channel, per-channel seq) — a
+ * total order derived only from simulation data — so the merged log
+ * is byte-identical at 1, 4 or 16 threads. The fleet golden test
+ * pins this.
+ */
+
+#ifndef TRUST_TRUST_FLEET_HH
+#define TRUST_TRUST_FLEET_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/obs/audit.hh"
+#include "net/network.hh"
+#include "trust/scenario.hh"
+
+namespace trust::trust {
+
+/** Fleet-wide configuration. */
+struct FleetConfig
+{
+    std::uint64_t seed = 1;
+    int devices = 8;   ///< Independent device↔server channels.
+    int servers = 2;   ///< Shared web servers (round-robin binding).
+    int clicks = 5;    ///< Browsing touches per channel session.
+    int sensorTiles = 4;
+    double tileSideMm = 7.0;
+    std::size_t rsaBits = 512;
+    ServerPolicy serverPolicy;
+    FlockConfig flockConfig;
+    net::LatencyModel latency;
+};
+
+/** What one channel's session produced. */
+struct ChannelResult
+{
+    SessionOutcome outcome;
+    std::uint64_t messages = 0;  ///< Channel network messages sent.
+    std::uint64_t wireBytes = 0; ///< Channel network bytes sent.
+    core::Tick simEnd = 0;       ///< Channel sim time at completion.
+};
+
+/** Aggregated fleet run outcome. */
+struct FleetResult
+{
+    std::vector<ChannelResult> channels;
+    int sessionsOk = 0;          ///< Registered AND logged in.
+    std::uint64_t pagesServed = 0;
+    std::uint64_t dispatches = 0; ///< Server requests handled.
+};
+
+/**
+ * Per-dispatch instrumentation hooks, called on the worker thread
+ * executing the channel immediately around WebServer::handle().
+ * Benches install wall-clock timers here (the fleet itself never
+ * reads a wall clock). Must be thread-safe; invoked concurrently
+ * from different channels.
+ */
+struct FleetHooks
+{
+    std::function<void(int channel)> beforeDispatch;
+    std::function<void(int channel)> afterDispatch;
+};
+
+/**
+ * The running fleet. Construction provisions every channel
+ * (screen placement, FLock keys, owner enrollment — parallelised;
+ * certificate issue — serialized in channel order, so the CA's
+ * serial counter assignment is deterministic).
+ */
+class Fleet
+{
+  public:
+    explicit Fleet(const FleetConfig &config, FleetHooks hooks = {});
+    ~Fleet();
+
+    Fleet(const Fleet &) = delete;
+    Fleet &operator=(const Fleet &) = delete;
+
+    /**
+     * Run every channel's browsing session (registration → login →
+     * clicks), concurrently across the global thread pool, then
+     * merge the per-channel audit buffers into the global log in
+     * (tick, channel, seq) order. Call once.
+     */
+    FleetResult run();
+
+    WebServer &server(int index) { return *servers_[static_cast<std::size_t>(index)]; }
+    int serverCount() const { return static_cast<int>(servers_.size()); }
+
+  private:
+    struct Channel;
+
+    void runChannel(Channel &channel);
+    void mergeAuditBuffers();
+
+    FleetConfig config_;
+    FleetHooks hooks_;
+    crypto::Csprng caRng_;
+    std::unique_ptr<crypto::CertificateAuthority> ca_;
+    std::vector<std::unique_ptr<WebServer>> servers_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+} // namespace trust::trust
+
+#endif // TRUST_TRUST_FLEET_HH

@@ -32,9 +32,10 @@ Ecosystem::addServer(const std::string &domain)
     WebServer &ref = *server;
     network_.attach(domain, [this, &ref](const net::Message &message) {
         // The sender address keys the server's duplicate-suppression
-        // cache, making device retransmissions idempotent.
+        // cache, making device retransmissions idempotent; sim time
+        // lets the server age out abandoned handshake nonces.
         const core::Bytes reply =
-            ref.handle(message.payload, message.from);
+            ref.handle(message.payload, message.from, queue_.now());
         network_.send(ref.domain(), message.from, reply);
     });
     servers_.push_back(std::move(server));
@@ -96,6 +97,18 @@ runBrowsingSession(Ecosystem &ecosystem, MobileDevice &device,
                    core::Rng &rng, int clicks,
                    const std::string &account)
 {
+    return runBrowsingSession(ecosystem.queue(), device, server,
+                              behavior, finger, rng, clicks, account);
+}
+
+SessionOutcome
+runBrowsingSession(core::EventQueue &queue, MobileDevice &device,
+                   WebServer &server,
+                   const touch::UserBehavior &behavior,
+                   const fingerprint::MasterFinger &finger,
+                   core::Rng &rng, int clicks,
+                   const std::string &account)
+{
     SessionOutcome outcome;
     const std::string &domain = server.domain();
 
@@ -122,9 +135,9 @@ runBrowsingSession(Ecosystem &ecosystem, MobileDevice &device,
          attempt < 16 && !device.registrationComplete(domain);
          ++attempt) {
         device.startRegistration(domain, account);
-        ecosystem.settle();
+        queue.run();
         device.onTouch(critical_touch(), &finger);
-        ecosystem.settle();
+        queue.run();
     }
     outcome.registered = device.registrationComplete(domain);
     if (!outcome.registered)
@@ -134,9 +147,9 @@ runBrowsingSession(Ecosystem &ecosystem, MobileDevice &device,
     for (int attempt = 0;
          attempt < 16 && !device.sessionActive(domain); ++attempt) {
         device.startLogin(domain);
-        ecosystem.settle();
+        queue.run();
         device.onTouch(critical_touch(), &finger);
-        ecosystem.settle();
+        queue.run();
     }
     outcome.loggedIn = device.sessionActive(domain);
     if (!outcome.loggedIn)
@@ -147,7 +160,7 @@ runBrowsingSession(Ecosystem &ecosystem, MobileDevice &device,
     const std::uint64_t rejected_before =
         device.counters().get("server-error-reply");
     const auto touches = touch::generateSession(
-        behavior, rng, ecosystem.queue().now() + core::seconds(1),
+        behavior, rng, queue.now() + core::seconds(1),
         clicks);
     for (const auto &event : touches) {
         // If an outage outlasted the retransmission budget, the
@@ -157,12 +170,12 @@ runBrowsingSession(Ecosystem &ecosystem, MobileDevice &device,
              attempt < 16 && device.sessionNeedsResume(domain);
              ++attempt) {
             device.resumeSession(domain);
-            ecosystem.settle();
+            queue.run();
             device.onTouch(critical_touch(), &finger);
-            ecosystem.settle();
+            queue.run();
         }
         device.onTouch(event, &finger);
-        ecosystem.settle();
+        queue.run();
     }
     outcome.pagesReceived =
         static_cast<int>(device.pagesReceived()) - 1; // minus login page

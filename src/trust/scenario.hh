@@ -119,6 +119,20 @@ SessionOutcome runBrowsingSession(Ecosystem &ecosystem,
                                   core::Rng &rng, int clicks,
                                   const std::string &account);
 
+/**
+ * Same driver on a bare event queue: the device and server must
+ * already be attached to a network pumped by @p queue. This is the
+ * form the fleet runner uses — each independent channel owns its own
+ * queue and runs this concurrently with the others.
+ */
+SessionOutcome runBrowsingSession(core::EventQueue &queue,
+                                  MobileDevice &device,
+                                  WebServer &server,
+                                  const touch::UserBehavior &behavior,
+                                  const fingerprint::MasterFinger &finger,
+                                  core::Rng &rng, int clicks,
+                                  const std::string &account);
+
 } // namespace trust::trust
 
 #endif // TRUST_TRUST_SCENARIO_HH

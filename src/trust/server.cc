@@ -28,6 +28,43 @@ sessionCipher(const core::Bytes &session_key, const core::Bytes &data,
 
 } // namespace
 
+std::size_t
+WebServer::hashKey(std::string_view key)
+{
+    // FNV-1a: stable across platforms, so shard assignment (and with
+    // it any eviction behaviour) is deterministic for a given input.
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : key) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+WebServer::AccountShard &
+WebServer::accountShard(const std::string &account)
+{
+    return *accountShards_[hashKey(account) % kAccountShards];
+}
+
+const WebServer::AccountShard &
+WebServer::accountShard(const std::string &account) const
+{
+    return *accountShards_[hashKey(account) % kAccountShards];
+}
+
+WebServer::SessionShard &
+WebServer::sessionShard(std::uint64_t session_id)
+{
+    return *sessionShards_[session_id % kSessionShards];
+}
+
+WebServer::DedupShard &
+WebServer::dedupShard(const std::string &from)
+{
+    return *dedupShards_[hashKey(from) % kDedupShards];
+}
+
 WebServer::WebServer(std::string domain,
                      crypto::CertificateAuthority &ca,
                      std::uint64_t seed, std::size_t rsa_bits,
@@ -38,6 +75,15 @@ WebServer::WebServer(std::string domain,
       policy_(policy), display_(display),
       frameHash_(hw::FrameHashEngine::Algorithm::Sha256)
 {
+    accountShards_.reserve(kAccountShards);
+    for (std::size_t i = 0; i < kAccountShards; ++i)
+        accountShards_.push_back(std::make_unique<AccountShard>());
+    sessionShards_.reserve(kSessionShards);
+    for (std::size_t i = 0; i < kSessionShards; ++i)
+        sessionShards_.push_back(std::make_unique<SessionShard>());
+    dedupShards_.reserve(kDedupShards);
+    for (std::size_t i = 0; i < kDedupShards; ++i)
+        dedupShards_.push_back(std::make_unique<DedupShard>());
 }
 
 core::Bytes
@@ -56,9 +102,42 @@ WebServer::pageFor(const std::string &tag) const
     return page;
 }
 
+std::shared_ptr<const WebServer::PageEntry>
+WebServer::pageEntry(const std::string &tag) const
+{
+    {
+        std::lock_guard<std::mutex> lock(pageCacheMutex_);
+        const auto it = pageCache_.find(tag);
+        if (it != pageCache_.end())
+            return it->second;
+    }
+    // Build outside the lock: page expansion plus one frame hash per
+    // possible view is the expensive part this cache amortises.
+    // Both are pure functions of (domain, tag, display), so a lost
+    // race just built the same entry twice.
+    auto entry = std::make_shared<PageEntry>();
+    entry->page = pageFor(tag);
+    entry->viewHashes =
+        expectedFrameHashes(entry->page, display_, frameHash_);
+    {
+        std::lock_guard<std::mutex> lock(pageCacheMutex_);
+        const auto it = pageCache_.find(tag);
+        if (it != pageCache_.end())
+            return it->second; // lost the race; keep the incumbent
+        pageCache_.emplace(tag, entry);
+        pageCacheFifo_.push_back(tag);
+        if (pageCacheFifo_.size() > kPageCacheCapacity) {
+            pageCache_.erase(pageCacheFifo_.front());
+            pageCacheFifo_.pop_front();
+        }
+    }
+    return entry;
+}
+
 core::Bytes
 WebServer::freshNonce()
 {
+    std::lock_guard<std::mutex> lock(rngMutex_);
     return rng_.randomBytes(16);
 }
 
@@ -77,7 +156,10 @@ void
 WebServer::note(const std::string &event, const std::string &account,
                 const std::string &detail)
 {
-    counters_.bump(event);
+    {
+        std::lock_guard<std::mutex> lock(countersMutex_);
+        counters_.bump(event);
+    }
     if (!core::obs::enabledFast())
         return;
     core::obs::metrics()
@@ -92,8 +174,16 @@ WebServer::note(const std::string &event, const std::string &account,
          {"detail", detail.empty() ? "-" : detail}});
 }
 
+void
+WebServer::appendAuditEntry(AuditEntry entry)
+{
+    std::lock_guard<std::mutex> lock(auditMutex_);
+    auditLog_.push_back(std::move(entry));
+}
+
 core::Bytes
-WebServer::handle(const core::Bytes &request, const std::string &from)
+WebServer::handle(const core::Bytes &request, const std::string &from,
+                  core::Tick now)
 {
     TRUST_SPAN("server/handle");
     const auto kind = peekKind(request);
@@ -107,36 +197,49 @@ WebServer::handle(const core::Bytes &request, const std::string &from)
     // time). Id 0 is the "no id" sentinel and is never cached.
     const bool dedupable = !from.empty() && *id != 0;
     if (dedupable) {
-        for (const auto &entry : dedupCache_) {
-            if (entry.from == from && entry.requestId == *id) {
-                note("dedup-hit", from);
-                return entry.reply;
+        core::Bytes cached;
+        bool hit = false;
+        {
+            DedupShard &shard = dedupShard(from);
+            std::lock_guard<std::mutex> lock(shard.dedupMutex);
+            for (const auto &entry : shard.entries) {
+                if (entry.from == from && entry.requestId == *id) {
+                    cached = entry.reply;
+                    hit = true;
+                    break;
+                }
             }
+        }
+        if (hit) {
+            note("dedup-hit", from);
+            return cached;
         }
     }
 
-    core::Bytes reply = dispatch(*kind, request, *id);
+    core::Bytes reply = dispatch(*kind, request, *id, now);
     // Error replies are never cached: one may be the product of a
     // transport-corrupted request, and the clean retransmission of
     // the same id must reach the real handler, not a stale error.
     if (dedupable && peekKind(reply) != MsgKind::ErrorReply) {
-        dedupCache_.push_back({from, *id, reply});
-        if (dedupCache_.size() > 128) // bound memory
-            dedupCache_.pop_front();
+        DedupShard &shard = dedupShard(from);
+        std::lock_guard<std::mutex> lock(shard.dedupMutex);
+        shard.entries.push_back({from, *id, reply});
+        if (shard.entries.size() > kDedupPerShard) // bound memory
+            shard.entries.pop_front();
     }
     return reply;
 }
 
 core::Bytes
 WebServer::dispatch(MsgKind kind, const core::Bytes &request,
-                    std::uint64_t request_id)
+                    std::uint64_t request_id, core::Tick now)
 {
     switch (kind) {
       case MsgKind::RegistrationRequest: {
         const auto m = RegistrationRequest::deserialize(request);
         if (!m)
             return error("malformed", request_id).serialize();
-        return handleRegistrationRequest(*m).serialize();
+        return handleRegistrationRequest(*m, now).serialize();
       }
       case MsgKind::RegistrationSubmit: {
         const auto m = RegistrationSubmit::deserialize(request);
@@ -148,7 +251,7 @@ WebServer::dispatch(MsgKind kind, const core::Bytes &request,
         const auto m = LoginRequest::deserialize(request);
         if (!m)
             return error("malformed", request_id).serialize();
-        const auto page = handleLoginRequest(*m);
+        const auto page = handleLoginRequest(*m, now);
         if (!page)
             return error("unknown-account", request_id).serialize();
         return page->serialize();
@@ -176,21 +279,104 @@ WebServer::dispatch(MsgKind kind, const core::Bytes &request,
     }
 }
 
+void
+WebServer::eraseHandshakeNonce(AccountShard &shard, bool login,
+                               const std::string &account,
+                               const core::Bytes &nonce)
+{
+    auto &map = login ? shard.pendingLogin : shard.pendingReg;
+    const auto it = map.find(account);
+    if (it == map.end())
+        return;
+    auto &vec = it->second;
+    const auto pos = std::find_if(
+        vec.begin(), vec.end(),
+        [&](const PendingNonce &p) { return p.nonce == nonce; });
+    if (pos != vec.end())
+        vec.erase(pos);
+    // Dropping the now-empty per-account vector is what keeps the
+    // *map* bounded too: before this, an account that only ever
+    // abandoned handshakes kept a key here forever.
+    if (vec.empty())
+        map.erase(it);
+}
+
+void
+WebServer::pruneHandshakes(AccountShard &shard, core::Tick now)
+{
+    const core::Tick ttl = policy_.handshakeTtl;
+    // The FIFO is issue-ordered, so expiry only ever needs to look
+    // at the front. Refs whose nonce is already gone (consumed, or
+    // displaced by the per-account bound) are skipped for free.
+    while (!shard.handshakeFifo.empty()) {
+        const HandshakeRef &front = shard.handshakeFifo.front();
+        const auto &map =
+            front.login ? shard.pendingLogin : shard.pendingReg;
+        const auto it = map.find(front.account);
+        const bool live =
+            it != map.end() &&
+            std::find_if(it->second.begin(), it->second.end(),
+                         [&](const PendingNonce &p) {
+                             return p.nonce == front.nonce;
+                         }) != it->second.end();
+        const bool expired =
+            ttl != 0 && now > ttl && front.issued < now - ttl;
+        if (!live) {
+            shard.handshakeFifo.pop_front();
+            continue;
+        }
+        if (!expired)
+            break;
+        eraseHandshakeNonce(shard, front.login, front.account,
+                            front.nonce);
+        shard.handshakeFifo.pop_front();
+    }
+}
+
+void
+WebServer::recordHandshake(AccountShard &shard, bool login,
+                           const std::string &account,
+                           const core::Bytes &nonce, core::Tick now)
+{
+    pruneHandshakes(shard, now);
+    // Global bound, striped: each shard carries an equal slice of
+    // maxPendingHandshakes, evicting its oldest ref first — the
+    // same FIFO policy as the reply dedup cache. The cap applies to
+    // the bookkeeping FIFO, which upper-bounds live nonces.
+    const std::size_t cap = std::max<std::size_t>(
+        1, policy_.maxPendingHandshakes / kAccountShards);
+    while (shard.handshakeFifo.size() >= cap) {
+        const HandshakeRef victim = shard.handshakeFifo.front();
+        shard.handshakeFifo.pop_front();
+        eraseHandshakeNonce(shard, victim.login, victim.account,
+                            victim.nonce);
+    }
+    auto &outstanding =
+        (login ? shard.pendingLogin : shard.pendingReg)[account];
+    outstanding.push_back({nonce, now});
+    if (outstanding.size() > 16) // bound state per account
+        outstanding.erase(outstanding.begin());
+    shard.handshakeFifo.push_back({login, account, nonce, now});
+}
+
 RegistrationPage
-WebServer::handleRegistrationRequest(const RegistrationRequest &request)
+WebServer::handleRegistrationRequest(const RegistrationRequest &request,
+                                     core::Tick now)
 {
     note("registration-request", request.account);
     RegistrationPage page;
     page.requestId = request.requestId;
     page.domain = domain_;
     page.nonce = freshNonce();
-    page.pageContent = pageFor("register");
+    page.pageContent = pageEntry("register")->page;
     page.serverCert = cert_.serialize();
     page.signature = crypto::rsaSign(keys_.priv, page.signedBody());
-    auto &outstanding = pendingRegNonce_[request.account];
-    outstanding.push_back(page.nonce);
-    if (outstanding.size() > 16) // bound state per account
-        outstanding.erase(outstanding.begin());
+    {
+        AccountShard &shard = accountShard(request.account);
+        std::lock_guard<std::mutex> lock(shard.accountsMutex);
+        recordHandshake(shard, /*login=*/false, request.account,
+                        page.nonce, now);
+    }
     return page;
 }
 
@@ -209,19 +395,32 @@ WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
         return result;
     }
 
-    auto pending = pendingRegNonce_.find(submit.account);
-    auto nonce_it = pending == pendingRegNonce_.end()
-                        ? std::vector<core::Bytes>::iterator{}
-                        : std::find(pending->second.begin(),
-                                    pending->second.end(), submit.nonce);
-    if (pending == pendingRegNonce_.end() ||
-        nonce_it == pending->second.end()) {
-        result.reason = "stale-nonce";
+    // Phase 1 (shard lock): the nonce must be outstanding. It is
+    // only *consumed* in phase 3, after the signature checks pass —
+    // a failed submit leaves it available for a clean retry, which
+    // matches the pre-sharding behaviour.
+    {
+        AccountShard &shard = accountShard(submit.account);
+        std::lock_guard<std::mutex> lock(shard.accountsMutex);
+        const auto pending = shard.pendingReg.find(submit.account);
+        const bool live =
+            pending != shard.pendingReg.end() &&
+            std::find_if(pending->second.begin(),
+                         pending->second.end(),
+                         [&](const PendingNonce &p) {
+                             return p.nonce == submit.nonce;
+                         }) != pending->second.end();
+        if (!live) {
+            result.reason = "stale-nonce";
+        }
+    }
+    if (!result.reason.empty()) {
         note("registration-rejected", submit.account, result.reason);
         return result;
     }
 
-    // Verify the FLock device certificate and the submit signature.
+    // Phase 2 (no locks held): verify the FLock device certificate
+    // and the submit signature — the expensive RSA work.
     const auto device_cert =
         crypto::Certificate::deserialize(submit.deviceCert);
     if (!device_cert ||
@@ -231,8 +430,15 @@ WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
         note("registration-rejected", submit.account, result.reason);
         return result;
     }
-    if (std::find(revokedSerials_.begin(), revokedSerials_.end(),
-                  device_cert->serial) != revokedSerials_.end()) {
+    bool revoked = false;
+    {
+        std::lock_guard<std::mutex> lock(revocationMutex_);
+        revoked = std::find(revokedSerials_.begin(),
+                            revokedSerials_.end(),
+                            device_cert->serial) !=
+                  revokedSerials_.end();
+    }
+    if (revoked) {
         result.reason = "revoked-device-cert";
         note("registration-rejected", submit.account, result.reason);
         return result;
@@ -252,34 +458,63 @@ WebServer::handleRegistrationSubmit(const RegistrationSubmit &submit)
     }
 
     // Log the registration frame hash for audit.
-    auditLog_.push_back(
-        {submit.account, 0, submit.frameHash,
-         expectedFrameHashes(pageFor("register"), display_,
-                             frameHash_)});
+    appendAuditEntry({submit.account, 0, submit.frameHash,
+                      pageEntry("register")->viewHashes});
 
-    database_[submit.account] = *user_key;
-    pending->second.erase(nonce_it);
-    result.ok = true;
+    // Phase 3 (shard lock): consume the nonce and commit the
+    // binding. A concurrent submit of the same nonce loses the race
+    // here and is rejected as stale.
+    {
+        AccountShard &shard = accountShard(submit.account);
+        std::lock_guard<std::mutex> lock(shard.accountsMutex);
+        const auto pending = shard.pendingReg.find(submit.account);
+        const bool live =
+            pending != shard.pendingReg.end() &&
+            std::find_if(pending->second.begin(),
+                         pending->second.end(),
+                         [&](const PendingNonce &p) {
+                             return p.nonce == submit.nonce;
+                         }) != pending->second.end();
+        if (!live) {
+            result.reason = "stale-nonce";
+        } else {
+            eraseHandshakeNonce(shard, /*login=*/false,
+                                submit.account, submit.nonce);
+            shard.database[submit.account] = *user_key;
+            result.ok = true;
+        }
+    }
+    if (!result.ok) {
+        note("registration-rejected", submit.account, result.reason);
+        return result;
+    }
     note("registration-accepted", submit.account);
     return result;
 }
 
 std::optional<LoginPage>
-WebServer::handleLoginRequest(const LoginRequest &request)
+WebServer::handleLoginRequest(const LoginRequest &request,
+                              core::Tick now)
 {
-    if (!database_.count(request.account))
-        return std::nullopt;
+    {
+        AccountShard &shard = accountShard(request.account);
+        std::lock_guard<std::mutex> lock(shard.accountsMutex);
+        if (!shard.database.count(request.account))
+            return std::nullopt;
+    }
     note("login-request", request.account);
     LoginPage page;
     page.requestId = request.requestId;
     page.domain = domain_;
     page.nonce = freshNonce();
-    page.pageContent = pageFor("login");
+    page.pageContent = pageEntry("login")->page;
     page.signature = crypto::rsaSign(keys_.priv, page.signedBody());
-    auto &outstanding = pendingLoginNonce_[request.account];
-    outstanding.push_back(page.nonce);
-    if (outstanding.size() > 16)
-        outstanding.erase(outstanding.begin());
+    {
+        AccountShard &shard = accountShard(request.account);
+        std::lock_guard<std::mutex> lock(shard.accountsMutex);
+        recordHandshake(shard, /*login=*/true, request.account,
+                        page.nonce, now);
+    }
     return page;
 }
 
@@ -288,7 +523,7 @@ WebServer::makeContentPage(std::uint64_t session_id,
                            SessionState &session, const std::string &tag,
                            std::uint64_t request_id)
 {
-    session.currentPage = pageFor(tag);
+    session.currentTag = tag;
     session.expectedNonce = freshNonce();
 
     ContentPage page;
@@ -296,8 +531,8 @@ WebServer::makeContentPage(std::uint64_t session_id,
     page.domain = domain_;
     page.sessionId = session_id;
     page.nonce = session.expectedNonce;
-    page.pageContent = sessionCipher(session.sessionKey,
-                                     session.currentPage, session_id);
+    page.pageContent = sessionCipher(
+        session.sessionKey, pageEntry(tag)->page, session_id);
     page.mac = crypto::hmacSha256(session.sessionKey, page.macBody());
     return page;
 }
@@ -307,23 +542,35 @@ WebServer::handleLoginSubmit(const LoginSubmit &submit)
 {
     if (submit.domain != domain_)
         return std::nullopt;
-    auto db = database_.find(submit.account);
-    if (db == database_.end()) {
+
+    // Phase 1 (shard lock): account known, nonce outstanding. The
+    // nonce is consumed in phase 3 after the key/MAC checks.
+    bool known = false;
+    bool nonce_live = false;
+    {
+        AccountShard &shard = accountShard(submit.account);
+        std::lock_guard<std::mutex> lock(shard.accountsMutex);
+        known = shard.database.count(submit.account) > 0;
+        const auto pending = shard.pendingLogin.find(submit.account);
+        nonce_live =
+            pending != shard.pendingLogin.end() &&
+            std::find_if(pending->second.begin(),
+                         pending->second.end(),
+                         [&](const PendingNonce &p) {
+                             return p.nonce == submit.nonce;
+                         }) != pending->second.end();
+    }
+    if (!known) {
         note("login-rejected:unknown-account", submit.account);
         return std::nullopt;
     }
-    auto pending = pendingLoginNonce_.find(submit.account);
-    auto nonce_it = pending == pendingLoginNonce_.end()
-                        ? std::vector<core::Bytes>::iterator{}
-                        : std::find(pending->second.begin(),
-                                    pending->second.end(), submit.nonce);
-    if (pending == pendingLoginNonce_.end() ||
-        nonce_it == pending->second.end()) {
+    if (!nonce_live) {
         note("login-rejected:stale-nonce", submit.account);
         return std::nullopt;
     }
 
-    // Recover the session key, then authenticate the message.
+    // Phase 2 (no locks held): recover the session key, then
+    // authenticate the message.
     const auto session_key =
         crypto::rsaDecrypt(keys_.priv, submit.encSessionKey);
     if (!session_key || session_key->size() != 32) {
@@ -336,22 +583,47 @@ WebServer::handleLoginSubmit(const LoginSubmit &submit)
         return std::nullopt;
     }
 
-    pending->second.erase(nonce_it);
+    // Phase 3 (shard lock): consume the nonce; a concurrent submit
+    // of the same nonce loses the race and is rejected as stale.
+    bool consumed = false;
+    {
+        AccountShard &shard = accountShard(submit.account);
+        std::lock_guard<std::mutex> lock(shard.accountsMutex);
+        const auto pending = shard.pendingLogin.find(submit.account);
+        if (pending != shard.pendingLogin.end() &&
+            std::find_if(pending->second.begin(),
+                         pending->second.end(),
+                         [&](const PendingNonce &p) {
+                             return p.nonce == submit.nonce;
+                         }) != pending->second.end()) {
+            eraseHandshakeNonce(shard, /*login=*/true, submit.account,
+                                submit.nonce);
+            consumed = true;
+        }
+    }
+    if (!consumed) {
+        note("login-rejected:stale-nonce", submit.account);
+        return std::nullopt;
+    }
 
-    const std::uint64_t session_id = nextSessionId_++;
+    const std::uint64_t session_id =
+        nextSessionId_.fetch_add(1, std::memory_order_relaxed);
     SessionState session;
     session.account = submit.account;
     session.sessionKey = *session_key;
     session.lastRequestId = submit.requestId;
 
     // Log the login frame hash.
-    auditLog_.push_back(
-        {submit.account, session_id, submit.frameHash,
-         expectedFrameHashes(pageFor("login"), display_, frameHash_)});
+    appendAuditEntry({submit.account, session_id, submit.frameHash,
+                      pageEntry("login")->viewHashes});
 
     ContentPage page =
         makeContentPage(session_id, session, "home", submit.requestId);
-    sessions_[session_id] = std::move(session);
+    {
+        SessionShard &shard = sessionShard(session_id);
+        std::lock_guard<std::mutex> lock(shard.sessionsMutex);
+        shard.sessions[session_id] = std::move(session);
+    }
     note("login-accepted", submit.account);
     return page;
 }
@@ -361,18 +633,30 @@ WebServer::handlePageRequest(const PageRequest &request)
 {
     if (request.domain != domain_)
         return std::nullopt;
-    auto it = sessions_.find(request.sessionId);
-    if (it == sessions_.end()) {
+
+    // Phase 1 (shard lock): snapshot the session state.
+    SessionState session;
+    bool found = false;
+    {
+        SessionShard &shard = sessionShard(request.sessionId);
+        std::lock_guard<std::mutex> lock(shard.sessionsMutex);
+        const auto it = shard.sessions.find(request.sessionId);
+        if (it != shard.sessions.end()) {
+            session = it->second;
+            found = true;
+        }
+    }
+    if (!found) {
         note("request-rejected:no-session", request.account);
         return std::nullopt;
     }
-    SessionState &session = it->second;
     if (session.account != request.account) {
         note("request-rejected:account-mismatch", request.account);
         return std::nullopt;
     }
 
-    // MAC first: only the FLock module holds the session key, so a
+    // Phase 2 (no locks held): all verification runs against the
+    // snapshot — only the FLock module holds the session key, so a
     // valid MAC proves the request left the trusted module.
     if (!crypto::hmacSha256Verify(session.sessionKey,
                                   request.macBody(), request.mac)) {
@@ -404,32 +688,55 @@ WebServer::handlePageRequest(const PageRequest &request)
     }
 
     // Frame hash: log for offline audit (default) or verify online.
-    const auto expected = expectedFrameHashes(session.currentPage,
-                                              display_, frameHash_);
+    // The expected-view set comes from the memoized page entry, so
+    // the per-request audit cost is a cache lookup, not a render.
+    const auto expected = pageEntry(session.currentTag)->viewHashes;
     if (policy_.onlineFrameVerification) {
-        const bool known =
+        const bool hash_known =
             std::find(expected.begin(), expected.end(),
                       request.frameHash) != expected.end();
-        if (!known) {
+        if (!hash_known) {
             note("request-rejected:frame-hash", request.account);
             return std::nullopt;
         }
     }
-    auditLog_.push_back({request.account, request.sessionId,
-                         request.frameHash, expected});
+    appendAuditEntry({request.account, request.sessionId,
+                      request.frameHash, expected});
 
-    note("request-accepted", request.account);
     if (request.requestId != 0)
         session.lastRequestId = request.requestId;
-    return makeContentPage(request.sessionId, session,
-                           "page/" + request.action,
-                           request.requestId);
+    ContentPage page =
+        makeContentPage(request.sessionId, session,
+                        "page/" + request.action, request.requestId);
+
+    // Phase 3 (shard lock): commit the rotated nonce. If another
+    // thread consumed this session's nonce meanwhile (same-key
+    // race), this request loses and is rejected as stale.
+    bool committed = false;
+    {
+        SessionShard &shard = sessionShard(request.sessionId);
+        std::lock_guard<std::mutex> lock(shard.sessionsMutex);
+        const auto it = shard.sessions.find(request.sessionId);
+        if (it != shard.sessions.end() &&
+            it->second.expectedNonce == request.nonce) {
+            it->second = session;
+            committed = true;
+        }
+    }
+    if (!committed) {
+        note("request-rejected:stale-nonce", request.account);
+        return std::nullopt;
+    }
+    note("request-accepted", request.account);
+    return page;
 }
 
 bool
 WebServer::accountRegistered(const std::string &account) const
 {
-    return database_.count(account) > 0;
+    const AccountShard &shard = accountShard(account);
+    std::lock_guard<std::mutex> lock(shard.accountsMutex);
+    return shard.database.count(account) > 0;
 }
 
 bool
@@ -437,12 +744,21 @@ WebServer::resetIdentity(const std::string &account)
 {
     // Drop the key binding and any sessions (the user re-registers
     // from the new device).
-    const bool existed = database_.erase(account) > 0;
-    for (auto it = sessions_.begin(); it != sessions_.end();) {
-        if (it->second.account == account)
-            it = sessions_.erase(it);
-        else
-            ++it;
+    bool existed = false;
+    {
+        AccountShard &shard = accountShard(account);
+        std::lock_guard<std::mutex> lock(shard.accountsMutex);
+        existed = shard.database.erase(account) > 0;
+    }
+    for (const auto &shard : sessionShards_) {
+        std::lock_guard<std::mutex> lock(shard->sessionsMutex);
+        for (auto it = shard->sessions.begin();
+             it != shard->sessions.end();) {
+            if (it->second.account == account)
+                it = shard->sessions.erase(it);
+            else
+                ++it;
+        }
     }
     if (existed)
         note("identity-reset", account);
@@ -452,22 +768,83 @@ WebServer::resetIdentity(const std::string &account)
 void
 WebServer::installRevocationList(std::vector<std::uint64_t> serials)
 {
+    std::lock_guard<std::mutex> lock(revocationMutex_);
     revokedSerials_ = std::move(serials);
+}
+
+std::size_t
+WebServer::registeredAccounts() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : accountShards_) {
+        std::lock_guard<std::mutex> lock(shard->accountsMutex);
+        total += shard->database.size();
+    }
+    return total;
+}
+
+std::size_t
+WebServer::activeSessions() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : sessionShards_) {
+        std::lock_guard<std::mutex> lock(shard->sessionsMutex);
+        total += shard->sessions.size();
+    }
+    return total;
+}
+
+std::size_t
+WebServer::pendingHandshakes() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : accountShards_) {
+        std::lock_guard<std::mutex> lock(shard->accountsMutex);
+        for (const auto &[account, vec] : shard->pendingReg)
+            total += vec.size();
+        for (const auto &[account, vec] : shard->pendingLogin)
+            total += vec.size();
+    }
+    return total;
+}
+
+void
+WebServer::expireHandshakes(core::Tick now)
+{
+    for (const auto &shard : accountShards_) {
+        std::lock_guard<std::mutex> lock(shard->accountsMutex);
+        pruneHandshakes(*shard, now);
+    }
 }
 
 std::size_t
 WebServer::auditFrameHashes() const
 {
+    std::lock_guard<std::mutex> lock(auditMutex_);
     std::size_t mismatches = 0;
     for (const auto &entry : auditLog_) {
-        const bool known =
+        const bool hash_known =
             std::find(entry.expectedHashes.begin(),
                       entry.expectedHashes.end(),
                       entry.frameHash) != entry.expectedHashes.end();
-        if (!known)
+        if (!hash_known)
             ++mismatches;
     }
     return mismatches;
+}
+
+std::size_t
+WebServer::auditLogSize() const
+{
+    std::lock_guard<std::mutex> lock(auditMutex_);
+    return auditLog_.size();
+}
+
+core::CounterSet
+WebServer::counters() const
+{
+    std::lock_guard<std::mutex> lock(countersMutex_);
+    return counters_;
 }
 
 } // namespace trust::trust

@@ -7,13 +7,28 @@
  * per-session state of the continuous-authentication protocol, and
  * the frame-hash audit log the paper proposes for offline detection
  * of display tampering.
+ *
+ * **Concurrency.** `handle()` is safe to call from many threads at
+ * once: every mutable table is striped into locked shards keyed by
+ * the natural request key (account, session id, or sender address),
+ * so requests for different keys proceed in parallel and requests
+ * for the same key serialize on one shard mutex. The discipline is
+ * single-lock-at-a-time — no code path acquires a second shard
+ * mutex while holding one (expensive crypto always runs between
+ * lock scopes, re-validating state after reacquisition), which is
+ * exactly the invariant trustlint's `lock-order` rule checks.
+ * Decisions stay deterministic per key under any interleaving; see
+ * DESIGN.md §11.
  */
 
 #ifndef TRUST_TRUST_SERVER_HH
 #define TRUST_TRUST_SERVER_HH
 
+#include <atomic>
 #include <deque>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +55,18 @@ struct ServerPolicy
 
     /** Verify frame hashes online instead of logging for audit. */
     bool onlineFrameVerification = false;
+
+    /**
+     * Abandoned-handshake bounds: a registration or login page
+     * issues a nonce that an abandoned handshake never consumes, so
+     * outstanding nonces are held in a per-shard FIFO capped at
+     * maxPendingHandshakes total (oldest evicted first, like the
+     * reply dedup cache) and expired once they are older than
+     * handshakeTtl ticks (0 disables expiry). Submits arriving
+     * after eviction are rejected as stale-nonce.
+     */
+    std::size_t maxPendingHandshakes = 4096;
+    core::Tick handshakeTtl = core::seconds(120);
 };
 
 /** One audit-log entry (frame hash + what it should have shown). */
@@ -73,6 +100,7 @@ class WebServer
     /**
      * Dispatch one raw request payload and return the raw reply
      * (always produces a reply; errors become ErrorReply).
+     * Thread-safe: any number of callers may dispatch concurrently.
      *
      * @param from sender address for duplicate suppression. When
      *        non-empty and the request carries a non-zero id, a
@@ -81,19 +109,25 @@ class WebServer
      *        re-executing the handler — this is what makes device
      *        retransmissions idempotent even though nonces are
      *        consumed on first use.
+     * @param now caller's simulated time, used only to stamp and
+     *        expire outstanding handshake nonces (0 = no time
+     *        source; entries never expire by age).
      */
     core::Bytes handle(const core::Bytes &request,
-                       const std::string &from = "");
+                       const std::string &from = "",
+                       core::Tick now = 0);
 
     // --- Typed handlers (Fig. 9 / Fig. 10 steps) -----------------------
 
     RegistrationPage
-    handleRegistrationRequest(const RegistrationRequest &request);
+    handleRegistrationRequest(const RegistrationRequest &request,
+                              core::Tick now = 0);
 
     RegistrationResult
     handleRegistrationSubmit(const RegistrationSubmit &submit);
 
-    std::optional<LoginPage> handleLoginRequest(const LoginRequest &);
+    std::optional<LoginPage> handleLoginRequest(const LoginRequest &,
+                                                core::Tick now = 0);
 
     /** Login: returns a ContentPage on success. */
     std::optional<ContentPage> handleLoginSubmit(const LoginSubmit &);
@@ -116,8 +150,14 @@ class WebServer
      */
     void installRevocationList(std::vector<std::uint64_t> serials);
 
-    std::size_t registeredAccounts() const { return database_.size(); }
-    std::size_t activeSessions() const { return sessions_.size(); }
+    std::size_t registeredAccounts() const;
+    std::size_t activeSessions() const;
+
+    /** Outstanding (unconsumed, unevicted) handshake nonces. */
+    std::size_t pendingHandshakes() const;
+
+    /** Drop every handshake nonce issued before @p now - TTL. */
+    void expireHandshakes(core::Tick now);
 
     // --- Audit -----------------------------------------------------------
 
@@ -128,10 +168,10 @@ class WebServer
      */
     std::size_t auditFrameHashes() const;
 
-    std::size_t auditLogSize() const { return auditLog_.size(); }
+    std::size_t auditLogSize() const;
 
-    /** Event counters (accepted/rejected requests by cause). */
-    const core::CounterSet &counters() const { return counters_; }
+    /** Snapshot of the event counters (accepted/rejected by cause). */
+    core::CounterSet counters() const;
 
   private:
     struct SessionState
@@ -139,7 +179,7 @@ class WebServer
         std::string account;
         core::Bytes sessionKey;
         core::Bytes expectedNonce;
-        core::Bytes currentPage; ///< Plaintext page last served.
+        std::string currentTag; ///< Tag of the page last served.
         /**
          * Highest request id accepted in this session. Ids are
          * device-monotonic, so after MAC verification anything at or
@@ -157,14 +197,103 @@ class WebServer
         core::Bytes reply;
     };
 
+    /** One outstanding handshake nonce (bounded FIFO member). */
+    struct PendingNonce
+    {
+        core::Bytes nonce;
+        core::Tick issued = 0;
+    };
+
+    /** FIFO record locating a PendingNonce for eviction/expiry. */
+    struct HandshakeRef
+    {
+        bool login = false; ///< pendingLogin vs pendingReg.
+        std::string account;
+        core::Bytes nonce;
+        core::Tick issued = 0;
+    };
+
+    /**
+     * Account-keyed state stripe: the credential database plus the
+     * outstanding registration/login nonces of the accounts hashing
+     * here. One account's operations always serialize on one shard.
+     */
+    struct AccountShard
+    {
+        mutable std::mutex accountsMutex;
+        std::map<std::string, crypto::RsaPublicKey> database;
+        std::map<std::string, std::vector<PendingNonce>> pendingReg;
+        std::map<std::string, std::vector<PendingNonce>> pendingLogin;
+        /** Issue-ordered refs driving the bound + TTL eviction. */
+        std::deque<HandshakeRef> handshakeFifo;
+    };
+
+    /** Session-id-keyed state stripe. */
+    struct SessionShard
+    {
+        mutable std::mutex sessionsMutex;
+        std::map<std::uint64_t, SessionState> sessions;
+    };
+
+    /** Sender-keyed reply-dedup stripe (bounded FIFO, LRU-ish). */
+    struct DedupShard
+    {
+        mutable std::mutex dedupMutex;
+        std::deque<DedupEntry> entries;
+    };
+
+    /** Deterministic page content + precomputed view hashes. */
+    struct PageEntry
+    {
+        core::Bytes page;
+        std::vector<core::Bytes> viewHashes;
+    };
+
+    static constexpr std::size_t kAccountShards = 16;
+    static constexpr std::size_t kSessionShards = 16;
+    static constexpr std::size_t kDedupShards = 8;
+    static constexpr std::size_t kDedupPerShard = 128;
+    static constexpr std::size_t kPageCacheCapacity = 256;
+
+    static std::size_t hashKey(std::string_view key);
+
+    AccountShard &accountShard(const std::string &account);
+    const AccountShard &accountShard(const std::string &account) const;
+    SessionShard &sessionShard(std::uint64_t session_id);
+    DedupShard &dedupShard(const std::string &from);
+
     /** Route one decoded-kind payload to its typed handler. */
     core::Bytes dispatch(MsgKind kind, const core::Bytes &request,
-                         std::uint64_t request_id);
+                         std::uint64_t request_id, core::Tick now);
 
     /** Page content generator (deterministic per action). */
     core::Bytes pageFor(const std::string &tag) const;
 
+    /**
+     * Memoized page content + expected view hashes for a tag
+     * (bounded cache; the per-request frame-hash audit cost is paid
+     * once per tag instead of once per request).
+     */
+    std::shared_ptr<const PageEntry>
+    pageEntry(const std::string &tag) const;
+
     core::Bytes freshNonce();
+
+    /**
+     * Record one outstanding handshake nonce and apply the bound +
+     * TTL eviction policy. Caller must hold @p shard's mutex.
+     */
+    void recordHandshake(AccountShard &shard, bool login,
+                         const std::string &account,
+                         const core::Bytes &nonce, core::Tick now);
+
+    /** Drop expired/evicted FIFO refs. Caller holds shard mutex. */
+    void pruneHandshakes(AccountShard &shard, core::Tick now);
+
+    /** Remove one nonce from a shard's maps + FIFO bookkeeping. */
+    static void eraseHandshakeNonce(AccountShard &shard, bool login,
+                                    const std::string &account,
+                                    const core::Bytes &nonce);
 
     /** Build, MAC and log a content page for a session. */
     ContentPage makeContentPage(std::uint64_t session_id,
@@ -178,35 +307,42 @@ class WebServer
     /**
      * Record one verdict: bump the named counter (unchanged
      * behaviour) and, when observability is on, mirror it into the
-     * metrics registry and the decision audit log.
+     * metrics registry and the decision audit log. Never called
+     * with a shard mutex held.
      */
     void note(const std::string &event,
               const std::string &account = std::string(),
               const std::string &detail = std::string());
 
+    void appendAuditEntry(AuditEntry entry);
+
     std::string domain_;
     crypto::RsaPublicKey caKey_;
     crypto::Csprng rng_;
+    mutable std::mutex rngMutex_; ///< Guards rng_ after construction.
     crypto::RsaKeyPair keys_;
     crypto::Certificate cert_;
     ServerPolicy policy_;
     hw::DisplaySpec display_;
     hw::FrameHashEngine frameHash_;
 
-    std::map<std::string, crypto::RsaPublicKey> database_;
-    /**
-     * Outstanding nonces are per-request tokens: each page issue
-     * adds one, each successful submit consumes it, so replaying a
-     * page request cannot invalidate an in-flight genuine exchange
-     * and replaying a submit finds its nonce already spent.
-     */
-    std::map<std::string, std::vector<core::Bytes>> pendingRegNonce_;
-    std::map<std::string, std::vector<core::Bytes>> pendingLoginNonce_;
-    std::map<std::uint64_t, SessionState> sessions_;
-    std::uint64_t nextSessionId_ = 1;
-    std::deque<DedupEntry> dedupCache_; ///< Bounded reply LRU.
+    std::vector<std::unique_ptr<AccountShard>> accountShards_;
+    std::vector<std::unique_ptr<SessionShard>> sessionShards_;
+    std::vector<std::unique_ptr<DedupShard>> dedupShards_;
+    std::atomic<std::uint64_t> nextSessionId_{1};
+
+    mutable std::mutex pageCacheMutex_;
+    mutable std::map<std::string, std::shared_ptr<const PageEntry>>
+        pageCache_;
+    mutable std::deque<std::string> pageCacheFifo_;
+
+    mutable std::mutex auditMutex_;
     std::vector<AuditEntry> auditLog_;
+
+    mutable std::mutex revocationMutex_;
     std::vector<std::uint64_t> revokedSerials_;
+
+    mutable std::mutex countersMutex_;
     core::CounterSet counters_;
 };
 

@@ -1,0 +1,144 @@
+/** @file Montgomery context cache: results must match an independent
+ *  square-and-multiply reference across random moduli, the cache must
+ *  stay bounded under churn, and concurrent lookups must be safe
+ *  (the concurrency test is part of the TSan CI job). */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "crypto/bignum.hh"
+#include "crypto/csprng.hh"
+#include "crypto/mont_cache.hh"
+
+namespace {
+
+using trust::crypto::Bignum;
+using trust::crypto::Csprng;
+using trust::crypto::Montgomery;
+
+/** Independent reference: plain square-and-multiply on Bignum ops,
+ *  sharing no code with the Montgomery fixed-window path. */
+Bignum
+referenceModExp(const Bignum &base, const Bignum &exp,
+                const Bignum &mod)
+{
+    Bignum result(1);
+    Bignum b = base % mod;
+    const std::size_t bits = exp.bitLength();
+    for (std::size_t i = bits; i-- > 0;) {
+        result = (result * result) % mod;
+        if (exp.bit(i))
+            result = (result * b) % mod;
+    }
+    return result % mod;
+}
+
+/** A random odd modulus with the top bit set (so it has @p bits). */
+Bignum
+randomOddModulus(Csprng &rng, std::size_t bits)
+{
+    auto bytes = rng.randomBytes((bits + 7) / 8);
+    bytes.front() |= 0x80;
+    bytes.back() |= 0x01;
+    return Bignum::fromBytes(bytes);
+}
+
+TEST(MontCache, MatchesReferenceAcrossRandomModuli)
+{
+    trust::crypto::clearMontgomeryCache();
+    Csprng rng(0xA12C0FFEE);
+    for (int i = 0; i < 24; ++i) {
+        const std::size_t bits = 64 + 32 * (i % 8);
+        const Bignum mod = randomOddModulus(rng, bits);
+        const Bignum base = Bignum::fromBytes(rng.randomBytes(bits / 8));
+        const Bignum exp = Bignum::fromBytes(rng.randomBytes(bits / 8));
+
+        const Bignum via_cache =
+            Bignum::modExp(base, exp, mod); // routed through the cache
+        const Bignum direct =
+            trust::crypto::montgomeryFor(mod)->modExp(base, exp);
+        const Bignum reference = referenceModExp(base, exp, mod);
+        EXPECT_TRUE(via_cache == reference)
+            << "modExp diverged from reference at " << bits << " bits";
+        EXPECT_TRUE(direct == reference);
+    }
+    // Small exponent edge cases (the <=32-bit fast path).
+    const Bignum mod = randomOddModulus(rng, 128);
+    EXPECT_TRUE(Bignum::modExp(Bignum(7), Bignum(0), mod) == Bignum(1));
+    EXPECT_TRUE(Bignum::modExp(Bignum(7), Bignum(1), mod) == Bignum(7));
+}
+
+TEST(MontCache, ReusesContextPerModulus)
+{
+    trust::crypto::clearMontgomeryCache();
+    Csprng rng(42);
+    const Bignum mod = randomOddModulus(rng, 256);
+
+    const auto first = trust::crypto::montgomeryFor(mod);
+    const std::uint64_t misses = trust::crypto::montgomeryCacheMisses();
+    const auto second = trust::crypto::montgomeryFor(mod);
+    EXPECT_EQ(first.get(), second.get()); // same shared context
+    EXPECT_EQ(trust::crypto::montgomeryCacheMisses(), misses);
+    EXPECT_GE(trust::crypto::montgomeryCacheHits(), 1u);
+    EXPECT_EQ(trust::crypto::montgomeryCacheSize(), 1u);
+}
+
+TEST(MontCache, EvictionKeepsCacheBounded)
+{
+    trust::crypto::clearMontgomeryCache();
+    Csprng rng(77);
+    const std::size_t cap = trust::crypto::montgomeryCacheCapacity();
+    ASSERT_GT(cap, 0u);
+    for (std::size_t i = 0; i < cap + 16; ++i)
+        (void)trust::crypto::montgomeryFor(randomOddModulus(rng, 64));
+    EXPECT_LE(trust::crypto::montgomeryCacheSize(), cap);
+
+    // An evicted-then-revisited modulus still computes correctly
+    // (a fresh context is rebuilt transparently).
+    const Bignum mod = randomOddModulus(rng, 64);
+    const Bignum expected = referenceModExp(Bignum(3), Bignum(65537), mod);
+    for (std::size_t i = 0; i < cap + 4; ++i)
+        (void)trust::crypto::montgomeryFor(randomOddModulus(rng, 64));
+    EXPECT_TRUE(Bignum::modExp(Bignum(3), Bignum(65537), mod) ==
+                expected);
+}
+
+TEST(MontCache, ConcurrentLookupsAreSafe)
+{
+    trust::crypto::clearMontgomeryCache();
+    Csprng rng(0xBEEF);
+    // A working set around the capacity so threads race on both the
+    // hit path and the construct/insert/evict path.
+    std::vector<Bignum> moduli;
+    for (int i = 0; i < 8; ++i)
+        moduli.push_back(randomOddModulus(rng, 128));
+    std::vector<Bignum> expected;
+    for (const auto &mod : moduli)
+        expected.push_back(
+            referenceModExp(Bignum(2), Bignum(12345), mod));
+
+    std::vector<std::thread> threads;
+    std::vector<int> mismatches(4, 0);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t]() {
+            for (int i = 0; i < 64; ++i) {
+                const std::size_t m =
+                    static_cast<std::size_t>(t + i) % moduli.size();
+                const Bignum got = Bignum::modExp(
+                    Bignum(2), Bignum(12345), moduli[m]);
+                if (!(got == expected[m]))
+                    ++mismatches[static_cast<std::size_t>(t)];
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (const int count : mismatches)
+        EXPECT_EQ(count, 0);
+    EXPECT_LE(trust::crypto::montgomeryCacheSize(),
+              trust::crypto::montgomeryCacheCapacity());
+}
+
+} // namespace

@@ -219,6 +219,89 @@ TEST(Server, IdentityReset)
             .has_value());
 }
 
+TEST(Server, AbandonedHandshakesStayBounded)
+{
+    // Regression: abandoned registration/login handshakes used to
+    // accumulate nonces (and per-account map keys) forever. The
+    // pending tables are now a bounded FIFO, oldest evicted first.
+    trust::trust::ServerPolicy policy;
+    policy.maxPendingHandshakes = 32;
+    policy.handshakeTtl = 0; // isolate the size bound from expiry
+    WebServer server("www.x.com", trustCa(), 160, 512, policy);
+
+    auto flock = makeFlock("dev-hb", 161, trustFingers()[0]);
+    const auto first_page =
+        server.handleRegistrationRequest({0, "www.x.com", "user0"});
+
+    for (int i = 1; i < 64; ++i) {
+        (void)server.handleRegistrationRequest(
+            {0, "www.x.com", "user" + std::to_string(i)});
+        EXPECT_LE(server.pendingHandshakes(),
+                  policy.maxPendingHandshakes);
+    }
+    EXPECT_LE(server.pendingHandshakes(), policy.maxPendingHandshakes);
+    EXPECT_GT(server.pendingHandshakes(), 0u);
+
+    // The oldest handshake was evicted by the flood: completing it
+    // now is refused as stale, exactly like a consumed nonce.
+    const auto submit = flock.handleRegistrationPage(
+        first_page, "user0", Bytes(64, 1),
+        goodCapture(trustFingers()[0], 162));
+    ASSERT_TRUE(submit.has_value());
+    const auto result = server.handleRegistrationSubmit(*submit);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.reason, "stale-nonce");
+}
+
+TEST(Server, AbandonedHandshakesExpireByTtl)
+{
+    trust::trust::ServerPolicy policy;
+    policy.handshakeTtl = trust::core::seconds(10);
+    WebServer server("www.x.com", trustCa(), 170, 512, policy);
+
+    auto flock = makeFlock("dev-ttl", 171, trustFingers()[0]);
+    const auto page = server.handleRegistrationRequest(
+        {0, "www.x.com", "carol"}, trust::core::seconds(1));
+    EXPECT_EQ(server.pendingHandshakes(), 1u);
+
+    // Younger than the TTL: still live.
+    server.expireHandshakes(trust::core::seconds(5));
+    EXPECT_EQ(server.pendingHandshakes(), 1u);
+
+    // Older than the TTL: dropped, and the late submit is stale.
+    server.expireHandshakes(trust::core::seconds(30));
+    EXPECT_EQ(server.pendingHandshakes(), 0u);
+    const auto submit = flock.handleRegistrationPage(
+        page, "carol", Bytes(64, 1),
+        goodCapture(trustFingers()[0], 172));
+    ASSERT_TRUE(submit.has_value());
+    const auto result = server.handleRegistrationSubmit(*submit);
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.reason, "stale-nonce");
+}
+
+TEST(Server, ConsumedHandshakesLeaveNoResidue)
+{
+    // A completed registration + login consumes both nonces; nothing
+    // lingers in the pending tables (the per-account map entry is
+    // erased, not just emptied).
+    LiveSession live(180);
+    EXPECT_EQ(live.server.pendingHandshakes(), 0u);
+}
+
+TEST(Server, PerAccountHandshakeBound)
+{
+    // One account hammering the registration page cannot hold more
+    // than its per-account slice of outstanding nonces.
+    trust::trust::ServerPolicy policy;
+    policy.handshakeTtl = 0;
+    WebServer server("www.x.com", trustCa(), 190, 512, policy);
+    for (int i = 0; i < 24; ++i)
+        (void)server.handleRegistrationRequest(
+            {0, "www.x.com", "mallory"});
+    EXPECT_LE(server.pendingHandshakes(), 16u);
+}
+
 TEST(Server, AuditFlagsNonRenderedFrames)
 {
     // The LiveSession fixture hashes placeholder frames rather than
