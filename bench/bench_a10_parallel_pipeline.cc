@@ -261,7 +261,8 @@ runSweep()
     std::printf("\nmatch decisions/scores identical across thread "
                 "counts: %s\n",
                 identical ? "yes" : "NO (determinism violation)");
-    std::printf("gabor kernel banks cached: %zu\n",
+    std::printf("gabor kernel cache: %zu banks, %zu bytes\n",
+                fp::gaborKernelCacheBankCount(),
                 fp::gaborKernelCacheSize());
     if (std::thread::hardware_concurrency() >= 4) {
         std::printf("speedup at 4 threads vs 1: %.2fx (target >= 2x)\n",

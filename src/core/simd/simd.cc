@@ -1,0 +1,56 @@
+#include "core/simd/simd.hh"
+
+#include <atomic>
+
+namespace trust::core::simd {
+
+namespace {
+
+/**
+ * Relaxed is enough: callers only flip this from a quiescent point
+ * (test/bench setup between runs), never while kernels are in
+ * flight, and every dispatch site reads it exactly once per call.
+ */
+std::atomic<bool> g_force_scalar{false};
+
+} // namespace
+
+const char *
+compiledBackendName()
+{
+    switch (kCompiledBackend) {
+    case Backend::Sse2:
+        return "sse2";
+    case Backend::Neon:
+        return "neon";
+    case Backend::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+void
+setForceScalar(bool force)
+{
+    g_force_scalar.store(force, std::memory_order_relaxed);
+}
+
+bool
+scalarForced()
+{
+    return g_force_scalar.load(std::memory_order_relaxed);
+}
+
+bool
+vectorActive()
+{
+    return kCompiledBackend != Backend::Scalar && !scalarForced();
+}
+
+const char *
+activeBackendName()
+{
+    return vectorActive() ? compiledBackendName() : "scalar";
+}
+
+} // namespace trust::core::simd

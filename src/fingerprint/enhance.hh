@@ -22,13 +22,21 @@ void normalizeImage(FingerprintImage &image, double target_mean = 0.5,
 
 /**
  * Estimate the local ridge orientation (in [0, pi)) at each pixel
- * using block-averaged squared gradients.
+ * using block-averaged squared gradients (separable SoA box sums;
+ * the kernels vectorize through core/simd).
  *
  * @param image     input image.
  * @param block     averaging half-window in pixels.
+ * @param stride    compute angles only at pixels whose row and
+ *                  column are multiples of @p stride; other cells
+ *                  stay 0. Every consumer in the pipeline reads the
+ *                  field behind the validity mask at its own lattice
+ *                  (quality probes use stride 2), so sparse fields
+ *                  must only be passed to consumers whose probe
+ *                  lattice is a subset of the stride lattice.
  */
 core::Grid<float> estimateOrientation(const FingerprintImage &image,
-                                      int block = 6);
+                                      int block = 6, int stride = 1);
 
 /**
  * Estimate the mean ridge period (pixels per ridge cycle) over valid
@@ -64,11 +72,16 @@ void gaborEnhanceVarFreq(FingerprintImage &image,
                          int radius = 6, double sigma = 3.0);
 
 /**
- * Number of Gabor kernel banks currently held by the process-wide
- * cache keyed by (radius, sigma, orientation bins, frequency bins,
- * frequency range). Both gaborEnhance flavours populate it.
+ * Payload bytes (kernel float storage) currently held by the
+ * process-wide Gabor kernel-bank cache keyed by (radius, sigma,
+ * orientation bins, frequency bins, frequency range). Both
+ * gaborEnhance flavours populate it; the same figure is exported as
+ * the `fp/gabor-cache-bytes` observability gauge.
  */
 std::size_t gaborKernelCacheSize();
+
+/** Number of kernel banks currently held by the cache. */
+std::size_t gaborKernelCacheBankCount();
 
 /** Drop every cached kernel bank (tests / memory pressure). */
 void clearGaborKernelCache();

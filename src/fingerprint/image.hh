@@ -66,6 +66,13 @@ class FingerprintImage
     const core::Grid<float> &pixels() const { return pixels_; }
     const core::Grid<std::uint8_t> &mask() const { return mask_; }
 
+    /**
+     * Mutable plane access for the SoA/SIMD kernels (core/simd);
+     * everything else should go through pixel()/setValid().
+     */
+    core::Grid<float> &pixels() { return pixels_; }
+    core::Grid<std::uint8_t> &mask() { return mask_; }
+
   private:
     core::Grid<float> pixels_;
     core::Grid<std::uint8_t> mask_;

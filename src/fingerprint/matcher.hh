@@ -14,6 +14,7 @@
 #ifndef TRUST_FINGERPRINT_MATCHER_HH
 #define TRUST_FINGERPRINT_MATCHER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "fingerprint/minutiae.hh"
@@ -57,34 +58,47 @@ struct MatchResult
 };
 
 /**
- * An ordered minutia pair with its rigid-invariant signature:
- * length, and each endpoint orientation measured relative to the
- * segment direction (invariant under rotation+translation, mod pi).
- */
-struct PairFeature
-{
-    int a;
-    int b;
-    double length;
-    double dir; ///< Segment direction, for alignment recovery.
-    double psiA;
-    double psiB;
-};
-
-/**
  * Precomputed template-side pair features with their quantized
- * length buckets. Building this is the dominant per-template cost
- * of a match, so enrolled templates build it once and reuse it for
- * every query (see FingerprintTemplate::pairIndex).
+ * length buckets, in structure-of-arrays layout: the Hough vote
+ * filter streams length/psiA/psiB columns through the SIMD layer
+ * (core/simd), so each rigid-invariant lives in its own contiguous
+ * array. Pairs are stored bucket-contiguously — all pairs of
+ * quantized-length bucket b occupy [bucketStart[b], bucketStart[b+1])
+ * in enumeration order, so a query's three-bucket candidate window
+ * is one contiguous range. Building this is the dominant
+ * per-template cost of a match, so enrolled templates build it once
+ * and reuse it for every query (see FingerprintTemplate::pairIndex).
+ *
+ * Orientation-like columns (psiA, psiB, mang) are stored pre-wrapped
+ * to the exact double orientationDiff() would reduce its operands
+ * to, so the filter kernels compare them without any fmod.
  */
 struct PairIndex
 {
-    std::vector<PairFeature> pairs;
-    /** Pair ids keyed by quantized length (bucketWidth pixels). */
-    std::vector<std::vector<int>> buckets;
+    /** Pair features, one slot per ordered pair (SoA). */
+    std::vector<double> length;
+    std::vector<double> dir;  ///< Segment direction (alignment recovery).
+    std::vector<double> psiA; ///< Endpoint orientations relative to
+    std::vector<double> psiB; ///< the segment, pre-wrapped.
+    std::vector<double> ax;   ///< First-endpoint position, for the
+    std::vector<double> ay;   ///< translation vote.
+    std::vector<std::uint8_t> typeA; ///< Endpoint minutia types.
+    std::vector<std::uint8_t> typeB;
+
+    /** Prefix offsets: bucket b spans [bucketStart[b], bucketStart[b+1]). */
+    std::vector<std::int32_t> bucketStart;
+
+    /** Template minutiae (SoA) for the greedy pairing kernel. */
+    std::vector<double> mx;
+    std::vector<double> my;
+    std::vector<double> mang; ///< wrapOrientation(angle), precomputed.
+
     double bucketWidth = 0.0;
     double minLength = 0.0;
     double maxLength = 0.0;
+
+    std::size_t pairCount() const { return length.size(); }
+    std::size_t minutiaCount() const { return mx.size(); }
 
     /** True if this index was built with the same geometry knobs. */
     bool
@@ -94,6 +108,45 @@ struct PairIndex
                bucketWidth == params.pairLengthTolerance;
     }
 };
+
+/**
+ * Query-side pair features (SoA, same columns as PairIndex minus the
+ * buckets). A capture's pairs depend only on the geometric
+ * tolerances, not on any template, so one QueryPairs is built per
+ * capture and shared across every enrolled template it is scored
+ * against (FlockModule::matchAll / matchTemplatesBatch).
+ */
+struct QueryPairs
+{
+    std::vector<double> length;
+    std::vector<double> dir;
+    std::vector<double> psiA;
+    std::vector<double> psiB;
+    std::vector<double> ax;
+    std::vector<double> ay;
+    std::vector<std::uint8_t> typeA;
+    std::vector<std::uint8_t> typeB;
+
+    double minLength = 0.0;
+    double maxLength = 0.0;
+
+    std::size_t count() const { return length.size(); }
+
+    /** True if built with the same geometry knobs. */
+    bool
+    compatibleWith(const MatchParams &params) const
+    {
+        return minLength == 2.0 * params.distTolerance;
+    }
+};
+
+/**
+ * Build the query-side pair features for a capture. The result
+ * depends only on the geometric tolerances (distTolerance) of
+ * @p params.
+ */
+QueryPairs buildQueryPairs(const std::vector<Minutia> &query,
+                           const MatchParams &params = {});
 
 /**
  * Build the template-side pair index for a minutiae set. The index
@@ -120,6 +173,18 @@ MatchResult matchMinutiae(const std::vector<Minutia> &tmpl,
 MatchResult matchMinutiae(const std::vector<Minutia> &tmpl,
                           const PairIndex &tmpl_index,
                           const std::vector<Minutia> &query,
+                          const MatchParams &params = {});
+
+/**
+ * Fully-prebuilt comparison: template-side pair index AND query-side
+ * pair features (must have been built with compatible geometry).
+ * This is the batched multi-template hot path — the query side is
+ * built once per capture and reused for every template.
+ */
+MatchResult matchMinutiae(const std::vector<Minutia> &tmpl,
+                          const PairIndex &tmpl_index,
+                          const std::vector<Minutia> &query,
+                          const QueryPairs &query_pairs,
                           const MatchParams &params = {});
 
 /**

@@ -92,23 +92,45 @@ matchTemplate(const FingerprintTemplate &tmpl,
 }
 
 std::vector<MatchResult>
-matchTemplatesBatch(const std::vector<FingerprintTemplate> &views,
+matchTemplatesBatch(const std::vector<const FingerprintTemplate *> &views,
                     const std::vector<Minutia> &query,
                     const MatchParams &params)
 {
     TRUST_SPAN("fp/match-batch");
+    // The query-side pair features depend only on the matcher
+    // geometry, never on a template, so one build is shared across
+    // the whole batch (the batched multi-template hot path).
+    const QueryPairs query_pairs = buildQueryPairs(query, params);
     std::vector<MatchResult> results(views.size());
     core::parallelFor(
         0, static_cast<int>(views.size()), 1, [&](int b, int e) {
-            for (int i = b; i < e; ++i)
-                results[static_cast<std::size_t>(i)] = matchTemplate(
-                    views[static_cast<std::size_t>(i)], query, params);
+            for (int i = b; i < e; ++i) {
+                const FingerprintTemplate &t =
+                    *views[static_cast<std::size_t>(i)];
+                if (t.minutiae.size() < 2 || query.size() < 2)
+                    continue;
+                results[static_cast<std::size_t>(i)] =
+                    matchMinutiae(t.minutiae, *t.pairIndex(params),
+                                  query, query_pairs, params);
+            }
         });
     if (core::obs::enabledFast())
         core::obs::metrics()
             .counter("fp/templates-matched")
             .add(views.size());
     return results;
+}
+
+std::vector<MatchResult>
+matchTemplatesBatch(const std::vector<FingerprintTemplate> &views,
+                    const std::vector<Minutia> &query,
+                    const MatchParams &params)
+{
+    std::vector<const FingerprintTemplate *> ptrs;
+    ptrs.reserve(views.size());
+    for (const FingerprintTemplate &t : views)
+        ptrs.push_back(&t);
+    return matchTemplatesBatch(ptrs, query, params);
 }
 
 MatchResult

@@ -83,11 +83,22 @@ MatchResult matchTemplate(const FingerprintTemplate &tmpl,
 
 /**
  * Score one query against many enrolled templates concurrently on
- * the global thread pool. Results come back in template order and
- * are identical at any thread count.
+ * the global thread pool. The query-side pair features are built
+ * once and shared across the whole batch. Results come back in
+ * template order and are identical at any thread count.
  */
 std::vector<MatchResult>
 matchTemplatesBatch(const std::vector<FingerprintTemplate> &views,
+                    const std::vector<Minutia> &query,
+                    const MatchParams &params = {});
+
+/**
+ * Same batched scoring over non-owning template pointers, so a
+ * caller can flatten templates gathered from several fingers (see
+ * FlockModule::matchAll) without copying them.
+ */
+std::vector<MatchResult>
+matchTemplatesBatch(const std::vector<const FingerprintTemplate *> &views,
                     const std::vector<Minutia> &query,
                     const MatchParams &params = {});
 

@@ -44,7 +44,11 @@ assessQuality(const FingerprintImage &capture, const QualityParams &params)
         return report;
     }
 
-    const auto orientation = estimateOrientation(capture);
+    // Every probe below reads the orientation field at even rows and
+    // columns only (strength: 4 + 6i; coherence: 2 + 4i with +/-2
+    // offsets), so a stride-2 field computes the exact values the
+    // probes consume at a quarter of the atan2 cost.
+    const auto orientation = estimateOrientation(capture, 6, 2);
 
     // Ridge strength: mean absolute response of the centered signal
     // along the orientation normal over a sparse probe set. Probe

@@ -93,38 +93,40 @@ FlockModule::matchesFinger(const CaptureSample &capture, int finger,
         .accepted;
 }
 
-int
-FlockModule::firstMatchingFinger(const CaptureSample &capture,
-                                 bool strict) const
+std::vector<FingerMatch>
+FlockModule::matchAll(const CaptureSample &capture, bool strict) const
 {
     TRUST_SPAN("flock/match");
     const auto &params =
         strict ? config_.strictMatchParams : config_.matchParams;
 
     // Flatten (finger, view) so one batch covers every enrolled
-    // template; all comparisons run concurrently and the winner is
-    // chosen by enrollment order, independent of the thread count.
-    std::vector<std::pair<int, const fingerprint::FingerprintTemplate *>>
-        flat;
-    for (std::size_t f = 0; f < fingers_.size(); ++f)
-        for (const auto &view : fingers_[f])
-            flat.emplace_back(static_cast<int>(f), &view);
+    // template; the query-side pair features are built once inside
+    // matchTemplatesBatch and shared by every comparison.
+    std::vector<FingerMatch> out;
+    std::vector<const fingerprint::FingerprintTemplate *> flat;
+    for (std::size_t f = 0; f < fingers_.size(); ++f) {
+        for (std::size_t v = 0; v < fingers_[f].size(); ++v) {
+            out.push_back({static_cast<int>(f), static_cast<int>(v), {}});
+            flat.push_back(&fingers_[f][v]);
+        }
+    }
+    const auto results = fingerprint::matchTemplatesBatch(
+        flat, capture.minutiae, params);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i].result = results[i];
+    return out;
+}
 
-    std::vector<char> accepted(flat.size(), 0);
-    core::parallelFor(
-        0, static_cast<int>(flat.size()), 1, [&](int b, int e) {
-            for (int i = b; i < e; ++i) {
-                const auto &[finger, view] =
-                    flat[static_cast<std::size_t>(i)];
-                accepted[static_cast<std::size_t>(i)] =
-                    fingerprint::matchTemplate(*view, capture.minutiae,
-                                               params)
-                        .accepted;
-            }
-        });
-    for (std::size_t i = 0; i < flat.size(); ++i)
-        if (accepted[i])
-            return flat[i].first;
+int
+FlockModule::firstMatchingFinger(const CaptureSample &capture,
+                                 bool strict) const
+{
+    // matchAll returns enrollment order, so the first accepted entry
+    // is the lowest-index matching finger regardless of thread count.
+    for (const FingerMatch &m : matchAll(capture, strict))
+        if (m.result.accepted)
+            return m.finger;
     return -1;
 }
 

@@ -51,6 +51,14 @@ struct FlockConfig
     hw::DisplaySpec display;
 };
 
+/** One enrolled view's score against a capture (see matchAll). */
+struct FingerMatch
+{
+    int finger = 0; ///< Enrolled finger index.
+    int view = 0;   ///< View index within the finger.
+    fingerprint::MatchResult result;
+};
+
 /** One captured fingerprint sample handed to FLock by the sensor. */
 struct CaptureSample
 {
@@ -113,6 +121,18 @@ class FlockModule
      * Pure match; does not touch the risk window.
      */
     bool verifyCapture(const CaptureSample &capture) const;
+
+    /**
+     * Score a capture against every view of every enrolled finger in
+     * one batch: the query-side pair features are built once and all
+     * (finger, view) comparisons run concurrently on the global
+     * thread pool. Results come back in enrollment order (finger,
+     * then view) and are deterministic at any thread count. This is
+     * the matching hot path behind verifyCapture/processTouch and
+     * therefore behind every WebServer page interaction.
+     */
+    std::vector<FingerMatch> matchAll(const CaptureSample &capture,
+                                      bool strict = false) const;
 
     /**
      * Full Fig. 6 per-touch processing: coverage check, quality

@@ -138,7 +138,7 @@ TEST(ParallelPipeline, SerdeRoundTripRebuildsPairIndex)
     // rebuilds it and matching behaves exactly as before.
     const auto index = parsed->pairIndex();
     ASSERT_NE(index, nullptr);
-    EXPECT_EQ(index->pairs.size(), tpl->pairIndex()->pairs.size());
+    EXPECT_EQ(index->pairCount(), tpl->pairIndex()->pairCount());
     const auto a = matchTemplate(*tpl, query->minutiae);
     const auto b = matchTemplate(*parsed, query->minutiae);
     EXPECT_EQ(a.accepted, b.accepted);
@@ -156,7 +156,7 @@ TEST(ParallelPipeline, PairIndexInvalidationRebuilds)
     const auto after = tpl->pairIndex();
     ASSERT_NE(after, nullptr);
     EXPECT_NE(after, before);
-    EXPECT_LE(after->pairs.size(), before->pairs.size());
+    EXPECT_LE(after->pairCount(), before->pairCount());
 }
 
 TEST(ParallelPipeline, CopyCarriesIndexSnapshot)

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Bit-identity contract of the SIMD fingerprint hot path (DESIGN
+ * §12): every vectorized stage must produce byte-identical output
+ * under the scalar reference backend and the compiled vector
+ * backend, over randomized synthesized captures. On a build without
+ * a vector backend (-DTRUST_SIMD=OFF) both runs take the scalar
+ * path and the tests degenerate to determinism checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hh"
+#include "core/simd/simd.hh"
+#include "fingerprint/capture.hh"
+#include "fingerprint/enhance.hh"
+#include "fingerprint/image.hh"
+#include "fingerprint/matcher.hh"
+#include "fingerprint/minutiae.hh"
+#include "fingerprint/pipeline.hh"
+#include "fingerprint/skeleton.hh"
+#include "fingerprint/synthesis.hh"
+#include "tests/fingerprint/fixtures.hh"
+
+namespace trust::fingerprint {
+namespace {
+
+namespace simd = core::simd;
+
+/** Forces the scalar backend for one scope, restoring on exit. */
+class ScopedScalar
+{
+  public:
+    explicit ScopedScalar(bool force) : prev_(simd::scalarForced())
+    {
+        simd::setForceScalar(force);
+    }
+    ~ScopedScalar() { simd::setForceScalar(prev_); }
+
+  private:
+    bool prev_;
+};
+
+/** Runs @p stage under both backends and returns the two outputs. */
+template <class Fn>
+auto
+bothBackends(const Fn &stage)
+{
+    ScopedScalar scalar(true);
+    auto reference = stage();
+    simd::setForceScalar(false);
+    auto vectored = stage();
+    return std::make_pair(std::move(reference), std::move(vectored));
+}
+
+/** Float planes must agree bit for bit (NaN-safe comparison). */
+void
+expectSamePlane(const core::Grid<float> &a, const core::Grid<float> &b,
+                const char *what)
+{
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    const auto &da = a.data();
+    const auto &db = b.data();
+    for (std::size_t i = 0; i < da.size(); ++i)
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(da[i]),
+                  std::bit_cast<std::uint32_t>(db[i]))
+            << what << " diverges at flat index " << i;
+}
+
+void
+expectSameBytes(const core::Grid<std::uint8_t> &a,
+                const core::Grid<std::uint8_t> &b, const char *what)
+{
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    ASSERT_EQ(a.data(), b.data()) << what;
+}
+
+void
+expectSameResult(const MatchResult &a, const MatchResult &b,
+                 const char *what)
+{
+    EXPECT_EQ(a.score, b.score) << what;
+    EXPECT_EQ(a.paired, b.paired) << what;
+    EXPECT_EQ(a.votes, b.votes) << what;
+    EXPECT_EQ(a.accepted, b.accepted) << what;
+    EXPECT_EQ(a.alignment.rot, b.alignment.rot) << what;
+    EXPECT_EQ(a.alignment.dx, b.alignment.dx) << what;
+    EXPECT_EQ(a.alignment.dy, b.alignment.dy) << what;
+}
+
+/** A deterministic batch of randomized touch captures. */
+std::vector<FingerprintImage>
+sampleCaptures(int count, std::uint64_t seed)
+{
+    core::Rng rng(seed);
+    const auto &pool = testing::fingerPool();
+    std::vector<FingerprintImage> caps;
+    for (int i = 0; i < count; ++i) {
+        const auto &finger = pool[static_cast<std::size_t>(i) %
+                                  pool.size()];
+        const auto cc = sampleTouchConditions(96, 96, 0.1, rng);
+        caps.push_back(captureImpression(finger, cc, rng));
+    }
+    return caps;
+}
+
+TEST(SimdEquivalence, NormalizeIsBitIdentical)
+{
+    for (const auto &cap : sampleCaptures(4, 20260809)) {
+        auto [ref, vec] = bothBackends([&] {
+            FingerprintImage work = cap;
+            normalizeImage(work);
+            return work;
+        });
+        expectSamePlane(ref.pixels(), vec.pixels(), "normalize");
+    }
+}
+
+TEST(SimdEquivalence, OrientationIsBitIdenticalAtEveryStride)
+{
+    for (const auto &cap : sampleCaptures(4, 20260810)) {
+        FingerprintImage work = cap;
+        normalizeImage(work);
+        for (const int stride : {1, 2}) {
+            auto [ref, vec] = bothBackends(
+                [&] { return estimateOrientation(work, 6, stride); });
+            expectSamePlane(ref, vec, "orientation");
+        }
+    }
+}
+
+TEST(SimdEquivalence, GaborIsBitIdentical)
+{
+    for (const auto &cap : sampleCaptures(4, 20260811)) {
+        FingerprintImage base = cap;
+        normalizeImage(base);
+        const auto orientation = estimateOrientation(base);
+        double period = estimateRidgePeriod(base, orientation);
+        if (period < 3.0 || period > 25.0)
+            period = 9.0;
+        auto [ref, vec] = bothBackends([&] {
+            FingerprintImage work = base;
+            gaborEnhance(work, orientation, 1.0 / period, 6, 3.0);
+            return work;
+        });
+        expectSamePlane(ref.pixels(), vec.pixels(), "gabor");
+    }
+}
+
+TEST(SimdEquivalence, BinarizeAndThinAreBitIdentical)
+{
+    for (const auto &cap : sampleCaptures(4, 20260812)) {
+        FingerprintImage work = cap;
+        normalizeImage(work);
+        const auto orientation = estimateOrientation(work);
+        double period = estimateRidgePeriod(work, orientation);
+        if (period < 3.0 || period > 25.0)
+            period = 9.0;
+        gaborEnhance(work, orientation, 1.0 / period, 6, 3.0);
+
+        auto [bref, bvec] = bothBackends([&] { return binarize(work); });
+        expectSameBytes(bref, bvec, "binarize");
+
+        auto [tref, tvec] = bothBackends([&] { return thin(bref); });
+        expectSameBytes(tref, tvec, "thin");
+    }
+}
+
+TEST(SimdEquivalence, FullExtractionIsBitIdentical)
+{
+    for (const auto &cap : sampleCaptures(6, 20260813)) {
+        auto [ref, vec] =
+            bothBackends([&] { return extractTemplate(cap); });
+        ASSERT_EQ(ref.has_value(), vec.has_value());
+        if (!ref)
+            continue;
+        EXPECT_EQ(ref->minutiae, vec->minutiae);
+        EXPECT_EQ(ref->quality, vec->quality);
+    }
+}
+
+TEST(SimdEquivalence, MatchingIsBitIdentical)
+{
+    core::Rng rng(20260814);
+    const auto &pool = testing::fingerPool();
+
+    // Enroll a few views, then score randomized probes under both
+    // backends through the batched path.
+    std::vector<FingerprintTemplate> views;
+    for (int v = 0; views.size() < 3 && v < 24; ++v) {
+        CaptureConditions cc;
+        cc.windowRows = 96;
+        cc.windowCols = 96;
+        cc.pressure = 0.95;
+        cc.noiseSigma = 0.02;
+        auto tpl = extractTemplate(
+            captureImpression(pool[0], cc, rng));
+        if (tpl && tpl->minutiae.size() >= 8)
+            views.push_back(std::move(*tpl));
+    }
+    ASSERT_GE(views.size(), 2u);
+
+    for (const auto &cap : sampleCaptures(4, 20260815)) {
+        const auto probe = extractTemplate(cap);
+        if (!probe || probe->minutiae.size() < 2)
+            continue;
+        auto [ref, vec] = bothBackends([&] {
+            return matchTemplatesBatch(views, probe->minutiae);
+        });
+        ASSERT_EQ(ref.size(), vec.size());
+        for (std::size_t i = 0; i < ref.size(); ++i)
+            expectSameResult(ref[i], vec[i], "batched match");
+    }
+}
+
+TEST(SimdEquivalence, BatchedPathMatchesPerViewPath)
+{
+    core::Rng rng(20260816);
+    const auto &pool = testing::fingerPool();
+    std::vector<FingerprintTemplate> views;
+    for (int v = 0; views.size() < 3 && v < 24; ++v) {
+        CaptureConditions cc;
+        cc.windowRows = 96;
+        cc.windowCols = 96;
+        cc.pressure = 0.95;
+        cc.noiseSigma = 0.02;
+        auto tpl = extractTemplate(
+            captureImpression(pool[1], cc, rng));
+        if (tpl && tpl->minutiae.size() >= 8)
+            views.push_back(std::move(*tpl));
+    }
+    ASSERT_GE(views.size(), 2u);
+
+    for (const auto &cap : sampleCaptures(4, 20260817)) {
+        const auto probe = extractTemplate(cap);
+        if (!probe || probe->minutiae.size() < 2)
+            continue;
+
+        // The shared-query-pairs batch must agree with the per-view
+        // 3-arg entry point, and the 5-arg overload must agree with
+        // the 3-arg one given freshly built query pairs.
+        const auto batched =
+            matchTemplatesBatch(views, probe->minutiae);
+        const QueryPairs qp = buildQueryPairs(probe->minutiae);
+        for (std::size_t i = 0; i < views.size(); ++i) {
+            const auto direct = matchMinutiae(
+                views[i].minutiae, *views[i].pairIndex(),
+                probe->minutiae);
+            expectSameResult(batched[i], direct, "batch vs 3-arg");
+            const auto shared = matchMinutiae(
+                views[i].minutiae, *views[i].pairIndex(),
+                probe->minutiae, qp);
+            expectSameResult(shared, direct, "5-arg vs 3-arg");
+        }
+    }
+}
+
+} // namespace
+} // namespace trust::fingerprint

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Pins the A13 SIMD sweep's decision output: a fixed enrollment /
+ * probe workload is scored under the scalar reference backend, the
+ * compiled vector backend, and multiple thread counts, and every
+ * run must serialize to the same decision text — which must in turn
+ * match the committed golden. Regenerate after an intentional
+ * matcher/pipeline behaviour change with
+ *     TRUST_UPDATE_GOLDEN=1 ctest -R SimdGolden
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "core/rng.hh"
+#include "core/simd/simd.hh"
+#include "fingerprint/capture.hh"
+#include "fingerprint/pipeline.hh"
+#include "fingerprint/synthesis.hh"
+#include "tests/fingerprint/fixtures.hh"
+
+namespace trust::fingerprint {
+namespace {
+
+namespace simd = core::simd;
+
+/**
+ * The pinned workload: 2 fingers x 2 enrolled views, 12 probes
+ * (genuine and stranger mix), every decision serialized one line
+ * per (probe, view) comparison.
+ */
+std::string
+runDecisions()
+{
+    core::Rng rng(20260818);
+    const auto &pool = testing::fingerPool();
+
+    std::vector<FingerprintTemplate> views;
+    for (int f = 0; f < 2; ++f) {
+        int kept = 0;
+        for (int attempt = 0; kept < 2 && attempt < 24; ++attempt) {
+            CaptureConditions cc;
+            cc.windowRows = 96;
+            cc.windowCols = 96;
+            cc.pressure = 0.95;
+            cc.noiseSigma = 0.02;
+            auto tpl = extractTemplate(captureImpression(
+                pool[static_cast<std::size_t>(f)], cc, rng));
+            if (tpl && tpl->minutiae.size() >= 8) {
+                views.push_back(std::move(*tpl));
+                ++kept;
+            }
+        }
+    }
+
+    std::string out;
+    for (int i = 0; i < 12; ++i) {
+        // Probe fingers 0/1 plus an unenrolled stranger (index 2).
+        const auto &finger =
+            pool[static_cast<std::size_t>(i % 3)];
+        const auto cc = sampleTouchConditions(96, 96, 0.1, rng);
+        const auto probe =
+            extractTemplate(captureImpression(finger, cc, rng));
+        if (!probe || probe->minutiae.size() < 2) {
+            out += "probe=" + std::to_string(i) + " rejected\n";
+            continue;
+        }
+        const auto results =
+            matchTemplatesBatch(views, probe->minutiae);
+        for (std::size_t v = 0; v < results.size(); ++v) {
+            const auto &r = results[v];
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "probe=%d view=%zu accepted=%d paired=%d "
+                          "votes=%d score=%.17g\n",
+                          i, v, r.accepted ? 1 : 0, r.paired,
+                          r.votes, r.score);
+            out += line;
+        }
+    }
+    return out;
+}
+
+std::string
+goldenPath()
+{
+    return std::string(TRUST_SOURCE_DIR) +
+           "/tests/golden/simd_decisions.golden";
+}
+
+TEST(SimdGolden, DecisionsByteIdenticalAcrossBackendsAndThreads)
+{
+    const bool prev = simd::scalarForced();
+
+    simd::setForceScalar(true);
+    const std::string scalar = runDecisions();
+    simd::setForceScalar(false);
+    const std::string vectored = runDecisions();
+
+    core::setParallelThreads(4);
+    const std::string vectored4 = runDecisions();
+    core::setParallelThreads(16);
+    const std::string vectored16 = runDecisions();
+    core::setParallelThreads(0); // back to automatic
+    simd::setForceScalar(prev);
+
+    // The bit-identity contract (DESIGN §12): backend choice and
+    // thread count never reach a decision.
+    EXPECT_EQ(scalar, vectored)
+        << "scalar and " << simd::compiledBackendName()
+        << " backends disagree";
+    EXPECT_EQ(vectored, vectored4);
+    EXPECT_EQ(vectored, vectored16);
+
+    if (std::getenv("TRUST_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(out.good()) << goldenPath();
+        out << scalar;
+        GTEST_SKIP() << "golden regenerated at " << goldenPath();
+    }
+
+    std::ifstream in(goldenPath(), std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden; run with TRUST_UPDATE_GOLDEN=1";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(scalar, buf.str())
+        << "SIMD decision output drifted from the committed golden; "
+           "if the change is intentional regenerate with "
+           "TRUST_UPDATE_GOLDEN=1";
+}
+
+} // namespace
+} // namespace trust::fingerprint

@@ -264,6 +264,72 @@ void f()
 }
 
 // ---------------------------------------------------------------- //
+// SIMD intrinsics confinement                                       //
+// ---------------------------------------------------------------- //
+
+TEST(TrustlintSimd, FlagsRawIntrinsicsOutsideSimdHome)
+{
+    const auto findings = check("fingerprint/x.cc", R"src(
+void f(const float *in, float *out)
+{
+    __m128 a = _mm_loadu_ps(in);
+    _mm_storeu_ps(out, a);
+}
+)src");
+    ASSERT_GE(findings.size(), 2u);
+    for (const auto &f : findings)
+        EXPECT_EQ(f.rule, "simd-intrinsics");
+}
+
+TEST(TrustlintSimd, FlagsNeonAndVectorTypes)
+{
+    const auto rules = rulesOf(check("core/grid.hh", R"src(
+void f(const float *in)
+{
+    float32x4_t v = vld1q_f32(in);
+    auto w = vaddq_f32(v, v);
+}
+)src"));
+    EXPECT_TRUE(rules.count("simd-intrinsics"));
+}
+
+TEST(TrustlintSimd, FlagsArchitectureHeaders)
+{
+    const auto findings =
+        check("crypto/x.cc", "#include <emmintrin.h>\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "simd-intrinsics");
+}
+
+TEST(TrustlintSimd, SimdHomeAndSuppressionsAreExempt)
+{
+    const std::string src = R"src(
+#include <emmintrin.h>
+__m128 pack(const float *p) { return _mm_loadu_ps(p); }
+)src";
+    // The pack layer itself is the one sanctioned home.
+    EXPECT_TRUE(check("core/simd/simd.hh", src).empty());
+    EXPECT_FALSE(check("core/pack.hh", src).empty());
+
+    // allow() with a reason works like every other rule.
+    EXPECT_TRUE(check("core/x.cc", R"src(
+// trustlint: allow(simd-intrinsics) -- test justification
+auto v = _mm_setzero_ps();
+)src")
+                    .empty());
+}
+
+TEST(TrustlintSimd, OrdinaryIdentifiersDoNotTrip)
+{
+    EXPECT_TRUE(check("core/x.cc", R"src(
+int vstore = 0;
+int mm_total = vstore + 1;
+double velocity_factor = 2.0;
+)src")
+                    .empty());
+}
+
+// ---------------------------------------------------------------- //
 // Fixtures vs. golden                                               //
 // ---------------------------------------------------------------- //
 
@@ -292,11 +358,14 @@ TEST(TrustlintFixtures, EachFixtureTripsExactlyItsRule)
         {"core/annotation.cc", {"annotation"}},
         {"core/concurrency.cc", {"lock-order", "blocking-under-lock"}},
         {"core/determinism.cc", {"determinism"}},
+        {"core/simd_intrinsics.cc", {"simd-intrinsics"}},
         {"core/unordered_iter.cc", {"unordered-iter"}},
         {"net/layering.cc", {"layering"}},
         {"trust/messages.cc", {"trust-boundary"}},
     };
-    EXPECT_EQ(byFile, expected); // clean.cc must be absent
+    // clean.cc and core/simd/pack.cc (the intrinsics home) must be
+    // absent.
+    EXPECT_EQ(byFile, expected);
 }
 
 TEST(TrustlintFixtures, MatchesGoldenReport)

@@ -1,0 +1,9 @@
+// Fixture: core/simd/ is the intrinsics home; nothing here flags.
+#include <emmintrin.h>
+
+void
+packLoad(const float *in, float *out)
+{
+    __m128 a = _mm_loadu_ps(in);
+    _mm_storeu_ps(out, _mm_add_ps(a, a));
+}

@@ -1,0 +1,17 @@
+// Fixture: raw SIMD intrinsics outside core/simd/ must be flagged.
+#include <emmintrin.h>
+
+void
+hotLoop(const float *in, float *out)
+{
+    __m128 a = _mm_loadu_ps(in);
+    _mm_storeu_ps(out, a);
+}
+
+void
+neonLoop(const float *in, float *out)
+{
+    // trustlint: allow(simd-intrinsics) -- fixture: suppression works
+    auto v = vld1q_f32(in);
+    vst1q_f32(out, v);
+}

@@ -17,7 +17,7 @@ allowableRules()
 {
     static const std::set<std::string> rules = {
         "determinism",  "unordered-iter",      "trust-boundary",
-        "lock-order",   "blocking-under-lock",
+        "lock-order",   "blocking-under-lock", "simd-intrinsics",
     };
     return rules;
 }
@@ -712,6 +712,101 @@ checkConcurrency(const LexedFile &file, const std::string &relPath,
 }
 
 // ---------------------------------------------------------------- //
+// Rule: simd-intrinsics                                             //
+// ---------------------------------------------------------------- //
+
+/** Architecture SIMD headers (by basename, angled or quoted). */
+const std::set<std::string> &
+simdHeaders()
+{
+    static const std::set<std::string> names = {
+        "xmmintrin.h", "emmintrin.h", "pmmintrin.h", "tmmintrin.h",
+        "smmintrin.h", "nmmintrin.h", "wmmintrin.h", "immintrin.h",
+        "arm_neon.h",  "arm_sve.h",
+    };
+    return names;
+}
+
+bool
+startsWith(const std::string &s, std::string_view prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+/** True for identifiers spelled like a raw vector intrinsic/type. */
+bool
+looksLikeIntrinsic(const std::string &name)
+{
+    // x86: _mm_*, _mm256_*, _mm512_* calls and __m128/__m256/__m512
+    // register types.
+    if (startsWith(name, "_mm"))
+        return true;
+    if (startsWith(name, "__m") && name.size() > 3 &&
+        std::isdigit(static_cast<unsigned char>(name[3])))
+        return true;
+    // NEON: vld1q_f32-style loads/stores, the v*q_<elem> op family,
+    // and float32x4_t-style register types.
+    if (startsWith(name, "vld1") || startsWith(name, "vst1"))
+        return true;
+    static const char *const kNeonElems[] = {
+        "_f32", "_f64", "_s8",  "_u8",  "_s16",
+        "_u16", "_s32", "_u32", "_s64", "_u64"};
+    if (name.size() > 1 && name[0] == 'v')
+        for (const char *elem : kNeonElems)
+            if (endsWith(name, elem))
+                return true;
+    static const char *const kLaneTypes[] = {"x2_t", "x4_t", "x8_t",
+                                             "x16_t"};
+    for (const char *lanes : kLaneTypes)
+        if (endsWith(name, lanes))
+            return true;
+    return false;
+}
+
+void
+checkSimdIntrinsics(const LexedFile &file, const std::string &relPath,
+                    const Config &config, std::vector<Finding> &out)
+{
+    for (const std::string &prefix : config.simdAllowPrefixes)
+        if (relPath.rfind(prefix, 0) == 0)
+            return;
+
+    for (const IncludeDirective &inc : file.includes) {
+        const std::size_t slash = inc.path.rfind('/');
+        const std::string base = slash == std::string::npos
+                                     ? inc.path
+                                     : inc.path.substr(slash + 1);
+        if (simdHeaders().count(base)) {
+            out.push_back(
+                {"simd-intrinsics", relPath, inc.line,
+                 "architecture SIMD header '" + inc.path +
+                     "' outside core/simd/; use the portable pack "
+                     "API (core/simd/simd.hh)"});
+        }
+    }
+
+    for (const Token &t : file.tokens) {
+        if (t.kind != TokKind::Identifier)
+            continue;
+        if (looksLikeIntrinsic(t.text)) {
+            out.push_back(
+                {"simd-intrinsics", relPath, t.line,
+                 "raw vector intrinsic '" + t.text +
+                     "' outside core/simd/; use the portable pack "
+                     "API (core/simd/simd.hh)"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
 // Rule: annotation (the grammar polices itself)                     //
 // ---------------------------------------------------------------- //
 
@@ -763,8 +858,10 @@ defaultConfig()
     c.boundaryFiles = {"trust/messages.cc", "trust/server.cc"};
     // The module DAG: core at the bottom; crypto/fingerprint/touch/
     // net above core; hw may additionally use crypto+touch; placement
-    // sits on hw+touch; trust composes everything. core/obs is part
-    // of core and therefore includable from anywhere.
+    // sits on hw+touch; trust composes everything. core/obs and
+    // core/simd are part of core and therefore includable from
+    // anywhere — but raw intrinsics live only under core/simd/ (see
+    // simdAllowPrefixes).
     const std::set<std::string> everything = {
         "core", "crypto", "fingerprint", "hw",
         "touch", "net",   "placement",   "trust"};
@@ -777,6 +874,7 @@ defaultConfig()
     c.allowedIncludes["placement"] = {"core", "hw", "touch",
                                       "placement"};
     c.allowedIncludes["trust"] = everything;
+    c.simdAllowPrefixes = {"core/simd/"};
     return c;
 }
 
@@ -792,6 +890,7 @@ checkFile(const LexedFile &file, const std::string &relPath,
     checkTrustBoundary(file, relPath, config, functions, out);
     checkLayering(file, relPath, config, out);
     checkConcurrency(file, relPath, functions, out);
+    checkSimdIntrinsics(file, relPath, config, out);
     checkAnnotations(file, relPath, out);
 
     applySuppressions(file, out);

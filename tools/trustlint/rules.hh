@@ -19,6 +19,12 @@
  *    named lock while one is held (rule `lock-order`) unless the
  *    pair is registered via `// trustlint: lock-order(a -> b)`, and
  *    no blocking I/O tokens under any lock (`blocking-under-lock`).
+ * 5. simd-intrinsics    — raw vector intrinsics (`_mm_*`, `vld1q*`,
+ *    vector register types) and architecture SIMD headers are
+ *    confined to the portable pack layer under core/simd/; every
+ *    other module goes through its backend-neutral API so the
+ *    scalar/vector bit-identity contract stays auditable in one
+ *    place.
  *
  * Suppression: `// trustlint: allow(rule[, rule]) -- reason` on the
  * offending line or the line directly above. The reason is
@@ -74,6 +80,12 @@ struct Config
 
     /** module -> modules it may include (must contain itself). */
     std::map<std::string, std::set<std::string>> allowedIncludes;
+
+    /**
+     * Relative-path prefixes allowed to use raw SIMD intrinsics and
+     * architecture vector headers (the portable pack layer itself).
+     */
+    std::vector<std::string> simdAllowPrefixes;
 };
 
 /** The checked-in configuration for this repository. */
